@@ -1,0 +1,125 @@
+// Shared plumbing for the per-figure/table bench binaries.
+//
+// Every bench prints the series/rows of one paper figure or table. The
+// emulated devices inject latencies calibrated to the paper's testbed
+// (LatencyModel::calibrated), so the *shape* of each result — who wins, by
+// roughly what factor, where crossovers fall — is comparable to the paper;
+// absolute numbers are not (this is an emulated single machine, not a
+// 2x28-core Optane server).
+//
+// Environment knobs (all optional):
+//   DSTORE_BENCH_THREADS    worker threads            (default 4)
+//   DSTORE_BENCH_OBJECTS    preloaded keyspace        (default 20000)
+//   DSTORE_BENCH_OPS        ops per thread            (default 5000)
+//   DSTORE_BENCH_WINDOW_S   Fig 7 window seconds      (default 10)
+//   DSTORE_BENCH_SCALE      latency-injection scale   (default 1.0 =
+//                           full calibrated device latencies)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "baselines/cached_btree.h"
+#include "baselines/cached_lsm.h"
+#include "baselines/dstore_adapter.h"
+#include "baselines/uncached.h"
+#include "common/latency_model.h"
+#include "workload/ycsb.h"
+
+namespace dstore::bench {
+
+inline uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? strtoull(v, nullptr, 10) : fallback;
+}
+inline double env_f64(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? strtod(v, nullptr) : fallback;
+}
+
+struct BenchParams {
+  int threads = (int)env_u64("DSTORE_BENCH_THREADS", 4);
+  uint64_t objects = env_u64("DSTORE_BENCH_OBJECTS", 20000);
+  uint64_t ops_per_thread = env_u64("DSTORE_BENCH_OPS", 12500);
+  uint64_t window_s = env_u64("DSTORE_BENCH_WINDOW_S", 10);
+  double scale = env_f64("DSTORE_BENCH_SCALE", 1.0);
+
+  LatencyModel latency() const { return LatencyModel::calibrated(scale); }
+
+  void print(const char* bench) const {
+    printf("# %s  (threads=%d objects=%llu ops/thread=%llu latency-scale=%.2f)\n", bench,
+           threads, (unsigned long long)objects, (unsigned long long)ops_per_thread, scale);
+    printf("# Emulated devices; compare SHAPES with the paper, not absolutes.\n");
+  }
+};
+
+// Factory for each evaluated system, sized for `p`.
+inline std::unique_ptr<workload::KVStore> make_system(const std::string& which,
+                                                      const BenchParams& p) {
+  using namespace dstore::baselines;
+  LatencyModel lat = p.latency();
+  // Capacity: keyspace + 50% churn headroom.
+  uint64_t objects = p.objects * 2;
+  uint64_t blocks = p.objects * 6;
+  if (which == "DStore" || which == "DStore-CoW" || which == "DStore-noOE" ||
+      which == "LogicalLog+CoW" || which == "PhysLog+CoW") {
+    DStoreVariantConfig cfg;
+    if (which == "DStore") cfg = DStoreAdapter::dipper_variant();
+    if (which == "DStore-CoW") cfg = DStoreAdapter::cow_variant();
+    if (which == "DStore-noOE") cfg = DStoreAdapter::no_oe_variant();
+    if (which == "LogicalLog+CoW") cfg = DStoreAdapter::logical_cow_variant();
+    if (which == "PhysLog+CoW") cfg = DStoreAdapter::naive_physical_variant();
+    cfg.max_objects = objects;
+    cfg.num_blocks = blocks;
+    cfg.log_slots = 16384;
+    auto r = DStoreAdapter::make(cfg, lat);
+    if (!r.is_ok()) {
+      fprintf(stderr, "make %s failed: %s\n", which.c_str(), r.status().to_string().c_str());
+      return nullptr;
+    }
+    return std::move(r).value();
+  }
+  if (which == "PMEM-RocksDB") {
+    CachedLsmConfig cfg;
+    cfg.num_blocks = blocks;
+    cfg.memtable_limit_bytes = 4 << 20;
+    // Large enough that a checkpoints-off run (Fig 1) never force-flushes.
+    cfg.wal_bytes = 512 << 20;
+    auto r = CachedLsmStore::make(cfg, lat);
+    if (!r.is_ok()) return nullptr;
+    return std::move(r).value();
+  }
+  if (which == "MongoDB-PM") {
+    CachedBtreeConfig cfg;
+    cfg.num_blocks = blocks;
+    cfg.checkpoint_trigger_bytes = 4 << 20;
+    cfg.journal_bytes = 512 << 20;
+    auto r = CachedBtreeStore::make(cfg, lat);
+    if (!r.is_ok()) return nullptr;
+    return std::move(r).value();
+  }
+  if (which == "MongoDB-PMSE") {
+    UncachedConfig cfg;
+    cfg.num_slots = objects * 2;
+    cfg.slot_bytes = 4608;  // snug fit for 4KB values (PMSE stores in place)
+    auto r = UncachedStore::make(cfg, lat);
+    if (!r.is_ok()) return nullptr;
+    return std::move(r).value();
+  }
+  fprintf(stderr, "unknown system %s\n", which.c_str());
+  return nullptr;
+}
+
+inline workload::WorkloadSpec spec_for(const BenchParams& p, double read_fraction) {
+  workload::WorkloadSpec s;
+  s.num_objects = p.objects;
+  s.value_size = 4096;
+  s.read_fraction = read_fraction;
+  s.threads = p.threads;
+  s.ops_per_thread = p.ops_per_thread;
+  return s;
+}
+
+}  // namespace dstore::bench

@@ -1,0 +1,36 @@
+// Figure 6: "Metadata Overhead" — cost of the metadata commit for one 4KB
+// file write under xfs-DAX, ext4-DAX, NOVA and DStore's filesystem
+// interface (data placement differs, so only the metadata path is timed,
+// exactly as the paper does).
+//
+// Expected shape: DStore fastest (DRAM metadata + one 64B logical log
+// record), then NOVA (two ordered PMEM flushes), then xfs-DAX, then
+// ext4-DAX (full jbd2 journal transaction).
+#include "bench_common.h"
+#include "fsmeta/fsmeta.h"
+
+using namespace dstore;
+using namespace dstore::bench;
+using namespace dstore::fsmeta;
+
+int main() {
+  BenchParams p;
+  p.print("Figure 6: metadata overhead of a 4KB file write");
+  pmem::Pool pool(512 << 20, pmem::Pool::Mode::kDirect, p.latency());
+  Ext4DaxMeta ext4(&pool);
+  XfsDaxMeta xfs(&pool);
+  NovaMeta nova(&pool);
+  DStoreMeta dstore_meta(&pool);
+  MetaPathSim* sims[] = {&xfs, &ext4, &nova, &dstore_meta};
+  const int kWarmup = 200;
+  const int kOps = 5000;
+  printf("%-10s %16s\n", "system", "metadata ns/op");
+  for (MetaPathSim* sim : sims) {
+    for (int i = 0; i < kWarmup; i++) sim->metadata_update(i % 256);
+    uint64_t total = 0;
+    for (int i = 0; i < kOps; i++) total += sim->metadata_update(i % 256);
+    printf("%-10s %16.1f\n", sim->name(), (double)total / kOps);
+  }
+  printf("# Expected shape: DStore < NOVA < xfs-DAX < ext4-DAX.\n");
+  return 0;
+}

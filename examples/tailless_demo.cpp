@@ -1,0 +1,44 @@
+// Taillessness demonstration: run a mixed read/write workload against two
+// DStore builds — DIPPER checkpoints vs copy-on-write checkpoints — and
+// print the write tail latency of each. DIPPER's background checkpoints
+// never stall the frontend; CoW makes writers wait for page copies.
+//
+//   ./build/examples/tailless_demo
+#include <cstdio>
+
+#include "baselines/dstore_adapter.h"
+#include "workload/ycsb.h"
+
+using namespace dstore;
+using namespace dstore::baselines;
+
+int main() {
+  LatencyModel lat = LatencyModel::calibrated();
+  workload::WorkloadSpec spec;
+  spec.num_objects = 4000;
+  spec.value_size = 4096;
+  spec.read_fraction = 0.5;
+  spec.threads = 2;
+  spec.ops_per_thread = 8000;
+
+  printf("%-12s %10s %10s %10s %10s  %s\n", "checkpoints", "p50(us)", "p99(us)", "p999(us)",
+         "p9999(us)", "ckpts taken");
+  for (bool dipper : {true, false}) {
+    auto cfg = dipper ? DStoreAdapter::dipper_variant() : DStoreAdapter::cow_variant();
+    cfg.max_objects = spec.num_objects * 2;
+    cfg.num_blocks = spec.num_objects * 6;
+    cfg.log_slots = 2048;  // small log => frequent checkpoints
+    auto store = DStoreAdapter::make(cfg, lat);
+    if (!store.is_ok()) return 1;
+    if (!workload::load_objects(*store.value(), spec).is_ok()) return 1;
+    auto r = workload::run_workload(*store.value(), spec);
+    const auto& u = r.update_latency;
+    printf("%-12s %10.1f %10.1f %10.1f %10.1f  %llu\n", dipper ? "DIPPER" : "CoW",
+           u.p50() / 1e3, u.p99() / 1e3, u.p999() / 1e3, u.p9999() / 1e3,
+           (unsigned long long)store.value()->store().engine().stats().checkpoints.load());
+  }
+  printf("\nBoth ran the same workload with the same checkpoint frequency.\n");
+  printf("DIPPER's tail stays flat because checkpoints replay the log onto a\n");
+  printf("shadow copy in the background; CoW writers block on page copies.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Arena: a position-independent region of memory.
+//
+// Paper §3.3: "to allow the data structures to be seamlessly copied and
+// work in spite of PMEM address space relocation, we use relative pointers
+// and pointer swizzling for both DRAM and PMEM structures."
+//
+// An Arena is just (base, size); everything inside it refers to other
+// things inside it by offset (OffPtr). The volatile system space is an
+// arena in DRAM; each shadow copy is an arena inside the PMEM pool. Because
+// no absolute addresses ever appear inside an arena, cloning a shadow copy
+// or rebuilding the volatile space from PMEM is a flat byte copy.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace dstore {
+
+using offset_t = uint64_t;  // byte offset within an arena; 0 == null
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(char* base, size_t size) : base_(base), size_(size) {}
+
+  char* base() const { return base_; }
+  size_t size() const { return size_; }
+  bool valid() const { return base_ != nullptr; }
+
+  char* at(offset_t off) const {
+    assert(off < size_);
+    return base_ + off;
+  }
+  offset_t offset_of(const void* p) const {
+    auto d = reinterpret_cast<const char*>(p) - base_;
+    assert(d >= 0 && (size_t)d < size_);
+    return (offset_t)d;
+  }
+  bool contains(const void* p) const {
+    auto c = reinterpret_cast<const char*>(p);
+    return c >= base_ && c < base_ + size_;
+  }
+
+ private:
+  char* base_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Relative pointer: an offset that swizzles to a raw pointer against a
+// given arena base. Offset 0 is the null value (the arena's first bytes
+// are always occupied by the allocator header, so no allocation can have
+// offset 0).
+template <typename T>
+struct OffPtr {
+  offset_t off = 0;
+
+  OffPtr() = default;
+  explicit OffPtr(offset_t o) : off(o) {}
+
+  bool is_null() const { return off == 0; }
+  explicit operator bool() const { return off != 0; }
+
+  T* get(const Arena& a) const { return off == 0 ? nullptr : reinterpret_cast<T*>(a.at(off)); }
+
+  static OffPtr from(const Arena& a, const T* p) {
+    return p == nullptr ? OffPtr() : OffPtr(a.offset_of(p));
+  }
+
+  bool operator==(const OffPtr& o) const { return off == o.off; }
+  bool operator!=(const OffPtr& o) const { return off != o.off; }
+};
+
+}  // namespace dstore

@@ -1,0 +1,287 @@
+#include "baselines/cached_btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace dstore::baselines {
+
+namespace {
+struct JournalHeader {
+  uint32_t key_len;
+  uint32_t value_len;  // ~0u = tombstone
+  uint64_t seq;        // validity marker, persisted last
+};
+constexpr uint32_t kTombstone = ~0u;
+
+// Catalog record serialized into the reserved SSD blocks at checkpoint.
+struct CatalogRecord {
+  uint32_t key_len;
+  uint32_t size;
+  uint32_t nblocks;
+};
+}  // namespace
+
+Result<std::unique_ptr<CachedBtreeStore>> CachedBtreeStore::make(CachedBtreeConfig cfg,
+                                                                 const LatencyModel& latency) {
+  auto s = std::unique_ptr<CachedBtreeStore>(new CachedBtreeStore(cfg));
+  s->pool_ = std::make_unique<pmem::Pool>(cfg.journal_bytes, pmem::Pool::Mode::kDirect, latency);
+  ssd::DeviceConfig dc;
+  dc.num_blocks = cfg.num_blocks;
+  dc.latency = latency;
+  s->device_ = std::make_unique<ssd::RamBlockDevice>(dc);
+  // Blocks [0, catalog_blocks) are the catalog area.
+  s->free_blocks_.reserve(cfg.num_blocks - cfg.catalog_blocks);
+  for (uint64_t b = cfg.num_blocks; b > cfg.catalog_blocks; b--) s->free_blocks_.push_back(b - 1);
+  std::memset(s->pool_->base(), 0, sizeof(JournalHeader));
+  s->pool_->persist(s->pool_->base(), sizeof(JournalHeader));
+  return s;
+}
+
+Status CachedBtreeStore::journal_append(std::string_view key, const void* value, size_t size,
+                                        bool tombstone) {
+  LockGuard<SpinLock> g(journal_mu_);
+  size_t rec = sizeof(JournalHeader) + key.size() + (tombstone ? 0 : size);
+  if (journal_off_ + rec > pool_->size()) return Status::out_of_space("journal full");
+  char* base = pool_->base() + journal_off_;
+  auto* h = reinterpret_cast<JournalHeader*>(base);
+  h->key_len = (uint32_t)key.size();
+  h->value_len = tombstone ? kTombstone : (uint32_t)size;
+  std::memcpy(base + sizeof(JournalHeader), key.data(), key.size());
+  if (!tombstone && size > 0) std::memcpy(base + sizeof(JournalHeader) + key.size(), value, size);
+  pool_->persist_bulk(base + sizeof(uint64_t), rec - sizeof(uint64_t));
+  h->seq = journal_off_ + 1;
+  pool_->persist(base, sizeof(uint64_t));
+  journal_off_ += rec;
+  return Status::ok();
+}
+
+void CachedBtreeStore::journal_reset_locked() {
+  LockGuard<SpinLock> g(journal_mu_);
+  std::memset(pool_->base(), 0, sizeof(JournalHeader));
+  pool_->persist(pool_->base(), sizeof(JournalHeader));
+  journal_off_ = 0;
+}
+
+std::vector<uint64_t> CachedBtreeStore::alloc_blocks(uint64_t n) {
+  LockGuard<SpinLock> g(blocks_mu_);
+  std::vector<uint64_t> out;
+  if (free_blocks_.size() < n) return out;
+  for (uint64_t i = 0; i < n; i++) {
+    out.push_back(free_blocks_.back());
+    free_blocks_.pop_back();
+  }
+  return out;
+}
+
+void CachedBtreeStore::free_blocks_list(const std::vector<uint64_t>& blocks) {
+  LockGuard<SpinLock> g(blocks_mu_);
+  for (uint64_t b : blocks) free_blocks_.push_back(b);
+}
+
+Status CachedBtreeStore::checkpoint_locked() {
+  // "The page cache is locked until all pages are made durable": the
+  // caller holds cache_mu_ exclusive across every device write below.
+  size_t bs = device_->config().block_size();
+  for (auto& [key, e] : cache_) {
+    if (!e.dirty || !e.cached.has_value()) continue;
+    free_blocks_list(e.blocks);
+    uint64_t n = (e.cached->size() + bs - 1) / bs;
+    e.blocks = alloc_blocks(n);
+    if (e.blocks.size() != n) return Status::out_of_space("SSD blocks exhausted");
+    for (uint64_t i = 0; i < n; i++) {
+      size_t len = std::min(bs, e.cached->size() - i * bs);
+      DSTORE_RETURN_IF_ERROR(device_->write(e.blocks[i], 0, e.cached->data() + i * bs, len));
+    }
+    e.size = (uint32_t)e.cached->size();
+    e.dirty = false;
+  }
+  DSTORE_RETURN_IF_ERROR(write_catalog_locked());
+  journal_reset_locked();
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  // Cache pressure: drop clean cached values beyond the cache budget so
+  // cold reads go to the SSD (finite WiredTiger cache).
+  size_t cached = 0;
+  for (const auto& [k2, e2] : cache_) {
+    if (e2.cached.has_value()) cached += e2.cached->size();
+  }
+  if (cached > cfg_.cache_bytes) {
+    for (auto& [k2, e2] : cache_) {
+      if (cached <= cfg_.cache_bytes) break;
+      if (!e2.dirty && e2.cached.has_value() && !e2.blocks.empty()) {
+        cached -= e2.cached->size();
+        e2.cached.reset();
+      }
+    }
+  }
+  return Status::ok();
+}
+
+void CachedBtreeStore::prepare_run() {
+  LockGuard<SharedSpinLock> g(cache_mu_);
+  (void)checkpoint_locked();
+}
+
+Status CachedBtreeStore::write_catalog_locked() {
+  // Serialize (key, size, blocks) into the reserved catalog blocks.
+  std::string buf;
+  uint32_t count = (uint32_t)cache_.size();
+  buf.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [key, e] : cache_) {
+    CatalogRecord rec{(uint32_t)key.size(), e.size, (uint32_t)e.blocks.size()};
+    buf.append(reinterpret_cast<const char*>(&rec), sizeof(rec));
+    buf.append(key);
+    buf.append(reinterpret_cast<const char*>(e.blocks.data()), e.blocks.size() * 8);
+  }
+  size_t bs = device_->config().block_size();
+  if (buf.size() > cfg_.catalog_blocks * bs) return Status::out_of_space("catalog area");
+  for (size_t off = 0; off < buf.size(); off += bs) {
+    size_t len = std::min(bs, buf.size() - off);
+    DSTORE_RETURN_IF_ERROR(device_->write(off / bs, 0, buf.data() + off, len));
+  }
+  return Status::ok();
+}
+
+Status CachedBtreeStore::put(void* /*ctx*/, std::string_view key, const void* value,
+                             size_t size) {
+  spin_for_ns(cfg_.stack_overhead_ns);
+  DSTORE_RETURN_IF_ERROR(journal_append(key, value, size, false));
+  LockGuard<SharedSpinLock> g(cache_mu_);
+  Entry& e = cache_[std::string(key)];
+  e.cached = std::string(static_cast<const char*>(value), size);
+  e.dirty = true;
+  bool trigger;
+  {
+    LockGuard<SpinLock> jg(journal_mu_);
+    trigger = journal_off_ > cfg_.checkpoint_trigger_bytes;
+  }
+  if (trigger && checkpoints_enabled_.load(std::memory_order_acquire)) {
+    DSTORE_RETURN_IF_ERROR(checkpoint_locked());
+  }
+  return Status::ok();
+}
+
+Result<size_t> CachedBtreeStore::get(void* /*ctx*/, std::string_view key, void* buf,
+                                     size_t cap) {
+  spin_for_ns(cfg_.stack_overhead_ns);
+  std::string k(key);
+  SharedLockGuard g(cache_mu_);
+  auto it = cache_.find(k);
+  if (it == cache_.end()) return Status::not_found(k);
+  const Entry& e = it->second;
+  if (e.cached.has_value()) {
+    size_t n = std::min(cap, e.cached->size());
+    std::memcpy(buf, e.cached->data(), n);
+    return e.cached->size();
+  }
+  // Cache miss on the value: read from SSD.
+  size_t bs = device_->config().block_size();
+  size_t want = std::min(cap, (size_t)e.size);
+  char* dst = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < want) {
+    size_t bi = done / bs;
+    size_t len = std::min(bs, want - done);
+    DSTORE_RETURN_IF_ERROR(device_->read(e.blocks[bi], 0, dst + done, len));
+    done += len;
+  }
+  return (size_t)e.size;
+}
+
+Status CachedBtreeStore::del(void* /*ctx*/, std::string_view key) {
+  DSTORE_RETURN_IF_ERROR(journal_append(key, nullptr, 0, true));
+  LockGuard<SharedSpinLock> g(cache_mu_);
+  auto it = cache_.find(std::string(key));
+  if (it == cache_.end()) return Status::not_found(std::string(key));
+  free_blocks_list(it->second.blocks);
+  cache_.erase(it);
+  return Status::ok();
+}
+
+void CachedBtreeStore::set_checkpoints_enabled(bool enabled) {
+  checkpoints_enabled_.store(enabled, std::memory_order_release);
+}
+
+workload::SpaceBreakdown CachedBtreeStore::space_usage() {
+  workload::SpaceBreakdown b;
+  {
+    SharedLockGuard g(cache_mu_);
+    for (const auto& [key, e] : cache_) {
+      b.dram_bytes += key.size() + sizeof(Entry) + e.blocks.size() * 8;
+      if (e.cached.has_value()) b.dram_bytes += e.cached->size();
+    }
+    // WiredTiger reserves its cache budget up front (the paper counts the
+    // reservation).
+    b.dram_bytes += cfg_.checkpoint_trigger_bytes;
+  }
+  {
+    LockGuard<SpinLock> g(journal_mu_);
+    b.pmem_bytes = journal_off_;
+  }
+  {
+    LockGuard<SpinLock> g(blocks_mu_);
+    uint64_t used = cfg_.num_blocks - cfg_.catalog_blocks - free_blocks_.size();
+    b.ssd_bytes = (used + cfg_.catalog_blocks) * device_->config().block_size();
+  }
+  return b;
+}
+
+Result<workload::KVStore::RecoveryTiming> CachedBtreeStore::crash_and_recover() {
+  RecoveryTiming t;
+  LockGuard<SharedSpinLock> g(cache_mu_);
+  // DRAM cache dies: rebuild the index from the on-SSD catalog.
+  StopWatch meta;
+  cache_.clear();
+  size_t bs = device_->config().block_size();
+  std::vector<char> buf(cfg_.catalog_blocks * bs);
+  for (uint64_t b = 0; b < cfg_.catalog_blocks; b++) {
+    DSTORE_RETURN_IF_ERROR(device_->read(b, 0, buf.data() + b * bs, bs));
+  }
+  const char* p = buf.data();
+  uint32_t count;
+  std::memcpy(&count, p, sizeof(count));
+  p += sizeof(count);
+  for (uint32_t i = 0; i < count; i++) {
+    CatalogRecord rec;
+    std::memcpy(&rec, p, sizeof(rec));
+    p += sizeof(rec);
+    std::string key(p, rec.key_len);
+    p += rec.key_len;
+    Entry e;
+    e.size = rec.size;
+    e.blocks.resize(rec.nblocks);
+    std::memcpy(e.blocks.data(), p, rec.nblocks * 8);
+    p += rec.nblocks * 8;
+    cache_.emplace(std::move(key), std::move(e));
+  }
+  t.metadata_ms = meta.elapsed_ms();
+  // Replay the journal into the cache.
+  StopWatch replay;
+  size_t off = 0;
+  while (off + sizeof(JournalHeader) <= journal_off_) {
+    const char* base = pool_->base() + off;
+    const auto* h = reinterpret_cast<const JournalHeader*>(base);
+    if (h->seq == 0) break;
+    pool_->charge_read(sizeof(JournalHeader) + h->key_len +
+                       (h->value_len == kTombstone ? 0 : h->value_len));
+    std::string key(base + sizeof(JournalHeader), h->key_len);
+    if (h->value_len == kTombstone) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        free_blocks_list(it->second.blocks);
+        cache_.erase(it);
+      }
+      off += sizeof(JournalHeader) + h->key_len;
+    } else {
+      Entry& e = cache_[key];
+      e.cached = std::string(base + sizeof(JournalHeader) + h->key_len, h->value_len);
+      e.dirty = true;
+      off += sizeof(JournalHeader) + h->key_len + h->value_len;
+    }
+  }
+  t.replay_ms = replay.elapsed_ms();
+  return t;
+}
+
+}  // namespace dstore::baselines

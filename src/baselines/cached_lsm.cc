@@ -1,0 +1,358 @@
+#include "baselines/cached_lsm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace dstore::baselines {
+
+namespace {
+// WAL record header on PMEM (physical logging: full payload follows).
+struct WalHeader {
+  uint32_t key_len;
+  uint32_t value_len;  // ~0u = tombstone
+  uint64_t seq;        // non-zero = valid (persisted last)
+};
+constexpr uint32_t kTombstone = ~0u;
+}  // namespace
+
+Result<std::unique_ptr<CachedLsmStore>> CachedLsmStore::make(CachedLsmConfig cfg,
+                                                             const LatencyModel& latency) {
+  auto s = std::unique_ptr<CachedLsmStore>(new CachedLsmStore(cfg));
+  s->pool_ = std::make_unique<pmem::Pool>(cfg.wal_bytes, pmem::Pool::Mode::kDirect, latency);
+  ssd::DeviceConfig dc;
+  dc.num_blocks = cfg.num_blocks;
+  dc.latency = latency;
+  s->device_ = std::make_unique<ssd::RamBlockDevice>(dc);
+  s->free_blocks_.reserve(cfg.num_blocks);
+  for (uint64_t b = cfg.num_blocks; b > 0; b--) s->free_blocks_.push_back(b - 1);
+  s->wal_reset();
+  s->compaction_thread_ = std::thread([p = s.get()] { p->compaction_thread_main(); });
+  return s;
+}
+
+CachedLsmStore::~CachedLsmStore() {
+  stop_.store(true, std::memory_order_release);
+  if (compaction_thread_.joinable()) compaction_thread_.join();
+}
+
+const CachedLsmStore::ValueLoc* CachedLsmStore::Run::find(const std::string& key) const {
+  auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                             [](const auto& e, const std::string& k) { return e.first < k; });
+  if (it == entries.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
+Status CachedLsmStore::wal_append(std::string_view key, const void* value, size_t size,
+                                  bool tombstone) {
+  LockGuard<SpinLock> g(wal_mu_);
+  size_t rec = sizeof(WalHeader) + key.size() + (tombstone ? 0 : size);
+  if (wal_off_ + rec > pool_->size()) {
+    // WAL full: RocksDB would force a flush; signal the caller.
+    return Status::out_of_space("WAL full");
+  }
+  char* base = pool_->base() + wal_off_;
+  auto* h = reinterpret_cast<WalHeader*>(base);
+  h->key_len = (uint32_t)key.size();
+  h->value_len = tombstone ? kTombstone : (uint32_t)size;
+  std::memcpy(base + sizeof(WalHeader), key.data(), key.size());
+  if (!tombstone && size > 0) {
+    std::memcpy(base + sizeof(WalHeader) + key.size(), value, size);
+  }
+  // Physical logging: the entire payload is flushed to PMEM per op.
+  pool_->persist_bulk(base + sizeof(uint64_t), rec - sizeof(uint64_t));
+  h->seq = wal_off_ + 1;  // validity marker, persisted last
+  pool_->persist(base, sizeof(uint64_t));
+  wal_off_ += rec;
+  return Status::ok();
+}
+
+void CachedLsmStore::wal_reset() {
+  LockGuard<SpinLock> g(wal_mu_);
+  std::memset(pool_->base(), 0, sizeof(WalHeader));
+  pool_->persist(pool_->base(), sizeof(WalHeader));
+  wal_off_ = 0;
+}
+
+std::vector<uint64_t> CachedLsmStore::alloc_blocks(uint64_t n) {
+  LockGuard<SpinLock> g(blocks_mu_);
+  std::vector<uint64_t> out;
+  if (free_blocks_.size() < n) return out;
+  for (uint64_t i = 0; i < n; i++) {
+    out.push_back(free_blocks_.back());
+    free_blocks_.pop_back();
+  }
+  return out;
+}
+
+void CachedLsmStore::free_blocks(const std::vector<uint64_t>& blocks) {
+  LockGuard<SpinLock> g(blocks_mu_);
+  for (uint64_t b : blocks) free_blocks_.push_back(b);
+}
+
+Status CachedLsmStore::write_value_blocks(const std::vector<uint64_t>& blocks, const void* data,
+                                          size_t size) {
+  const char* src = static_cast<const char*>(data);
+  size_t bs = device_->config().block_size();
+  for (size_t i = 0; i < blocks.size(); i++) {
+    size_t len = std::min(bs, size - i * bs);
+    DSTORE_RETURN_IF_ERROR(device_->write(blocks[i], 0, src + i * bs, len));
+  }
+  return Status::ok();
+}
+
+Status CachedLsmStore::read_value_blocks(const ValueLoc& loc, void* buf, size_t cap,
+                                         size_t* out) const {
+  size_t bs = device_->config().block_size();
+  size_t want = std::min((size_t)loc.size, cap);
+  char* dst = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < want) {
+    size_t bi = done / bs;
+    size_t len = std::min(bs, want - done);
+    DSTORE_RETURN_IF_ERROR(device_->read(loc.blocks[bi], 0, dst + done, len));
+    done += len;
+  }
+  *out = loc.size;
+  return Status::ok();
+}
+
+Status CachedLsmStore::flush_memtable_locked() {
+  // Caller holds table_mu_ exclusive: the whole frontend is stalled, which
+  // is precisely the cached-system weakness the paper measures.
+  auto run = std::make_shared<Run>();
+  run->entries.reserve(memtable_.size());
+  size_t bs = device_->config().block_size();
+  for (auto& [key, value] : memtable_) {
+    ValueLoc loc;
+    if (!value.has_value()) {
+      loc.tombstone = true;
+    } else {
+      uint64_t n = (value->size() + bs - 1) / bs;
+      loc.blocks = alloc_blocks(n);
+      if (loc.blocks.size() != n) return Status::out_of_space("SSD blocks exhausted");
+      loc.size = (uint32_t)value->size();
+      DSTORE_RETURN_IF_ERROR(write_value_blocks(loc.blocks, value->data(), value->size()));
+    }
+    run->entries.emplace_back(key, std::move(loc));
+  }
+  runs_.insert(runs_.begin(), std::move(run));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  wal_reset();
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+Status CachedLsmStore::put(void* /*ctx*/, std::string_view key, const void* value, size_t size) {
+  spin_for_ns(cfg_.stack_overhead_ns);
+  Status wal = wal_append(key, value, size, /*tombstone=*/false);
+  if (wal.code() == Code::kOutOfSpace) {
+    LockGuard<SharedSpinLock> g(table_mu_);
+    DSTORE_RETURN_IF_ERROR(flush_memtable_locked());
+    wal = wal_append(key, value, size, false);
+  }
+  DSTORE_RETURN_IF_ERROR(wal);
+  LockGuard<SharedSpinLock> g(table_mu_);
+  auto it = memtable_.find(std::string(key));
+  if (it != memtable_.end() && it->second.has_value()) memtable_bytes_ -= it->second->size();
+  memtable_[std::string(key)] = std::string(static_cast<const char*>(value), size);
+  memtable_bytes_ += size;
+  if (checkpoints_enabled_.load(std::memory_order_acquire) &&
+      memtable_bytes_ > cfg_.memtable_limit_bytes) {
+    DSTORE_RETURN_IF_ERROR(flush_memtable_locked());
+  }
+  return Status::ok();
+}
+
+Result<size_t> CachedLsmStore::get(void* /*ctx*/, std::string_view key, void* buf, size_t cap) {
+  spin_for_ns(cfg_.stack_overhead_ns);
+  std::string k(key);
+  SharedLockGuard g(table_mu_);
+  auto it = memtable_.find(k);
+  if (it != memtable_.end()) {
+    if (!it->second.has_value()) return Status::not_found(k);
+    size_t n = std::min(cap, it->second->size());
+    std::memcpy(buf, it->second->data(), n);
+    return it->second->size();
+  }
+  for (const auto& run : runs_) {
+    const ValueLoc* loc = run->find(k);
+    if (loc == nullptr) continue;
+    if (loc->tombstone) return Status::not_found(k);
+    size_t out = 0;
+    DSTORE_RETURN_IF_ERROR(read_value_blocks(*loc, buf, cap, &out));
+    return out;
+  }
+  return Status::not_found(k);
+}
+
+Status CachedLsmStore::del(void* /*ctx*/, std::string_view key) {
+  DSTORE_RETURN_IF_ERROR(wal_append(key, nullptr, 0, /*tombstone=*/true));
+  LockGuard<SharedSpinLock> g(table_mu_);
+  auto it = memtable_.find(std::string(key));
+  if (it != memtable_.end() && it->second.has_value()) memtable_bytes_ -= it->second->size();
+  memtable_[std::string(key)] = std::nullopt;
+  return Status::ok();
+}
+
+void CachedLsmStore::compaction_thread_main() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (!checkpoints_enabled_.load(std::memory_order_acquire)) continue;
+    size_t nruns;
+    {
+      SharedLockGuard g(table_mu_);
+      nruns = runs_.size();
+    }
+    if ((int)nruns >= cfg_.compaction_trigger_runs) (void)compact_all_runs();
+  }
+}
+
+Status CachedLsmStore::compact_all_runs() {
+  // Snapshot the runs (shared lock, frontend still runs)...
+  std::vector<std::shared_ptr<Run>> snapshot;
+  {
+    SharedLockGuard g(table_mu_);
+    snapshot = runs_;
+  }
+  if (snapshot.size() < 2) return Status::ok();
+  // ...merge newest-wins into one big run, reading and rewriting every
+  // value (this is the continuous device traffic Fig 7 shows).
+  std::map<std::string, ValueLoc> merged;
+  for (const auto& run : snapshot) {  // newest first: first writer wins
+    for (const auto& [key, loc] : run->entries) merged.emplace(key, loc);
+  }
+  auto out = std::make_shared<Run>();
+  out->entries.reserve(merged.size());
+  std::vector<char> scratch(1 << 16);
+  std::vector<std::vector<uint64_t>> old_blocks;
+  size_t bs = device_->config().block_size();
+  for (auto& [key, loc] : merged) {
+    if (loc.tombstone) continue;  // compaction drops tombstones
+    if (scratch.size() < loc.size) scratch.resize(loc.size);
+    size_t got = 0;
+    DSTORE_RETURN_IF_ERROR(read_value_blocks(loc, scratch.data(), scratch.size(), &got));
+    uint64_t n = (loc.size + bs - 1) / bs;
+    ValueLoc nloc;
+    nloc.blocks = alloc_blocks(n);
+    if (nloc.blocks.size() != n) return Status::out_of_space("compaction blocks");
+    nloc.size = loc.size;
+    DSTORE_RETURN_IF_ERROR(write_value_blocks(nloc.blocks, scratch.data(), loc.size));
+    old_blocks.push_back(std::move(loc.blocks));
+    out->entries.emplace_back(key, std::move(nloc));
+  }
+  // Swap under the exclusive lock (brief, but stalls the frontend — the
+  // RocksDB "unable to serve requests" moments).
+  {
+    LockGuard<SharedSpinLock> g(table_mu_);
+    // New runs may have appeared (flushes) while we merged; keep them.
+    std::vector<std::shared_ptr<Run>> next;
+    for (const auto& r : runs_) {
+      bool was_input = false;
+      for (const auto& s : snapshot) {
+        if (s == r) {
+          was_input = true;
+          break;
+        }
+      }
+      if (!was_input) next.push_back(r);
+    }
+    next.push_back(out);
+    runs_ = std::move(next);
+  }
+  for (auto& blocks : old_blocks) free_blocks(blocks);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+void CachedLsmStore::prepare_run() {
+  // Flush the memtable and let compaction settle so the measured window
+  // starts from a steady state.
+  {
+    LockGuard<SharedSpinLock> g(table_mu_);
+    if (!memtable_.empty()) (void)flush_memtable_locked();
+  }
+  (void)compact_all_runs();
+}
+
+void CachedLsmStore::set_checkpoints_enabled(bool enabled) {
+  checkpoints_enabled_.store(enabled, std::memory_order_release);
+}
+
+workload::SpaceBreakdown CachedLsmStore::space_usage() {
+  workload::SpaceBreakdown b;
+  {
+    SharedLockGuard g(table_mu_);
+    b.dram_bytes = memtable_bytes_;
+    for (const auto& run : runs_) {
+      // DRAM-resident index: key + location per entry (RocksDB index/filter
+      // blocks pinned in cache).
+      for (const auto& [key, loc] : run->entries) {
+        b.dram_bytes += key.size() + sizeof(ValueLoc) + loc.blocks.size() * 8;
+      }
+    }
+    // RocksDB reserves its full write buffer; count the reservation like
+    // the paper does ("reserve a large chunk of DRAM as their cache space
+    // but only actually utilize a small portion of it").
+    b.dram_bytes += cfg_.memtable_limit_bytes;
+  }
+  {
+    LockGuard<SpinLock> g(wal_mu_);
+    b.pmem_bytes = wal_off_;
+  }
+  {
+    LockGuard<SpinLock> g(blocks_mu_);
+    b.ssd_bytes =
+        (cfg_.num_blocks - free_blocks_.size()) * device_->config().block_size();
+  }
+  return b;
+}
+
+Result<workload::KVStore::RecoveryTiming> CachedLsmStore::crash_and_recover() {
+  // DRAM memtable dies; SSTs (SSD) and WAL (PMEM) survive. RocksDB's
+  // recovery = reopen SSTs (fast metadata) + replay the WAL into a fresh
+  // memtable.
+  RecoveryTiming t;
+  LockGuard<SharedSpinLock> g(table_mu_);
+  StopWatch meta;
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  // Metadata: re-read run indexes from SSD footers (charged as one device
+  // read per run's index span).
+  for (const auto& run : runs_) {
+    size_t idx_bytes = run->entries.size() * 32;
+    size_t bs = device_->config().block_size();
+    std::vector<char> sink(bs);
+    for (size_t off = 0; off < idx_bytes; off += bs) {
+      if (!run->entries.empty() && !run->entries[0].second.blocks.empty()) {
+        (void)device_->read(run->entries[0].second.blocks[0], 0, sink.data(),
+                            std::min(bs, idx_bytes - off));
+      }
+    }
+  }
+  t.metadata_ms = meta.elapsed_ms();
+  // Replay the WAL.
+  StopWatch replay;
+  size_t off = 0;
+  while (off + sizeof(WalHeader) <= wal_off_) {
+    const char* base = pool_->base() + off;
+    const auto* h = reinterpret_cast<const WalHeader*>(base);
+    if (h->seq == 0) break;
+    pool_->charge_read(sizeof(WalHeader) + h->key_len +
+                       (h->value_len == kTombstone ? 0 : h->value_len));
+    std::string key(base + sizeof(WalHeader), h->key_len);
+    if (h->value_len == kTombstone) {
+      memtable_[key] = std::nullopt;
+    } else {
+      memtable_[key] = std::string(base + sizeof(WalHeader) + h->key_len, h->value_len);
+      memtable_bytes_ += h->value_len;
+    }
+    off += sizeof(WalHeader) + h->key_len + (h->value_len == kTombstone ? 0 : h->value_len);
+  }
+  t.replay_ms = replay.elapsed_ms();
+  return t;
+}
+
+}  // namespace dstore::baselines

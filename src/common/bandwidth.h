@@ -1,0 +1,50 @@
+// Shared-channel bandwidth model.
+//
+// Latency injection alone lets unlimited concurrent transfers proceed in
+// parallel, which misses the contention effects the paper measures: a CoW
+// checkpoint's page-copy stream makes faulting clients queue behind it on
+// PMEM write bandwidth, and LSM compaction steals SSD bandwidth from the
+// frontend. Each emulated device therefore serializes the BANDWIDTH
+// component of its operations through one shared queue (the fixed latency
+// component stays parallel, modelling device-internal parallelism).
+//
+// reserve() atomically appends `cost_ns` to the channel's busy horizon and
+// returns the timestamp at which this transfer completes; the caller waits
+// until then.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace dstore {
+
+class BandwidthChannel {
+ public:
+  // Returns the absolute deadline (ns) when the transfer finishes.
+  uint64_t reserve(uint64_t cost_ns) {
+    if (cost_ns == 0) return 0;
+    uint64_t now = now_ns();
+    uint64_t prev = busy_until_.load(std::memory_order_relaxed);
+    uint64_t start, end;
+    do {
+      start = prev > now ? prev : now;
+      end = start + cost_ns;
+    } while (!busy_until_.compare_exchange_weak(prev, end, std::memory_order_acq_rel));
+    return end;
+  }
+
+  // Reserve and wait out the queue + transfer time.
+  void transfer(uint64_t cost_ns) {
+    uint64_t deadline = reserve(cost_ns);
+    if (deadline == 0) return;
+    uint64_t now = now_ns();
+    if (deadline > now) spin_for_ns(deadline - now);
+  }
+
+ private:
+  std::atomic<uint64_t> busy_until_{0};
+};
+
+}  // namespace dstore

@@ -1,0 +1,111 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace dstore {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets) {}
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogram& other) : buckets_(kNumBuckets) {
+  *this = other;
+}
+
+LatencyHistogram& LatencyHistogram::operator=(const LatencyHistogram& other) {
+  if (this == &other) return *this;
+  for (int i = 0; i < kNumBuckets; i++) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  count_.store(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  sum_.store(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  max_.store(other.max_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  return *this;
+}
+
+// Bucketing: values below 2^b (b = kSubBucketBits) are exact; above that,
+// each power-of-two octave [2^e, 2^(e+1)) is divided into 2^b sub-buckets,
+// giving a relative error of at most 2^-b per bucket.
+int LatencyHistogram::bucket_for(uint64_t ns) {
+  constexpr int b = kSubBucketBits;
+  if (ns < (1ull << b)) return (int)ns;  // exact for tiny values
+  int e = 63 - std::countl_zero(ns);     // ns in [2^e, 2^(e+1)), e >= b
+  int idx = ((e - b + 1) << b) + (int)((ns >> (e - b)) - (1ull << b));
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+uint64_t LatencyHistogram::bucket_upper_bound(int bucket) {
+  constexpr int b = kSubBucketBits;
+  if (bucket < (1 << b)) return (uint64_t)bucket;
+  int shift = (bucket >> b) - 1;  // e - b for this octave
+  uint64_t sub = bucket & ((1u << b) - 1);
+  return (((1ull << b) + sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::record(uint64_t ns) {
+  buckets_[bucket_for(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (ns > prev && !max_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::value_at_quantile(double q) const {
+  uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t target = (uint64_t)(q * (double)total);
+  if (target >= total) target = total - 1;
+  uint64_t seen = 0;
+  uint64_t cap = max();  // bucket bounds can overshoot the true maximum
+  for (int i = 0; i < kNumBuckets; i++) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > target) {
+      uint64_t ub = bucket_upper_bound(i);
+      return ub > cap ? cap : ub;
+    }
+  }
+  return cap;
+}
+
+uint64_t LatencyHistogram::max() const { return max_.load(std::memory_order_relaxed); }
+uint64_t LatencyHistogram::count() const { return count_.load(std::memory_order_relaxed); }
+
+double LatencyHistogram::mean_ns() const {
+  uint64_t c = count();
+  return c == 0 ? 0.0 : (double)sum_.load(std::memory_order_relaxed) / (double)c;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) {
+    uint64_t v = other.buckets_[i].load(std::memory_order_relaxed);
+    if (v) buckets_[i].fetch_add(v, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  uint64_t om = other.max();
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (om > prev && !max_.compare_exchange_weak(prev, om, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::summary_us() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "mean=%.1fus p50=%.1fus p99=%.1fus p999=%.1fus p9999=%.1fus max=%.1fus n=%llu",
+           mean_ns() / 1e3, p50() / 1e3, p99() / 1e3, p999() / 1e3, p9999() / 1e3, max() / 1e3,
+           (unsigned long long)count());
+  return buf;
+}
+
+}  // namespace dstore

@@ -1,0 +1,53 @@
+// Fast deterministic RNG (xoshiro256**) for workload generation and
+// fault-injection adversaries. Deterministic seeding keeps crash-consistency
+// property tests reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace dstore {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t z = seed;
+    for (auto& si : s_) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      si = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) { return next() % bound; }
+
+  // Uniform in [lo, hi].
+  uint64_t next_in(uint64_t lo, uint64_t hi) { return lo + next_below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double next_double() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Bernoulli(p).
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace dstore

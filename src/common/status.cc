@@ -1,0 +1,21 @@
+#include "common/status.h"
+
+namespace dstore {
+
+const char* code_name(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Code::kOutOfSpace: return "OUT_OF_SPACE";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kCorruption: return "CORRUPTION";
+    case Code::kBusy: return "BUSY";
+    case Code::kIoError: return "IO_ERROR";
+    case Code::kUnsupported: return "UNSUPPORTED";
+    case Code::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace dstore

@@ -1,0 +1,107 @@
+// Lightweight status/result types used across the DStore codebase.
+//
+// DStore is an embedded storage sub-system; errors are expected values
+// (object not found, log full, out of space) rather than exceptional
+// conditions, so the public API reports them through Status / Result<T>
+// instead of exceptions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dstore {
+
+enum class Code : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfSpace,
+  kInvalidArgument,
+  kCorruption,
+  kBusy,
+  kIoError,
+  kUnsupported,
+  kInternal,
+};
+
+// Human-readable name for an error code (stable, for logs and tests).
+const char* code_name(Code c);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  explicit Status(Code code) : code_(code) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status ok() { return Status(); }
+  static Status not_found(std::string m = "") { return {Code::kNotFound, std::move(m)}; }
+  static Status already_exists(std::string m = "") { return {Code::kAlreadyExists, std::move(m)}; }
+  static Status out_of_space(std::string m = "") { return {Code::kOutOfSpace, std::move(m)}; }
+  static Status invalid_argument(std::string m = "") { return {Code::kInvalidArgument, std::move(m)}; }
+  static Status corruption(std::string m = "") { return {Code::kCorruption, std::move(m)}; }
+  static Status busy(std::string m = "") { return {Code::kBusy, std::move(m)}; }
+  static Status io_error(std::string m = "") { return {Code::kIoError, std::move(m)}; }
+  static Status unsupported(std::string m = "") { return {Code::kUnsupported, std::move(m)}; }
+  static Status internal(std::string m = "") { return {Code::kInternal, std::move(m)}; }
+
+  bool is_ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string to_string() const {
+    std::string s = code_name(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+// Result<T>: a value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "ok status requires a value");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+  T value_or(T fallback) const { return value_.value_or(std::move(fallback)); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::ok();
+};
+
+#define DSTORE_RETURN_IF_ERROR(expr)         \
+  do {                                       \
+    ::dstore::Status _st = (expr);           \
+    if (!_st.is_ok()) return _st;            \
+  } while (0)
+
+}  // namespace dstore

@@ -1,0 +1,67 @@
+// Windowed time-series counters for throughput / bandwidth-over-time plots
+// (Figure 7: system throughput plus SSD and PMEM bandwidth over a window).
+//
+// Samples are bucketed into fixed-width time bins relative to a start
+// instant; recording is a single relaxed fetch_add, so the instrumentation
+// does not perturb the measured system.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace dstore {
+
+class TimeSeries {
+ public:
+  // bins: number of buckets; bin_ns: width of each bucket in nanoseconds.
+  TimeSeries(size_t bins, uint64_t bin_ns)
+      : bins_(bins), bin_ns_(bin_ns), start_ns_(now_ns()) {}
+
+  void restart() {
+    start_ns_ = now_ns();
+    for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  }
+
+  // Add `amount` to the bucket covering the current instant. Thread-safe.
+  void add(uint64_t amount = 1) {
+    uint64_t t = now_ns();
+    if (t < start_ns_) return;
+    size_t bin = (t - start_ns_) / bin_ns_;
+    if (bin < bins_.size()) bins_[bin].fetch_add(amount, std::memory_order_relaxed);
+  }
+
+  size_t num_bins() const { return bins_.size(); }
+  uint64_t bin_ns() const { return bin_ns_; }
+  uint64_t bin(size_t i) const { return bins_[i].load(std::memory_order_relaxed); }
+
+  // Per-second rate for bucket i (amount / bin width).
+  double rate_per_sec(size_t i) const { return (double)bin(i) * 1e9 / (double)bin_ns_; }
+
+  // Smallest and largest non-empty-prefix per-second rates, used for the
+  // paper's SLO analysis ("even the lowest throughput achieved is greater
+  // than the highest of any other system").
+  double min_rate(size_t skip_first = 0, size_t skip_last = 0) const {
+    double m = -1;
+    for (size_t i = skip_first; i + skip_last < bins_.size(); i++) {
+      double r = rate_per_sec(i);
+      if (m < 0 || r < m) m = r;
+    }
+    return m < 0 ? 0 : m;
+  }
+  double max_rate() const {
+    double m = 0;
+    for (size_t i = 0; i < bins_.size(); i++) m = std::max(m, rate_per_sec(i));
+    return m;
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> bins_;
+  uint64_t bin_ns_;
+  uint64_t start_ns_;
+};
+
+}  // namespace dstore

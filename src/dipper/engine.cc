@@ -1,0 +1,919 @@
+#include "dipper/engine.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+
+#include "common/cacheline.h"
+#include "common/clock.h"
+
+namespace dstore::dipper {
+
+namespace {
+constexpr size_t kRootRegion = 4096;
+constexpr size_t kPageSize = 4096;
+constexpr size_t kInflightTableSize = 1 << 16;
+
+uint64_t fingerprint(const EngineConfig& cfg) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(cfg.arena_bytes);
+  mix(cfg.log_slots);
+  mix(cfg.physical_logging ? cfg.physical_payload_bytes : 0);
+  return h;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SIGSEGV routing for the CoW checkpoint (§4.5). The handler must be
+// async-signal-safe: it touches only atomics, memcpy, and mprotect.
+// ---------------------------------------------------------------------------
+
+struct CowFaultRouter {
+  static constexpr int kMaxEngines = 16;
+  static std::atomic<Engine*> engines[kMaxEngines];
+  static std::atomic<bool> installed;
+  static struct sigaction old_action;
+
+  static void handler(int sig, siginfo_t* info, void* uctx) {
+    void* addr = info->si_addr;
+    for (auto& slot : engines) {
+      Engine* e = slot.load(std::memory_order_acquire);
+      if (e != nullptr && e->cow_handle_fault(addr)) return;
+    }
+    // Not ours: chain to whatever was installed before (usually default).
+    if ((old_action.sa_flags & SA_SIGINFO) != 0 && old_action.sa_sigaction != nullptr) {
+      old_action.sa_sigaction(sig, info, uctx);
+    } else if (old_action.sa_handler == SIG_IGN) {
+      // ignore
+    } else {
+      signal(SIGSEGV, SIG_DFL);
+      raise(sig);
+    }
+  }
+
+  static void ensure_installed() {
+    bool expected = false;
+    if (!installed.compare_exchange_strong(expected, true)) return;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = &handler;
+    sa.sa_flags = SA_SIGINFO;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGSEGV, &sa, &old_action);
+  }
+
+  static void add(Engine* e) {
+    ensure_installed();
+    for (auto& slot : engines) {
+      Engine* expected = nullptr;
+      if (slot.compare_exchange_strong(expected, e)) return;
+    }
+  }
+  static void remove(Engine* e) {
+    for (auto& slot : engines) {
+      Engine* expected = e;
+      slot.compare_exchange_strong(expected, nullptr);
+    }
+  }
+};
+
+std::atomic<Engine*> CowFaultRouter::engines[CowFaultRouter::kMaxEngines];
+std::atomic<bool> CowFaultRouter::installed{false};
+struct sigaction CowFaultRouter::old_action;
+
+// ---------------------------------------------------------------------------
+// Layout / construction
+// ---------------------------------------------------------------------------
+
+Engine::Layout Engine::compute_layout(const EngineConfig& cfg) {
+  Layout l{};
+  uint64_t off = 0;
+  l.root_off = off;
+  off += kRootRegion;
+  l.log_off[0] = off;
+  off += PmemLog::region_bytes(cfg.log_slots);
+  l.log_off[1] = off;
+  off += PmemLog::region_bytes(cfg.log_slots);
+  l.payload_off = off;
+  if (cfg.physical_logging) off += (uint64_t)cfg.log_slots * cfg.physical_payload_bytes;
+  for (int i = 0; i < 3; i++) {
+    l.arena_off[i] = off;
+    off += cfg.arena_bytes;
+  }
+  return l;
+}
+
+size_t Engine::required_pool_bytes(const EngineConfig& cfg) {
+  Layout l = compute_layout(cfg);
+  return l.arena_off[2] + cfg.arena_bytes;
+}
+
+Engine::Engine(pmem::Pool* pool, SpaceClient* client, EngineConfig cfg)
+    : pool_(pool), client_(client), cfg_(cfg), layout_(compute_layout(cfg)),
+      inflight_(kInflightTableSize),
+      cow_page_done_((cfg.arena_bytes + kPageSize - 1) / kPageSize) {
+  void* p = mmap(nullptr, cfg_.arena_bytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc();
+  volatile_base_ = static_cast<char*>(p);
+  for (int i = 0; i < 2; i++) {
+    sides_[i].log = PmemLog(pool_, layout_.log_off[i], cfg_.log_slots);
+    sides_[i].states = std::vector<std::atomic<SlotState>>(cfg_.log_slots);
+    sides_[i].name_hashes.assign(cfg_.log_slots, 0);
+  }
+  if (cfg_.ckpt_mode == EngineConfig::CkptMode::kCow) CowFaultRouter::add(this);
+}
+
+Engine::~Engine() {
+  shutdown();
+  if (cfg_.ckpt_mode == EngineConfig::CkptMode::kCow) CowFaultRouter::remove(this);
+  if (volatile_base_ != nullptr) munmap(volatile_base_, cfg_.arena_bytes);
+}
+
+RootObject* Engine::root() const {
+  return reinterpret_cast<RootObject*>(pool_->base() + layout_.root_off);
+}
+
+PackedState Engine::load_state() const {
+  return PackedState::unpack(root()->state.load(std::memory_order_acquire));
+}
+
+void Engine::store_state(PackedState s) {
+  root()->state.store(s.pack(), std::memory_order_release);
+  pool_->persist(&root()->state, sizeof(uint64_t));
+}
+
+Arena Engine::pmem_arena(uint8_t slot) const {
+  return Arena(pool_->base() + layout_.arena_off[slot], cfg_.arena_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Status Engine::init_fresh() {
+  if (pool_->size() < required_pool_bytes(cfg_)) {
+    return Status::invalid_argument("PMEM pool too small for engine config");
+  }
+  // Volatile system space.
+  Arena varena(volatile_base_, cfg_.arena_bytes);
+  volatile_space_ = SlabAllocator::format(varena);
+  DSTORE_RETURN_IF_ERROR(client_->format(volatile_space_));
+
+  // Initial shadow copy: snapshot the freshly formatted space into slot 0.
+  Arena shadow = pmem_arena(0);
+  std::memcpy(shadow.base(), volatile_base_, volatile_space_.used_bytes());
+  pool_->persist_bulk(shadow.base(), volatile_space_.used_bytes());
+
+  // Logs.
+  sides_[0].log.format();
+  sides_[1].log.format();
+  for (int i = 0; i < 2; i++) {
+    for (auto& s : sides_[i].states) s.store(SlotState::kFree, std::memory_order_relaxed);
+    sides_[i].next_slot.store(0, std::memory_order_relaxed);
+    sides_[i].zeroed.store(true, std::memory_order_relaxed);
+  }
+
+  // Root object, installed last.
+  RootObject* r = root();
+  r->magic = RootObject::kMagic;
+  r->arena_bytes = cfg_.arena_bytes;
+  r->log_slots = cfg_.log_slots;
+  r->config_fingerprint = fingerprint(cfg_);
+  PackedState st;
+  st.active_log = 0;
+  st.ckpt_running = false;
+  st.shadow_cur = 0;
+  st.shadow_old = 1;
+  st.epoch = 1;
+  r->state.store(st.pack(), std::memory_order_release);
+  pool_->persist(r, sizeof(RootObject));
+
+  active_idx_.store(0, std::memory_order_release);
+  lsn_counter_.store(1, std::memory_order_release);
+
+  if (cfg_.background_checkpointing) {
+    stop_.store(false);
+    ckpt_thread_ = std::thread([this] { checkpoint_thread_main(); });
+  }
+  return Status::ok();
+}
+
+Status Engine::recover() {
+  RootObject* r = root();
+  if (r->magic != RootObject::kMagic) return Status::corruption("root object magic mismatch");
+  if (r->config_fingerprint != fingerprint(cfg_)) {
+    return Status::invalid_argument("engine config does not match on-PMEM layout");
+  }
+  PackedState st = load_state();
+  uint8_t active = st.active_log;
+  uint8_t archived = 1 - active;
+
+  // Rebuild volatile per-slot log bookkeeping from PMEM (both sides).
+  uint64_t max_lsn = 0;
+  for (int i = 0; i < 2; i++) {
+    uint32_t last_valid = 0;
+    bool any = false;
+    for (uint32_t s = 0; s < cfg_.log_slots; s++) {
+      LogRecordView rec;
+      if (sides_[i].log.read(s, &rec)) {
+        sides_[i].states[s].store(rec.committed ? SlotState::kCommitted : SlotState::kAborted,
+                                  std::memory_order_relaxed);
+        sides_[i].name_hashes[s] = rec.name.hash();
+        last_valid = s;
+        any = true;
+        max_lsn = std::max(max_lsn, rec.lsn);
+      } else {
+        sides_[i].states[s].store(SlotState::kFree, std::memory_order_relaxed);
+        sides_[i].name_hashes[s] = 0;
+      }
+    }
+    sides_[i].next_slot.store(any ? last_valid + 1 : 0, std::memory_order_relaxed);
+    sides_[i].zeroed.store(!any, std::memory_order_relaxed);
+  }
+  lsn_counter_.store(max_lsn + 1, std::memory_order_release);
+  active_idx_.store(active, std::memory_order_release);
+
+  StopWatch recovery_watch;
+  std::vector<LogRecordView> cow_archived_records;
+  if (st.ckpt_running) {
+    if (cfg_.ckpt_mode == EngineConfig::CkptMode::kDipper) {
+      // §3.6: "we redo the checkpoint procedure ongoing at the time of
+      // crash" — clone the (old, consistent) current copy and replay the
+      // archived log onto it, exactly as the interrupted checkpoint would.
+      DSTORE_RETURN_IF_ERROR(replay_onto_spare(archived));
+      install_spare(archived);
+      recycle_archived(archived);
+      st = load_state();
+    } else {
+      // CoW cannot redo page copies (the source pages died with DRAM); the
+      // archived records are folded into volatile recovery below and a
+      // fresh full snapshot is taken.
+      cow_archived_records = collect_committed(archived);
+    }
+  }
+
+  // Rebuild the volatile space from the current shadow copy (§3.6:
+  // "replicating the PMEM allocator state ... and copying pages from PMEM
+  // to DRAM").
+  DSTORE_RETURN_IF_ERROR(rebuild_volatile_from_shadow());
+  stats_.recovery_metadata_ns.store(recovery_watch.elapsed_ns(), std::memory_order_release);
+  StopWatch replay_watch;
+
+  if (!cow_archived_records.empty()) {
+    DSTORE_RETURN_IF_ERROR(client_->replay(volatile_space_, cow_archived_records));
+  }
+
+  // Replay the active log's committed records onto the volatile space.
+  std::vector<LogRecordView> active_records = collect_committed(active);
+  if (!active_records.empty()) {
+    DSTORE_RETURN_IF_ERROR(client_->replay(volatile_space_, active_records));
+  }
+  stats_.recovery_replay_ns.store(replay_watch.elapsed_ns(), std::memory_order_release);
+
+  if (cfg_.ckpt_mode == EngineConfig::CkptMode::kCow && st.ckpt_running) {
+    // Complete the interrupted CoW checkpoint with a full snapshot of the
+    // recovered volatile state, atomically swapping to a fresh log.
+    uint8_t spare = st.spare_slot();
+    Arena dst = pmem_arena(spare);
+    std::memcpy(dst.base(), volatile_base_, volatile_space_.used_bytes());
+    pool_->persist_bulk(dst.base(), volatile_space_.used_bytes());
+    // Fresh log to become active (the archived one, reformatted).
+    sides_[archived].log.format();
+    for (auto& s : sides_[archived].states) s.store(SlotState::kFree, std::memory_order_relaxed);
+    sides_[archived].next_slot.store(0, std::memory_order_relaxed);
+    sides_[archived].name_hashes.assign(cfg_.log_slots, 0);
+    sides_[archived].zeroed.store(true, std::memory_order_relaxed);
+    PackedState ns = st;
+    ns.active_log = archived;  // old active (already-snapshotted records) retires
+    ns.shadow_old = st.shadow_cur;
+    ns.shadow_cur = spare;
+    ns.ckpt_running = false;
+    ns.epoch++;
+    store_state(ns);
+    // Retire the old active side.
+    recycle_archived(active);
+    active_idx_.store(ns.active_log, std::memory_order_release);
+    st = ns;
+  } else {
+    // Make sure the inactive log region is pristine for the next swap.
+    uint8_t inact = 1 - st.active_log;
+    if (!sides_[inact].zeroed.load(std::memory_order_acquire)) recycle_archived(inact);
+  }
+
+  held_locks_.clear();  // locks do not survive restarts
+  if (cfg_.background_checkpointing) {
+    stop_.store(false);
+    ckpt_thread_ = std::thread([this] { checkpoint_thread_main(); });
+  }
+  return Status::ok();
+}
+
+Status Engine::rebuild_volatile_from_shadow() {
+  PackedState st = load_state();
+  Arena shadow = pmem_arena(st.shadow_cur);
+  auto shadow_space = SlabAllocator::open(shadow);
+  if (!shadow_space.is_ok()) return shadow_space.status();
+  uint64_t used = shadow_space.value().used_bytes();
+  pool_->charge_read(used);
+  std::memcpy(volatile_base_, shadow.base(), used);
+  Arena varena(volatile_base_, cfg_.arena_bytes);
+  auto vs = SlabAllocator::open(varena);
+  if (!vs.is_ok()) return vs.status();
+  volatile_space_ = vs.value();
+  return Status::ok();
+}
+
+void Engine::shutdown() {
+  stop_background();
+}
+
+void Engine::stop_background() {
+  if (ckpt_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> g(ckpt_mu_);
+      stop_.store(true);
+    }
+    ckpt_cv_.notify_all();
+    ckpt_thread_.join();
+  }
+  if (cow_active_.load(std::memory_order_acquire)) cow_unprotect_all();
+}
+
+// ---------------------------------------------------------------------------
+// Logging & concurrency control
+// ---------------------------------------------------------------------------
+
+Engine::InflightSlot& Engine::inflight_slot(const Key& name) const {
+  uint64_t h = name.hash();
+  if (h == 0) h = 1;
+  size_t mask = inflight_.size() - 1;
+  size_t idx = h & mask;
+  for (size_t probe = 0; probe < inflight_.size(); probe++, idx = (idx + 1) & mask) {
+    uint64_t tag = inflight_[idx].tag.load(std::memory_order_acquire);
+    if (tag == h) return inflight_[idx];
+    if (tag == 0) {
+      uint64_t expected = 0;
+      if (inflight_[idx].tag.compare_exchange_strong(expected, h, std::memory_order_acq_rel))
+        return inflight_[idx];
+      if (expected == h) return inflight_[idx];
+    }
+  }
+  return inflight_[h & mask];
+}
+
+void Engine::inflight_inc(const Key& name) {
+  inflight_slot(name).count.fetch_add(1, std::memory_order_acq_rel);
+}
+void Engine::inflight_dec(const Key& name) {
+  inflight_slot(name).count.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+int64_t Engine::inflight_count(const Key& name) const {
+  return inflight_slot(name).count.load(std::memory_order_acquire);
+}
+
+void Engine::wait_inflight_at_most(const Key& name, int64_t allowed) const {
+  InflightSlot& s = inflight_slot(name);
+  int spins = 0;
+  while (s.count.load(std::memory_order_acquire) > allowed) {
+    if (++spins > 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+uint64_t Engine::pmem_used_bytes() const {
+  uint64_t total = kRootRegion;
+  for (int i = 0; i < 2; i++) {
+    total += (uint64_t)sides_[i].next_slot.load(std::memory_order_acquire) * PmemLog::kSlotSize;
+  }
+  PackedState st = load_state();
+  for (uint8_t slot : {st.shadow_cur, st.shadow_old}) {
+    auto space = SlabAllocator::open(pmem_arena(slot));
+    if (space.is_ok()) total += space.value().used_bytes();
+  }
+  if (st.ckpt_running) {
+    auto space = SlabAllocator::open(pmem_arena(st.spare_slot()));
+    if (space.is_ok()) total += space.value().used_bytes();
+  }
+  return total;
+}
+
+bool Engine::has_inflight_write(const Key& name) const {
+  return inflight_slot(name).count.load(std::memory_order_acquire) > 0;
+}
+
+void Engine::wait_no_inflight_write(const Key& name) const {
+  InflightSlot& s = inflight_slot(name);
+  int spins = 0;
+  while (s.count.load(std::memory_order_acquire) > 0) {
+    if (++spins > 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+bool Engine::scan_conflicting_write(const Key& name) const {
+  // §4.4: "Scanning from the first uncommitted record until the end of the
+  // log enables us to detect conflicting operations". We scan the volatile
+  // mirror of the active log's slot states.
+  uint8_t a = active_idx_.load(std::memory_order_acquire);
+  const LogSide& side = sides_[a];
+  uint32_t end = side.next_slot.load(std::memory_order_acquire);
+  uint64_t h = name.hash();
+  for (uint32_t s = 0; s < end && s < cfg_.log_slots; s++) {
+    SlotState st = side.states[s].load(std::memory_order_acquire);
+    if ((st == SlotState::kReserved || st == SlotState::kValid) && side.name_hashes[s] == h) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<Engine::RecordHandle> Engine::reserve(const Key& name) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> g(log_mu_);
+      uint8_t side_idx = active_idx_.load(std::memory_order_acquire);
+      LogSide& side = sides_[side_idx];
+      uint32_t next = side.next_slot.load(std::memory_order_relaxed);
+      if (next < cfg_.log_slots) {
+        side.next_slot.store(next + 1, std::memory_order_release);
+        side.states[next].store(SlotState::kReserved, std::memory_order_release);
+        side.name_hashes[next] = name.hash();
+        inflight_inc(name);
+        RecordHandle h;
+        h.side = side_idx;
+        h.slot = next;
+        h.lsn = lsn_counter_.fetch_add(1, std::memory_order_acq_rel);
+        h.name = name;
+        return h;
+      }
+    }
+    // Active log full: the checkpoint has fallen behind (the paper's
+    // >70%-writes backlog case). Backpressure until a swap frees space.
+    stats_.append_backpressure_waits.fetch_add(1, std::memory_order_relaxed);
+    if (!cfg_.background_checkpointing) {
+      return Status::busy("log full; run checkpoint_now()");
+    }
+    {
+      std::lock_guard<std::mutex> cg(ckpt_mu_);
+      ckpt_requested_.store(true, std::memory_order_release);
+    }
+    ckpt_cv_.notify_one();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void Engine::write_reserved(const RecordHandle& h, OpType op, uint64_t arg0, uint64_t arg1,
+                            const void* phys_payload, size_t phys_len) {
+  // The record write and its persist run outside every lock: the flush
+  // latency (~600ns, Table 3) never serializes other appenders. The slot
+  // reservation already fixed this record's conflict-order position.
+  if (cfg_.physical_logging && phys_payload != nullptr && phys_len > 0) {
+    size_t cap = cfg_.physical_payload_bytes;
+    size_t n = phys_len < cap ? phys_len : cap;
+    char* dst = pool_->base() + layout_.payload_off + (uint64_t)h.slot * cap;
+    std::memcpy(dst, phys_payload, n);
+    pool_->persist_bulk(dst, n);
+  }
+  sides_[h.side].log.write_record(h.slot, h.lsn, op, h.name, arg0, arg1, op == OpType::kNoop);
+  sides_[h.side].states[h.slot].store(SlotState::kValid, std::memory_order_release);
+  stats_.records_appended.fetch_add(1, std::memory_order_relaxed);
+
+  if (cfg_.background_checkpointing && checkpointing_enabled_.load(std::memory_order_acquire) &&
+      !ckpt_running_.load(std::memory_order_acquire) &&
+      log_fill() > cfg_.checkpoint_threshold) {
+    {
+      std::lock_guard<std::mutex> cg(ckpt_mu_);
+      ckpt_requested_.store(true, std::memory_order_release);
+    }
+    ckpt_cv_.notify_one();
+  }
+}
+
+Result<Engine::RecordHandle> Engine::append(OpType op, const Key& name, uint64_t arg0,
+                                            uint64_t arg1, const void* phys_payload,
+                                            size_t phys_len) {
+  auto h = reserve(name);
+  if (!h.is_ok()) return h;
+  write_reserved(h.value(), op, arg0, arg1, phys_payload, phys_len);
+  return h;
+}
+
+void Engine::commit(const RecordHandle& h) {
+  sides_[h.side].log.commit(h.slot);
+  sides_[h.side].states[h.slot].store(SlotState::kCommitted, std::memory_order_release);
+  inflight_dec(h.name);
+  stats_.records_committed.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<Engine::RecordHandle> Engine::lock_object(const Key& name) {
+  // §4.5: olock places a NOOP record in the log; a log scan (or the
+  // in-flight table mirroring it) then reports the object as conflicting.
+  std::unique_lock<std::mutex> g(log_mu_);
+  std::string key_str = name.str();
+  if (held_locks_.count(key_str) != 0) return Status::busy("object already locked");
+  uint8_t side_idx = active_idx_.load(std::memory_order_acquire);
+  LogSide& side = sides_[side_idx];
+  uint32_t next = side.next_slot.load(std::memory_order_relaxed);
+  if (next >= cfg_.log_slots) return Status::busy("log full");
+  side.next_slot.store(next + 1, std::memory_order_release);
+  side.name_hashes[next] = name.hash();
+  uint64_t lsn = lsn_counter_.fetch_add(1, std::memory_order_acq_rel);
+  side.log.write_record(next, lsn, OpType::kNoop, name, 0, 0, /*noop=*/true);
+  side.states[next].store(SlotState::kValid, std::memory_order_release);
+  inflight_inc(name);
+  held_locks_[key_str] = HeldLock{side_idx, next};
+  RecordHandle h;
+  h.side = side_idx;
+  h.slot = next;
+  h.lsn = lsn;
+  h.name = name;
+  return h;
+}
+
+void Engine::unlock_object(const RecordHandle& /*h*/, const Key& name) {
+  // §4.5: ounlock marks the NOOP record committed. The record may have been
+  // relocated by a log swap, so resolve through the held-locks map under
+  // the same mutex the swap takes.
+  std::unique_lock<std::mutex> g(log_mu_);
+  auto it = held_locks_.find(name.str());
+  if (it == held_locks_.end()) return;
+  HeldLock hl = it->second;
+  held_locks_.erase(it);
+  sides_[hl.side].log.commit(hl.slot);
+  sides_[hl.side].states[hl.slot].store(SlotState::kCommitted, std::memory_order_release);
+  inflight_dec(name);
+}
+
+double Engine::log_fill() const {
+  uint8_t a = active_idx_.load(std::memory_order_acquire);
+  return (double)sides_[a].next_slot.load(std::memory_order_acquire) / (double)cfg_.log_slots;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+void Engine::checkpoint_thread_main() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> g(ckpt_mu_);
+      ckpt_cv_.wait(g, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               ckpt_requested_.load(std::memory_order_acquire);
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      ckpt_requested_.store(false, std::memory_order_release);
+    }
+    (void)do_checkpoint();
+  }
+}
+
+Status Engine::checkpoint_now() {
+  return do_checkpoint();
+}
+
+Status Engine::checkpoint_abandon_at(const char* point) {
+  abandon_point_.store(point, std::memory_order_release);
+  Status s = do_checkpoint();
+  abandon_point_.store(nullptr, std::memory_order_release);
+  return s;
+}
+
+Status Engine::swap_logs() {
+  // Caller holds log_mu_. Flip the active log with one persisted 8-byte
+  // root transition; relocate held-lock NOOP records into the new log.
+  PackedState st = load_state();
+  uint8_t from = st.active_log;
+  uint8_t to = 1 - from;
+  if (!sides_[to].zeroed.load(std::memory_order_acquire)) {
+    return Status::busy("previous archived log not yet recycled");
+  }
+  // Wait for reservations in the outgoing log to finish their record
+  // writes (microseconds; the writers do not need log_mu_).
+  LogSide& fs = sides_[from];
+  uint32_t used = fs.next_slot.load(std::memory_order_acquire);
+  for (uint32_t s = 0; s < used; s++) {
+    int spins = 0;
+    while (fs.states[s].load(std::memory_order_acquire) == SlotState::kReserved) {
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+  // Move uncommitted NOOP (olock) records — the only records that can stay
+  // uncommitted indefinitely — to the new active log (§3.5).
+  LogSide& ts = sides_[to];
+  for (auto& [key_str, hl] : held_locks_) {
+    if (hl.side != from) continue;
+    Key name = Key::from(key_str);
+    uint32_t ns = ts.next_slot.load(std::memory_order_relaxed);
+    ts.next_slot.store(ns + 1, std::memory_order_release);
+    ts.name_hashes[ns] = name.hash();
+    uint64_t lsn = lsn_counter_.fetch_add(1, std::memory_order_acq_rel);
+    ts.log.write_record(ns, lsn, OpType::kNoop, name, 0, 0, /*noop=*/true);
+    ts.states[ns].store(SlotState::kValid, std::memory_order_release);
+    fs.states[hl.slot].store(SlotState::kAborted, std::memory_order_release);
+    hl = HeldLock{to, ns};
+  }
+  ts.zeroed.store(false, std::memory_order_release);
+  st.active_log = to;
+  st.ckpt_running = true;
+  st.epoch++;
+  store_state(st);
+  active_idx_.store(to, std::memory_order_release);
+  return Status::ok();
+}
+
+void Engine::drain_archived(uint8_t archived_idx) {
+  // Wait for in-flight (uncommitted) records in the archived log to settle.
+  // Bounded by the longest in-flight op (one SSD write) — the frontend is
+  // already appending to the new active log, so this never quiesces it.
+  LogSide& side = sides_[archived_idx];
+  uint32_t used = side.next_slot.load(std::memory_order_acquire);
+  for (uint32_t s = 0; s < used; s++) {
+    int spins = 0;
+    for (;;) {
+      SlotState st = side.states[s].load(std::memory_order_acquire);
+      if (st != SlotState::kReserved && st != SlotState::kValid) break;
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+}
+
+std::vector<LogRecordView> Engine::collect_committed(uint8_t log_idx) {
+  std::vector<LogRecordView> out;
+  const LogSide& side = sides_[log_idx];
+  uint32_t limit = std::max(side.next_slot.load(std::memory_order_acquire), (uint32_t)0);
+  if (limit == 0) limit = cfg_.log_slots;  // recovery path: scan everything
+  for (uint32_t s = 0; s < limit && s < cfg_.log_slots; s++) {
+    LogRecordView rec;
+    if (!side.log.read(s, &rec)) continue;
+    if (!rec.committed || rec.op == OpType::kNoop) continue;
+    out.push_back(rec);
+  }
+  // Replay order is LSN order: a valid linearization because conflicting
+  // ops were serialized by CC before their records were appended (§3.7).
+  std::sort(out.begin(), out.end(),
+            [](const LogRecordView& a, const LogRecordView& b) { return a.lsn < b.lsn; });
+  return out;
+}
+
+Status Engine::replay_onto_spare(uint8_t archived_idx) {
+  PackedState st = load_state();
+  uint8_t spare = st.spare_slot();
+  Arena src = pmem_arena(st.shadow_cur);
+  Arena dst = pmem_arena(spare);
+  auto src_space = SlabAllocator::open(src);
+  if (!src_space.is_ok()) return src_space.status();
+  uint64_t used = src_space.value().used_bytes();
+  // §3.5: "we always create a new copy of the shadow copies" — idempotency:
+  // a crash mid-replay never touches the copy recovery would restart from.
+  // Copy in chunks, yielding between them: on an oversubscribed host the
+  // background checkpoint must not monopolize cores the frontend needs
+  // (on the paper's testbed this thread runs on its own core).
+  pool_->charge_read(used);
+  constexpr uint64_t kCloneChunk = 256 * 1024;
+  for (uint64_t off = 0; off < used; off += kCloneChunk) {
+    uint64_t n = std::min(kCloneChunk, used - off);
+    std::memcpy(dst.base() + off, src.base() + off, n);
+    std::this_thread::yield();
+  }
+  auto dst_space_r = SlabAllocator::open(dst);
+  if (!dst_space_r.is_ok()) return dst_space_r.status();
+  SlabAllocator dst_space = dst_space_r.value();
+
+  std::vector<LogRecordView> records = collect_committed(archived_idx);
+  DSTORE_RETURN_IF_ERROR(client_->replay(dst_space, records));
+  stats_.records_replayed.fetch_add(records.size(), std::memory_order_relaxed);
+
+  // Durability pass (§3.5): flush every allocated byte of the new copy.
+  pool_->persist_bulk(dst.base(), dst_space.used_bytes());
+  return Status::ok();
+}
+
+void Engine::install_spare(uint8_t /*archived_idx*/) {
+  // Atomic checkpoint completion: one persisted 8-byte root transition.
+  PackedState st = load_state();
+  uint8_t spare = st.spare_slot();
+  PackedState ns = st;
+  ns.shadow_old = st.shadow_cur;
+  ns.shadow_cur = spare;
+  ns.ckpt_running = false;
+  ns.epoch++;
+  store_state(ns);
+}
+
+void Engine::recycle_archived(uint8_t archived_idx) {
+  LogSide& side = sides_[archived_idx];
+  side.log.format();
+  for (auto& s : side.states) s.store(SlotState::kFree, std::memory_order_relaxed);
+  side.name_hashes.assign(cfg_.log_slots, 0);
+  side.next_slot.store(0, std::memory_order_release);
+  side.zeroed.store(true, std::memory_order_release);
+}
+
+Status Engine::do_checkpoint() {
+  bool expected = false;
+  if (!ckpt_running_.compare_exchange_strong(expected, true)) {
+    return Status::busy("checkpoint already running");
+  }
+  auto test_point = [this](const char* p) {
+    const char* abandon = abandon_point_.load(std::memory_order_acquire);
+    if (abandon != nullptr && std::strcmp(abandon, p) == 0) return false;
+    return !cfg_.test_point_hook || cfg_.test_point_hook(p);
+  };
+  StopWatch watch;
+  uint8_t archived_idx;
+  {
+    std::unique_lock<std::mutex> g(log_mu_);
+    uint8_t active = active_idx_.load(std::memory_order_acquire);
+    if (sides_[active].next_slot.load(std::memory_order_acquire) == 0) {
+      ckpt_running_.store(false);
+      return Status::ok();  // nothing to checkpoint
+    }
+    if (cfg_.ckpt_mode == EngineConfig::CkptMode::kCow) {
+      // CoW snapshot consistency: the snapshot must align exactly with the
+      // log cut, so in-flight ops must finish before we write-protect.
+      // (This brief stall is inherent to the CoW archetype.)
+      LogSide& side = sides_[active];
+      uint32_t used = side.next_slot.load(std::memory_order_acquire);
+      for (uint32_t s = 0; s < used; s++) {
+        int spins = 0;
+        for (;;) {
+          SlotState st = side.states[s].load(std::memory_order_acquire);
+          if (st != SlotState::kReserved && st != SlotState::kValid) break;
+          if (++spins > 64) {
+            std::this_thread::yield();
+            spins = 0;
+          }
+        }
+      }
+      PackedState st = load_state();
+      cow_target_slot_ = st.spare_slot();
+      cow_pages_ = (volatile_space_.used_bytes() + kPageSize - 1) / kPageSize;
+      for (size_t i = 0; i < cow_pages_; i++)
+        cow_page_done_[i].store(0, std::memory_order_relaxed);
+      cow_active_.store(true, std::memory_order_release);
+      cow_protect_arena();
+    }
+    Status s = swap_logs();
+    if (!s.is_ok()) {
+      if (cfg_.ckpt_mode == EngineConfig::CkptMode::kCow) {
+        cow_active_.store(false, std::memory_order_release);
+        cow_unprotect_all();
+      }
+      ckpt_running_.store(false);
+      return s;
+    }
+    archived_idx = 1 - active_idx_.load(std::memory_order_acquire);
+  }
+
+  Status result;
+  if (!test_point("ckpt:after_swap")) {
+    result = Status::internal("abandoned at ckpt:after_swap");
+  } else if (cfg_.ckpt_mode == EngineConfig::CkptMode::kDipper) {
+    drain_archived(archived_idx);
+    if (!test_point("ckpt:after_drain")) {
+      result = Status::internal("abandoned at ckpt:after_drain");
+    } else {
+      result = replay_onto_spare(archived_idx);
+      if (result.is_ok() && !test_point("ckpt:after_replay")) {
+        result = Status::internal("abandoned at ckpt:after_replay");
+      }
+    }
+  } else {
+    result = cow_copy_into_spare();
+    if (result.is_ok() && !test_point("ckpt:after_replay")) {
+      result = Status::internal("abandoned at ckpt:after_replay");
+    }
+  }
+  if (result.is_ok()) {
+    install_spare(archived_idx);
+    stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+    if (test_point("ckpt:after_install")) {
+      recycle_archived(archived_idx);
+    }
+  }
+  stats_.ckpt_total_ns.fetch_add(watch.elapsed_ns(), std::memory_order_relaxed);
+  ckpt_running_.store(false);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// CoW checkpoint support (§4.5)
+// ---------------------------------------------------------------------------
+
+void Engine::cow_protect_arena() {
+  mprotect(volatile_base_, cow_pages_ * kPageSize, PROT_READ);
+}
+
+void Engine::cow_unprotect_all() {
+  cow_active_.store(false, std::memory_order_release);
+  mprotect(volatile_base_, cfg_.arena_bytes, PROT_READ | PROT_WRITE);
+}
+
+Status Engine::cow_copy_into_spare() {
+  // Copier thread: walk all protected pages in 16-page runs ("clients can
+  // assist in this copying process" -- faulting writers race us page by
+  // page). Batching keeps the copier streaming at media bandwidth, which
+  // is exactly why clients' fault copies queue behind it on real PMEM.
+  constexpr size_t kBatch = 16;
+  for (size_t base = 0; base < cow_pages_; base += kBatch) {
+    if (base <= cow_pages_ / 2 && base + kBatch > cow_pages_ / 2 && cfg_.test_point_hook &&
+        !cfg_.test_point_hook("ckpt:cow_mid_copy")) {
+      cow_unprotect_all();
+      return Status::internal("abandoned at ckpt:cow_mid_copy");
+    }
+    size_t end = std::min(base + kBatch, cow_pages_);
+    // Claim a maximal contiguous run within the batch.
+    size_t run_start = base;
+    while (run_start < end) {
+      uint8_t expected = 0;
+      if (!cow_page_done_[run_start].compare_exchange_strong(expected, 1,
+                                                             std::memory_order_acq_rel)) {
+        run_start++;
+        continue;
+      }
+      size_t run_end = run_start + 1;
+      while (run_end < end) {
+        uint8_t e2 = 0;
+        if (!cow_page_done_[run_end].compare_exchange_strong(e2, 1,
+                                                             std::memory_order_acq_rel)) {
+          break;
+        }
+        run_end++;
+      }
+      char* src = volatile_base_ + run_start * kPageSize;
+      char* dst = pool_->base() + layout_.arena_off[cow_target_slot_] + run_start * kPageSize;
+      size_t bytes = (run_end - run_start) * kPageSize;
+      std::memcpy(dst, src, bytes);
+      pool_->persist_bulk(dst, bytes);
+      mprotect(src, bytes, PROT_READ | PROT_WRITE);
+      for (size_t pg = run_start; pg < run_end; pg++) {
+        cow_page_done_[pg].store(2, std::memory_order_release);
+      }
+      run_start = run_end;
+    }
+    std::this_thread::yield();
+  }
+  cow_active_.store(false, std::memory_order_release);
+  return Status::ok();
+}
+
+void Engine::cow_copy_page(size_t page_idx) {
+  uint8_t expected = 0;
+  if (!cow_page_done_[page_idx].compare_exchange_strong(expected, 1,
+                                                        std::memory_order_acq_rel)) {
+    // Another thread is copying: wait until the page is unprotected.
+    int spins = 0;
+    while (cow_page_done_[page_idx].load(std::memory_order_acquire) != 2) {
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    return;
+  }
+  char* src = volatile_base_ + page_idx * kPageSize;
+  char* dst = pool_->base() + layout_.arena_off[cow_target_slot_] + page_idx * kPageSize;
+  std::memcpy(dst, src, kPageSize);
+  pool_->persist_bulk(dst, kPageSize);
+  mprotect(src, kPageSize, PROT_READ | PROT_WRITE);
+  cow_page_done_[page_idx].store(2, std::memory_order_release);
+}
+
+bool Engine::cow_handle_fault(void* addr) {
+  auto a = reinterpret_cast<uintptr_t>(addr);
+  auto base = reinterpret_cast<uintptr_t>(volatile_base_);
+  if (a < base || a >= base + cfg_.arena_bytes) return false;
+  size_t page = (a - base) / kPageSize;
+  if (cow_active_.load(std::memory_order_acquire) && page < cow_pages_) {
+    // §4.5: "a page fault is triggered and a handler copies the page to
+    // PMEM. Clients ... must wait until the page is copied before making
+    // any modification" — this wait is the CoW tail cost Fig 9 measures.
+    cow_copy_page(page);
+    stats_.cow_page_faults.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Address is inside our arena: retry the instruction. If the checkpoint
+  // just finished, the page is (or is about to be) writable again.
+  return true;
+}
+
+}  // namespace dstore::dipper

@@ -1,0 +1,323 @@
+// The DIPPER engine (§3): decoupled, in-memory, parallel persistence.
+//
+// The engine makes a client's set of DRAM data structures persistent by
+// logging logical operations to PMEM and applying them to identical shadow
+// copies in the background. The client (DStore, or anything else — DIPPER
+// treats the structures as a black box, §3.2) provides exactly two hooks:
+//
+//   * format(space)          — build the empty structures in a space;
+//   * replay(space, records) — apply logged operations to a space, using
+//                              THE SAME code paths as the frontend.
+//
+// The engine owns:
+//   * the volatile system space: a slab-allocated arena in DRAM;
+//   * the persistent checkpoint space: a PMEM pool laid out as
+//       [root object][log A][log B][payload region][arena slot 0..2];
+//   * two PMEM logs (active + archived) with the §3.5 swap protocol;
+//   * the atomic quiescent-free checkpoint (Mode::kDipper) or the
+//     copy-on-write checkpoint used for comparison (Mode::kCow, §4.5);
+//   * idempotent recovery (§3.6).
+//
+// Checkpoint (kDipper): when active-log free space falls below the
+// threshold the logs are swapped (one persisted 8-byte root flip — the
+// frontend immediately continues appending to the new active log), in-
+// flight records drain (bounded by one op, microseconds — never a global
+// quiesce), the current shadow copy is cloned into the spare arena slot,
+// the archived log's committed records replay onto the clone in LSN order,
+// the clone is bulk-flushed, and the root flips cur→clone. A crash at any
+// point leaves a consistent copy reachable from the root.
+//
+// Checkpoint (kCow): the volatile arena is write-protected (mprotect); a
+// copier thread and SIGSEGV-faulting writers copy pages into the spare
+// slot; writers BLOCK until their page is copied — exactly the behaviour
+// whose tail-latency cost Figures 1/8/9 measure.
+//
+// Deviation from the paper, documented: §3.5 moves *all* uncommitted
+// records to the new active log at swap. We move only NOOP (olock) records
+// — the only ones that can stay uncommitted indefinitely — and let normal
+// in-flight records drain into the archived log (bounded by one SSD write).
+// This avoids a relocation map for records whose commit may race the swap,
+// and preserves quiescent-freedom: the frontend never waits on the drain.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/slab_allocator.h"
+#include "common/spinlock.h"
+#include "common/status.h"
+#include "dipper/log.h"
+#include "dipper/root.h"
+#include "ds/key.h"
+#include "pmem/pool.h"
+
+namespace dstore::dipper {
+
+// Client hooks: the "statically defined mapping" from logical operations to
+// data-structure functions (§3.2).
+class SpaceClient {
+ public:
+  virtual ~SpaceClient() = default;
+  // Build the initial (empty) structures inside a freshly formatted space.
+  virtual Status format(SlabAllocator& space) = 0;
+  // Apply committed records, in the given order, to a space. Must be
+  // deterministic: identical space state + identical record sequence =>
+  // identical resulting state (§3.1). Noop records are filtered out by the
+  // engine before this is called.
+  virtual Status replay(SlabAllocator& space, std::span<const LogRecordView> records) = 0;
+};
+
+struct EngineConfig {
+  size_t arena_bytes = 64ull << 20;  // size of the system space (and each shadow slot)
+  uint32_t log_slots = 8192;         // capacity of each of the two logs
+  // Checkpoint triggers when used slots exceed this fraction of the log.
+  double checkpoint_threshold = 0.5;
+  // Run the background checkpoint thread. Tests disable it and call
+  // checkpoint_now() to exercise states deterministically.
+  bool background_checkpointing = true;
+  enum class CkptMode { kDipper, kCow } ckpt_mode = CkptMode::kDipper;
+  // Physical-logging ablation (Fig 9 naive baseline / DudeTM archetype):
+  // append() additionally writes+flushes the op's data payload into a
+  // per-slot PMEM payload region, emulating value-carrying log records.
+  bool physical_logging = false;
+  size_t physical_payload_bytes = 4096;  // payload region slot size
+
+  // Test-only crash-point hook. Called at named points inside the
+  // checkpoint ("ckpt:after_swap", "ckpt:after_drain", "ckpt:after_replay",
+  // "ckpt:after_install", "ckpt:cow_mid_copy"). Returning false abandons
+  // the checkpoint at that point — combined with pmem::Pool::crash() this
+  // simulates a process kill at a precise protocol step.
+  std::function<bool(const char*)> test_point_hook;
+};
+
+struct EngineStats {
+  std::atomic<uint64_t> records_appended{0};
+  std::atomic<uint64_t> records_committed{0};
+  std::atomic<uint64_t> checkpoints{0};
+  std::atomic<uint64_t> records_replayed{0};
+  std::atomic<uint64_t> ckpt_total_ns{0};
+  std::atomic<uint64_t> append_backpressure_waits{0};
+  std::atomic<uint64_t> cow_page_faults{0};  // kCow only: writer-side copies
+  // Recovery phase timings from the last recover() (Table 4 attribution):
+  // metadata = checkpoint redo + volatile-space rebuild; replay = active-log
+  // (and, in CoW mode, archived-log) replay onto the volatile space.
+  std::atomic<uint64_t> recovery_metadata_ns{0};
+  std::atomic<uint64_t> recovery_replay_ns{0};
+};
+
+class Engine {
+ public:
+  // Total PMEM pool bytes this configuration needs.
+  static size_t required_pool_bytes(const EngineConfig& cfg);
+
+  Engine(pmem::Pool* pool, SpaceClient* client, EngineConfig cfg);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Format the pool and both spaces from scratch (calls client->format on
+  // the volatile space, then snapshots it as the initial shadow copy).
+  Status init_fresh();
+
+  // Recover after a crash or restart (§3.6): finish any interrupted
+  // checkpoint, rebuild the volatile space from the current shadow copy,
+  // and replay the active log's committed records.
+  Status recover();
+
+  // Clean shutdown: stop background work. (Recovery is identical either
+  // way; DIPPER recovery is uniform and idempotent.)
+  void shutdown();
+
+  // The volatile system space. The client performs all normal-operation
+  // reads/writes here, under its own concurrency control.
+  SlabAllocator& space() { return volatile_space_; }
+
+  // ---- logging (called from the client's synchronous region) -------------
+  struct RecordHandle {
+    uint8_t side = 0;  // which of the two logs holds the record
+    uint32_t slot = 0;
+    uint64_t lsn = 0;
+    Key name;  // needed to release in-flight CC state at commit
+  };
+
+  // Append a logical operation. Blocks (backpressure) if the active log is
+  // full and the checkpoint cannot keep up — the >70%-writes backlog case.
+  // `phys_payload`/`phys_len`: data bytes for physical-logging mode.
+  Result<RecordHandle> append(OpType op, const Key& name, uint64_t arg0, uint64_t arg1,
+                              const void* phys_payload = nullptr, size_t phys_len = 0);
+
+  // Split form of append for minimal synchronous regions (§4.3: the work
+  // done under the pipeline lock is <300ns): reserve() assigns the slot and
+  // LSN — fixing the record's position in conflict order — inside the
+  // caller's critical section; write_reserved() performs the record write
+  // and its PMEM flush outside it. A reserved record MUST be written before
+  // it is committed.
+  Result<RecordHandle> reserve(const Key& name);
+  void write_reserved(const RecordHandle& h, OpType op, uint64_t arg0, uint64_t arg1,
+                      const void* phys_payload = nullptr, size_t phys_len = 0);
+
+  // Persistently commit a record; the op's effects are now durable.
+  void commit(const RecordHandle& h);
+
+  // ---- concurrency control hooks (§4.4) -----------------------------------
+  // True if some uncommitted (in-flight) record targets `name`. Used by the
+  // client under its pipeline lock before appending.
+  bool has_inflight_write(const Key& name) const;
+  // Block until no uncommitted record targets `name`.
+  void wait_no_inflight_write(const Key& name) const;
+
+  // Number of uncommitted records (including held locks) targeting `name`.
+  int64_t inflight_count(const Key& name) const;
+  // Block until at most `allowed` uncommitted records target `name` (a
+  // writer holding an olock on the object tolerates its own NOOP record).
+  void wait_inflight_at_most(const Key& name, int64_t allowed) const;
+
+  // Register a write that carries no log record (an in-place owrite that
+  // touches no metadata, §4.3) so readers and conflicting writers see it.
+  void register_external_write(const Key& name) { inflight_inc(name); }
+  void unregister_external_write(const Key& name) { inflight_dec(name); }
+
+  // Reference log-scan conflict detection (the paper's exact mechanism:
+  // scan from the first uncommitted record to the end of the active log).
+  // Functionally equivalent to has_inflight_write(); kept for tests and as
+  // documentation of the §4.4 algorithm.
+  bool scan_conflicting_write(const Key& name) const;
+
+  // olock/ounlock support (§4.5): a NOOP record held uncommitted.
+  Result<RecordHandle> lock_object(const Key& name);
+  void unlock_object(const RecordHandle& h, const Key& name);
+
+  // ---- checkpointing ------------------------------------------------------
+  // Run one full checkpoint synchronously (tests/benches).
+  Status checkpoint_now();
+  // Run a checkpoint that deliberately dies at the named protocol point
+  // (see EngineConfig::test_point_hook for point names). Used by recovery
+  // benches to stage the paper's "crash just before the checkpoint process
+  // is complete" worst case.
+  Status checkpoint_abandon_at(const char* point);
+  // Disable/enable automatic checkpoint triggering (Fig 1's "w/o ckpt"
+  // comparison). With checkpointing disabled the log is never swapped; a
+  // full log then backpressures appends, so size the log accordingly.
+  void set_checkpointing_enabled(bool enabled) {
+    checkpointing_enabled_.store(enabled, std::memory_order_release);
+  }
+  bool checkpoint_running() const { return ckpt_running_.load(std::memory_order_acquire); }
+  // Fraction of active-log slots in use.
+  double log_fill() const;
+
+  const EngineStats& stats() const { return stats_; }
+  pmem::Pool& pool() { return *pool_; }
+
+  // Bytes of PMEM actually in use: root + valid log records + the shadow
+  // copies reachable from the root (storage-footprint accounting, Fig 10).
+  uint64_t pmem_used_bytes() const;
+
+  // Test hook: quiesce background work so pool().crash() is race-free.
+  void stop_background();
+
+ private:
+  // Volatile per-slot bookkeeping mirroring the active/archived logs.
+  enum class SlotState : uint8_t { kFree = 0, kReserved, kValid, kCommitted, kAborted };
+  struct LogSide {
+    PmemLog log;
+    std::vector<std::atomic<SlotState>> states;
+    std::vector<uint64_t> name_hashes;  // for conflict scans
+    std::atomic<uint32_t> next_slot{0};
+    std::atomic<bool> zeroed{true};  // region is formatted and ready for use
+  };
+
+  // Pool layout offsets.
+  struct Layout {
+    uint64_t root_off;
+    uint64_t log_off[2];
+    uint64_t payload_off;  // physical-logging payload region (may be 0-sized)
+    uint64_t arena_off[3];
+  };
+  static Layout compute_layout(const EngineConfig& cfg);
+
+  RootObject* root() const;
+  PackedState load_state() const;
+  void store_state(PackedState s);  // atomic store + persist
+
+  Arena pmem_arena(uint8_t slot) const;
+
+  // Checkpoint machinery.
+  void checkpoint_thread_main();
+  Status do_checkpoint();
+  Status swap_logs();                           // flip active log (root transition)
+  void drain_archived(uint8_t archived_idx);    // wait for in-flight commits
+  std::vector<LogRecordView> collect_committed(uint8_t log_idx);
+  Status replay_onto_spare(uint8_t archived_idx);  // kDipper
+  Status cow_copy_into_spare();                    // kCow
+  void install_spare(uint8_t archived_idx);
+  void recycle_archived(uint8_t archived_idx);
+
+  // CoW support.
+  void cow_protect_arena();
+  void cow_unprotect_all();
+  bool cow_handle_fault(void* addr);  // called from the SIGSEGV handler
+  void cow_copy_page(size_t page_idx);
+  friend struct CowFaultRouter;
+
+  // In-flight write tracking (open-addressed counter table, like the
+  // read-count table but for uncommitted log records).
+  struct InflightSlot {
+    std::atomic<uint64_t> tag{0};
+    std::atomic<int64_t> count{0};
+  };
+  InflightSlot& inflight_slot(const Key& name) const;
+  void inflight_inc(const Key& name);
+  void inflight_dec(const Key& name);
+
+  Status rebuild_volatile_from_shadow();
+
+  pmem::Pool* pool_;
+  SpaceClient* client_;
+  EngineConfig cfg_;
+  Layout layout_;
+
+  // Volatile system space (mmap'd so kCow can mprotect it).
+  char* volatile_base_ = nullptr;
+  SlabAllocator volatile_space_;
+
+  LogSide sides_[2];
+  std::atomic<uint64_t> lsn_counter_{1};
+  std::atomic<uint8_t> active_idx_{0};  // volatile cache of the root's active log
+
+  // olock records currently held uncommitted; relocated at log swaps.
+  struct HeldLock {
+    uint8_t side;
+    uint32_t slot;
+  };
+  std::unordered_map<std::string, HeldLock> held_locks_;  // guarded by log_mu_
+
+  mutable std::mutex log_mu_;  // serializes append-reserve, swap, lock/unlock
+  std::condition_variable ckpt_cv_;
+  std::mutex ckpt_mu_;
+  std::thread ckpt_thread_;
+  std::atomic<bool> ckpt_requested_{false};
+  std::atomic<bool> ckpt_running_{false};
+  std::atomic<bool> checkpointing_enabled_{true};
+  std::atomic<const char*> abandon_point_{nullptr};
+  std::atomic<bool> stop_{false};
+
+  mutable std::vector<InflightSlot> inflight_;
+  EngineStats stats_;
+
+  // CoW state.
+  std::vector<std::atomic<uint8_t>> cow_page_done_;  // 1 = copied this round
+  std::atomic<bool> cow_active_{false};
+  size_t cow_pages_ = 0;
+  uint8_t cow_target_slot_ = 0;
+};
+
+}  // namespace dstore::dipper

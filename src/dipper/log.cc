@@ -1,0 +1,77 @@
+#include "dipper/log.h"
+
+#include <cstring>
+
+#include "common/cacheline.h"
+
+namespace dstore::dipper {
+
+void PmemLog::format() {
+  char* base = pool_->base() + region_off_;
+  std::memset(base, 0, region_bytes(slot_count_));
+  pool_->persist_bulk(base, region_bytes(slot_count_));
+}
+
+void PmemLog::write_record(uint32_t slot, uint64_t lsn, OpType op, const Key& name, uint64_t arg0,
+                           uint64_t arg1, bool noop) {
+  Slot* s = slot_ptr(slot);
+  // Phase 1: write everything except the LSN.
+  s->length = (uint32_t)(8 + 8 + 1 + name.len);
+  s->op = (uint16_t)op;
+  s->flags.store(noop ? kFlagNoop : 0, std::memory_order_relaxed);
+  s->arg0 = arg0;
+  s->arg1 = arg1;
+  s->klen = name.len;
+  std::memcpy(s->name, name.data, name.len);
+  size_t payload_end = offsetof(Slot, name) + name.len;
+  if (payload_end <= kCacheLineSize) {
+    // Single-line record (the common case, §3.4: "we expect most log
+    // records to fit within a single cache line"): the cache line is the
+    // write-back atom and the LSN store is program-ordered after every
+    // other field, so any write-back — explicit or spurious — either has
+    // lsn==0 (invisible) or carries the complete record. One flush+fence.
+    s->lsn.store(lsn, std::memory_order_release);
+    pool_->persist(s, kCacheLineSize);
+  } else {
+    // Multi-line record: persist the tail lines first, then write the LSN
+    // and persist its line last (§3.4 reverse-order flush protocol).
+    pool_->persist(reinterpret_cast<char*>(s) + kCacheLineSize, payload_end - kCacheLineSize);
+    s->lsn.store(lsn, std::memory_order_release);
+    pool_->persist(s, kCacheLineSize);
+  }
+}
+
+void PmemLog::commit(uint32_t slot) {
+  Slot* s = slot_ptr(slot);
+  s->flags.fetch_or(kFlagCommitted, std::memory_order_release);
+  pool_->persist(&s->flags, sizeof(s->flags));
+}
+
+void PmemLog::abort(uint32_t slot) {
+  Slot* s = slot_ptr(slot);
+  s->flags.fetch_or(kFlagAborted, std::memory_order_release);
+  pool_->persist(&s->flags, sizeof(s->flags));
+}
+
+bool PmemLog::read(uint32_t slot, LogRecordView* out) const {
+  if (slot >= slot_count_) return false;
+  const Slot* s = slot_ptr(slot);
+  uint64_t lsn = s->lsn.load(std::memory_order_acquire);
+  if (lsn == 0) return false;
+  out->lsn = lsn;
+  out->op = (OpType)s->op;
+  uint16_t flags = s->flags.load(std::memory_order_acquire);
+  out->committed = (flags & kFlagCommitted) != 0 && (flags & kFlagAborted) == 0;
+  out->arg0 = s->arg0;
+  out->arg1 = s->arg1;
+  out->name.len = s->klen > kMaxNameLen ? kMaxNameLen : s->klen;
+  std::memcpy(out->name.data, s->name, out->name.len);
+  return true;
+}
+
+bool PmemLog::is_committed(uint32_t slot) const {
+  const Slot* s = slot_ptr(slot);
+  return (s->flags.load(std::memory_order_acquire) & kFlagCommitted) != 0;
+}
+
+}  // namespace dstore::dipper

@@ -1,0 +1,114 @@
+// DIPPER's PMEM-resident operation log (§3.4, Figure 3).
+//
+// Each record captures one logical operation: LSN, length, op type, commit
+// flag, and the op's parameters (object name + two integer args). Records
+// live in fixed 128-byte slots — two cache lines — so that recovery can
+// examine every slot independently: a slot is *present* iff its LSN field
+// is non-zero (the region is zeroed before reuse), and *replayable* iff its
+// commit flag is set. In practice (short names) a record occupies a single
+// cache line, matching the paper's "we expect most log records to fit
+// within a single cache line".
+//
+// Atomic visibility protocol (§3.4): PMEM gives 8-byte atomicity and may
+// evict cache lines spuriously, so the LSN — the validity marker — is
+// written and flushed *last*:
+//
+//   1. write everything except the LSN (length, op, flags, params);
+//   2. flush those lines (second line first), fence;
+//   3. write the LSN with an atomic 8B store, flush its line, fence.
+//
+// A spurious eviction can only ever persist what has been written, and the
+// LSN is not written until the rest of the record is persistent, so a
+// recovered slot with a valid LSN always carries a complete record.
+//
+// The commit flag is set (and its line flushed) only after the operation's
+// data is durable on the SSD (§4.5), making commit == durable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+#include "ds/key.h"
+#include "pmem/pool.h"
+
+namespace dstore::dipper {
+
+enum class OpType : uint16_t {
+  kNoop = 0,    // olock/ounlock marker (§4.5); ignored by replay
+  kCreate = 1,  // oopen with creation: (name)
+  kPut = 2,     // oput: (name, value_size)
+  kDelete = 3,  // odelete: (name)
+  kWrite = 4,   // owrite that changed metadata: (name, new_size)
+};
+
+// Decoded view of a log record, handed to replay.
+struct LogRecordView {
+  uint64_t lsn = 0;
+  OpType op = OpType::kNoop;
+  bool committed = false;
+  Key name;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+class PmemLog {
+ public:
+  static constexpr size_t kSlotSize = 128;
+
+  // Record flag bits (persisted).
+  static constexpr uint16_t kFlagCommitted = 1u << 0;
+  static constexpr uint16_t kFlagAborted = 1u << 1;
+  static constexpr uint16_t kFlagNoop = 1u << 2;
+
+  PmemLog() = default;
+  PmemLog(pmem::Pool* pool, uint64_t region_off, uint32_t slot_count)
+      : pool_(pool), region_off_(region_off), slot_count_(slot_count) {}
+
+  static size_t region_bytes(uint32_t slot_count) { return (size_t)slot_count * kSlotSize; }
+  uint32_t slot_count() const { return slot_count_; }
+
+  // Zero the whole region and persist (bulk). Required before reuse so the
+  // LSN-validity rule holds.
+  void format();
+
+  // Write a record into `slot` following the LSN-last protocol. The record
+  // is persistent-but-uncommitted on return.
+  void write_record(uint32_t slot, uint64_t lsn, OpType op, const Key& name, uint64_t arg0,
+                    uint64_t arg1, bool noop);
+
+  // Persistently mark the record committed / aborted.
+  void commit(uint32_t slot);
+  void abort(uint32_t slot);
+
+  // Decode `slot`. Returns false if the slot holds no valid record.
+  bool read(uint32_t slot, LogRecordView* out) const;
+
+  bool is_committed(uint32_t slot) const;
+
+ private:
+  // On-PMEM slot layout. First cache line: header + start of payload.
+  struct Slot {
+    std::atomic<uint64_t> lsn;     // 0 = invalid; written last
+    uint32_t length;               // payload bytes used
+    uint16_t op;
+    std::atomic<uint16_t> flags;
+    // payload: arg0(8) arg1(8) klen(1) name(<=63)
+    uint64_t arg0;
+    uint64_t arg1;
+    uint8_t klen;
+    char name[kMaxNameLen];
+    uint8_t pad[32];
+  };
+  static_assert(sizeof(Slot) == kSlotSize, "slot must be exactly two cache lines");
+
+  Slot* slot_ptr(uint32_t slot) const {
+    return reinterpret_cast<Slot*>(pool_->base() + region_off_ + (uint64_t)slot * kSlotSize);
+  }
+
+  pmem::Pool* pool_ = nullptr;
+  uint64_t region_off_ = 0;
+  uint32_t slot_count_ = 0;
+};
+
+}  // namespace dstore::dipper

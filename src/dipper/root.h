@@ -1,0 +1,62 @@
+// DIPPER root object (§3.5): "A root object, placed in a well known offset
+// in PMEM contains pointers to current and old copies of the shadow copies
+// as well as the current state of the checkpoint process."
+//
+// Every state transition that recovery depends on is packed into ONE 8-byte
+// word, flipped with a single atomic store + persist, which is what makes
+// the swap and the checkpoint install atomic on hardware that only
+// guarantees 8-byte atomicity:
+//
+//   bits [0]     active log index (0/1)
+//   bits [1]     checkpoint running
+//   bits [2:3]   shadow_cur arena slot (0..2)
+//   bits [4:5]   shadow_old arena slot (0..2)
+//   bits [6:63]  epoch (incremented on every transition)
+//
+// The three arena slots rotate: the slot that is neither cur nor old is the
+// spare a running checkpoint builds its new copy in; a crash mid-checkpoint
+// therefore never damages a consistent copy (§3.5 idempotency).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dstore::dipper {
+
+struct PackedState {
+  uint8_t active_log = 0;  // 0 or 1
+  bool ckpt_running = false;
+  uint8_t shadow_cur = 0;  // arena slot index 0..2
+  uint8_t shadow_old = 1;
+  uint64_t epoch = 0;
+
+  uint64_t pack() const {
+    return (uint64_t)(active_log & 1) | ((uint64_t)(ckpt_running ? 1 : 0) << 1) |
+           ((uint64_t)(shadow_cur & 3) << 2) | ((uint64_t)(shadow_old & 3) << 4) | (epoch << 6);
+  }
+  static PackedState unpack(uint64_t v) {
+    PackedState s;
+    s.active_log = (uint8_t)(v & 1);
+    s.ckpt_running = ((v >> 1) & 1) != 0;
+    s.shadow_cur = (uint8_t)((v >> 2) & 3);
+    s.shadow_old = (uint8_t)((v >> 4) & 3);
+    s.epoch = v >> 6;
+    return s;
+  }
+
+  // The arena slot that is neither cur nor old — the checkpoint target.
+  uint8_t spare_slot() const { return (uint8_t)(3 - shadow_cur - shadow_old); }
+};
+
+struct RootObject {
+  static constexpr uint64_t kMagic = 0x44495050'45525254ull;  // "DIPPERRT"
+
+  uint64_t magic;
+  std::atomic<uint64_t> state;  // PackedState
+  uint64_t arena_bytes;         // size of each shadow arena slot
+  uint32_t log_slots;           // capacity of each of the two logs
+  uint32_t reserved;
+  uint64_t config_fingerprint;  // sanity check on recovery
+};
+
+}  // namespace dstore::dipper

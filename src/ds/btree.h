@@ -1,0 +1,101 @@
+// Offset-based B-tree: DStore's object index (§4.2).
+//
+// The tree lives entirely inside an Arena managed by a SlabAllocator and
+// refers to its nodes by offsets, so *the same code* operates on the
+// volatile DRAM space and on the PMEM shadow copies — the core mechanism of
+// DIPPER's "same code can be used to perform operations on both structures"
+// (§3.5). Cloning the arena clones the tree; no serialization ever happens.
+//
+// Classic CLRS B-tree (minimum degree t=16): every node holds keys and
+// values; internal nodes additionally hold children. Insert uses preemptive
+// top-down splitting, erase uses preemptive top-down borrowing/merging, so
+// no parent pointers are needed and all mutations touch a single root-to-
+// leaf path.
+//
+// Concurrency: externally synchronized. The DStore frontend wraps the DRAM
+// tree in a readers-writer lock; checkpoint replay owns its shadow space
+// exclusively.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "alloc/slab_allocator.h"
+#include "common/status.h"
+#include "ds/key.h"
+
+namespace dstore {
+
+class BTree {
+ public:
+  static constexpr int kMinDegree = 16;                 // t
+  static constexpr int kMaxKeys = 2 * kMinDegree - 1;   // 31
+  static constexpr int kMinKeys = kMinDegree - 1;       // 15
+
+  struct Node {
+    uint16_t count;
+    uint16_t leaf;
+    uint32_t reserved;
+    Key keys[kMaxKeys];
+    uint64_t vals[kMaxKeys];
+    offset_t children[2 * kMinDegree];
+  };
+
+  struct Header {
+    offset_t root;       // offset of root Node (0 = empty tree)
+    uint64_t size;       // number of keys in the tree
+    uint64_t node_count; // number of allocated nodes
+  };
+
+  // Allocate an empty tree in `sp`; returns the header offset.
+  static Result<OffPtr<Header>> create(SlabAllocator& sp);
+
+  BTree(SlabAllocator& sp, OffPtr<Header> header) : sp_(&sp), header_(header) {}
+
+  // Insert; fails with kAlreadyExists if the key is present.
+  Status insert(const Key& k, uint64_t value);
+  // Insert or overwrite. `existed` (optional) reports whether it overwrote.
+  Status upsert(const Key& k, uint64_t value, bool* existed = nullptr);
+  std::optional<uint64_t> find(const Key& k) const;
+  // Remove; fails with kNotFound if absent.
+  Status erase(const Key& k);
+
+  uint64_t size() const { return hdr()->size; }
+  uint64_t node_count() const { return hdr()->node_count; }
+
+  // In-order traversal. Return false from `fn` to stop early.
+  void for_each(const std::function<bool(const Key&, uint64_t)>& fn) const;
+
+  // Structural invariant check for tests: key ordering, node fill bounds,
+  // uniform leaf depth, size bookkeeping. Returns kOk or kCorruption.
+  Status validate() const;
+
+ private:
+  Header* hdr() const { return header_.get(sp_->arena()); }
+  Node* node(offset_t off) const { return reinterpret_cast<Node*>(sp_->arena().at(off)); }
+
+  offset_t alloc_node(bool leaf);
+  void free_node(offset_t off);
+
+  // Split the full child at `child_idx` of `parent`.
+  void split_child(Node* parent, int child_idx);
+  Status upsert_impl(const Key& k, uint64_t value, bool upsert, bool* existed);
+  Status insert_nonfull(offset_t node_off, const Key& k, uint64_t value, bool upsert,
+                        bool* existed);
+
+  Status erase_from(offset_t node_off, const Key& k);
+  // Ensure child `idx` of `parent` has at least kMinDegree keys, borrowing
+  // from or merging with a sibling. Returns the (possibly shifted) child
+  // index to descend into.
+  int fill_child_idx(Node* parent, int idx);
+  void merge_children(Node* parent, int idx);
+
+  Status validate_node(offset_t off, const Key* lo, const Key* hi, int depth, int leaf_depth,
+                       uint64_t* key_count) const;
+
+  SlabAllocator* sp_;
+  OffPtr<Header> header_;
+};
+
+}  // namespace dstore

@@ -1,0 +1,36 @@
+#include "ds/circular_pool.h"
+
+namespace dstore {
+
+Result<OffPtr<CircularPool::Header>> CircularPool::create(SlabAllocator& sp, uint64_t num_ids) {
+  auto h = sp.alloc_object<Header>();
+  if (h.is_null()) return Status::out_of_space("pool header");
+  offset_t ring = sp.alloc(num_ids * sizeof(uint64_t));
+  if (ring == 0) return Status::out_of_space("pool ring");
+  Header* hdr = h.get(sp.arena());
+  hdr->capacity = num_ids;
+  hdr->head = 0;
+  hdr->tail = num_ids;
+  hdr->ring = ring;
+  auto* r = reinterpret_cast<uint64_t*>(sp.arena().at(ring));
+  for (uint64_t i = 0; i < num_ids; i++) r[i] = i;
+  return h;
+}
+
+std::optional<uint64_t> CircularPool::alloc() {
+  Header* h = hdr();
+  if (h->head == h->tail) return std::nullopt;
+  uint64_t id = ring()[h->head % h->capacity];
+  h->head++;
+  return id;
+}
+
+Status CircularPool::free(uint64_t id) {
+  Header* h = hdr();
+  if (h->tail - h->head >= h->capacity) return Status::internal("pool overflow (double free?)");
+  ring()[h->tail % h->capacity] = id;
+  h->tail++;
+  return Status::ok();
+}
+
+}  // namespace dstore

@@ -1,0 +1,55 @@
+// Circular free pool (§4.2): "the metadata and block pools are circular
+// buffers containing free blocks and metadata pages".
+//
+// Strict FIFO order is load-bearing for DIPPER: block/metadata allocation
+// happens inside the write pipeline's synchronous region in log order
+// (§4.3 steps 1-5), so replaying the log against the shadow pool
+// re-produces the *identical* allocation sequence — which is what lets
+// DStore omit block lists from its 32-byte log records entirely.
+//
+// Lives inside an arena (offset-addressed ring buffer) so the shadow copy
+// clones with the space. Externally synchronized (the pipeline's pool lock).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "alloc/slab_allocator.h"
+#include "common/status.h"
+
+namespace dstore {
+
+class CircularPool {
+ public:
+  struct Header {
+    uint64_t capacity;  // ring capacity (ids it can hold)
+    uint64_t head;      // next slot to pop (monotonic; index = head % capacity)
+    uint64_t tail;      // next slot to push (monotonic)
+    offset_t ring;      // uint64_t[capacity]
+  };
+
+  // Create a pool pre-filled with ids [0, num_ids): all ids start free.
+  static Result<OffPtr<Header>> create(SlabAllocator& sp, uint64_t num_ids);
+
+  CircularPool(SlabAllocator& sp, OffPtr<Header> header) : sp_(&sp), header_(header) {}
+
+  // Pop the oldest free id (FIFO). nullopt when exhausted.
+  std::optional<uint64_t> alloc();
+  // Return an id to the pool.
+  Status free(uint64_t id);
+
+  uint64_t free_count() const {
+    const Header* h = hdr();
+    return h->tail - h->head;
+  }
+  uint64_t capacity() const { return hdr()->capacity; }
+
+ private:
+  Header* hdr() const { return header_.get(sp_->arena()); }
+  uint64_t* ring() const { return reinterpret_cast<uint64_t*>(sp_->arena().at(hdr()->ring)); }
+
+  SlabAllocator* sp_;
+  OffPtr<Header> header_;
+};
+
+}  // namespace dstore

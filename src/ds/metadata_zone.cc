@@ -1,0 +1,63 @@
+#include "ds/metadata_zone.h"
+
+#include <cstring>
+
+namespace dstore {
+
+Result<OffPtr<MetadataZone::Header>> MetadataZone::create(SlabAllocator& sp,
+                                                          uint64_t num_entries) {
+  auto h = sp.alloc_object<Header>();
+  if (h.is_null()) return Status::out_of_space("metadata zone header");
+  offset_t entries = sp.alloc_zeroed(num_entries * sizeof(MetaEntry));
+  if (entries == 0) return Status::out_of_space("metadata zone entries");
+  Header* hdr = h.get(sp.arena());
+  hdr->num_entries = num_entries;
+  hdr->entries = entries;
+  return h;
+}
+
+MetaEntry* MetadataZone::entry(uint64_t idx) const {
+  const Header* h = hdr();
+  if (idx >= h->num_entries) return nullptr;
+  return reinterpret_cast<MetaEntry*>(sp_->arena().at(h->entries)) + idx;
+}
+
+Status MetadataZone::init_entry(uint64_t idx, const Key& name) {
+  MetaEntry* e = entry(idx);
+  if (e == nullptr) return Status::invalid_argument("metadata index out of range");
+  if (e->in_use) return Status::internal("metadata entry already in use");
+  *e = MetaEntry{};
+  e->name = name;
+  e->in_use = 1;
+  e->generation = 1;
+  return Status::ok();
+}
+
+Status MetadataZone::append_block(uint64_t idx, uint64_t block_id) {
+  MetaEntry* e = entry(idx);
+  if (e == nullptr || !e->in_use) return Status::invalid_argument("bad metadata entry");
+  if (e->nblocks == e->cap) {
+    uint32_t new_cap = e->cap == 0 ? 4 : e->cap * 2;
+    offset_t grown = sp_->alloc(new_cap * sizeof(uint64_t));
+    if (grown == 0) return Status::out_of_space("block array");
+    if (e->blocks != 0) {
+      std::memcpy(sp_->arena().at(grown), sp_->arena().at(e->blocks),
+                  e->nblocks * sizeof(uint64_t));
+      sp_->free(e->blocks);
+    }
+    e->blocks = grown;
+    e->cap = new_cap;
+  }
+  blocks(*e)[e->nblocks++] = block_id;
+  e->generation++;
+  return Status::ok();
+}
+
+void MetadataZone::release_entry(uint64_t idx) {
+  MetaEntry* e = entry(idx);
+  if (e == nullptr || !e->in_use) return;
+  if (e->blocks != 0) sp_->free(e->blocks);
+  *e = MetaEntry{};
+}
+
+}  // namespace dstore

@@ -1,0 +1,66 @@
+// Metadata zone (§4.2): fixed-size metadata pages describing each object —
+// its name, logical size, and the list of SSD blocks holding its data.
+//
+// Pages are indexed by the id handed out by the metadata pool; the block
+// list grows by deterministic doubling from the slab allocator, so shadow
+// replay re-produces identical layouts. Lives in an arena; externally
+// synchronized.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/slab_allocator.h"
+#include "common/status.h"
+#include "ds/key.h"
+
+namespace dstore {
+
+struct MetaEntry {
+  Key name;            // 64 B
+  uint64_t size;       // logical object size in bytes
+  uint32_t nblocks;    // blocks in use
+  uint32_t cap;        // capacity of the block array
+  offset_t blocks;     // uint64_t[cap] in the arena
+  uint64_t generation; // bumped on every metadata change (debug/validation)
+  uint8_t in_use;
+  uint8_t pad[31];
+};
+static_assert(sizeof(MetaEntry) == 128, "MetaEntry must pack to 128B");
+
+class MetadataZone {
+ public:
+  struct Header {
+    uint64_t num_entries;
+    offset_t entries;  // MetaEntry[num_entries]
+  };
+
+  static Result<OffPtr<Header>> create(SlabAllocator& sp, uint64_t num_entries);
+
+  MetadataZone(SlabAllocator& sp, OffPtr<Header> header) : sp_(&sp), header_(header) {}
+
+  MetaEntry* entry(uint64_t idx) const;
+  uint64_t num_entries() const { return hdr()->num_entries; }
+
+  // Initialize entry `idx` for a new object.
+  Status init_entry(uint64_t idx, const Key& name);
+  // Append a data block id; grows the block array (powers of two).
+  Status append_block(uint64_t idx, uint64_t block_id);
+  // Release the entry's block array and mark it free; the block ids
+  // themselves are returned to the block pool by the caller.
+  void release_entry(uint64_t idx);
+
+  const uint64_t* blocks(const MetaEntry& e) const {
+    return e.blocks == 0 ? nullptr : reinterpret_cast<const uint64_t*>(sp_->arena().at(e.blocks));
+  }
+  uint64_t* blocks(MetaEntry& e) {
+    return e.blocks == 0 ? nullptr : reinterpret_cast<uint64_t*>(sp_->arena().at(e.blocks));
+  }
+
+ private:
+  Header* hdr() const { return header_.get(sp_->arena()); }
+
+  SlabAllocator* sp_;
+  OffPtr<Header> header_;
+};
+
+}  // namespace dstore

@@ -1,0 +1,982 @@
+#include "dstore/dstore.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace dstore {
+
+using dipper::LogRecordView;
+using dipper::OpType;
+
+size_t DStoreConfig::suggested_arena_bytes(uint64_t objects) {
+  // Empirical worst case per object: one btree key share (~270B at minimum
+  // fill), a 128B metadata entry, a small block array, slab rounding.
+  return (size_t)(4ull << 20) + objects * 1024;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / lifecycle
+// ---------------------------------------------------------------------------
+
+DStore::DStore(pmem::Pool* pool, ssd::BlockDevice* device, DStoreConfig cfg)
+    : pool_(pool), device_(device), cfg_(cfg), read_counts_(1 << 16) {}
+
+Result<std::unique_ptr<DStore>> DStore::create(pmem::Pool* pool, ssd::BlockDevice* device,
+                                               DStoreConfig cfg) {
+  if (device->config().num_blocks < cfg.num_blocks) {
+    return Status::invalid_argument("device smaller than configured block pool");
+  }
+  if (pool->size() < dipper::Engine::required_pool_bytes(cfg.engine)) {
+    return Status::invalid_argument("PMEM pool too small");
+  }
+  std::unique_ptr<DStore> store(new DStore(pool, device, cfg));
+  store->engine_ = std::make_unique<dipper::Engine>(pool, store.get(), cfg.engine);
+  DSTORE_RETURN_IF_ERROR(store->engine_->init_fresh());
+  store->engine_->space().set_lock(&store->arena_mu_);
+  return store;
+}
+
+Result<std::unique_ptr<DStore>> DStore::recover(pmem::Pool* pool, ssd::BlockDevice* device,
+                                                DStoreConfig cfg) {
+  std::unique_ptr<DStore> store(new DStore(pool, device, cfg));
+  store->engine_ = std::make_unique<dipper::Engine>(pool, store.get(), cfg.engine);
+  DSTORE_RETURN_IF_ERROR(store->engine_->recover());
+  store->engine_->space().set_lock(&store->arena_mu_);
+  return store;
+}
+
+DStore::~DStore() {
+  if (engine_) engine_->shutdown();
+}
+
+ds_ctx_t* DStore::ds_init() {
+  auto* ctx = new ds_ctx_t();
+  ctx->id = next_ctx_id_.fetch_add(1, std::memory_order_relaxed);
+  live_ctxs_.fetch_add(1, std::memory_order_relaxed);
+  return ctx;
+}
+
+void DStore::ds_finalize(ds_ctx_t* ctx) {
+  if (ctx == nullptr) return;
+  live_ctxs_.fetch_sub(1, std::memory_order_relaxed);
+  delete ctx;
+}
+
+// ---------------------------------------------------------------------------
+// SpaceClient hooks: format & replay
+// ---------------------------------------------------------------------------
+
+Status DStore::format(SlabAllocator& space) {
+  offset_t root_off = space.alloc_zeroed(sizeof(StoreRoot));
+  if (root_off == 0) return Status::out_of_space("store root");
+  auto* root = reinterpret_cast<StoreRoot*>(space.arena().at(root_off));
+
+  auto btree = BTree::create(space);
+  if (!btree.is_ok()) return btree.status();
+  root->btree = btree.value().off;
+
+  auto zone = MetadataZone::create(space, cfg_.max_objects);
+  if (!zone.is_ok()) return zone.status();
+  root->meta_zone = zone.value().off;
+
+  auto bpool = CircularPool::create(space, cfg_.num_blocks);
+  if (!bpool.is_ok()) return bpool.status();
+  root->block_pool = bpool.value().off;
+
+  auto mpool = CircularPool::create(space, cfg_.max_objects);
+  if (!mpool.is_ok()) return mpool.status();
+  root->meta_pool = mpool.value().off;
+
+  space.set_user_root(root_off);
+  return Status::ok();
+}
+
+DStore::View DStore::view_of(SlabAllocator& space) {
+  auto* root = reinterpret_cast<StoreRoot*>(space.arena().at(space.user_root()));
+  return View{&space,
+              BTree(space, OffPtr<BTree::Header>(root->btree)),
+              MetadataZone(space, OffPtr<MetadataZone::Header>(root->meta_zone)),
+              CircularPool(space, OffPtr<CircularPool::Header>(root->block_pool)),
+              CircularPool(space, OffPtr<CircularPool::Header>(root->meta_pool))};
+}
+
+Status DStore::replay(SlabAllocator& space, std::span<const LogRecordView> records) {
+  // §3.5: "the shadow copies iterate through the same states that the
+  // volatile copies went through" — the identical phase functions run here,
+  // without frontend locks (replay owns the space).
+  View v = view_of(space);
+  if (cfg_.parallel_replay && records.size() >= 128) {
+    return replay_parallel(v, records);
+  }
+  uint64_t processed = 0;
+  for (const LogRecordView& rec : records) {
+    // Background replay shares cores with the frontend on small hosts;
+    // yield periodically so checkpointing stays quiescent-free in practice.
+    if ((++processed & 63) == 0) std::this_thread::yield();
+    switch (rec.op) {
+      case OpType::kPut: {
+        PutPlan plan;
+        DSTORE_RETURN_IF_ERROR(put_phase1(v, rec.name, rec.arg0, nullptr, &plan));
+        DSTORE_RETURN_IF_ERROR(put_phase2(v, rec.name, rec.arg0, plan, nullptr));
+        break;
+      }
+      case OpType::kDelete: {
+        DeletePlan plan;
+        DSTORE_RETURN_IF_ERROR(delete_phase1(v, rec.name, nullptr, &plan));
+        DSTORE_RETURN_IF_ERROR(delete_phase2(v, plan, nullptr));
+        break;
+      }
+      case OpType::kCreate: {
+        uint64_t meta_idx = 0;
+        DSTORE_RETURN_IF_ERROR(create_phase1(v, &meta_idx));
+        DSTORE_RETURN_IF_ERROR(create_phase2(v, rec.name, meta_idx, nullptr));
+        break;
+      }
+      case OpType::kWrite: {
+        ExtendPlan plan;
+        DSTORE_RETURN_IF_ERROR(extend_phase1(v, rec.name, rec.arg0, nullptr, &plan));
+        DSTORE_RETURN_IF_ERROR(extend_phase2(v, rec.name, rec.arg0, plan, nullptr));
+        break;
+      }
+      case OpType::kNoop:
+        break;  // olock markers: ignored by replay (§4.5)
+    }
+  }
+  return Status::ok();
+}
+
+Status DStore::replay_parallel(View& v, std::span<const LogRecordView> records) {
+  // Two-lane pipeline (§3.5's checkpoint thread pool, powered by §3.7's
+  // observational equivalence): lane 1 — this thread — executes each
+  // record's phase 1 (pool pops/pushes) in STRICT log order, preserving
+  // the determinism the data plane depends on; lane 2 applies the
+  // metadata-zone and btree updates one record behind. Records on the same
+  // object are ordered end-to-end through `pending` (a record's phase 1
+  // may read state its predecessor's phase 2 writes); everything else
+  // commutes, so the lanes overlap freely.
+  struct WorkItem {
+    const LogRecordView* rec;
+    PutPlan put;
+    DeletePlan del;
+    ExtendPlan ext;
+    uint64_t create_idx = 0;
+  };
+  std::deque<WorkItem> queue;
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  bool done = false;
+  Status lane2_status;
+  std::atomic<bool> failed{false};
+  ReadCountTable pending(1 << 14);
+  SharedSpinLock replay_btree_mu;
+
+  std::thread lane2([&] {
+    for (;;) {
+      WorkItem item;
+      {
+        std::unique_lock<std::mutex> g(queue_mu);
+        queue_cv.wait(g, [&] { return !queue.empty() || done; });
+        if (queue.empty()) {
+          if (done) return;
+          continue;
+        }
+        item = std::move(queue.front());
+        queue.pop_front();
+      }
+      Status s;
+      switch (item.rec->op) {
+        case OpType::kPut:
+          s = put_phase2(v, item.rec->name, item.rec->arg0, item.put, &replay_btree_mu);
+          break;
+        case OpType::kDelete:
+          s = delete_phase2(v, item.del, &replay_btree_mu);
+          break;
+        case OpType::kCreate:
+          s = create_phase2(v, item.rec->name, item.create_idx, &replay_btree_mu);
+          break;
+        case OpType::kWrite:
+          s = extend_phase2(v, item.rec->name, item.rec->arg0, item.ext, &replay_btree_mu);
+          break;
+        case OpType::kNoop:
+          break;
+      }
+      pending.dec(item.rec->name);
+      if (!s.is_ok() && !failed.exchange(true)) {
+        std::lock_guard<std::mutex> g(queue_mu);
+        lane2_status = s;
+      }
+    }
+  });
+
+  Status lane1_status;
+  uint64_t processed = 0;
+  for (const LogRecordView& rec : records) {
+    if (failed.load(std::memory_order_acquire)) break;
+    if ((++processed & 63) == 0) std::this_thread::yield();
+    if (rec.op == OpType::kNoop) continue;
+    // A record's phase 1 may depend on its same-object predecessor's
+    // phase 2 (e.g. a put reads the btree entry a create inserted): wait
+    // until lane 2 has drained this object.
+    pending.wait_until_unread(rec.name);
+    WorkItem item;
+    item.rec = &rec;
+    Status s;
+    switch (rec.op) {
+      case OpType::kPut:
+        s = put_phase1(v, rec.name, rec.arg0, &replay_btree_mu, &item.put);
+        break;
+      case OpType::kDelete:
+        s = delete_phase1(v, rec.name, &replay_btree_mu, &item.del);
+        break;
+      case OpType::kCreate:
+        s = create_phase1(v, &item.create_idx);
+        break;
+      case OpType::kWrite:
+        s = extend_phase1(v, rec.name, rec.arg0, &replay_btree_mu, &item.ext);
+        break;
+      case OpType::kNoop:
+        break;
+    }
+    if (!s.is_ok()) {
+      lane1_status = s;
+      break;
+    }
+    pending.inc(rec.name);
+    {
+      std::lock_guard<std::mutex> g(queue_mu);
+      queue.push_back(std::move(item));
+    }
+    queue_cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> g(queue_mu);
+    done = true;
+  }
+  queue_cv.notify_one();
+  lane2.join();
+  DSTORE_RETURN_IF_ERROR(lane1_status);
+  return lane2_status;
+}
+
+// ---------------------------------------------------------------------------
+// Metadata phases (the "same code for both spaces" core)
+// ---------------------------------------------------------------------------
+
+Status DStore::put_phase1(View& v, const Key& name, uint64_t size, SharedSpinLock* btree_mu,
+                          PutPlan* plan) {
+  // Steps 3-4 of the pipeline: everything whose ORDER matters for replay
+  // determinism (circular-pool pops/pushes) happens here, in log order.
+  std::optional<uint64_t> found;
+  if (btree_mu != nullptr) {
+    SharedLockGuard g(*btree_mu);
+    found = v.btree.find(name);
+  } else {
+    found = v.btree.find(name);
+  }
+  plan->existed = found.has_value();
+  if (plan->existed) {
+    plan->meta_idx = *found;
+    MetaEntry* e = v.zone.entry(plan->meta_idx);
+    if (e == nullptr || !e->in_use) return Status::corruption("btree points at free entry");
+    const uint64_t* bl = v.zone.blocks(*e);
+    for (uint32_t i = 0; i < e->nblocks; i++) {
+      DSTORE_RETURN_IF_ERROR(v.block_pool.free(bl[i]));
+    }
+  } else {
+    auto idx = v.meta_pool.alloc();
+    if (!idx.has_value()) return Status::out_of_space("metadata pool exhausted");
+    plan->meta_idx = *idx;
+  }
+  uint64_t nb = blocks_needed(size);
+  plan->blocks.clear();
+  plan->blocks.reserve(nb);
+  for (uint64_t i = 0; i < nb; i++) {
+    auto b = v.block_pool.alloc();
+    if (!b.has_value()) return Status::out_of_space("block pool exhausted");
+    plan->blocks.push_back(*b);
+  }
+  return Status::ok();
+}
+
+Status DStore::put_phase2(View& v, const Key& name, uint64_t size, const PutPlan& plan,
+                          SharedSpinLock* btree_mu, StageStats* stats) {
+  // Steps 6-7: metadata-zone entry + btree record. Under OE these run
+  // outside the synchronous region, in parallel across requests.
+  uint64_t t0 = stats != nullptr ? now_ns() : 0;
+  MetaEntry* e = v.zone.entry(plan.meta_idx);
+  if (plan.existed) {
+    e->nblocks = 0;  // block array retained; refilled below
+  } else {
+    DSTORE_RETURN_IF_ERROR(v.zone.init_entry(plan.meta_idx, name));
+    e = v.zone.entry(plan.meta_idx);
+  }
+  for (uint64_t b : plan.blocks) {
+    DSTORE_RETURN_IF_ERROR(v.zone.append_block(plan.meta_idx, b));
+  }
+  e->size = size;
+  e->generation++;
+  if (stats != nullptr) {
+    uint64_t t1 = now_ns();
+    stats->meta_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+    t0 = t1;
+  }
+  if (!plan.existed) {
+    if (btree_mu != nullptr) {
+      LockGuard<SharedSpinLock> g(*btree_mu);
+      DSTORE_RETURN_IF_ERROR(v.btree.insert(name, plan.meta_idx));
+    } else {
+      DSTORE_RETURN_IF_ERROR(v.btree.insert(name, plan.meta_idx));
+    }
+  }
+  if (stats != nullptr) stats->btree_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+Status DStore::delete_phase1(View& v, const Key& name, SharedSpinLock* btree_mu,
+                             DeletePlan* plan) {
+  std::optional<uint64_t> found;
+  if (btree_mu != nullptr) {
+    SharedLockGuard g(*btree_mu);
+    found = v.btree.find(name);
+  } else {
+    found = v.btree.find(name);
+  }
+  if (!found.has_value()) return Status::not_found(name.str());
+  plan->meta_idx = *found;
+  MetaEntry* e = v.zone.entry(plan->meta_idx);
+  if (e == nullptr || !e->in_use) return Status::corruption("btree points at free entry");
+  const uint64_t* bl = v.zone.blocks(*e);
+  for (uint32_t i = 0; i < e->nblocks; i++) {
+    DSTORE_RETURN_IF_ERROR(v.block_pool.free(bl[i]));
+  }
+  DSTORE_RETURN_IF_ERROR(v.meta_pool.free(plan->meta_idx));
+  return Status::ok();
+}
+
+Status DStore::delete_phase2(View& v, const DeletePlan& plan, SharedSpinLock* btree_mu) {
+  MetaEntry* e = v.zone.entry(plan.meta_idx);
+  Key name = e->name;
+  if (btree_mu != nullptr) {
+    LockGuard<SharedSpinLock> g(*btree_mu);
+    DSTORE_RETURN_IF_ERROR(v.btree.erase(name));
+  } else {
+    DSTORE_RETURN_IF_ERROR(v.btree.erase(name));
+  }
+  v.zone.release_entry(plan.meta_idx);
+  return Status::ok();
+}
+
+Status DStore::create_phase1(View& v, uint64_t* meta_idx) {
+  auto idx = v.meta_pool.alloc();
+  if (!idx.has_value()) return Status::out_of_space("metadata pool exhausted");
+  *meta_idx = *idx;
+  return Status::ok();
+}
+
+Status DStore::create_phase2(View& v, const Key& name, uint64_t meta_idx,
+                             SharedSpinLock* btree_mu) {
+  DSTORE_RETURN_IF_ERROR(v.zone.init_entry(meta_idx, name));
+  v.zone.entry(meta_idx)->size = 0;
+  if (btree_mu != nullptr) {
+    LockGuard<SharedSpinLock> g(*btree_mu);
+    return v.btree.insert(name, meta_idx);
+  }
+  return v.btree.insert(name, meta_idx);
+}
+
+Status DStore::extend_phase1(View& v, const Key& name, uint64_t new_size,
+                             SharedSpinLock* btree_mu, ExtendPlan* plan) {
+  std::optional<uint64_t> found;
+  if (btree_mu != nullptr) {
+    SharedLockGuard g(*btree_mu);
+    found = v.btree.find(name);
+  } else {
+    found = v.btree.find(name);
+  }
+  if (!found.has_value()) return Status::not_found(name.str());
+  plan->meta_idx = *found;
+  MetaEntry* e = v.zone.entry(plan->meta_idx);
+  uint64_t need = blocks_needed(new_size);
+  plan->new_blocks.clear();
+  for (uint64_t i = e->nblocks; i < need; i++) {
+    auto b = v.block_pool.alloc();
+    if (!b.has_value()) return Status::out_of_space("block pool exhausted");
+    plan->new_blocks.push_back(*b);
+  }
+  return Status::ok();
+}
+
+Status DStore::extend_phase2(View& v, const Key& /*name*/, uint64_t new_size,
+                             const ExtendPlan& plan, SharedSpinLock* /*btree_mu*/) {
+  // Entry mutation only; per-object CC makes the entry exclusive, so no
+  // structure-wide lock is needed (the block-array growth locks the
+  // allocator internally).
+  for (uint64_t b : plan.new_blocks) {
+    DSTORE_RETURN_IF_ERROR(v.zone.append_block(plan.meta_idx, b));
+  }
+  MetaEntry* e = v.zone.entry(plan.meta_idx);
+  if (new_size > e->size) e->size = new_size;
+  e->generation++;
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+Status DStore::write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size) {
+  const char* src = static_cast<const char*>(data);
+  size_t bs = block_size();
+  for (size_t i = 0; i < blocks.size(); i++) {
+    size_t off = i * bs;
+    size_t len = std::min(bs, size - off);
+    DSTORE_RETURN_IF_ERROR(device_->write(blocks[i], 0, src + off, len));
+  }
+  return Status::ok();
+}
+
+Status DStore::write_data_range(View& v, uint64_t meta_idx, const void* data, size_t size,
+                                uint64_t offset) {
+  const MetaEntry* e = v.zone.entry(meta_idx);
+  const uint64_t* bl = v.zone.blocks(*e);
+  const char* src = static_cast<const char*>(data);
+  size_t bs = block_size();
+  size_t done = 0;
+  while (done < size) {
+    uint64_t pos = offset + done;
+    uint64_t bi = pos / bs;
+    size_t in_block = pos % bs;
+    size_t len = std::min(bs - in_block, size - done);
+    if (bi >= e->nblocks) return Status::internal("write beyond allocated blocks");
+    DSTORE_RETURN_IF_ERROR(device_->write(bl[bi], in_block, src + done, len));
+    done += len;
+  }
+  return Status::ok();
+}
+
+Status DStore::read_data_range(View& v, uint64_t meta_idx, void* buf, size_t size,
+                               uint64_t offset, size_t* out_len) {
+  const MetaEntry* e = v.zone.entry(meta_idx);
+  if (e == nullptr || !e->in_use) return Status::corruption("read from free entry");
+  if (offset >= e->size) {
+    *out_len = 0;
+    return Status::ok();
+  }
+  size_t avail = e->size - offset;
+  size_t want = std::min(size, avail);
+  const uint64_t* bl = v.zone.blocks(*e);
+  char* dst = static_cast<char*>(buf);
+  size_t bs = block_size();
+  size_t done = 0;
+  while (done < want) {
+    uint64_t pos = offset + done;
+    uint64_t bi = pos / bs;
+    size_t in_block = pos % bs;
+    size_t len = std::min(bs - in_block, want - done);
+    DSTORE_RETURN_IF_ERROR(device_->read(bl[bi], in_block, dst + done, len));
+    done += len;
+  }
+  *out_len = want;
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Reader-side concurrency control (§4.4)
+// ---------------------------------------------------------------------------
+
+// Reader protocol: register in the read-count table FIRST, then check for
+// in-flight writes; retreat and retry if one exists. Combined with the
+// writer's append-then-poll order this guarantees mutual exclusion without
+// locks (flag/flag protocol; the reader side retreats, so no deadlock).
+class DStore::ReaderGuard {
+ public:
+  ReaderGuard(DStore& store, const Key& name) : store_(store), name_(name) {
+    for (;;) {
+      store_.read_counts_.inc(name_);
+      if (!store_.engine_->has_inflight_write(name_)) return;
+      store_.read_counts_.dec(name_);
+      store_.engine_->wait_no_inflight_write(name_);
+    }
+  }
+  ~ReaderGuard() { store_.read_counts_.dec(name_); }
+  ReaderGuard(const ReaderGuard&) = delete;
+  ReaderGuard& operator=(const ReaderGuard&) = delete;
+
+ private:
+  DStore& store_;
+  Key name_;
+};
+
+// ---------------------------------------------------------------------------
+// Key-value API
+// ---------------------------------------------------------------------------
+
+namespace {
+int64_t allowed_inflight(const ds_ctx_t* ctx, const Key& name) {
+  // A writer holding an olock on the object tolerates its own NOOP record.
+  if (ctx == nullptr) return 0;
+  return ctx->held_locks.count(name.str()) != 0 ? 1 : 0;
+}
+}  // namespace
+
+Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, size_t size) {
+  if (!Key::fits(name)) return Status::invalid_argument("name too long");
+  if (size > 0 && value == nullptr) return Status::invalid_argument("null value");
+  Key k = Key::from(name);
+  int64_t allowed = allowed_inflight(ctx, k);
+  View v = view_of(engine_->space());
+
+  dipper::Engine::RecordHandle h;
+  PutPlan plan;
+  uint64_t op_start = now_ns();
+  uint64_t log_ns = 0;
+  uint64_t meta_ns = 0;
+  for (;;) {
+    // Write-write CC (§4.4): conflicting writers serialize on the log's
+    // in-flight state before entering the synchronous region. Readers are
+    // pre-drained here too so the in-region residual wait is ~zero.
+    engine_->wait_inflight_at_most(k, allowed);
+    read_counts_.wait_until_unread(k);
+    pipeline_mu_.lock();
+    if (engine_->inflight_count(k) > allowed) {
+      pipeline_mu_.unlock();
+      continue;
+    }
+    // Capacity checks BEFORE the log append: an appended record must never
+    // fail, so replay sees only executable operations.
+    uint64_t old_blocks = 0;
+    {
+      SharedLockGuard g(btree_mu_);
+      auto found = v.btree.find(k);
+      if (found.has_value()) {
+        old_blocks = v.zone.entry(*found)->nblocks;
+      } else if (v.meta_pool.free_count() == 0) {
+        pipeline_mu_.unlock();
+        return Status::out_of_space("metadata pool exhausted");
+      }
+    }
+    if (v.block_pool.free_count() + old_blocks < blocks_needed(size)) {
+      pipeline_mu_.unlock();
+      return Status::out_of_space("block pool exhausted");
+    }
+    // Step 2a: reserve the log record — this fixes its conflict-order
+    // position; the in-flight marker becomes visible here. The record's
+    // PMEM write happens outside the synchronous region (step 2b below).
+    auto hr = engine_->reserve(k);
+    if (!hr.is_ok()) {
+      pipeline_mu_.unlock();
+      return hr.status();
+    }
+    h = hr.value();
+    // Read-write CC (§4.4): residual poll of the read count. New readers
+    // see our in-flight record and retreat; the pre-drain above already
+    // cleared existing ones, so this is almost always zero iterations.
+    read_counts_.wait_until_unread(k);
+    // Steps 3-4.
+    uint64_t t = now_ns();
+    Status s = put_phase1(v, k, size, &btree_mu_, &plan);
+    meta_ns += now_ns() - t;
+    if (!s.is_ok()) {
+      pipeline_mu_.unlock();
+      return s;  // unreachable given the capacity checks; fail loudly
+    }
+    break;
+  }
+  Status s;
+  if (cfg_.observational_equivalence) {
+    // Step 5, then 2b (record write+flush) and 6-7 outside the region.
+    pipeline_mu_.unlock();
+    uint64_t t = now_ns();
+    engine_->write_reserved(h, OpType::kPut, size, 0, value, size);
+    log_ns += now_ns() - t;
+    s = put_phase2(v, k, size, plan, &btree_mu_, &stage_stats_);
+  } else {
+    // Fig 9 ablation (no OE): steps 6-7 stay inside the synchronous region.
+    s = put_phase2(v, k, size, plan, &btree_mu_, &stage_stats_);
+    pipeline_mu_.unlock();
+    uint64_t t = now_ns();
+    engine_->write_reserved(h, OpType::kPut, size, 0, value, size);
+    log_ns += now_ns() - t;
+  }
+  DSTORE_RETURN_IF_ERROR(s);
+  // Step 8: data to SSD (device-cache durable).
+  uint64_t t = now_ns();
+  DSTORE_RETURN_IF_ERROR(write_data(plan.blocks, value, size));
+  uint64_t t2 = now_ns();
+  stage_stats_.data_ns.fetch_add(t2 - t, std::memory_order_relaxed);
+  // Step 9: commit — the op is durable from here on.
+  engine_->commit(h);
+  log_ns += now_ns() - t2;
+  stage_stats_.log_ns.fetch_add(log_ns, std::memory_order_relaxed);
+  stage_stats_.meta_ns.fetch_add(meta_ns, std::memory_order_relaxed);
+  stage_stats_.total_ns.fetch_add(now_ns() - op_start, std::memory_order_relaxed);
+  stage_stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+Result<size_t> DStore::oget(ds_ctx_t* /*ctx*/, std::string_view name, void* buf,
+                            size_t buf_cap) {
+  if (!Key::fits(name)) return Status::invalid_argument("name too long");
+  Key k = Key::from(name);
+  ReaderGuard guard(*this, k);
+  View v = view_of(engine_->space());
+  std::optional<uint64_t> found;
+  {
+    SharedLockGuard g(btree_mu_);
+    found = v.btree.find(k);
+  }
+  if (!found.has_value()) return Status::not_found(k.str());
+  const MetaEntry* e = v.zone.entry(*found);
+  size_t value_size = e->size;
+  size_t out_len = 0;
+  DSTORE_RETURN_IF_ERROR(
+      read_data_range(v, *found, buf, std::min(buf_cap, value_size), 0, &out_len));
+  return value_size;
+}
+
+Status DStore::odelete(ds_ctx_t* ctx, std::string_view name) {
+  if (!Key::fits(name)) return Status::invalid_argument("name too long");
+  Key k = Key::from(name);
+  int64_t allowed = allowed_inflight(ctx, k);
+  View v = view_of(engine_->space());
+
+  dipper::Engine::RecordHandle h;
+  DeletePlan plan;
+  for (;;) {
+    engine_->wait_inflight_at_most(k, allowed);
+    read_counts_.wait_until_unread(k);
+    pipeline_mu_.lock();
+    if (engine_->inflight_count(k) > allowed) {
+      pipeline_mu_.unlock();
+      continue;
+    }
+    {
+      SharedLockGuard g(btree_mu_);
+      if (!v.btree.find(k).has_value()) {
+        pipeline_mu_.unlock();
+        return Status::not_found(k.str());
+      }
+    }
+    auto hr = engine_->reserve(k);
+    if (!hr.is_ok()) {
+      pipeline_mu_.unlock();
+      return hr.status();
+    }
+    h = hr.value();
+    read_counts_.wait_until_unread(k);
+    Status s = delete_phase1(v, k, &btree_mu_, &plan);
+    if (!s.is_ok()) {
+      pipeline_mu_.unlock();
+      return s;
+    }
+    break;
+  }
+  Status s;
+  if (cfg_.observational_equivalence) {
+    pipeline_mu_.unlock();
+    engine_->write_reserved(h, OpType::kDelete, 0, 0);
+    s = delete_phase2(v, plan, &btree_mu_);
+  } else {
+    s = delete_phase2(v, plan, &btree_mu_);
+    pipeline_mu_.unlock();
+    engine_->write_reserved(h, OpType::kDelete, 0, 0);
+  }
+  DSTORE_RETURN_IF_ERROR(s);
+  engine_->commit(h);
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem API
+// ---------------------------------------------------------------------------
+
+Result<Object*> DStore::oopen(ds_ctx_t* ctx, std::string_view name, size_t /*size_hint*/,
+                              uint32_t mode) {
+  if (!Key::fits(name)) return Status::invalid_argument("name too long");
+  if ((mode & (kRead | kWrite)) == 0) return Status::invalid_argument("bad open mode");
+  if ((mode & kCreate) != 0 && (mode & kWrite) == 0) {
+    return Status::invalid_argument("kCreate requires kWrite");
+  }
+  Key k = Key::from(name);
+  View v = view_of(engine_->space());
+
+  bool exists;
+  {
+    SharedLockGuard g(btree_mu_);
+    exists = v.btree.find(k).has_value();
+  }
+  if (!exists) {
+    if ((mode & kCreate) == 0) return Status::not_found(k.str());
+    // Create path: a logged metadata operation (§4.3: "log records for
+    // oopen ... are only written if they modify any metadata").
+    int64_t allowed = allowed_inflight(ctx, k);
+    for (;;) {
+      engine_->wait_inflight_at_most(k, allowed);
+      pipeline_mu_.lock();
+      if (engine_->inflight_count(k) > allowed) {
+        pipeline_mu_.unlock();
+        continue;
+      }
+      {
+        SharedLockGuard g(btree_mu_);
+        exists = v.btree.find(k).has_value();
+      }
+      if (exists) {
+        pipeline_mu_.unlock();
+        break;  // someone else created it; open it
+      }
+      if (v.meta_pool.free_count() == 0) {
+        pipeline_mu_.unlock();
+        return Status::out_of_space("metadata pool exhausted");
+      }
+      auto hr = engine_->reserve(k);
+      if (!hr.is_ok()) {
+        pipeline_mu_.unlock();
+        return hr.status();
+      }
+      read_counts_.wait_until_unread(k);
+      // Pool allocation is phase-1 work; the zone/btree updates are
+      // phase-2 but cheap enough to fold here (create has no data phase).
+      Status s;
+      if (cfg_.observational_equivalence) {
+        auto idx = v.meta_pool.alloc();
+        pipeline_mu_.unlock();
+        engine_->write_reserved(hr.value(), OpType::kCreate, 0, 0);
+        if (!idx.has_value()) return Status::out_of_space("metadata pool exhausted");
+        s = v.zone.init_entry(*idx, k);
+        if (s.is_ok()) {
+          v.zone.entry(*idx)->size = 0;
+          LockGuard<SharedSpinLock> g(btree_mu_);
+          s = v.btree.insert(k, *idx);
+        }
+      } else {
+        uint64_t meta_idx = 0;
+        s = create_phase1(v, &meta_idx);
+        if (s.is_ok()) s = create_phase2(v, k, meta_idx, &btree_mu_);
+        pipeline_mu_.unlock();
+        engine_->write_reserved(hr.value(), OpType::kCreate, 0, 0);
+      }
+      DSTORE_RETURN_IF_ERROR(s);
+      engine_->commit(hr.value());
+      break;
+    }
+  }
+  auto* obj = new Object{this, k, mode};
+  open_objects_.fetch_add(1, std::memory_order_relaxed);
+  return obj;
+}
+
+void DStore::oclose(Object* object) {
+  if (object == nullptr) return;
+  open_objects_.fetch_sub(1, std::memory_order_relaxed);
+  delete object;
+}
+
+Result<size_t> DStore::oread(Object* object, void* buf, size_t size, uint64_t offset) {
+  if (object == nullptr || (object->mode & kRead) == 0) {
+    return Status::invalid_argument("object not open for reading");
+  }
+  ReaderGuard guard(*this, object->name);
+  View v = view_of(engine_->space());
+  std::optional<uint64_t> found;
+  {
+    SharedLockGuard g(btree_mu_);
+    found = v.btree.find(object->name);
+  }
+  if (!found.has_value()) return Status::not_found(object->name.str());
+  size_t out_len = 0;
+  DSTORE_RETURN_IF_ERROR(read_data_range(v, *found, buf, size, offset, &out_len));
+  return out_len;
+}
+
+Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint64_t offset) {
+  if (object == nullptr || (object->mode & kWrite) == 0) {
+    return Status::invalid_argument("object not open for writing");
+  }
+  if (size == 0) return (size_t)0;
+  Key k = object->name;
+  View v = view_of(engine_->space());
+  int64_t allowed = 0;
+
+  for (;;) {
+    engine_->wait_inflight_at_most(k, allowed);
+    pipeline_mu_.lock();
+    if (engine_->inflight_count(k) > allowed) {
+      pipeline_mu_.unlock();
+      continue;
+    }
+    std::optional<uint64_t> found;
+    {
+      SharedLockGuard g(btree_mu_);
+      found = v.btree.find(k);
+    }
+    if (!found.has_value()) {
+      pipeline_mu_.unlock();
+      return Status::not_found(k.str());
+    }
+    MetaEntry* e = v.zone.entry(*found);
+    uint64_t new_size = std::max<uint64_t>(e->size, offset + size);
+    if (new_size > e->size) {
+      // Metadata changes: logged operation (§4.3).
+      uint64_t need = blocks_needed(new_size);
+      if (need > e->nblocks &&
+          v.block_pool.free_count() < need - e->nblocks) {
+        pipeline_mu_.unlock();
+        return Status::out_of_space("block pool exhausted");
+      }
+      auto hr = engine_->reserve(k);
+      if (!hr.is_ok()) {
+        pipeline_mu_.unlock();
+        return hr.status();
+      }
+      read_counts_.wait_until_unread(k);
+      ExtendPlan plan;
+      Status s = extend_phase1(v, k, new_size, &btree_mu_, &plan);
+      if (!s.is_ok()) {
+        pipeline_mu_.unlock();
+        return s;
+      }
+      if (cfg_.observational_equivalence) {
+        pipeline_mu_.unlock();
+        engine_->write_reserved(hr.value(), OpType::kWrite, new_size, offset, buf, size);
+        s = extend_phase2(v, k, new_size, plan, &btree_mu_);
+      } else {
+        s = extend_phase2(v, k, new_size, plan, &btree_mu_);
+        pipeline_mu_.unlock();
+        engine_->write_reserved(hr.value(), OpType::kWrite, new_size, offset, buf, size);
+      }
+      DSTORE_RETURN_IF_ERROR(s);
+      DSTORE_RETURN_IF_ERROR(write_data_range(v, *found, buf, size, offset));
+      engine_->commit(hr.value());
+      return size;
+    }
+    // Pure data overwrite: no metadata change, no log record — but still
+    // visible to CC so readers and conflicting writers serialize.
+    engine_->register_external_write(k);
+    read_counts_.wait_until_unread(k);
+    pipeline_mu_.unlock();
+    Status s = write_data_range(v, *found, buf, size, offset);
+    engine_->unregister_external_write(k);
+    DSTORE_RETURN_IF_ERROR(s);
+    return size;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// olock / ounlock (§4.5)
+// ---------------------------------------------------------------------------
+
+Status DStore::olock(ds_ctx_t* ctx, std::string_view name) {
+  if (ctx == nullptr) return Status::invalid_argument("null context");
+  if (!Key::fits(name)) return Status::invalid_argument("name too long");
+  Key k = Key::from(name);
+  std::string ks = k.str();
+  if (ctx->held_locks.count(ks) != 0) return Status::busy("lock already held by this context");
+  for (;;) {
+    engine_->wait_no_inflight_write(k);
+    auto h = engine_->lock_object(k);
+    if (h.is_ok()) {
+      ctx->held_locks.insert(ks);
+      return Status::ok();
+    }
+    if (h.status().code() != Code::kBusy) return h.status();
+    std::this_thread::yield();
+  }
+}
+
+Status DStore::ounlock(ds_ctx_t* ctx, std::string_view name) {
+  if (ctx == nullptr) return Status::invalid_argument("null context");
+  Key k = Key::from(name);
+  std::string ks = k.str();
+  auto it = ctx->held_locks.find(ks);
+  if (it == ctx->held_locks.end()) return Status::not_found("lock not held by this context");
+  ctx->held_locks.erase(it);
+  engine_->unlock_object({}, k);
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+Result<uint64_t> DStore::object_size(std::string_view name) {
+  if (!Key::fits(name)) return Status::invalid_argument("name too long");
+  Key k = Key::from(name);
+  View v = view_of(engine_->space());
+  std::optional<uint64_t> found;
+  {
+    SharedLockGuard g(btree_mu_);
+    found = v.btree.find(k);
+  }
+  if (!found.has_value()) return Status::not_found(k.str());
+  return (uint64_t)v.zone.entry(*found)->size;
+}
+
+void DStore::list(const std::function<bool(std::string_view, uint64_t)>& fn) {
+  View v = view_of(engine_->space());
+  SharedLockGuard g(btree_mu_);
+  v.btree.for_each([&](const Key& key, uint64_t idx) {
+    const MetaEntry* e = v.zone.entry(idx);
+    return fn(key.view(), e != nullptr ? e->size : 0);
+  });
+}
+
+uint64_t DStore::object_count() {
+  View v = view_of(engine_->space());
+  SharedLockGuard g(btree_mu_);
+  return v.btree.size();
+}
+
+DStore::SpaceUsage DStore::space_usage() {
+  View v = view_of(engine_->space());
+  SpaceUsage u{};
+  u.dram_bytes = engine_->space().used_bytes();
+  u.pmem_bytes = engine_->pmem_used_bytes();
+  uint64_t blocks_in_use = cfg_.num_blocks - v.block_pool.free_count();
+  u.ssd_bytes = blocks_in_use * block_size();
+  return u;
+}
+
+Status DStore::validate() {
+  View v = view_of(engine_->space());
+  LockGuard<SharedSpinLock> g(btree_mu_);
+  DSTORE_RETURN_IF_ERROR(v.btree.validate());
+  uint64_t visited = 0;
+  uint64_t blocks_in_entries = 0;
+  Status problem;
+  v.btree.for_each([&](const Key& key, uint64_t idx) {
+    const MetaEntry* e = v.zone.entry(idx);
+    if (e == nullptr || !e->in_use) {
+      problem = Status::corruption("btree value points at unused metadata entry");
+      return false;
+    }
+    if (!(e->name == key)) {
+      problem = Status::corruption("metadata entry name mismatch");
+      return false;
+    }
+    if (blocks_needed(e->size) != e->nblocks) {
+      problem = Status::corruption("entry size/block-count mismatch");
+      return false;
+    }
+    visited++;
+    blocks_in_entries += e->nblocks;
+    return true;
+  });
+  DSTORE_RETURN_IF_ERROR(problem);
+  if (visited != v.btree.size()) return Status::corruption("btree size mismatch");
+  if (v.meta_pool.free_count() + visited != cfg_.max_objects) {
+    return Status::corruption("metadata pool accounting mismatch");
+  }
+  if (v.block_pool.free_count() + blocks_in_entries != cfg_.num_blocks) {
+    return Status::corruption("block pool accounting mismatch");
+  }
+  return Status::ok();
+}
+
+}  // namespace dstore

@@ -1,0 +1,259 @@
+// DStore (§4): a fast, tailless, quiescent-free object store whose control
+// plane is DIPPER and whose data plane is an SSD block device.
+//
+// Layout (§4.2, Figure 4):
+//   * DRAM:  btree object index, metadata zone, block pool, metadata pool —
+//            the volatile system space, one slab-allocated arena;
+//   * PMEM:  the operation log + shadow copies of all of the above
+//            (managed by the DIPPER engine);
+//   * SSD:   object data, in fixed-size blocks allocated from the block
+//            pool; writes land in the device's capacitor-protected cache.
+//
+// API (§4.1, Table 2): both key-value (oget/oput/odelete) and filesystem
+// (oopen/oclose/oread/owrite) styles over the same objects, plus
+// olock/ounlock for inter-object dependencies and ds_init/ds_finalize
+// thread contexts.
+//
+// Write pipeline (§4.3, Figure 4):
+//   1 lock the block and metadata pools       ┐ synchronous region,
+//   2 allocate and write the log record       │ <300ns of real work —
+//   3 allocate blocks from the block pool     │ everything that must be
+//   4 allocate pages from the metadata pool   │ ordered identically on
+//   5 unlock the pools                        ┘ replay
+//   6 write metadata in the metadata zone     ┐ parallel across requests
+//   7 write the btree record                  ┘ (observational equivalence)
+//   8 write data to SSD
+//   9 commit and flush the log record  → op is durable
+//
+// Replay (checkpoint/recovery) runs steps 2-4, 6-7 from the log with the
+// SAME functions, against a shadow space. Determinism of the circular
+// pools guarantees replay allocates the identical SSD blocks, which is why
+// block lists never appear in the 32-byte log records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "dipper/engine.h"
+#include "ds/btree.h"
+#include "ds/circular_pool.h"
+#include "ds/key.h"
+#include "ds/metadata_zone.h"
+#include "ds/readcount_table.h"
+#include "pmem/pool.h"
+#include "ssd/block_device.h"
+
+namespace dstore {
+
+struct DStoreConfig {
+  uint64_t max_objects = 1 << 14;  // metadata pool / zone capacity
+  uint64_t num_blocks = 1 << 14;   // SSD blocks managed by the block pool
+  dipper::EngineConfig engine;
+  // Observational-equivalence concurrency (§3.7/§4.3). When disabled
+  // (Fig 9 ablation), the synchronous region extends over the metadata and
+  // btree updates, serializing steps 6-7 under the pipeline lock.
+  bool observational_equivalence = true;
+  // OE-parallel checkpoint replay (§3.5): pipeline pool allocations and
+  // metadata/btree updates across two lanes for large record batches.
+  bool parallel_replay = true;
+
+  // A volatile arena comfortably sized for `objects` objects.
+  static size_t suggested_arena_bytes(uint64_t objects);
+};
+
+// Per-thread IO context (ds_init/ds_finalize, Table 2).
+struct ds_ctx_t {
+  uint64_t id = 0;
+  // Object locks held via olock() (a writer tolerates its own lock record).
+  std::set<std::string> held_locks;
+};
+
+// Open-object handle for the filesystem-style API.
+struct Object;
+
+// Open mode flags (op_t in Table 2).
+enum OpenMode : uint32_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kCreate = 1u << 2,  // create if absent (requires kWrite)
+};
+
+class DStore final : public dipper::SpaceClient {
+ public:
+  // Format a fresh store onto `pool` + `device`.
+  static Result<std::unique_ptr<DStore>> create(pmem::Pool* pool, ssd::BlockDevice* device,
+                                                DStoreConfig cfg);
+  // Recover an existing store after a crash or restart (§3.6).
+  static Result<std::unique_ptr<DStore>> recover(pmem::Pool* pool, ssd::BlockDevice* device,
+                                                 DStoreConfig cfg);
+  ~DStore() override;
+
+  // ---- environment --------------------------------------------------------
+  ds_ctx_t* ds_init();
+  void ds_finalize(ds_ctx_t* ctx);
+
+  // ---- key-value API ------------------------------------------------------
+  // Store `size` bytes under `name` (insert or overwrite).
+  Status oput(ds_ctx_t* ctx, std::string_view name, const void* value, size_t size);
+  // Fetch the value; copies min(buf_cap, value_size) bytes and returns the
+  // full value size.
+  Result<size_t> oget(ds_ctx_t* ctx, std::string_view name, void* buf, size_t buf_cap);
+  Status odelete(ds_ctx_t* ctx, std::string_view name);
+
+  // ---- filesystem API -----------------------------------------------------
+  Result<Object*> oopen(ds_ctx_t* ctx, std::string_view name, size_t size_hint, uint32_t mode);
+  void oclose(Object* object);
+  Result<size_t> oread(Object* object, void* buf, size_t size, uint64_t offset);
+  Result<size_t> owrite(Object* object, const void* buf, size_t size, uint64_t offset);
+
+  // ---- concurrency control ------------------------------------------------
+  Status olock(ds_ctx_t* ctx, std::string_view name);
+  Status ounlock(ds_ctx_t* ctx, std::string_view name);
+
+  // ---- introspection ------------------------------------------------------
+  Result<uint64_t> object_size(std::string_view name);
+  uint64_t object_count();
+  // Visit every object in name order. Return false from `fn` to stop.
+  // Holds the index shared lock for the duration; writers wait.
+  void list(const std::function<bool(std::string_view name, uint64_t size)>& fn);
+
+  struct SpaceUsage {
+    uint64_t dram_bytes;  // volatile system space in use
+    uint64_t pmem_bytes;  // root + logs + shadow copies in use
+    uint64_t ssd_bytes;   // data blocks in use
+  };
+  SpaceUsage space_usage();
+
+  dipper::Engine& engine() { return *engine_; }
+  Status checkpoint_now() { return engine_->checkpoint_now(); }
+
+  // Per-stage write-pipeline timings (Table 3: NVMe write / btree /
+  // metadata / log flush). Accumulated across all oput calls.
+  struct StageStats {
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> log_ns{0};    // step 2 + step 9 (record + commit flush)
+    std::atomic<uint64_t> meta_ns{0};   // steps 3-4, 6 (pools + metadata zone)
+    std::atomic<uint64_t> btree_ns{0};  // step 7
+    std::atomic<uint64_t> data_ns{0};   // step 8 (NVMe write)
+    std::atomic<uint64_t> total_ns{0};
+  };
+  const StageStats& stage_stats() const { return stage_stats_; }
+
+  // Deep structural cross-check for tests: btree/zone/pool agreement.
+  Status validate();
+
+  // ---- SpaceClient (DIPPER hooks) -----------------------------------------
+  Status format(SlabAllocator& space) override;
+  Status replay(SlabAllocator& space, std::span<const dipper::LogRecordView> records) override;
+
+ private:
+  DStore(pmem::Pool* pool, ssd::BlockDevice* device, DStoreConfig cfg);
+
+  // The four control-plane structures, bound to one space. Constructed on
+  // demand for the volatile space or a shadow space — the "same code on
+  // both structures" mechanism.
+  struct StoreRoot {
+    offset_t btree;
+    offset_t meta_zone;
+    offset_t block_pool;
+    offset_t meta_pool;
+  };
+  struct View {
+    SlabAllocator* sp;
+    BTree btree;
+    MetadataZone zone;
+    CircularPool block_pool;
+    CircularPool meta_pool;
+  };
+  View view_of(SlabAllocator& space);
+
+  size_t block_size() const { return device_->config().block_size(); }
+  uint64_t blocks_needed(uint64_t bytes) const {
+    return (bytes + block_size() - 1) / block_size();
+  }
+
+  // Metadata phases shared by the frontend and replay. `btree_mu` is the
+  // readers-writer lock guarding the space's btree: the frontend passes the
+  // volatile tree's lock, sequential replay passes nullptr (it owns the
+  // space), and OE-parallel replay passes a lock shared by its two lanes.
+  struct PutPlan {
+    bool existed = false;
+    uint64_t meta_idx = 0;
+    std::vector<uint64_t> blocks;  // blocks backing the (new) value
+  };
+  // Steps 3-4 (+ old-block frees). Caller holds the pipeline lock for the
+  // frontend; capacity must have been checked.
+  Status put_phase1(View& v, const Key& name, uint64_t size, SharedSpinLock* btree_mu,
+                    PutPlan* plan);
+  // Steps 6-7. `stats` (optional, frontend only) splits zone vs btree time.
+  Status put_phase2(View& v, const Key& name, uint64_t size, const PutPlan& plan,
+                    SharedSpinLock* btree_mu, StageStats* stats = nullptr);
+
+  struct DeletePlan {
+    uint64_t meta_idx = 0;
+  };
+  Status delete_phase1(View& v, const Key& name, SharedSpinLock* btree_mu,
+                       DeletePlan* plan);
+  Status delete_phase2(View& v, const DeletePlan& plan, SharedSpinLock* btree_mu);
+
+  Status create_phase1(View& v, uint64_t* meta_idx);
+  Status create_phase2(View& v, const Key& name, uint64_t meta_idx, SharedSpinLock* btree_mu);
+
+  struct ExtendPlan {
+    uint64_t meta_idx = 0;
+    std::vector<uint64_t> new_blocks;
+  };
+  Status extend_phase1(View& v, const Key& name, uint64_t new_size, SharedSpinLock* btree_mu,
+                       ExtendPlan* plan);
+  Status extend_phase2(View& v, const Key& name, uint64_t new_size, const ExtendPlan& plan,
+                       SharedSpinLock* btree_mu);
+
+  // OE-parallel checkpoint replay (§3.5 "dedicated checkpoint thread
+  // pool", §3.7): lane 1 (the calling thread) performs each record's pool
+  // allocations in strict log order; lane 2 applies the metadata-zone and
+  // btree updates, pipelined behind lane 1. Conflicting records are
+  // ordered through a pending-name table.
+  Status replay_parallel(View& v, std::span<const dipper::LogRecordView> records);
+
+  // Reader-side CC (§4.4 + the symmetric check; see readcount_table.h).
+  class ReaderGuard;
+
+  Status write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size);
+  Status write_data_range(View& v, uint64_t meta_idx, const void* data, size_t size,
+                          uint64_t offset);
+  Status read_data_range(View& v, uint64_t meta_idx, void* buf, size_t size, uint64_t offset,
+                         size_t* out_len);
+
+  pmem::Pool* pool_;
+  ssd::BlockDevice* device_;
+  DStoreConfig cfg_;
+  std::unique_ptr<dipper::Engine> engine_;
+
+  SpinLock pipeline_mu_;      // §4.3 step 1/5: pools + log-append order
+  SpinLock arena_mu_;         // volatile slab allocator (attached via set_lock)
+  SharedSpinLock btree_mu_;   // volatile btree
+  ReadCountTable read_counts_;
+
+  std::atomic<uint64_t> next_ctx_id_{1};
+  std::atomic<int64_t> live_ctxs_{0};
+  std::atomic<int64_t> open_objects_{0};
+  StageStats stage_stats_;
+};
+
+// Open-object handle (stateful filesystem API). Obtained from oopen(),
+// released with oclose().
+struct Object {
+  DStore* store = nullptr;
+  Key name;
+  uint32_t mode = 0;
+};
+
+}  // namespace dstore

@@ -1,0 +1,182 @@
+#include "dstore/dstore_c.h"
+
+#include <filesystem>
+#include <memory>
+
+#include "dstore/dstore.h"
+
+// Opaque wrapper types (global-scope, C linkage side).
+struct dstore_t {
+  dstore::DStoreConfig cfg;
+  std::unique_ptr<dstore::pmem::Pool> pool;
+  std::unique_ptr<dstore::ssd::BlockDevice> device;
+  std::unique_ptr<dstore::DStore> store;
+};
+
+struct ds_ctx {
+  dstore_t* owner;
+  dstore::ds_ctx_t* ctx;
+};
+
+struct ds_obj {
+  dstore_t* owner;
+  dstore::Object* obj;
+};
+
+namespace {
+
+int to_errno(const dstore::Status& s) {
+  switch (s.code()) {
+    case dstore::Code::kOk: return DS_OK;
+    case dstore::Code::kNotFound: return DS_ENOTFOUND;
+    case dstore::Code::kAlreadyExists: return DS_EEXIST;
+    case dstore::Code::kOutOfSpace: return DS_ENOSPC;
+    case dstore::Code::kInvalidArgument: return DS_EINVAL;
+    case dstore::Code::kCorruption: return DS_ECORRUPT;
+    case dstore::Code::kBusy: return DS_EBUSY;
+    case dstore::Code::kIoError: return DS_EIO;
+    case dstore::Code::kUnsupported: return DS_ENOTSUP;
+    case dstore::Code::kInternal: return DS_EINTERNAL;
+  }
+  return DS_EINTERNAL;
+}
+
+dstore::DStoreConfig config_from(const dstore_options* o) {
+  dstore::DStoreConfig cfg;
+  cfg.max_objects = (o != nullptr && o->max_objects != 0) ? o->max_objects : (1 << 14);
+  cfg.num_blocks = (o != nullptr && o->num_blocks != 0) ? o->num_blocks : (1 << 16);
+  cfg.engine.log_slots = (o != nullptr && o->log_slots != 0) ? o->log_slots : 8192;
+  cfg.engine.arena_bytes = dstore::DStoreConfig::suggested_arena_bytes(cfg.max_objects);
+  cfg.engine.background_checkpointing =
+      o != nullptr && o->background_checkpointing != 0;
+  return cfg;
+}
+
+}  // namespace
+
+extern "C" {
+
+dstore_t* dstore_open(const dstore_options* options, int create) {
+  auto s = std::make_unique<dstore_t>();
+  s->cfg = config_from(options);
+  size_t pool_bytes = dstore::dipper::Engine::required_pool_bytes(s->cfg.engine);
+  const char* dir = options != nullptr ? options->backing_dir : nullptr;
+  if (dir != nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    auto pool = dstore::pmem::Pool::open_file(std::string(dir) + "/pmem.img", pool_bytes,
+                                              dstore::LatencyModel::none(), create != 0);
+    if (!pool.is_ok()) return nullptr;
+    s->pool = std::move(pool).value();
+    dstore::ssd::DeviceConfig dc;
+    dc.num_blocks = s->cfg.num_blocks;
+    auto dev = dstore::ssd::FileBlockDevice::open(std::string(dir) + "/data.img", dc,
+                                                  create != 0);
+    if (!dev.is_ok()) return nullptr;
+    s->device = std::move(dev).value();
+  } else {
+    s->pool = std::make_unique<dstore::pmem::Pool>(pool_bytes,
+                                                   dstore::pmem::Pool::Mode::kDirect);
+    dstore::ssd::DeviceConfig dc;
+    dc.num_blocks = s->cfg.num_blocks;
+    s->device = std::make_unique<dstore::ssd::RamBlockDevice>(dc);
+  }
+  auto store = create != 0 ? dstore::DStore::create(s->pool.get(), s->device.get(), s->cfg)
+                           : dstore::DStore::recover(s->pool.get(), s->device.get(), s->cfg);
+  if (!store.is_ok()) return nullptr;
+  s->store = std::move(store).value();
+  return s.release();
+}
+
+void dstore_close(dstore_t* store) {
+  delete store;
+}
+
+ds_ctx_t* ds_init(dstore_t* store) {
+  if (store == nullptr) return nullptr;
+  auto* c = new ds_ctx;
+  c->owner = store;
+  c->ctx = store->store->ds_init();
+  return c;
+}
+
+void ds_finalize(ds_ctx_t* ctx) {
+  if (ctx == nullptr) return;
+  ctx->owner->store->ds_finalize(ctx->ctx);
+  delete ctx;
+}
+
+OBJECT* oopen(ds_ctx_t* ctx, const char* name, size_t size, uint32_t op) {
+  if (ctx == nullptr || name == nullptr) return nullptr;
+  uint32_t mode = 0;
+  if (op & DS_O_READ) mode |= dstore::kRead;
+  if (op & DS_O_WRITE) mode |= dstore::kWrite;
+  if (op & DS_O_CREATE) mode |= dstore::kCreate;
+  auto r = ctx->owner->store->oopen(ctx->ctx, name, size, mode);
+  if (!r.is_ok()) return nullptr;
+  auto* o = new ds_obj;
+  o->owner = ctx->owner;
+  o->obj = r.value();
+  return o;
+}
+
+void oclose(OBJECT* object) {
+  if (object == nullptr) return;
+  object->owner->store->oclose(object->obj);
+  delete object;
+}
+
+ssize_t oread(OBJECT* object, void* buf, size_t size, off_t offset) {
+  if (object == nullptr) return DS_EINVAL;
+  auto r = object->owner->store->oread(object->obj, buf, size, (uint64_t)offset);
+  if (!r.is_ok()) return to_errno(r.status());
+  return (ssize_t)r.value();
+}
+
+ssize_t owrite(OBJECT* object, const void* buf, size_t size, off_t offset) {
+  if (object == nullptr) return DS_EINVAL;
+  auto r = object->owner->store->owrite(object->obj, buf, size, (uint64_t)offset);
+  if (!r.is_ok()) return to_errno(r.status());
+  return (ssize_t)r.value();
+}
+
+ssize_t oget(ds_ctx_t* ctx, const char* key, void* value, size_t value_cap) {
+  if (ctx == nullptr || key == nullptr) return DS_EINVAL;
+  auto r = ctx->owner->store->oget(ctx->ctx, key, value, value_cap);
+  if (!r.is_ok()) return to_errno(r.status());
+  return (ssize_t)r.value();
+}
+
+ssize_t oput(ds_ctx_t* ctx, const char* key, const void* value, size_t size) {
+  if (ctx == nullptr || key == nullptr) return DS_EINVAL;
+  dstore::Status s = ctx->owner->store->oput(ctx->ctx, key, value, size);
+  if (!s.is_ok()) return to_errno(s);
+  return (ssize_t)size;
+}
+
+int odelete(ds_ctx_t* ctx, const char* name) {
+  if (ctx == nullptr || name == nullptr) return DS_EINVAL;
+  return to_errno(ctx->owner->store->odelete(ctx->ctx, name));
+}
+
+int olock(ds_ctx_t* ctx, const char* name) {
+  if (ctx == nullptr || name == nullptr) return DS_EINVAL;
+  return to_errno(ctx->owner->store->olock(ctx->ctx, name));
+}
+
+int ounlock(ds_ctx_t* ctx, const char* name) {
+  if (ctx == nullptr || name == nullptr) return DS_EINVAL;
+  return to_errno(ctx->owner->store->ounlock(ctx->ctx, name));
+}
+
+int dstore_checkpoint(dstore_t* store) {
+  if (store == nullptr) return DS_EINVAL;
+  return to_errno(store->store->checkpoint_now());
+}
+
+uint64_t dstore_object_count(dstore_t* store) {
+  if (store == nullptr) return 0;
+  return store->store->object_count();
+}
+
+}  // extern "C"

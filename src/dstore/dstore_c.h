@@ -1,0 +1,87 @@
+/* dstore_c.h — C bindings for DStore, matching Table 2 of the paper
+ * verbatim: ds_init/ds_finalize, oopen/oclose/oread/owrite, oget/oput/
+ * odelete, olock/ounlock.
+ *
+ * The store itself is created/recovered through dstore_open(), which owns
+ * the emulated PMEM pool and block device behind an opaque handle. All
+ * functions are thread-safe; each IO thread should use its own ds_ctx_t*.
+ *
+ * Error reporting: functions returning int use 0 for success and a
+ * negative dstore error code otherwise (see DS_E* below); oread/owrite/
+ * oget return a byte count >= 0 or a negative error code, mirroring
+ * POSIX-style ssize_t conventions.
+ */
+#ifndef DSTORE_DSTORE_C_H_
+#define DSTORE_DSTORE_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+#include <sys/types.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Error codes (negated dstore::Code values). */
+#define DS_OK 0
+#define DS_ENOTFOUND (-1)
+#define DS_EEXIST (-2)
+#define DS_ENOSPC (-3)
+#define DS_EINVAL (-4)
+#define DS_ECORRUPT (-5)
+#define DS_EBUSY (-6)
+#define DS_EIO (-7)
+#define DS_ENOTSUP (-8)
+#define DS_EINTERNAL (-9)
+
+typedef struct dstore_t dstore_t; /* the store (opaque) */
+typedef struct ds_ctx ds_ctx_t;   /* per-thread context (opaque) */
+typedef struct ds_obj OBJECT;     /* open-object handle (opaque) */
+
+/* Open-mode flags for oopen (op_t in Table 2). */
+#define DS_O_READ 0x1u
+#define DS_O_WRITE 0x2u
+#define DS_O_CREATE 0x4u
+
+typedef struct dstore_options {
+  uint64_t max_objects;   /* metadata capacity (default 16384 if 0) */
+  uint64_t num_blocks;    /* SSD blocks (default 65536 if 0) */
+  uint32_t log_slots;     /* DIPPER log capacity (default 8192 if 0) */
+  int background_checkpointing; /* nonzero = run the checkpoint thread */
+  const char* backing_dir; /* NULL = in-memory; else persistent files here */
+} dstore_options;
+
+/* Create (create=nonzero) or recover (create=0) a store. Returns NULL on
+ * failure. */
+dstore_t* dstore_open(const dstore_options* options, int create);
+void dstore_close(dstore_t* store);
+
+/* ---- environment (Table 2) ---- */
+ds_ctx_t* ds_init(dstore_t* store);
+void ds_finalize(ds_ctx_t* ctx);
+
+/* ---- filesystem style (Table 2) ---- */
+OBJECT* oopen(ds_ctx_t* ctx, const char* name, size_t size, uint32_t op);
+void oclose(OBJECT* object);
+ssize_t oread(OBJECT* object, void* buf, size_t size, off_t offset);
+ssize_t owrite(OBJECT* object, const void* buf, size_t size, off_t offset);
+
+/* ---- key-value style (Table 2) ---- */
+/* oget copies up to value_cap bytes and returns the full value size. */
+ssize_t oget(ds_ctx_t* ctx, const char* key, void* value, size_t value_cap);
+ssize_t oput(ds_ctx_t* ctx, const char* key, const void* value, size_t size);
+int odelete(ds_ctx_t* ctx, const char* name);
+
+/* ---- concurrency control (Table 2) ---- */
+int olock(ds_ctx_t* ctx, const char* name);
+int ounlock(ds_ctx_t* ctx, const char* name);
+
+/* ---- maintenance ---- */
+int dstore_checkpoint(dstore_t* store);
+uint64_t dstore_object_count(dstore_t* store);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* DSTORE_DSTORE_C_H_ */

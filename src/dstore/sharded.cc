@@ -1,0 +1,112 @@
+#include "dstore/sharded.h"
+
+namespace dstore {
+
+DStoreConfig ShardedStore::shard_config() const {
+  DStoreConfig cfg;
+  cfg.max_objects = cfg_.max_objects_per_shard;
+  cfg.num_blocks = cfg_.num_blocks_per_shard;
+  cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(cfg.max_objects);
+  cfg.engine.log_slots = cfg_.log_slots;
+  cfg.engine.background_checkpointing = cfg_.background_checkpointing;
+  return cfg;
+}
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::create(ShardedConfig cfg) {
+  if (cfg.num_shards <= 0) return Status::invalid_argument("num_shards must be positive");
+  auto s = std::unique_ptr<ShardedStore>(new ShardedStore(cfg));
+  DStoreConfig scfg = s->shard_config();
+  s->shards_.resize(cfg.num_shards);
+  for (int i = 0; i < cfg.num_shards; i++) {
+    Shard& sh = s->shards_[i];
+    sh.pool = std::make_unique<pmem::Pool>(dipper::Engine::required_pool_bytes(scfg.engine),
+                                           cfg.pool_mode, cfg.latency);
+    ssd::DeviceConfig dc;
+    dc.num_blocks = cfg.num_blocks_per_shard;
+    dc.latency = cfg.latency;
+    sh.device = std::make_unique<ssd::RamBlockDevice>(dc);
+    auto store = DStore::create(sh.pool.get(), sh.device.get(), scfg);
+    if (!store.is_ok()) return store.status();
+    sh.store = std::move(store).value();
+    sh.ctx = sh.store->ds_init();
+  }
+  return s;
+}
+
+ShardedStore::~ShardedStore() {
+  for (Shard& sh : shards_) {
+    if (sh.store && sh.ctx != nullptr) sh.store->ds_finalize(sh.ctx);
+  }
+}
+
+int ShardedStore::shard_of(std::string_view name) const {
+  return (int)(Key::from(name).hash() % (uint64_t)cfg_.num_shards);
+}
+
+Status ShardedStore::put(std::string_view name, const void* value, size_t size) {
+  Shard& sh = shards_[shard_of(name)];
+  return sh.store->oput(sh.ctx, name, value, size);
+}
+
+Result<size_t> ShardedStore::get(std::string_view name, void* buf, size_t cap) {
+  Shard& sh = shards_[shard_of(name)];
+  return sh.store->oget(sh.ctx, name, buf, cap);
+}
+
+Status ShardedStore::del(std::string_view name) {
+  Shard& sh = shards_[shard_of(name)];
+  return sh.store->odelete(sh.ctx, name);
+}
+
+Result<uint64_t> ShardedStore::object_size(std::string_view name) {
+  return shards_[shard_of(name)].store->object_size(name);
+}
+
+uint64_t ShardedStore::object_count() {
+  uint64_t total = 0;
+  for (Shard& sh : shards_) total += sh.store->object_count();
+  return total;
+}
+
+DStore::SpaceUsage ShardedStore::space_usage() {
+  DStore::SpaceUsage total{};
+  for (Shard& sh : shards_) {
+    auto u = sh.store->space_usage();
+    total.dram_bytes += u.dram_bytes;
+    total.pmem_bytes += u.pmem_bytes;
+    total.ssd_bytes += u.ssd_bytes;
+  }
+  return total;
+}
+
+Status ShardedStore::checkpoint_all() {
+  for (Shard& sh : shards_) DSTORE_RETURN_IF_ERROR(sh.store->checkpoint_now());
+  return Status::ok();
+}
+
+Status ShardedStore::validate_all() {
+  for (Shard& sh : shards_) DSTORE_RETURN_IF_ERROR(sh.store->validate());
+  return Status::ok();
+}
+
+Status ShardedStore::crash_and_recover_all() {
+  if (cfg_.pool_mode != pmem::Pool::Mode::kCrashSim) {
+    return Status::unsupported("crash simulation requires kCrashSim pools");
+  }
+  DStoreConfig scfg = shard_config();
+  for (Shard& sh : shards_) {
+    sh.store->ds_finalize(sh.ctx);
+    sh.ctx = nullptr;
+    sh.store->engine().stop_background();
+    sh.store.reset();
+    sh.pool->crash();
+    sh.device->crash();
+    auto store = DStore::recover(sh.pool.get(), sh.device.get(), scfg);
+    if (!store.is_ok()) return store.status();
+    sh.store = std::move(store).value();
+    sh.ctx = sh.store->ds_init();
+  }
+  return Status::ok();
+}
+
+}  // namespace dstore

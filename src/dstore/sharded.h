@@ -1,0 +1,72 @@
+// ShardedStore — the paper's future-work direction ("in the future, we
+// plan to extend our designs to build a disaggregated storage system", §7)
+// realized as a first step: N independent DStore shards, each with its own
+// PMEM checkpoint space, operation log, DIPPER engine (and checkpoint
+// thread), and SSD data plane. Objects are placed by name hash.
+//
+// Because every shard is an unmodified DStore, all per-shard guarantees
+// (commit=durable, quiescent-free checkpoints, idempotent recovery) carry
+// over; cross-shard operations are independent, which matches the paper's
+// commutativity argument — operations on distinct objects never conflict.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "dstore/dstore.h"
+
+namespace dstore {
+
+struct ShardedConfig {
+  int num_shards = 4;
+  // Per-shard sizing.
+  uint64_t max_objects_per_shard = 1 << 13;
+  uint64_t num_blocks_per_shard = 1 << 14;
+  uint32_t log_slots = 4096;
+  bool background_checkpointing = true;
+  // kCrashSim pools enable crash_and_recover() in tests.
+  pmem::Pool::Mode pool_mode = pmem::Pool::Mode::kDirect;
+  LatencyModel latency = LatencyModel::none();
+};
+
+class ShardedStore {
+ public:
+  static Result<std::unique_ptr<ShardedStore>> create(ShardedConfig cfg);
+  ~ShardedStore();
+
+  Status put(std::string_view name, const void* value, size_t size);
+  Result<size_t> get(std::string_view name, void* buf, size_t cap);
+  Status del(std::string_view name);
+  Result<uint64_t> object_size(std::string_view name);
+
+  uint64_t object_count();
+  DStore::SpaceUsage space_usage();
+  Status checkpoint_all();
+  Status validate_all();
+
+  // Power-fail every shard and recover them all (kCrashSim pools only).
+  Status crash_and_recover_all();
+
+  int num_shards() const { return cfg_.num_shards; }
+  DStore& shard(int i) { return *shards_[i].store; }
+  // Which shard owns `name` (exposed for tests and balance inspection).
+  int shard_of(std::string_view name) const;
+
+ private:
+  explicit ShardedStore(ShardedConfig cfg) : cfg_(cfg) {}
+
+  struct Shard {
+    std::unique_ptr<pmem::Pool> pool;
+    std::unique_ptr<ssd::RamBlockDevice> device;
+    std::unique_ptr<DStore> store;
+    ds_ctx_t* ctx = nullptr;
+  };
+
+  DStoreConfig shard_config() const;
+
+  ShardedConfig cfg_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace dstore

@@ -1,0 +1,141 @@
+// Emulated byte-addressable persistent memory pool.
+//
+// The paper's testbed used Intel Optane DCPMM mapped with a DAX filesystem.
+// This pool reproduces the *semantics* that DIPPER's correctness depends on:
+//
+//   * byte addressability — the region is ordinary mapped memory;
+//   * persistence at cache-line flush granularity — stores are volatile
+//     until the line is flushed (`clwb`/`clflushopt` emulation) and a store
+//     fence retires the flushes;
+//   * 8-byte atomicity — recovery code may rely on an aligned 8B store
+//     being all-or-nothing, and nothing wider;
+//   * spurious evictions — a written-but-unflushed line may become
+//     persistent at any time (the hardware may write back cache lines on
+//     its own), so flush *ordering* must never be inferred from store order.
+//
+// In `Mode::kCrashSim` the pool keeps a second buffer, the *persistent
+// image*: `flush()` stages lines, `fence()` copies staged lines into the
+// image, `evict_random_lines()` is the adversary that persists arbitrary
+// lines early, and `crash()` throws away everything that is not in the
+// image (power failure). Crash-consistency tests drive real workloads and
+// then crash at arbitrary points.
+//
+// In `Mode::kDirect` there is no image; flush/fence only inject latency and
+// account bandwidth, which is what the benchmarks use.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bandwidth.h"
+#include "common/status.h"
+#include "common/cacheline.h"
+#include "common/latency_model.h"
+#include "common/rng.h"
+#include "common/timeseries.h"
+
+namespace dstore::pmem {
+
+struct IoStats {
+  std::atomic<uint64_t> bytes_flushed{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> fences{0};
+};
+
+class Pool {
+ public:
+  enum class Mode {
+    kDirect,    // no crash simulation; latency/stat injection only
+    kCrashSim,  // full persistent-image tracking for crash tests
+  };
+
+  Pool(size_t size, Mode mode, LatencyModel lat = LatencyModel::none());
+  ~Pool();
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  // File-backed pool (the emulation analogue of a DAX-mapped PMEM file,
+  // §4.2): contents persist across process restarts. Always kDirect; crash
+  // simulation needs the in-memory image and uses the anonymous ctor.
+  static Result<std::unique_ptr<Pool>> open_file(const std::string& path, size_t size,
+                                                 LatencyModel lat, bool create);
+
+  char* base() { return region_; }
+  const char* base() const { return region_; }
+  size_t size() const { return size_; }
+  Mode mode() const { return mode_; }
+
+  // ---- persistence primitives -------------------------------------------
+  // Stage write-back of the cache lines covering [addr, addr+len). The data
+  // is NOT persistent until the next fence().
+  void flush(const void* addr, size_t len);
+
+  // Store fence: all lines staged by *this thread* become persistent.
+  void fence();
+
+  // flush + fence.
+  void persist(const void* addr, size_t len) {
+    flush(addr, len);
+    fence();
+  }
+
+  // Bulk persistence for large ranges (checkpoint durability pass). Charged
+  // with the bandwidth model rather than per-line flush cost, matching the
+  // batched write-back a real checkpoint achieves.
+  void persist_bulk(const void* addr, size_t len);
+
+  // Account a large read from PMEM (recovery copying pages to DRAM).
+  void charge_read(size_t len);
+
+  // ---- crash simulation (kCrashSim only) --------------------------------
+  // Adversary: persist up to `count` random lines that have been written
+  // but not flushed (hardware may evict cache lines at any time).
+  void evict_random_lines(Rng& rng, size_t count);
+
+  // Simulate power failure + restart: the region's contents revert to the
+  // persistent image. All staged flushes are discarded.
+  void crash();
+
+  // Test helper: true if [addr,addr+len) matches the persistent image.
+  bool is_persisted(const void* addr, size_t len) const;
+
+  // ---- instrumentation ---------------------------------------------------
+  const IoStats& stats() const { return stats_; }
+  // Optional bandwidth time-series (bytes flushed per bin) for Figure 7.
+  void set_bandwidth_series(TimeSeries* ts) { bw_series_ = ts; }
+  const LatencyModel& latency() const { return lat_; }
+
+ private:
+  struct Range {
+    uint64_t off;
+    uint64_t len;
+  };
+  // Per-thread staged flush state for one pool.
+  struct ThreadState {
+    std::vector<Range> ranges;
+    size_t lines = 0;
+  };
+  ThreadState& tls();
+
+  void apply_to_image(uint64_t off, uint64_t len);
+
+  Pool() = default;  // for open_file
+
+  char* region_ = nullptr;
+  int fd_ = -1;  // >= 0 when file-backed
+  std::unique_ptr<char[]> image_;  // kCrashSim only
+  size_t size_;
+  Mode mode_;
+  LatencyModel lat_;
+  IoStats stats_;
+  TimeSeries* bw_series_ = nullptr;
+  BandwidthChannel bw_channel_;  // serializes the bandwidth share of bulk ops
+  mutable std::mutex image_mu_;  // guards image_ in kCrashSim
+};
+
+}  // namespace dstore::pmem

@@ -1,0 +1,123 @@
+// Emulated NVMe block device — DStore's data plane (§4.2).
+//
+// DStore stores object data purely on SSD; pages are grouped into blocks,
+// the unit of data allocation. The paper's testbed used an Intel P4800X;
+// we emulate the properties DStore depends on:
+//
+//  * block-granular read/write with NVMe-like injected latency
+//    (~9 us for a 4 KB write, Table 3);
+//  * a device-internal DRAM write cache with enhanced power-loss data
+//    protection (§4.2/§4.5): an acknowledged write is durable because
+//    device capacitors flush the cache on power failure. DStore
+//    transparently leverages this, so with PLP enabled an acknowledged
+//    write survives `crash()`. With PLP disabled, un-flushed writes are
+//    lost on crash — used by tests to show why DStore requires the
+//    capacitor-backed cache (or an explicit device flush) for its
+//    commit-implies-durable invariant.
+//
+// Implementations: RamBlockDevice (memory-backed, crash-simulating,
+// used by tests and benches) and FileBlockDevice (file-backed, for the
+// examples that want real persistence across process restarts).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/bandwidth.h"
+#include "common/latency_model.h"
+#include "common/status.h"
+#include "common/timeseries.h"
+
+namespace dstore::ssd {
+
+struct DeviceStats {
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> write_ios{0};
+  std::atomic<uint64_t> read_ios{0};
+};
+
+struct DeviceConfig {
+  size_t page_size = 4096;       // hardware page (IO granularity)
+  size_t pages_per_block = 1;    // allocation unit = block
+  size_t num_blocks = 16384;
+  bool power_loss_protection = true;
+  LatencyModel latency = LatencyModel::none();
+
+  size_t block_size() const { return page_size * pages_per_block; }
+  size_t capacity() const { return block_size() * num_blocks; }
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Write [offset, offset+len) within `block`. Acknowledged once the data
+  // reaches the device write cache (durable iff PLP).
+  virtual Status write(uint64_t block, size_t offset, const void* data, size_t len) = 0;
+  virtual Status read(uint64_t block, size_t offset, void* out, size_t len) const = 0;
+
+  // Force the device cache to non-volatile media (no-op with PLP).
+  virtual Status flush_cache() = 0;
+
+  virtual const DeviceConfig& config() const = 0;
+  virtual const DeviceStats& stats() const = 0;
+
+  // Optional bandwidth time-series (bytes written per bin) for Figure 7.
+  virtual void set_bandwidth_series(TimeSeries* ts) = 0;
+};
+
+// Memory-backed device with crash simulation.
+class RamBlockDevice final : public BlockDevice {
+ public:
+  explicit RamBlockDevice(DeviceConfig cfg);
+
+  Status write(uint64_t block, size_t offset, const void* data, size_t len) override;
+  Status read(uint64_t block, size_t offset, void* out, size_t len) const override;
+  Status flush_cache() override;
+  const DeviceConfig& config() const override { return cfg_; }
+  const DeviceStats& stats() const override { return stats_; }
+  void set_bandwidth_series(TimeSeries* ts) override { bw_series_ = ts; }
+
+  // Simulate power failure: with PLP the capacitors flush the write cache
+  // (nothing is lost); without PLP, writes since the last flush_cache()
+  // revert to their previous contents.
+  void crash();
+
+ private:
+  DeviceConfig cfg_;
+  std::unique_ptr<char[]> media_;        // durable contents
+  std::unique_ptr<char[]> cache_view_;   // current contents incl. cached writes (!plp only)
+  mutable DeviceStats stats_;
+  TimeSeries* bw_series_ = nullptr;
+  mutable BandwidthChannel bw_channel_;  // shared media bandwidth queue
+  mutable std::mutex mu_;  // only guards the !PLP dual-buffer bookkeeping
+};
+
+// File-backed device (pread/pwrite on a regular file).
+class FileBlockDevice final : public BlockDevice {
+ public:
+  // Creates/truncates the file when `create` is true; otherwise opens it.
+  static Result<std::unique_ptr<FileBlockDevice>> open(const std::string& path, DeviceConfig cfg,
+                                                       bool create);
+  ~FileBlockDevice() override;
+
+  Status write(uint64_t block, size_t offset, const void* data, size_t len) override;
+  Status read(uint64_t block, size_t offset, void* out, size_t len) const override;
+  Status flush_cache() override;
+  const DeviceConfig& config() const override { return cfg_; }
+  const DeviceStats& stats() const override { return stats_; }
+  void set_bandwidth_series(TimeSeries* ts) override { bw_series_ = ts; }
+
+ private:
+  FileBlockDevice(int fd, DeviceConfig cfg) : fd_(fd), cfg_(cfg) {}
+  int fd_;
+  DeviceConfig cfg_;
+  mutable DeviceStats stats_;
+  TimeSeries* bw_series_ = nullptr;
+};
+
+}  // namespace dstore::ssd

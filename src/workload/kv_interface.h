@@ -1,0 +1,52 @@
+// Uniform key-value interface over every system in the evaluation, so the
+// YCSB harness and the per-figure benches can sweep systems identically
+// (DStore, DStore-CoW, the cached-LSM / cached-btree / uncached archetypes,
+// and the physical-logging ablation).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dstore::workload {
+
+struct SpaceBreakdown {
+  uint64_t dram_bytes = 0;
+  uint64_t pmem_bytes = 0;
+  uint64_t ssd_bytes = 0;
+  uint64_t total() const { return dram_bytes + pmem_bytes + ssd_bytes; }
+};
+
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  // Per-thread contexts (mirrors ds_init/ds_finalize).
+  virtual void* open_ctx() { return nullptr; }
+  virtual void close_ctx(void* /*ctx*/) {}
+
+  virtual Status put(void* ctx, std::string_view key, const void* value, size_t size) = 0;
+  virtual Result<size_t> get(void* ctx, std::string_view key, void* buf, size_t cap) = 0;
+  virtual Status del(void* ctx, std::string_view key) = 0;
+
+  virtual const char* name() const = 0;
+  virtual SpaceBreakdown space_usage() { return {}; }
+
+  // Settle background/maintenance state between the load and run phases
+  // (flush memtables, take a checkpoint) so measurements start from a
+  // comparable steady state.
+  virtual void prepare_run() {}
+
+  // Checkpoint / maintenance control for the Fig 1 on/off comparison.
+  virtual void set_checkpoints_enabled(bool /*enabled*/) {}
+  // Crash + recover in place; returns recovery phase timings (Table 4).
+  struct RecoveryTiming {
+    double metadata_ms = 0;  // rebuilding volatile/index state
+    double replay_ms = 0;    // replaying log records
+    double total_ms() const { return metadata_ms + replay_ms; }
+  };
+  virtual Result<RecoveryTiming> crash_and_recover() { return Status::unsupported(name()); }
+};
+
+}  // namespace dstore::workload

@@ -1,0 +1,156 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "ds/key.h"
+
+namespace dstore::workload {
+
+namespace {
+constexpr uint32_t kTraceMagic = 0x44535452;  // "DSTR"
+constexpr uint32_t kTraceVersion = 1;
+
+struct FileHeader {
+  uint32_t magic;
+  uint32_t version;
+};
+struct RecordHeader {
+  uint8_t op;
+  uint8_t pad;
+  uint16_t key_len;
+  uint32_t value_size;
+};
+std::mutex g_writer_mu;  // TraceWriter append serialization
+}  // namespace
+
+Result<std::unique_ptr<TraceWriter>> TraceWriter::create(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::io_error("cannot create trace " + path);
+  FileHeader h{kTraceMagic, kTraceVersion};
+  if (fwrite(&h, sizeof(h), 1, f) != 1) {
+    fclose(f);
+    return Status::io_error("trace header write failed");
+  }
+  return std::unique_ptr<TraceWriter>(new TraceWriter(f));
+}
+
+TraceWriter::~TraceWriter() {
+  if (!finished_) (void)finish();
+  if (file_ != nullptr) fclose(file_);
+}
+
+Status TraceWriter::append(TraceOp op, std::string_view key, uint32_t value_size) {
+  if (finished_) return Status::invalid_argument("trace already finished");
+  if (key.size() > 0xffff) return Status::invalid_argument("key too long for trace");
+  std::lock_guard<std::mutex> g(g_writer_mu);
+  RecordHeader h{(uint8_t)op, 0, (uint16_t)key.size(), value_size};
+  if (fwrite(&h, sizeof(h), 1, file_) != 1 ||
+      fwrite(key.data(), 1, key.size(), file_) != key.size()) {
+    return Status::io_error("trace record write failed");
+  }
+  count_++;
+  return Status::ok();
+}
+
+Status TraceWriter::finish() {
+  if (finished_) return Status::ok();
+  finished_ = true;
+  if (fflush(file_) != 0) return Status::io_error("trace flush failed");
+  return Status::ok();
+}
+
+Result<std::vector<TraceRecord>> read_trace(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::io_error("cannot open trace " + path);
+  FileHeader h{};
+  if (fread(&h, sizeof(h), 1, f) != 1 || h.magic != kTraceMagic) {
+    fclose(f);
+    return Status::corruption("bad trace header");
+  }
+  if (h.version != kTraceVersion) {
+    fclose(f);
+    return Status::unsupported("trace version");
+  }
+  std::vector<TraceRecord> out;
+  for (;;) {
+    RecordHeader rh{};
+    size_t n = fread(&rh, sizeof(rh), 1, f);
+    if (n != 1) break;  // EOF
+    if (rh.op > (uint8_t)TraceOp::kDelete) {
+      fclose(f);
+      return Status::corruption("bad trace op");
+    }
+    TraceRecord rec;
+    rec.op = (TraceOp)rh.op;
+    rec.value_size = rh.value_size;
+    rec.key.resize(rh.key_len);
+    if (fread(rec.key.data(), 1, rh.key_len, f) != rh.key_len) {
+      fclose(f);
+      return Status::corruption("truncated trace record");
+    }
+    out.push_back(std::move(rec));
+  }
+  fclose(f);
+  return out;
+}
+
+Result<TraceReplayResult> replay_trace(KVStore& store, const std::vector<TraceRecord>& trace,
+                                       int threads) {
+  if (threads <= 0) return Status::invalid_argument("threads must be positive");
+  // Shard by key hash: per-key order preserved, cross-key order commutes.
+  std::vector<std::vector<const TraceRecord*>> shards(threads);
+  for (const TraceRecord& rec : trace) {
+    shards[Key::from(rec.key).hash() % (uint64_t)threads].push_back(&rec);
+  }
+  TraceReplayResult result;
+  std::vector<std::unique_ptr<LatencyHistogram>> hists;
+  std::vector<uint64_t> failures(threads, 0);
+  for (int t = 0; t < threads; t++) hists.push_back(std::make_unique<LatencyHistogram>());
+  StopWatch wall;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      void* ctx = store.open_ctx();
+      std::vector<char> buf(1 << 16);
+      std::string value;
+      for (const TraceRecord* rec : shards[t]) {
+        uint64_t start = now_ns();
+        bool ok = true;
+        switch (rec->op) {
+          case TraceOp::kGet: {
+            auto r = store.get(ctx, rec->key, buf.data(), buf.size());
+            ok = r.is_ok() || r.status().code() == Code::kNotFound;
+            break;
+          }
+          case TraceOp::kPut: {
+            if (value.size() < rec->value_size) value.resize(rec->value_size, 't');
+            ok = store.put(ctx, rec->key, value.data(), rec->value_size).is_ok();
+            break;
+          }
+          case TraceOp::kDelete: {
+            Status s = store.del(ctx, rec->key);
+            ok = s.is_ok() || s.code() == Code::kNotFound;
+            break;
+          }
+        }
+        hists[t]->record(now_ns() - start);
+        if (!ok) failures[t]++;
+      }
+      store.close_ctx(ctx);
+    });
+  }
+  for (auto& w : workers) w.join();
+  result.elapsed_s = wall.elapsed_s();
+  result.ops = trace.size();
+  for (int t = 0; t < threads; t++) {
+    result.latency.merge(*hists[t]);
+    result.failures += failures[t];
+  }
+  return result;
+}
+
+}  // namespace dstore::workload

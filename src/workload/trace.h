@@ -1,0 +1,91 @@
+// Operation traces: record a live workload's operation stream to a compact
+// binary file and replay it later against any KVStore. Replay preserves
+// per-key operation order (keys are sharded across replay threads), which
+// is the same observational-equivalence argument DIPPER's log replay uses:
+// cross-key order commutes, per-key order must not.
+//
+// Uses: capturing production-like workloads for regression benchmarking,
+// reproducing performance anomalies, and feeding the same op stream to
+// every system in a comparison.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "workload/kv_interface.h"
+
+namespace dstore::workload {
+
+enum class TraceOp : uint8_t { kGet = 0, kPut = 1, kDelete = 2 };
+
+struct TraceRecord {
+  TraceOp op;
+  std::string key;
+  uint32_t value_size = 0;  // kPut only
+};
+
+// Streaming writer (buffered; explicit finish()).
+class TraceWriter {
+ public:
+  static Result<std::unique_ptr<TraceWriter>> create(const std::string& path);
+  ~TraceWriter();
+
+  Status append(TraceOp op, std::string_view key, uint32_t value_size);
+  Status finish();  // flush + write footer (record count)
+  uint64_t count() const { return count_; }
+
+ private:
+  explicit TraceWriter(FILE* f) : file_(f) {}
+  FILE* file_;
+  uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+// Whole-trace reader.
+Result<std::vector<TraceRecord>> read_trace(const std::string& path);
+
+// KVStore decorator that records every operation flowing through it.
+class TracingStore final : public KVStore {
+ public:
+  TracingStore(KVStore* inner, TraceWriter* writer) : inner_(inner), writer_(writer) {}
+
+  void* open_ctx() override { return inner_->open_ctx(); }
+  void close_ctx(void* ctx) override { inner_->close_ctx(ctx); }
+  Status put(void* ctx, std::string_view key, const void* value, size_t size) override {
+    (void)writer_->append(TraceOp::kPut, key, (uint32_t)size);
+    return inner_->put(ctx, key, value, size);
+  }
+  Result<size_t> get(void* ctx, std::string_view key, void* buf, size_t cap) override {
+    (void)writer_->append(TraceOp::kGet, key, 0);
+    return inner_->get(ctx, key, buf, cap);
+  }
+  Status del(void* ctx, std::string_view key) override {
+    (void)writer_->append(TraceOp::kDelete, key, 0);
+    return inner_->del(ctx, key);
+  }
+  const char* name() const override { return inner_->name(); }
+  SpaceBreakdown space_usage() override { return inner_->space_usage(); }
+
+ private:
+  KVStore* inner_;
+  TraceWriter* writer_;  // serialized internally
+};
+
+struct TraceReplayResult {
+  LatencyHistogram latency;
+  uint64_t ops = 0;
+  uint64_t failures = 0;  // ops whose outcome differed from "ok or not-found"
+  double elapsed_s = 0;
+};
+
+// Replay a trace with `threads` workers. Records are sharded by key hash so
+// per-key order is preserved; get() misses are NOT failures (the trace may
+// start from a different initial state than the recording did).
+Result<TraceReplayResult> replay_trace(KVStore& store, const std::vector<TraceRecord>& trace,
+                                       int threads);
+
+}  // namespace dstore::workload

@@ -1,0 +1,157 @@
+// Tests for the emulated NVMe block device: IO bounds, power-loss
+// protection semantics, stats, and the file-backed variant.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "ssd/block_device.h"
+
+namespace dstore::ssd {
+namespace {
+
+DeviceConfig small_cfg(bool plp = true) {
+  DeviceConfig cfg;
+  cfg.page_size = 4096;
+  cfg.pages_per_block = 1;
+  cfg.num_blocks = 64;
+  cfg.power_loss_protection = plp;
+  return cfg;
+}
+
+TEST(RamDevice, WriteReadRoundTrip) {
+  RamBlockDevice dev(small_cfg());
+  char out[4096];
+  char in[4096];
+  std::memset(in, 0x5c, sizeof(in));
+  ASSERT_TRUE(dev.write(3, 0, in, sizeof(in)).is_ok());
+  ASSERT_TRUE(dev.read(3, 0, out, sizeof(out)).is_ok());
+  EXPECT_EQ(std::memcmp(in, out, sizeof(in)), 0);
+}
+
+TEST(RamDevice, PartialBlockIo) {
+  RamBlockDevice dev(small_cfg());
+  const char* msg = "hello nvme";
+  ASSERT_TRUE(dev.write(1, 100, msg, 10).is_ok());
+  char out[10];
+  ASSERT_TRUE(dev.read(1, 100, out, 10).is_ok());
+  EXPECT_EQ(std::memcmp(out, msg, 10), 0);
+}
+
+TEST(RamDevice, OutOfRangeRejected) {
+  RamBlockDevice dev(small_cfg());
+  char buf[16] = {};
+  EXPECT_EQ(dev.write(64, 0, buf, 16).code(), Code::kInvalidArgument);
+  EXPECT_EQ(dev.read(64, 0, buf, 16).code(), Code::kInvalidArgument);
+  EXPECT_EQ(dev.write(0, 4090, buf, 16).code(), Code::kInvalidArgument);  // crosses block end
+}
+
+TEST(RamDevice, PlpWritesSurviveCrash) {
+  RamBlockDevice dev(small_cfg(/*plp=*/true));
+  char in[64];
+  std::memset(in, 0x42, sizeof(in));
+  ASSERT_TRUE(dev.write(0, 0, in, sizeof(in)).is_ok());
+  dev.crash();  // capacitors flush the device cache
+  char out[64];
+  ASSERT_TRUE(dev.read(0, 0, out, sizeof(out)).is_ok());
+  EXPECT_EQ(std::memcmp(in, out, sizeof(in)), 0);
+}
+
+TEST(RamDevice, NoPlpUnflushedWritesLost) {
+  RamBlockDevice dev(small_cfg(/*plp=*/false));
+  char in[64];
+  std::memset(in, 0x42, sizeof(in));
+  ASSERT_TRUE(dev.write(0, 0, in, sizeof(in)).is_ok());
+  dev.crash();
+  char out[64];
+  ASSERT_TRUE(dev.read(0, 0, out, sizeof(out)).is_ok());
+  for (char c : out) EXPECT_EQ(c, 0);
+}
+
+TEST(RamDevice, NoPlpFlushedWritesSurvive) {
+  RamBlockDevice dev(small_cfg(/*plp=*/false));
+  char in[64];
+  std::memset(in, 0x42, sizeof(in));
+  ASSERT_TRUE(dev.write(0, 0, in, sizeof(in)).is_ok());
+  ASSERT_TRUE(dev.flush_cache().is_ok());
+  dev.crash();
+  char out[64];
+  ASSERT_TRUE(dev.read(0, 0, out, sizeof(out)).is_ok());
+  EXPECT_EQ(std::memcmp(in, out, sizeof(in)), 0);
+}
+
+TEST(RamDevice, StatsAccumulate) {
+  RamBlockDevice dev(small_cfg());
+  char buf[4096] = {};
+  ASSERT_TRUE(dev.write(0, 0, buf, 4096).is_ok());
+  ASSERT_TRUE(dev.write(1, 0, buf, 4096).is_ok());
+  ASSERT_TRUE(dev.read(0, 0, buf, 4096).is_ok());
+  EXPECT_EQ(dev.stats().bytes_written.load(), 8192u);
+  EXPECT_EQ(dev.stats().write_ios.load(), 2u);
+  EXPECT_EQ(dev.stats().bytes_read.load(), 4096u);
+  EXPECT_EQ(dev.stats().read_ios.load(), 1u);
+}
+
+TEST(RamDevice, BandwidthSeriesHook) {
+  RamBlockDevice dev(small_cfg());
+  dstore::TimeSeries ts(4, 1000000000ull);
+  dev.set_bandwidth_series(&ts);
+  char buf[4096] = {};
+  ASSERT_TRUE(dev.write(0, 0, buf, 4096).is_ok());
+  EXPECT_EQ(ts.bin(0), 4096u);
+}
+
+TEST(RamDevice, MultiPageBlocks) {
+  DeviceConfig cfg = small_cfg();
+  cfg.pages_per_block = 4;  // 16KB blocks
+  RamBlockDevice dev(cfg);
+  char in[16384];
+  std::memset(in, 0x37, sizeof(in));
+  ASSERT_TRUE(dev.write(2, 0, in, sizeof(in)).is_ok());
+  char out[16384];
+  ASSERT_TRUE(dev.read(2, 0, out, sizeof(out)).is_ok());
+  EXPECT_EQ(std::memcmp(in, out, sizeof(in)), 0);
+}
+
+TEST(RamDevice, LatencyInjection) {
+  DeviceConfig cfg = small_cfg();
+  cfg.latency.ssd_write_base_ns = 200000;  // 200us, easily measurable
+  RamBlockDevice dev(cfg);
+  char buf[4096] = {};
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(dev.write(0, 0, buf, 4096).is_ok());
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  EXPECT_GE(us, 200);
+}
+
+TEST(FileDevice, PersistsAcrossReopen) {
+  auto path = std::filesystem::temp_directory_path() / "dstore_blockdev_test.bin";
+  DeviceConfig cfg = small_cfg();
+  {
+    auto dev = FileBlockDevice::open(path.string(), cfg, /*create=*/true);
+    ASSERT_TRUE(dev.is_ok());
+    char in[128];
+    std::memset(in, 0x61, sizeof(in));
+    ASSERT_TRUE(dev.value()->write(5, 64, in, sizeof(in)).is_ok());
+    ASSERT_TRUE(dev.value()->flush_cache().is_ok());
+  }
+  {
+    auto dev = FileBlockDevice::open(path.string(), cfg, /*create=*/false);
+    ASSERT_TRUE(dev.is_ok());
+    char out[128];
+    ASSERT_TRUE(dev.value()->read(5, 64, out, sizeof(out)).is_ok());
+    for (char c : out) EXPECT_EQ((unsigned char)c, 0x61u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FileDevice, OpenMissingFails) {
+  auto dev = FileBlockDevice::open("/nonexistent-dir/xyz.bin", small_cfg(), false);
+  ASSERT_FALSE(dev.is_ok());
+  EXPECT_EQ(dev.status().code(), Code::kIoError);
+}
+
+}  // namespace
+}  // namespace dstore::ssd

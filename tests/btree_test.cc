@@ -1,0 +1,288 @@
+// Tests for the offset-based B-tree: CRUD, ordering, rebalancing, structural
+// invariants under random workloads, clone-equivalence (DIPPER's shadow-copy
+// property), and position independence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ds/btree.h"
+
+namespace dstore {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kArenaSize = 64 << 20;
+  void SetUp() override {
+    buf_ = std::make_unique<char[]>(kArenaSize);
+    arena_ = Arena(buf_.get(), kArenaSize);
+    sp_ = SlabAllocator::format(arena_);
+    auto h = BTree::create(sp_);
+    ASSERT_TRUE(h.is_ok());
+    header_ = h.value();
+    tree_ = std::make_unique<BTree>(sp_, header_);
+  }
+
+  static Key key(int i) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "obj-%08d", i);
+    return Key::from(buf);
+  }
+
+  std::unique_ptr<char[]> buf_;
+  Arena arena_;
+  SlabAllocator sp_;
+  OffPtr<BTree::Header> header_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_->size(), 0u);
+  EXPECT_FALSE(tree_->find(key(1)).has_value());
+  EXPECT_EQ(tree_->erase(key(1)).code(), Code::kNotFound);
+  EXPECT_TRUE(tree_->validate().is_ok());
+}
+
+TEST_F(BTreeTest, InsertFind) {
+  ASSERT_TRUE(tree_->insert(key(1), 100).is_ok());
+  auto v = tree_->find(key(1));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 100u);
+  EXPECT_EQ(tree_->size(), 1u);
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(tree_->insert(key(1), 100).is_ok());
+  EXPECT_EQ(tree_->insert(key(1), 200).code(), Code::kAlreadyExists);
+  EXPECT_EQ(*tree_->find(key(1)), 100u);  // unchanged
+  EXPECT_EQ(tree_->size(), 1u);
+}
+
+TEST_F(BTreeTest, UpsertOverwrites) {
+  bool existed = true;
+  ASSERT_TRUE(tree_->upsert(key(1), 100, &existed).is_ok());
+  EXPECT_FALSE(existed);
+  ASSERT_TRUE(tree_->upsert(key(1), 200, &existed).is_ok());
+  EXPECT_TRUE(existed);
+  EXPECT_EQ(*tree_->find(key(1)), 200u);
+  EXPECT_EQ(tree_->size(), 1u);
+}
+
+TEST_F(BTreeTest, EraseRemoves) {
+  ASSERT_TRUE(tree_->insert(key(1), 100).is_ok());
+  ASSERT_TRUE(tree_->erase(key(1)).is_ok());
+  EXPECT_FALSE(tree_->find(key(1)).has_value());
+  EXPECT_EQ(tree_->size(), 0u);
+  EXPECT_EQ(tree_->erase(key(1)).code(), Code::kNotFound);
+}
+
+TEST_F(BTreeTest, ManySequentialInserts) {
+  const int n = 10000;
+  for (int i = 0; i < n; i++) ASSERT_TRUE(tree_->insert(key(i), i * 10).is_ok()) << i;
+  EXPECT_EQ(tree_->size(), (uint64_t)n);
+  ASSERT_TRUE(tree_->validate().is_ok());
+  for (int i = 0; i < n; i++) {
+    auto v = tree_->find(key(i));
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, (uint64_t)i * 10);
+  }
+}
+
+TEST_F(BTreeTest, ReverseOrderInserts) {
+  for (int i = 9999; i >= 0; i--) ASSERT_TRUE(tree_->insert(key(i), i).is_ok());
+  ASSERT_TRUE(tree_->validate().is_ok());
+  EXPECT_EQ(tree_->size(), 10000u);
+}
+
+TEST_F(BTreeTest, ForEachVisitsInOrder) {
+  Rng rng(17);
+  std::vector<int> ids(1000);
+  for (int i = 0; i < 1000; i++) ids[i] = i;
+  for (int i = 999; i > 0; i--) std::swap(ids[i], ids[rng.next_below(i + 1)]);
+  for (int id : ids) ASSERT_TRUE(tree_->insert(key(id), id).is_ok());
+
+  std::vector<std::string> visited;
+  tree_->for_each([&](const Key& k, uint64_t) {
+    visited.push_back(k.str());
+    return true;
+  });
+  ASSERT_EQ(visited.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+}
+
+TEST_F(BTreeTest, ForEachEarlyStop) {
+  for (int i = 0; i < 100; i++) ASSERT_TRUE(tree_->insert(key(i), i).is_ok());
+  int seen = 0;
+  tree_->for_each([&](const Key&, uint64_t) { return ++seen < 10; });
+  EXPECT_EQ(seen, 10);
+}
+
+TEST_F(BTreeTest, DeleteEverything) {
+  const int n = 5000;
+  for (int i = 0; i < n; i++) ASSERT_TRUE(tree_->insert(key(i), i).is_ok());
+  for (int i = 0; i < n; i++) ASSERT_TRUE(tree_->erase(key(i)).is_ok()) << i;
+  EXPECT_EQ(tree_->size(), 0u);
+  ASSERT_TRUE(tree_->validate().is_ok());
+  // All nodes returned to the allocator.
+  EXPECT_EQ(tree_->node_count(), 0u);
+}
+
+TEST_F(BTreeTest, DeleteReverseOrder) {
+  const int n = 5000;
+  for (int i = 0; i < n; i++) ASSERT_TRUE(tree_->insert(key(i), i).is_ok());
+  for (int i = n - 1; i >= 0; i--) ASSERT_TRUE(tree_->erase(key(i)).is_ok()) << i;
+  EXPECT_EQ(tree_->size(), 0u);
+  EXPECT_EQ(tree_->node_count(), 0u);
+}
+
+TEST_F(BTreeTest, RandomOpsMatchReferenceModel) {
+  // Property test: random insert/upsert/erase/find against std::map.
+  Rng rng(1234);
+  std::map<std::string, uint64_t> model;
+  const int kOps = 40000;
+  const int kKeySpace = 3000;
+  for (int i = 0; i < kOps; i++) {
+    int id = (int)rng.next_below(kKeySpace);
+    Key k = key(id);
+    std::string ks = k.str();
+    double dice = rng.next_double();
+    if (dice < 0.35) {
+      Status s = tree_->insert(k, (uint64_t)i);
+      if (model.count(ks)) {
+        EXPECT_EQ(s.code(), Code::kAlreadyExists);
+      } else {
+        ASSERT_TRUE(s.is_ok());
+        model[ks] = (uint64_t)i;
+      }
+    } else if (dice < 0.55) {
+      ASSERT_TRUE(tree_->upsert(k, (uint64_t)i).is_ok());
+      model[ks] = (uint64_t)i;
+    } else if (dice < 0.8) {
+      Status s = tree_->erase(k);
+      if (model.count(ks)) {
+        ASSERT_TRUE(s.is_ok());
+        model.erase(ks);
+      } else {
+        EXPECT_EQ(s.code(), Code::kNotFound);
+      }
+    } else {
+      auto v = tree_->find(k);
+      auto it = model.find(ks);
+      if (it == model.end()) {
+        EXPECT_FALSE(v.has_value());
+      } else {
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+    if (i % 5000 == 4999) {
+      ASSERT_TRUE(tree_->validate().is_ok()) << "op " << i;
+    }
+  }
+  ASSERT_TRUE(tree_->validate().is_ok());
+  EXPECT_EQ(tree_->size(), model.size());
+  // Full content equality via in-order walk.
+  auto it = model.begin();
+  bool match = true;
+  tree_->for_each([&](const Key& k, uint64_t v) {
+    if (it == model.end() || it->first != k.str() || it->second != v) {
+      match = false;
+      return false;
+    }
+    ++it;
+    return true;
+  });
+  EXPECT_TRUE(match);
+  EXPECT_EQ(it, model.end());
+}
+
+TEST_F(BTreeTest, CloneIsObservationallyEquivalent) {
+  for (int i = 0; i < 2000; i++) ASSERT_TRUE(tree_->insert(key(i), i).is_ok());
+  auto dst_buf = std::make_unique<char[]>(kArenaSize);
+  Arena dst(dst_buf.get(), kArenaSize);
+  auto clone_sp = sp_.clone_into(dst);
+  ASSERT_TRUE(clone_sp.is_ok());
+  BTree clone(clone_sp.value(), header_);  // same header offset, new arena
+  ASSERT_TRUE(clone.validate().is_ok());
+  EXPECT_EQ(clone.size(), 2000u);
+  for (int i = 0; i < 2000; i++) {
+    auto v = clone.find(key(i));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, (uint64_t)i);
+  }
+  // Mutating the clone leaves the original untouched.
+  ASSERT_TRUE(clone.erase(key(0)).is_ok());
+  EXPECT_TRUE(tree_->find(key(0)).has_value());
+}
+
+TEST_F(BTreeTest, PositionIndependenceSurvivesRelocation) {
+  for (int i = 0; i < 1000; i++) ASSERT_TRUE(tree_->insert(key(i), i).is_ok());
+  // Move the raw bytes to a different base address (PMEM remap on restart).
+  auto moved_buf = std::make_unique<char[]>(kArenaSize);
+  std::memcpy(moved_buf.get(), buf_.get(), sp_.used_bytes());
+  Arena moved(moved_buf.get(), kArenaSize);
+  auto reopened = SlabAllocator::open(moved);
+  ASSERT_TRUE(reopened.is_ok());
+  BTree relocated(reopened.value(), header_);
+  ASSERT_TRUE(relocated.validate().is_ok());
+  for (int i = 0; i < 1000; i++) {
+    auto v = relocated.find(key(i));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, (uint64_t)i);
+  }
+}
+
+TEST_F(BTreeTest, LongestKeySupported) {
+  std::string name(kMaxNameLen, 'x');
+  ASSERT_TRUE(Key::fits(name));
+  ASSERT_TRUE(tree_->insert(Key::from(name), 7).is_ok());
+  EXPECT_EQ(*tree_->find(Key::from(name)), 7u);
+}
+
+TEST_F(BTreeTest, PrefixKeysAreDistinct) {
+  ASSERT_TRUE(tree_->insert(Key::from("abc"), 1).is_ok());
+  ASSERT_TRUE(tree_->insert(Key::from("abcd"), 2).is_ok());
+  ASSERT_TRUE(tree_->insert(Key::from("ab"), 3).is_ok());
+  EXPECT_EQ(*tree_->find(Key::from("abc")), 1u);
+  EXPECT_EQ(*tree_->find(Key::from("abcd")), 2u);
+  EXPECT_EQ(*tree_->find(Key::from("ab")), 3u);
+}
+
+class BTreeScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeScaleSweep, InsertEraseHalfValidate) {
+  const int n = GetParam();
+  size_t arena_size = 256 << 20;
+  auto buf = std::make_unique<char[]>(arena_size);
+  Arena arena(buf.get(), arena_size);
+  SlabAllocator sp = SlabAllocator::format(arena);
+  auto h = BTree::create(sp);
+  ASSERT_TRUE(h.is_ok());
+  BTree tree(sp, h.value());
+  char name[32];
+  for (int i = 0; i < n; i++) {
+    snprintf(name, sizeof(name), "k%07d", i);
+    ASSERT_TRUE(tree.insert(Key::from(name), i).is_ok());
+  }
+  for (int i = 0; i < n; i += 2) {
+    snprintf(name, sizeof(name), "k%07d", i);
+    ASSERT_TRUE(tree.erase(Key::from(name)).is_ok());
+  }
+  ASSERT_TRUE(tree.validate().is_ok());
+  EXPECT_EQ(tree.size(), (uint64_t)n / 2);
+  for (int i = 0; i < n; i++) {
+    snprintf(name, sizeof(name), "k%07d", i);
+    EXPECT_EQ(tree.find(Key::from(name)).has_value(), i % 2 == 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, BTreeScaleSweep, ::testing::Values(2, 10, 31, 32, 100, 1000,
+                                                                    10000, 50000));
+
+}  // namespace
+}  // namespace dstore

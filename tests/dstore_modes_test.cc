@@ -1,0 +1,322 @@
+// DStore configuration-mode tests: observational equivalence off (Fig 9
+// ablation), physical logging, log backpressure, long (two-cache-line)
+// object names under crashes, and the stage-stats instrumentation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+#include "dstore/dstore.h"
+
+namespace dstore {
+namespace {
+
+struct ModeRig {
+  DStoreConfig cfg;
+  std::unique_ptr<pmem::Pool> pool;
+  std::unique_ptr<ssd::RamBlockDevice> device;
+  std::unique_ptr<DStore> store;
+  ds_ctx_t* ctx = nullptr;
+
+  explicit ModeRig(bool oe = true, bool physical = false, uint32_t log_slots = 256,
+                   bool background = false, bool parallel_replay = true) {
+    cfg.max_objects = 512;
+    cfg.num_blocks = 4096;
+    cfg.observational_equivalence = oe;
+    cfg.parallel_replay = parallel_replay;
+    cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(cfg.max_objects);
+    cfg.engine.log_slots = log_slots;
+    cfg.engine.background_checkpointing = background;
+    cfg.engine.physical_logging = physical;
+    pool = std::make_unique<pmem::Pool>(dipper::Engine::required_pool_bytes(cfg.engine),
+                                        pmem::Pool::Mode::kCrashSim);
+    ssd::DeviceConfig dc;
+    dc.num_blocks = cfg.num_blocks;
+    device = std::make_unique<ssd::RamBlockDevice>(dc);
+    auto r = DStore::create(pool.get(), device.get(), cfg);
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    store = std::move(r).value();
+    ctx = store->ds_init();
+  }
+
+  void crash_and_recover() {
+    if (ctx != nullptr) store->ds_finalize(ctx);
+    store->engine().stop_background();
+    store.reset();
+    pool->crash();
+    device->crash();
+    auto r = DStore::recover(pool.get(), device.get(), cfg);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    store = std::move(r).value();
+    ctx = store->ds_init();
+  }
+};
+
+TEST(DStoreModes, OeOffIsFunctionallyIdentical) {
+  ModeRig rig(/*oe=*/false);
+  std::string v(4096, 'n');
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(rig.store->oput(rig.ctx, "noe" + std::to_string(i), v.data(), v.size()).is_ok());
+  }
+  ASSERT_TRUE(rig.store->checkpoint_now().is_ok());
+  ASSERT_TRUE(rig.store->validate().is_ok());
+  rig.crash_and_recover();
+  std::string out(4096, 0);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(
+        rig.store->oget(rig.ctx, "noe" + std::to_string(i), out.data(), out.size()).is_ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(DStoreModes, OeOffConcurrentWritersStillCorrect) {
+  ModeRig rig(/*oe=*/false, false, 1024, /*background=*/true);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 3; w++) {
+    threads.emplace_back([&, w] {
+      ds_ctx_t* ctx = rig.store->ds_init();
+      std::string v(2048, (char)('a' + w));
+      for (int i = 0; i < 100; i++) {
+        ASSERT_TRUE(
+            rig.store->oput(ctx, "w" + std::to_string(w) + "-" + std::to_string(i), v.data(),
+                            v.size())
+                .is_ok());
+      }
+      rig.store->ds_finalize(ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+  rig.store->engine().stop_background();
+  ASSERT_TRUE(rig.store->validate().is_ok());
+  EXPECT_EQ(rig.store->object_count(), 300u);
+}
+
+TEST(DStoreModes, PhysicalLoggingStillCrashConsistent) {
+  ModeRig rig(true, /*physical=*/true);
+  std::string v(4096, 'p');
+  for (int i = 0; i < 80; i++) {
+    ASSERT_TRUE(rig.store->oput(rig.ctx, "phys" + std::to_string(i), v.data(), v.size()).is_ok());
+  }
+  ASSERT_TRUE(rig.store->checkpoint_now().is_ok());
+  for (int i = 80; i < 120; i++) {
+    ASSERT_TRUE(rig.store->oput(rig.ctx, "phys" + std::to_string(i), v.data(), v.size()).is_ok());
+  }
+  rig.crash_and_recover();
+  std::string out(4096, 0);
+  for (int i = 0; i < 120; i++) {
+    ASSERT_TRUE(
+        rig.store->oget(rig.ctx, "phys" + std::to_string(i), out.data(), out.size()).is_ok())
+        << i;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(DStoreModes, PhysicalLoggingWritesPayloadToPmem) {
+  ModeRig logical(true, false);
+  ModeRig physical(true, true);
+  std::string v(4096, 'q');
+  uint64_t l0 = logical.pool->stats().bytes_flushed.load();
+  uint64_t p0 = physical.pool->stats().bytes_flushed.load();
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(logical.store->oput(logical.ctx, "k" + std::to_string(i), v.data(), v.size())
+                    .is_ok());
+    ASSERT_TRUE(physical.store->oput(physical.ctx, "k" + std::to_string(i), v.data(), v.size())
+                    .is_ok());
+  }
+  uint64_t logical_flushed = logical.pool->stats().bytes_flushed.load() - l0;
+  uint64_t physical_flushed = physical.pool->stats().bytes_flushed.load() - p0;
+  // Physical logging flushes the 4KB payload per op on top of the record.
+  EXPECT_GT(physical_flushed, logical_flushed + 20 * 4000);
+}
+
+TEST(DStoreModes, BackpressureWhenLogFullManualMode) {
+  ModeRig rig(true, false, /*log_slots=*/32, /*background=*/false);
+  std::string v(128, 'b');
+  // Fill the log completely.
+  int wrote = 0;
+  for (int i = 0; i < 32; i++) {
+    Status s = rig.store->oput(rig.ctx, "bp" + std::to_string(i), v.data(), v.size());
+    if (!s.is_ok()) {
+      EXPECT_EQ(s.code(), Code::kBusy);
+      break;
+    }
+    wrote++;
+  }
+  EXPECT_EQ(wrote, 32);
+  // 33rd write must report busy (no background checkpointer).
+  EXPECT_EQ(rig.store->oput(rig.ctx, "bp-full", v.data(), v.size()).code(), Code::kBusy);
+  // A manual checkpoint clears the backlog.
+  ASSERT_TRUE(rig.store->checkpoint_now().is_ok());
+  EXPECT_TRUE(rig.store->oput(rig.ctx, "bp-full", v.data(), v.size()).is_ok());
+  ASSERT_TRUE(rig.store->validate().is_ok());
+}
+
+TEST(DStoreModes, BackpressureResolvesWithBackgroundCheckpointer) {
+  ModeRig rig(true, false, /*log_slots=*/64, /*background=*/true);
+  std::string v(512, 'g');
+  // Write far more records than the log holds: appends must transparently
+  // wait for background checkpoints instead of failing.
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(rig.store->oput(rig.ctx, "load" + std::to_string(i % 50), v.data(), v.size())
+                    .is_ok())
+        << i;
+  }
+  rig.store->engine().stop_background();
+  EXPECT_GT(rig.store->engine().stats().checkpoints.load(), 3u);
+  ASSERT_TRUE(rig.store->validate().is_ok());
+}
+
+TEST(DStoreModes, LongNamesTwoLineRecordsSurviveCrashes) {
+  ModeRig rig(true, false, 128);
+  Rng rng(99);
+  std::map<std::string, char> model;
+  // Names at the 63-byte cap force two-cache-line log records, exercising
+  // the multi-line reverse-order flush protocol end to end.
+  for (int round = 0; round < 6; round++) {
+    for (int i = 0; i < 20; i++) {
+      std::string name(kMaxNameLen - 4, 'L');
+      name += std::to_string(1000 + (int)rng.next_below(40));
+      char seed = (char)('a' + rng.next_below(26));
+      std::string v(2048, seed);
+      ASSERT_TRUE(rig.store->oput(rig.ctx, name, v.data(), v.size()).is_ok());
+      model[name] = seed;
+      if (rng.next_bool(0.2)) rig.pool->evict_random_lines(rng, 16);
+    }
+    if (rig.store->engine().log_fill() > 0.7) {
+      ASSERT_TRUE(rig.store->checkpoint_now().is_ok());
+    }
+    rig.crash_and_recover();
+    std::string out(2048, 0);
+    for (const auto& [name, seed] : model) {
+      auto r = rig.store->oget(rig.ctx, name, out.data(), out.size());
+      ASSERT_TRUE(r.is_ok()) << name;
+      EXPECT_EQ(out[0], seed);
+      EXPECT_EQ(out[2047], seed);
+    }
+  }
+}
+
+// The OE-parallel two-lane replay must produce a state observationally
+// equivalent to sequential replay — same objects, same sizes, and (because
+// pool order is preserved) the IDENTICAL SSD block assignment.
+TEST(DStoreModes, ParallelReplayEquivalentToSequential) {
+  for (bool parallel : {false, true}) {
+    ModeRig rig(true, false, /*log_slots=*/512, false, parallel);
+    Rng rng(2026);
+    std::map<std::string, std::pair<char, size_t>> model;
+    for (int i = 0; i < 400; i++) {
+      std::string name = "pr" + std::to_string(rng.next_below(60));
+      if (rng.next_bool(0.7) || model.count(name) == 0) {
+        char seed = (char)('a' + rng.next_below(26));
+        size_t size = 1 + rng.next_below(8000);
+        std::string v(size, seed);
+        ASSERT_TRUE(rig.store->oput(rig.ctx, name, v.data(), v.size()).is_ok());
+        model[name] = {seed, size};
+      } else {
+        ASSERT_TRUE(rig.store->odelete(rig.ctx, name).is_ok());
+        model.erase(name);
+      }
+    }
+    // The 400 records exceed the parallel threshold (128), so parallel=true
+    // exercises the two-lane path in this checkpoint.
+    ASSERT_TRUE(rig.store->checkpoint_now().is_ok());
+    rig.crash_and_recover();
+    ASSERT_TRUE(rig.store->validate().is_ok());
+    ASSERT_EQ(rig.store->object_count(), model.size()) << "parallel=" << parallel;
+    std::string out(8000, 0);
+    for (const auto& [name, sv] : model) {
+      auto r = rig.store->oget(rig.ctx, name, out.data(), out.size());
+      ASSERT_TRUE(r.is_ok()) << name << " parallel=" << parallel;
+      ASSERT_EQ(r.value(), sv.second);
+      EXPECT_EQ(out[0], sv.first);
+      EXPECT_EQ(out[sv.second - 1], sv.first);
+    }
+  }
+}
+
+TEST(DStoreModes, ParallelReplayUnderCrashChurn) {
+  // Heavy churn with frequent crashes, parallel replay on: the end-to-end
+  // crash-consistency property must hold exactly as with sequential replay.
+  ModeRig rig(true, false, /*log_slots=*/512, false, /*parallel_replay=*/true);
+  Rng rng(777);
+  std::map<std::string, std::pair<char, size_t>> model;
+  for (int round = 0; round < 6; round++) {
+    for (int i = 0; i < 150; i++) {
+      std::string name = "pc" + std::to_string(rng.next_below(80));
+      if (rng.next_bool(0.7) || model.count(name) == 0) {
+        char seed = (char)('a' + rng.next_below(26));
+        size_t size = 1 + rng.next_below(6000);
+        std::string v(size, seed);
+        ASSERT_TRUE(rig.store->oput(rig.ctx, name, v.data(), v.size()).is_ok());
+        model[name] = {seed, size};
+      } else {
+        ASSERT_TRUE(rig.store->odelete(rig.ctx, name).is_ok());
+        model.erase(name);
+      }
+      if (rig.store->engine().log_fill() > 0.75) {
+        ASSERT_TRUE(rig.store->checkpoint_now().is_ok());
+      }
+    }
+    rig.crash_and_recover();
+    ASSERT_TRUE(rig.store->validate().is_ok());
+    std::string out(6000, 0);
+    for (const auto& [name, sv] : model) {
+      auto r = rig.store->oget(rig.ctx, name, out.data(), out.size());
+      ASSERT_TRUE(r.is_ok()) << name << " round " << round;
+      ASSERT_EQ(r.value(), sv.second);
+      EXPECT_EQ(out[sv.second - 1], sv.first);
+    }
+  }
+}
+
+TEST(DStoreModes, StageStatsAccumulateSanely) {
+  ModeRig rig;
+  std::string v(4096, 's');
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(rig.store->oput(rig.ctx, "st" + std::to_string(i), v.data(), v.size()).is_ok());
+  }
+  const auto& st = rig.store->stage_stats();
+  EXPECT_EQ(st.ops.load(), 50u);
+  EXPECT_GT(st.total_ns.load(), 0u);
+  EXPECT_GT(st.data_ns.load(), 0u);
+  EXPECT_GT(st.log_ns.load(), 0u);
+  // Stages are sub-portions of the total.
+  EXPECT_LE(st.data_ns.load() + st.log_ns.load() + st.meta_ns.load() + st.btree_ns.load(),
+            st.total_ns.load() + 50 * 2000 /* timer slack */);
+}
+
+TEST(DStoreModes, CheckpointThresholdHonored) {
+  DStoreConfig cfg;
+  cfg.max_objects = 256;
+  cfg.num_blocks = 1024;
+  cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(cfg.max_objects);
+  cfg.engine.log_slots = 100;
+  cfg.engine.checkpoint_threshold = 0.3;
+  cfg.engine.background_checkpointing = true;
+  pmem::Pool pool(dipper::Engine::required_pool_bytes(cfg.engine), pmem::Pool::Mode::kDirect);
+  ssd::DeviceConfig dc;
+  dc.num_blocks = cfg.num_blocks;
+  ssd::RamBlockDevice device(dc);
+  auto r = DStore::create(&pool, &device, cfg);
+  ASSERT_TRUE(r.is_ok());
+  auto store = std::move(r).value();
+  ds_ctx_t* ctx = store->ds_init();
+  std::string v(128, 't');
+  for (int i = 0; i < 60; i++) {
+    ASSERT_TRUE(store->oput(ctx, "th" + std::to_string(i), v.data(), v.size()).is_ok());
+  }
+  // With a 0.3 threshold on a 100-slot log, 60 appends must trigger at
+  // least one checkpoint; give the background thread time to run it.
+  for (int spin = 0; spin < 200 && store->engine().stats().checkpoints.load() == 0; spin++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  store->engine().stop_background();
+  EXPECT_GE(store->engine().stats().checkpoints.load(), 1u);
+  store->ds_finalize(ctx);
+}
+
+}  // namespace
+}  // namespace dstore

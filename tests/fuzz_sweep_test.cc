@@ -1,0 +1,166 @@
+// Seeded structural fuzz sweeps: long random operation sequences against
+// reference models, with invariant validation at intervals. Each seed is an
+// independent exploration; failures print the seed for reproduction.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "alloc/slab_allocator.h"
+#include "common/rng.h"
+#include "ds/btree.h"
+#include "ds/circular_pool.h"
+
+namespace dstore {
+namespace {
+
+class BTreeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeFuzz, RandomOpsAgainstModel) {
+  uint64_t seed = GetParam();
+  size_t arena_size = 96 << 20;
+  auto buf = std::make_unique<char[]>(arena_size);
+  Arena arena(buf.get(), arena_size);
+  SlabAllocator sp = SlabAllocator::format(arena);
+  auto h = BTree::create(sp);
+  ASSERT_TRUE(h.is_ok());
+  BTree tree(sp, h.value());
+
+  Rng rng(seed);
+  std::map<std::string, uint64_t> model;
+  // Mixed key shapes: short, numeric, long — stresses comparisons and node
+  // splits differently per seed.
+  auto make_key = [&](uint64_t id) {
+    switch (id % 3) {
+      case 0: return "k" + std::to_string(id);
+      case 1: return std::string(20, 'p') + std::to_string(id);
+      default: return std::string(kMaxNameLen - 8, 'z') + std::to_string(id % 1000);
+    }
+  };
+  const int kOps = 25000;
+  for (int i = 0; i < kOps; i++) {
+    uint64_t id = rng.next_below(4000);
+    std::string ks = make_key(id);
+    Key k = Key::from(ks);
+    double dice = rng.next_double();
+    if (dice < 0.4) {
+      Status s = tree.insert(k, i);
+      if (model.count(ks)) {
+        ASSERT_EQ(s.code(), Code::kAlreadyExists) << "seed " << seed;
+      } else {
+        ASSERT_TRUE(s.is_ok()) << "seed " << seed;
+        model[ks] = (uint64_t)i;
+      }
+    } else if (dice < 0.6) {
+      ASSERT_TRUE(tree.upsert(k, (uint64_t)i).is_ok());
+      model[ks] = (uint64_t)i;
+    } else if (dice < 0.85) {
+      Status s = tree.erase(k);
+      ASSERT_EQ(s.is_ok(), model.erase(ks) > 0) << "seed " << seed;
+    } else {
+      auto v = tree.find(k);
+      auto it = model.find(ks);
+      ASSERT_EQ(v.has_value(), it != model.end()) << "seed " << seed;
+      if (v.has_value()) {
+        ASSERT_EQ(*v, it->second);
+      }
+    }
+    if ((i & 4095) == 4095) {
+      ASSERT_TRUE(tree.validate().is_ok()) << "seed " << seed;
+    }
+  }
+  ASSERT_TRUE(tree.validate().is_ok());
+  ASSERT_EQ(tree.size(), model.size());
+  // Drain completely: every node must return to the allocator.
+  for (const auto& [ks, v] : model) ASSERT_TRUE(tree.erase(Key::from(ks)).is_ok());
+  EXPECT_EQ(tree.node_count(), 0u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzz, ::testing::Values(101, 202, 303, 404, 505, 606));
+
+class SlabFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlabFuzz, RandomAllocFreeNoCorruption) {
+  uint64_t seed = GetParam();
+  size_t arena_size = 64 << 20;
+  auto buf = std::make_unique<char[]>(arena_size);
+  Arena arena(buf.get(), arena_size);
+  SlabAllocator sp = SlabAllocator::format(arena);
+
+  Rng rng(seed);
+  struct Alloc {
+    offset_t off;
+    size_t size;
+    uint8_t fill;
+  };
+  std::vector<Alloc> live;
+  uint64_t total_allocs = 0;
+  for (int i = 0; i < 30000; i++) {
+    if (!live.empty() && (rng.next_bool(0.45) || sp.used_bytes() > arena_size / 2)) {
+      size_t idx = rng.next_below(live.size());
+      Alloc a = live[idx];
+      // The fill pattern must be intact (no overlapping allocations).
+      const char* p = arena.at(a.off);
+      for (size_t b = 0; b < a.size; b += 97) {
+        ASSERT_EQ((uint8_t)p[b], a.fill) << "seed " << seed << " alloc " << a.off;
+      }
+      sp.free(a.off);
+      live.erase(live.begin() + idx);
+    } else {
+      size_t size = 1 + rng.next_below(1 << (4 + rng.next_below(10)));  // 1B..16KB
+      offset_t off = sp.alloc(size);
+      if (off == 0) continue;  // transient OOM is fine
+      uint8_t fill = (uint8_t)rng.next_below(256);
+      std::memset(arena.at(off), fill, size);
+      live.push_back({off, size, fill});
+      total_allocs++;
+    }
+  }
+  EXPECT_GT(total_allocs, 10000u);
+  // Verify every survivor then free everything; accounting must return to 0.
+  for (const Alloc& a : live) {
+    const char* p = arena.at(a.off);
+    for (size_t b = 0; b < a.size; b += 97) ASSERT_EQ((uint8_t)p[b], a.fill);
+    sp.free(a.off);
+  }
+  EXPECT_EQ(sp.allocated_bytes(), 0u) << "seed " << seed;
+  EXPECT_EQ(sp.allocation_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlabFuzz, ::testing::Values(11, 22, 33, 44));
+
+class PoolFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PoolFuzz, RingNeverDuplicatesOrLosesIds) {
+  uint64_t seed = GetParam();
+  size_t arena_size = 4 << 20;
+  auto buf = std::make_unique<char[]>(arena_size);
+  Arena arena(buf.get(), arena_size);
+  SlabAllocator sp = SlabAllocator::format(arena);
+  const uint64_t kIds = 512;
+  auto h = CircularPool::create(sp, kIds);
+  ASSERT_TRUE(h.is_ok());
+  CircularPool pool(sp, h.value());
+
+  Rng rng(seed);
+  std::set<uint64_t> outstanding;
+  for (int i = 0; i < 50000; i++) {
+    if (!outstanding.empty() && rng.next_bool(0.5)) {
+      auto it = outstanding.begin();
+      std::advance(it, rng.next_below(outstanding.size()) % 16);  // cheap-ish pick
+      ASSERT_TRUE(pool.free(*it).is_ok());
+      outstanding.erase(it);
+    } else if (auto id = pool.alloc()) {
+      ASSERT_LT(*id, kIds) << "seed " << seed;
+      ASSERT_TRUE(outstanding.insert(*id).second) << "duplicate id " << *id;
+    }
+    ASSERT_EQ(pool.free_count() + outstanding.size(), kIds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolFuzz, ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,240 @@
+// Tests for the in-arena slab allocator: format/open, size classes, reuse,
+// exhaustion, cloning (the checkpoint primitive), and determinism.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "alloc/slab_allocator.h"
+#include "common/rng.h"
+
+namespace dstore {
+namespace {
+
+class SlabTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kArenaSize = 8 << 20;
+  void SetUp() override {
+    buf_ = std::make_unique<char[]>(kArenaSize);
+    arena_ = Arena(buf_.get(), kArenaSize);
+    sp_ = SlabAllocator::format(arena_);
+  }
+  std::unique_ptr<char[]> buf_;
+  Arena arena_;
+  SlabAllocator sp_;
+};
+
+TEST_F(SlabTest, FormatAndOpen) {
+  auto reopened = SlabAllocator::open(arena_);
+  ASSERT_TRUE(reopened.is_ok());
+  EXPECT_EQ(reopened.value().used_bytes(), sp_.used_bytes());
+}
+
+TEST_F(SlabTest, OpenRejectsGarbage) {
+  std::memset(buf_.get(), 0x5a, 64);
+  auto r = SlabAllocator::open(arena_);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Code::kCorruption);
+}
+
+TEST_F(SlabTest, AllocNonNullAndDistinct) {
+  offset_t a = sp_.alloc(100);
+  offset_t b = sp_.alloc(100);
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(SlabTest, NullOffsetNeverReturned) {
+  // Offset 0 is the header; it can never be an allocation.
+  for (int i = 0; i < 1000; i++) EXPECT_NE(sp_.alloc(16), 0u);
+}
+
+TEST_F(SlabTest, AllocationSizeIsClassCapacity) {
+  offset_t a = sp_.alloc(100);
+  // 100 + 8B tag -> 128B class -> 120 usable.
+  EXPECT_EQ(sp_.allocation_size(a), 120u);
+  offset_t b = sp_.alloc(8);
+  EXPECT_EQ(sp_.allocation_size(b), 8u);  // 16B class minus tag
+}
+
+TEST_F(SlabTest, AllocZeroedZeroes) {
+  offset_t a = sp_.alloc(256);
+  std::memset(arena_.at(a), 0xff, 256);
+  sp_.free(a);
+  offset_t b = sp_.alloc_zeroed(256);
+  EXPECT_EQ(a, b);  // LIFO reuse of the same block
+  for (int i = 0; i < 256; i++) EXPECT_EQ(arena_.at(b)[i], 0);
+}
+
+TEST_F(SlabTest, FreeEnablesReuse) {
+  offset_t a = sp_.alloc(500);
+  sp_.free(a);
+  offset_t b = sp_.alloc(500);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SlabTest, FreeNullIsNoop) {
+  sp_.free(0);
+  EXPECT_EQ(sp_.allocation_count(), 0u);
+}
+
+TEST_F(SlabTest, AccountingTracksAllocations) {
+  EXPECT_EQ(sp_.allocation_count(), 0u);
+  offset_t a = sp_.alloc(64);
+  offset_t b = sp_.alloc(64);
+  EXPECT_EQ(sp_.allocation_count(), 2u);
+  uint64_t bytes = sp_.allocated_bytes();
+  EXPECT_GE(bytes, 2 * 64u);
+  sp_.free(a);
+  sp_.free(b);
+  EXPECT_EQ(sp_.allocation_count(), 0u);
+  EXPECT_EQ(sp_.allocated_bytes(), 0u);
+}
+
+TEST_F(SlabTest, DifferentClassesDontMix) {
+  offset_t small = sp_.alloc(16);
+  offset_t big = sp_.alloc(4096);
+  sp_.free(small);
+  offset_t big2 = sp_.alloc(4096);
+  EXPECT_NE(big2, small);  // the freed 32B block can't satisfy a 4KB class
+  EXPECT_NE(big2, big);
+}
+
+TEST_F(SlabTest, ExhaustionReturnsNull) {
+  // A tiny arena runs out quickly and must fail cleanly.
+  auto small_buf = std::make_unique<char[]>(256 * 1024);
+  Arena small(small_buf.get(), 256 * 1024);
+  SlabAllocator a = SlabAllocator::format(small);
+  int got = 0;
+  while (a.alloc(60 * 1024) != 0) got++;
+  EXPECT_GT(got, 0);
+  EXPECT_LT(got, 10);
+  EXPECT_EQ(a.alloc(60 * 1024), 0u);
+  // Small allocations may still succeed in the remaining space.
+}
+
+TEST_F(SlabTest, OversizeAllocationRejected) {
+  EXPECT_EQ(sp_.alloc((size_t)1 << 30), 0u);  // above the max class
+}
+
+TEST_F(SlabTest, UserRootRoundTrips) {
+  offset_t a = sp_.alloc(64);
+  sp_.set_user_root(a);
+  EXPECT_EQ(sp_.user_root(), a);
+  auto reopened = SlabAllocator::open(arena_);
+  ASSERT_TRUE(reopened.is_ok());
+  EXPECT_EQ(reopened.value().user_root(), a);
+}
+
+TEST_F(SlabTest, WritesLandInsideArena) {
+  offset_t a = sp_.alloc(128);
+  char* p = arena_.at(a);
+  EXPECT_TRUE(arena_.contains(p));
+  EXPECT_TRUE(arena_.contains(p + 119));
+}
+
+TEST_F(SlabTest, CloneReproducesContentAndState) {
+  offset_t a = sp_.alloc(100);
+  std::memcpy(arena_.at(a), "hello dipper", 13);
+  offset_t b = sp_.alloc(4000);
+  std::memset(arena_.at(b), 0x7e, 4000);
+  sp_.set_user_root(a);
+
+  auto dst_buf = std::make_unique<char[]>(kArenaSize);
+  Arena dst(dst_buf.get(), kArenaSize);
+  auto clone = sp_.clone_into(dst);
+  ASSERT_TRUE(clone.is_ok());
+  SlabAllocator& c = clone.value();
+
+  EXPECT_EQ(c.used_bytes(), sp_.used_bytes());
+  EXPECT_EQ(c.allocation_count(), sp_.allocation_count());
+  EXPECT_EQ(c.user_root(), a);
+  EXPECT_STREQ(dst.at(a), "hello dipper");
+  EXPECT_EQ((unsigned char)dst.at(b)[3999], 0x7eu);
+}
+
+TEST_F(SlabTest, CloneRejectsSmallTarget) {
+  auto dst_buf = std::make_unique<char[]>(1024);
+  Arena dst(dst_buf.get(), 1024);
+  auto clone = sp_.clone_into(dst);
+  ASSERT_FALSE(clone.is_ok());
+  EXPECT_EQ(clone.status().code(), Code::kInvalidArgument);
+}
+
+TEST_F(SlabTest, CloneThenDivergeIndependently) {
+  offset_t a = sp_.alloc(64);
+  auto dst_buf = std::make_unique<char[]>(kArenaSize);
+  Arena dst(dst_buf.get(), kArenaSize);
+  auto clone = sp_.clone_into(dst);
+  ASSERT_TRUE(clone.is_ok());
+  SlabAllocator& c = clone.value();
+  std::memset(arena_.at(a), 1, 56);
+  std::memset(dst.at(a), 2, 56);
+  EXPECT_EQ(arena_.at(a)[0], 1);
+  EXPECT_EQ(dst.at(a)[0], 2);
+  // Allocations in the clone don't affect the source.
+  uint64_t src_count = sp_.allocation_count();
+  c.alloc(64);
+  EXPECT_EQ(sp_.allocation_count(), src_count);
+}
+
+// Determinism: the same allocation/free sequence against a clone produces
+// the same offsets — the property DIPPER's log replay depends on.
+TEST_F(SlabTest, DeterministicReplayAfterClone) {
+  Rng ops_rng(42);
+  // Run a random prologue on the source.
+  std::vector<offset_t> live;
+  for (int i = 0; i < 500; i++) {
+    if (!live.empty() && ops_rng.next_bool(0.4)) {
+      size_t idx = ops_rng.next_below(live.size());
+      sp_.free(live[idx]);
+      live.erase(live.begin() + idx);
+    } else {
+      offset_t o = sp_.alloc(16 << ops_rng.next_below(8));
+      ASSERT_NE(o, 0u);
+      live.push_back(o);
+    }
+  }
+  // Clone, then apply the identical suffix to both.
+  auto dst_buf = std::make_unique<char[]>(kArenaSize);
+  Arena dst(dst_buf.get(), kArenaSize);
+  auto clone = sp_.clone_into(dst);
+  ASSERT_TRUE(clone.is_ok());
+  SlabAllocator& c = clone.value();
+
+  Rng suffix_a(7), suffix_b(7);
+  for (int i = 0; i < 300; i++) {
+    size_t sz_a = 16 << suffix_a.next_below(8);
+    size_t sz_b = 16 << suffix_b.next_below(8);
+    ASSERT_EQ(sz_a, sz_b);
+    offset_t oa = sp_.alloc(sz_a);
+    offset_t ob = c.alloc(sz_b);
+    EXPECT_EQ(oa, ob) << "divergent allocation at step " << i;
+  }
+}
+
+class SlabSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SlabSizeSweep, AllocWriteFreeCycle) {
+  size_t size = GetParam();
+  auto buf = std::make_unique<char[]>(64 << 20);
+  Arena arena(buf.get(), 64 << 20);
+  SlabAllocator sp = SlabAllocator::format(arena);
+  offset_t o = sp.alloc(size);
+  ASSERT_NE(o, 0u);
+  ASSERT_GE(sp.allocation_size(o), size);
+  std::memset(arena.at(o), 0x42, size);
+  sp.free(o);
+  offset_t o2 = sp.alloc(size);
+  EXPECT_EQ(o2, o);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SlabSizeSweep,
+                         ::testing::Values(1, 8, 15, 16, 17, 63, 64, 100, 255, 256, 1000, 4095,
+                                           4096, 65535, 65536, 1 << 20, 8 << 20));
+
+}  // namespace
+}  // namespace dstore

@@ -1,0 +1,246 @@
+// Tests for the YCSB workload generator/runner and the fsmeta simulators.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fsmeta/fsmeta.h"
+#include "workload/ycsb.h"
+
+namespace dstore::workload {
+namespace {
+
+// In-memory reference store for exercising the runner itself.
+class MapStore final : public KVStore {
+ public:
+  Status put(void*, std::string_view key, const void* value, size_t size) override {
+    std::lock_guard<std::mutex> g(mu_);
+    map_[std::string(key)] = std::string(static_cast<const char*>(value), size);
+    puts_++;
+    return Status::ok();
+  }
+  Result<size_t> get(void*, std::string_view key, void* buf, size_t cap) override {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(std::string(key));
+    if (it == map_.end()) return Status::not_found(std::string(key));
+    size_t n = std::min(cap, it->second.size());
+    std::memcpy(buf, it->second.data(), n);
+    gets_++;
+    return it->second.size();
+  }
+  Status del(void*, std::string_view key) override {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.erase(std::string(key)) ? Status::ok() : Status::not_found(std::string(key));
+  }
+  const char* name() const override { return "MapStore"; }
+
+  uint64_t puts() const { return puts_; }
+  uint64_t gets() const { return gets_; }
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::string> map_;
+  std::atomic<uint64_t> puts_{0}, gets_{0};
+};
+
+TEST(Ycsb, KeysAreStableAndDistinct) {
+  EXPECT_EQ(ycsb_key(0), ycsb_key(0));
+  EXPECT_NE(ycsb_key(0), ycsb_key(1));
+  EXPECT_EQ(ycsb_key(7).size(), ycsb_key(7000000).size());  // fixed-width
+}
+
+TEST(Ycsb, LoadPopulatesExactly) {
+  MapStore store;
+  WorkloadSpec spec;
+  spec.num_objects = 500;
+  spec.value_size = 128;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  EXPECT_EQ(store.size(), 500u);
+  EXPECT_EQ(store.puts(), 500u);
+}
+
+TEST(Ycsb, RunRespectsOpCounts) {
+  MapStore store;
+  WorkloadSpec spec;
+  spec.num_objects = 100;
+  spec.value_size = 64;
+  spec.threads = 3;
+  spec.ops_per_thread = 500;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  RunResult r = run_workload(store, spec);
+  EXPECT_EQ(r.total_ops, 1500u);
+  EXPECT_EQ(r.failed_ops, 0u);
+  EXPECT_GT(r.throughput_iops(), 0.0);
+  EXPECT_EQ(r.read_latency.count() + r.update_latency.count(), 1500u);
+}
+
+TEST(Ycsb, ReadFractionApproximatelyHonored) {
+  MapStore store;
+  WorkloadSpec spec = WorkloadSpec::ycsb_b();  // 95% reads
+  spec.num_objects = 50;
+  spec.value_size = 64;
+  spec.threads = 2;
+  spec.ops_per_thread = 5000;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  RunResult r = run_workload(store, spec);
+  double read_frac = (double)r.read_latency.count() / (double)r.total_ops;
+  EXPECT_NEAR(read_frac, 0.95, 0.02);
+}
+
+TEST(Ycsb, TimedRunStopsOnSchedule) {
+  MapStore store;
+  WorkloadSpec spec;
+  spec.num_objects = 50;
+  spec.value_size = 64;
+  spec.threads = 2;
+  spec.duration_ms = 100;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  RunResult r = run_workload(store, spec);
+  EXPECT_GE(r.elapsed_s, 0.09);
+  EXPECT_LT(r.elapsed_s, 2.0);
+  EXPECT_GT(r.total_ops, 0u);
+}
+
+TEST(Ycsb, ThroughputSeriesReceivesOps) {
+  MapStore store;
+  WorkloadSpec spec;
+  spec.num_objects = 50;
+  spec.value_size = 64;
+  spec.threads = 1;
+  spec.ops_per_thread = 1000;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  TimeSeries ts(60, 1000000000ull);
+  ts.restart();
+  RunResult r = run_workload(store, spec, &ts);
+  uint64_t counted = 0;
+  for (size_t i = 0; i < ts.num_bins(); i++) counted += ts.bin(i);
+  EXPECT_EQ(counted, r.total_ops);
+}
+
+TEST(Ycsb, WorkloadCIsReadOnly) {
+  MapStore store;
+  WorkloadSpec spec = WorkloadSpec::ycsb_c();
+  spec.num_objects = 100;
+  spec.value_size = 64;
+  spec.threads = 2;
+  spec.ops_per_thread = 2000;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  uint64_t puts_before = store.puts();
+  RunResult r = run_workload(store, spec);
+  EXPECT_EQ(r.failed_ops, 0u);
+  EXPECT_EQ(store.puts(), puts_before);  // not a single write
+  EXPECT_EQ(r.update_latency.count(), 0u);
+}
+
+TEST(Ycsb, WorkloadDInsertsGrowKeyspace) {
+  MapStore store;
+  WorkloadSpec spec = WorkloadSpec::ycsb_d();
+  spec.num_objects = 200;
+  spec.value_size = 64;
+  spec.threads = 2;
+  spec.ops_per_thread = 3000;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  RunResult r = run_workload(store, spec);
+  EXPECT_EQ(r.failed_ops, 0u);
+  // ~5% of 6000 ops insert fresh keys.
+  EXPECT_NEAR((double)r.inserts, 300.0, 120.0);
+  EXPECT_EQ(store.size(), 200 + r.inserts);
+}
+
+TEST(Ycsb, WorkloadFReadModifyWrite) {
+  MapStore store;
+  WorkloadSpec spec = WorkloadSpec::ycsb_f();
+  spec.num_objects = 100;
+  spec.value_size = 64;
+  spec.threads = 2;
+  spec.ops_per_thread = 2000;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  uint64_t gets_before = store.gets();
+  uint64_t puts_before = store.puts();
+  RunResult r = run_workload(store, spec);
+  EXPECT_EQ(r.failed_ops, 0u);
+  uint64_t rmw_ops = r.update_latency.count();
+  // Every RMW does one get AND one put; plain reads add gets only.
+  EXPECT_EQ(store.puts() - puts_before, rmw_ops);
+  EXPECT_EQ(store.gets() - gets_before, r.total_ops);  // reads + RMW reads
+  EXPECT_NEAR((double)rmw_ops, 2000.0, 300.0);         // ~50% of 4000
+}
+
+TEST(Ycsb, ReadLatestTargetsRecentKeys) {
+  MapStore store;
+  WorkloadSpec spec = WorkloadSpec::ycsb_d();
+  spec.num_objects = 1000;
+  spec.value_size = 16;
+  spec.threads = 1;
+  spec.ops_per_thread = 3000;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  RunResult r = run_workload(store, spec);
+  EXPECT_EQ(r.failed_ops, 0u);  // read-latest never picks an unwritten key
+}
+
+TEST(Ycsb, MissingKeysNeverRequested) {
+  // The runner only touches preloaded keys, so no op should fail.
+  MapStore store;
+  WorkloadSpec spec = WorkloadSpec::ycsb_a();
+  spec.num_objects = 200;
+  spec.value_size = 32;
+  spec.threads = 2;
+  spec.ops_per_thread = 2000;
+  ASSERT_TRUE(load_objects(store, spec).is_ok());
+  RunResult r = run_workload(store, spec);
+  EXPECT_EQ(r.failed_ops, 0u);
+}
+
+}  // namespace
+}  // namespace dstore::workload
+
+namespace dstore::fsmeta {
+namespace {
+
+TEST(FsMeta, AllPathsRunAndReturnTime) {
+  pmem::Pool pool(128 << 20, pmem::Pool::Mode::kDirect);
+  Ext4DaxMeta ext4(&pool);
+  XfsDaxMeta xfs(&pool);
+  NovaMeta nova(&pool);
+  DStoreMeta dstore(&pool);
+  MetaPathSim* sims[] = {&ext4, &xfs, &nova, &dstore};
+  for (MetaPathSim* sim : sims) {
+    uint64_t total = 0;
+    for (int i = 0; i < 100; i++) total += sim->metadata_update(i % 16);
+    EXPECT_GT(total, 0u) << sim->name();
+  }
+}
+
+TEST(FsMeta, RelativeCostOrderingMatchesFig6) {
+  // With calibrated PMEM latency, the metadata cost ordering must be
+  // DStore < NOVA < xfs-DAX < ext4-DAX (Fig 6's shape): one 64B flush <
+  // two ordered flushes < ~1KB log write + flush < three 4KB journal
+  // blocks + flush.
+  pmem::Pool pool(256 << 20, pmem::Pool::Mode::kDirect, LatencyModel::calibrated(1.0));
+  Ext4DaxMeta ext4(&pool);
+  XfsDaxMeta xfs(&pool);
+  NovaMeta nova(&pool);
+  DStoreMeta dstore(&pool);
+  auto avg = [](MetaPathSim& sim) {
+    uint64_t total = 0;
+    const int n = 500;
+    for (int i = 0; i < n; i++) total += sim.metadata_update(i % 64);
+    return (double)total / n;
+  };
+  double c_dstore = avg(dstore);
+  double c_nova = avg(nova);
+  double c_xfs = avg(xfs);
+  double c_ext4 = avg(ext4);
+  // Margins absorb scheduler noise when the test suite runs in parallel.
+  EXPECT_LT(c_dstore, c_nova * 1.2);
+  EXPECT_LT(c_nova, c_ext4);
+  EXPECT_LT(c_xfs, c_ext4);
+  EXPECT_LT(c_dstore, c_xfs);
+}
+
+}  // namespace
+}  // namespace dstore::fsmeta

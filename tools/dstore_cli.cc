@@ -1,0 +1,251 @@
+// dstore_cli — a small command-line front end over a persistent DStore.
+//
+// The control plane lives in a file-backed emulated-PMEM pool and the data
+// plane in a file-backed block device, so the store survives across
+// invocations: every command opens the store (recovering if it exists),
+// performs its work, and exits. This is the "embedded storage sub-system"
+// usage the paper targets (§4.1), driven interactively.
+//
+// Usage:
+//   dstore_cli --dir DIR init [--objects N] [--blocks N]
+//   dstore_cli --dir DIR put NAME VALUE          (VALUE=@file reads a file)
+//   dstore_cli --dir DIR get NAME [@outfile]
+//   dstore_cli --dir DIR del NAME
+//   dstore_cli --dir DIR ls
+//   dstore_cli --dir DIR stat
+//   dstore_cli --dir DIR checkpoint
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dstore/dstore.h"
+
+using namespace dstore;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct CliStore {
+  DStoreConfig cfg;
+  std::unique_ptr<pmem::Pool> pool;
+  std::unique_ptr<ssd::FileBlockDevice> device;
+  std::unique_ptr<DStore> store;
+};
+
+// Store sizing is persisted in a tiny side file so later invocations open
+// with the same configuration the pool was formatted with.
+struct Manifest {
+  uint64_t max_objects = 1 << 14;
+  uint64_t num_blocks = 1 << 15;
+  uint32_t log_slots = 8192;
+};
+
+bool read_manifest(const fs::path& dir, Manifest* m) {
+  std::ifstream in(dir / "manifest");
+  return bool(in >> m->max_objects >> m->num_blocks >> m->log_slots);
+}
+
+bool write_manifest(const fs::path& dir, const Manifest& m) {
+  std::ofstream out(dir / "manifest");
+  out << m.max_objects << " " << m.num_blocks << " " << m.log_slots << "\n";
+  return bool(out);
+}
+
+DStoreConfig config_from(const Manifest& m) {
+  DStoreConfig cfg;
+  cfg.max_objects = m.max_objects;
+  cfg.num_blocks = m.num_blocks;
+  cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(m.max_objects);
+  cfg.engine.log_slots = m.log_slots;
+  cfg.engine.background_checkpointing = false;  // short-lived process
+  return cfg;
+}
+
+int open_store(const fs::path& dir, bool create, const Manifest& manifest, CliStore* out) {
+  Manifest m = manifest;
+  if (!create && !read_manifest(dir, &m)) {
+    fprintf(stderr, "no store at %s (run `init` first)\n", dir.c_str());
+    return 1;
+  }
+  out->cfg = config_from(m);
+  auto pool = pmem::Pool::open_file((dir / "pmem.img").string(),
+                                    dipper::Engine::required_pool_bytes(out->cfg.engine),
+                                    LatencyModel::none(), create);
+  if (!pool.is_ok()) {
+    fprintf(stderr, "pmem open failed: %s\n", pool.status().to_string().c_str());
+    return 1;
+  }
+  out->pool = std::move(pool).value();
+  ssd::DeviceConfig dc;
+  dc.num_blocks = m.num_blocks;
+  auto dev = ssd::FileBlockDevice::open((dir / "data.img").string(), dc, create);
+  if (!dev.is_ok()) {
+    fprintf(stderr, "device open failed: %s\n", dev.status().to_string().c_str());
+    return 1;
+  }
+  out->device = std::move(dev).value();
+  auto store = create ? DStore::create(out->pool.get(), out->device.get(), out->cfg)
+                      : DStore::recover(out->pool.get(), out->device.get(), out->cfg);
+  if (!store.is_ok()) {
+    fprintf(stderr, "store %s failed: %s\n", create ? "create" : "recover",
+            store.status().to_string().c_str());
+    return 1;
+  }
+  out->store = std::move(store).value();
+  if (create && !write_manifest(dir, m)) {
+    fprintf(stderr, "cannot write manifest\n");
+    return 1;
+  }
+  return 0;
+}
+
+// On exit, fold the log into a checkpoint so the next invocation recovers
+// from a compact state (optional but keeps recovery fast).
+void close_store(CliStore& s) {
+  (void)s.store->checkpoint_now();
+  s.store.reset();
+}
+
+std::string read_value_arg(const std::string& arg, bool* ok) {
+  *ok = true;
+  if (!arg.empty() && arg[0] == '@') {
+    std::ifstream in(arg.substr(1), std::ios::binary);
+    if (!in) {
+      *ok = false;
+      return {};
+    }
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+  return arg;
+}
+
+int usage() {
+  fprintf(stderr,
+          "usage: dstore_cli --dir DIR COMMAND ...\n"
+          "  init [--objects N] [--blocks N]   format a new store\n"
+          "  put NAME VALUE|@file              store an object\n"
+          "  get NAME [@outfile]               fetch an object\n"
+          "  del NAME                          delete an object\n"
+          "  ls                                list objects\n"
+          "  stat                              space usage & engine stats\n"
+          "  checkpoint                        force a checkpoint\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  fs::path dir;
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args.size(); i++) {
+    if (args[i] == "--dir" && i + 1 < args.size()) {
+      dir = args[++i];
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  if (dir.empty() || rest.empty()) return usage();
+  const std::string& cmd = rest[0];
+
+  if (cmd == "init") {
+    Manifest m;
+    for (size_t i = 1; i + 1 < rest.size(); i += 2) {
+      if (rest[i] == "--objects") m.max_objects = strtoull(rest[i + 1].c_str(), nullptr, 10);
+      if (rest[i] == "--blocks") m.num_blocks = strtoull(rest[i + 1].c_str(), nullptr, 10);
+    }
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    CliStore s;
+    if (int rc = open_store(dir, /*create=*/true, m, &s)) return rc;
+    printf("initialized store in %s (max %llu objects, %llu blocks)\n", dir.c_str(),
+           (unsigned long long)m.max_objects, (unsigned long long)m.num_blocks);
+    close_store(s);
+    return 0;
+  }
+
+  CliStore s;
+  if (int rc = open_store(dir, /*create=*/false, Manifest{}, &s)) return rc;
+  ds_ctx_t* ctx = s.store->ds_init();
+  int rc = 0;
+
+  if (cmd == "put" && rest.size() >= 3) {
+    bool ok;
+    std::string value = read_value_arg(rest[2], &ok);
+    if (!ok) {
+      fprintf(stderr, "cannot read %s\n", rest[2].c_str());
+      rc = 1;
+    } else {
+      Status st = s.store->oput(ctx, rest[1], value.data(), value.size());
+      if (!st.is_ok()) {
+        fprintf(stderr, "put failed: %s\n", st.to_string().c_str());
+        rc = 1;
+      } else {
+        printf("put %s (%zu bytes)\n", rest[1].c_str(), value.size());
+      }
+    }
+  } else if (cmd == "get" && rest.size() >= 2) {
+    auto size = s.store->object_size(rest[1]);
+    if (!size.is_ok()) {
+      fprintf(stderr, "get failed: %s\n", size.status().to_string().c_str());
+      rc = 1;
+    } else {
+      std::string buf(size.value(), 0);
+      auto r = s.store->oget(ctx, rest[1], buf.data(), buf.size());
+      if (!r.is_ok()) {
+        fprintf(stderr, "get failed: %s\n", r.status().to_string().c_str());
+        rc = 1;
+      } else if (rest.size() >= 3 && rest[2][0] == '@') {
+        std::ofstream out(rest[2].substr(1), std::ios::binary);
+        out.write(buf.data(), (std::streamsize)buf.size());
+        printf("wrote %zu bytes to %s\n", buf.size(), rest[2].c_str() + 1);
+      } else {
+        fwrite(buf.data(), 1, buf.size(), stdout);
+        if (buf.empty() || buf.back() != '\n') printf("\n");
+      }
+    }
+  } else if (cmd == "del" && rest.size() >= 2) {
+    Status st = s.store->odelete(ctx, rest[1]);
+    if (!st.is_ok()) {
+      fprintf(stderr, "del failed: %s\n", st.to_string().c_str());
+      rc = 1;
+    } else {
+      printf("deleted %s\n", rest[1].c_str());
+    }
+  } else if (cmd == "ls") {
+    uint64_t count = 0;
+    s.store->list([&](std::string_view name, uint64_t size) {
+      printf("%10llu  %.*s\n", (unsigned long long)size, (int)name.size(), name.data());
+      count++;
+      return true;
+    });
+    printf("(%llu objects)\n", (unsigned long long)count);
+  } else if (cmd == "stat") {
+    auto u = s.store->space_usage();
+    const auto& es = s.store->engine().stats();
+    printf("objects:       %llu\n", (unsigned long long)s.store->object_count());
+    printf("DRAM in use:   %.2f MB\n", u.dram_bytes / 1e6);
+    printf("PMEM in use:   %.2f MB\n", u.pmem_bytes / 1e6);
+    printf("SSD in use:    %.2f MB\n", u.ssd_bytes / 1e6);
+    printf("log fill:      %.0f%%\n", s.store->engine().log_fill() * 100);
+    printf("checkpoints:   %llu\n", (unsigned long long)es.checkpoints.load());
+    printf("records ever:  %llu appended, %llu replayed\n",
+           (unsigned long long)es.records_appended.load(),
+           (unsigned long long)es.records_replayed.load());
+  } else if (cmd == "checkpoint") {
+    Status st = s.store->checkpoint_now();
+    printf("checkpoint: %s\n", st.to_string().c_str());
+    rc = st.is_ok() ? 0 : 1;
+  } else {
+    s.store->ds_finalize(ctx);
+    return usage();
+  }
+
+  s.store->ds_finalize(ctx);
+  close_store(s);
+  return rc;
+}

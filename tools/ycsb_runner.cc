@@ -1,0 +1,116 @@
+// ycsb_runner — run any YCSB workload mix against any evaluated system and
+// print throughput + the full latency profile. The Swiss-army knife behind
+// the per-figure benches, exposed directly.
+//
+//   ycsb_runner [--system NAME] [--workload A|B|C|D|F] [--objects N]
+//               [--threads N] [--ops N] [--value BYTES] [--scale F]
+//               [--trace-out FILE | --trace-in FILE]
+//
+// Systems: DStore (default), DStore-CoW, DStore-noOE, PMEM-RocksDB,
+//          MongoDB-PM, MongoDB-PMSE, PhysLog+CoW, LogicalLog+CoW
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/trace.h"
+
+using namespace dstore;
+using namespace dstore::bench;
+using namespace dstore::workload;
+
+int main(int argc, char** argv) {
+  std::string system = "DStore";
+  std::string wl = "A";
+  std::string trace_out, trace_in;
+  BenchParams p;
+  size_t value_size = 4096;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--system") system = args[i + 1];
+    else if (args[i] == "--workload") wl = args[i + 1];
+    else if (args[i] == "--objects") p.objects = strtoull(args[i + 1].c_str(), nullptr, 10);
+    else if (args[i] == "--threads") p.threads = (int)strtoul(args[i + 1].c_str(), nullptr, 10);
+    else if (args[i] == "--ops") p.ops_per_thread = strtoull(args[i + 1].c_str(), nullptr, 10);
+    else if (args[i] == "--value") value_size = strtoull(args[i + 1].c_str(), nullptr, 10);
+    else if (args[i] == "--scale") p.scale = strtod(args[i + 1].c_str(), nullptr);
+    else if (args[i] == "--trace-out") trace_out = args[i + 1];
+    else if (args[i] == "--trace-in") trace_in = args[i + 1];
+    else {
+      fprintf(stderr, "unknown flag %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+
+  auto store = make_system(system, p);
+  if (!store) return 1;
+
+  if (!trace_in.empty()) {
+    auto trace = read_trace(trace_in);
+    if (!trace.is_ok()) {
+      fprintf(stderr, "trace: %s\n", trace.status().to_string().c_str());
+      return 1;
+    }
+    printf("replaying %zu-record trace against %s with %d threads...\n",
+           trace.value().size(), store->name(), p.threads);
+    auto r = replay_trace(*store, trace.value(), p.threads);
+    if (!r.is_ok()) return 1;
+    printf("%llu ops in %.2fs (%.0f ops/s), %llu failures\n",
+           (unsigned long long)r.value().ops, r.value().elapsed_s,
+           r.value().ops / r.value().elapsed_s, (unsigned long long)r.value().failures);
+    printf("latency: %s\n", r.value().latency.summary_us().c_str());
+    return 0;
+  }
+
+  WorkloadSpec spec;
+  if (wl == "A") spec = WorkloadSpec::ycsb_a();
+  else if (wl == "B") spec = WorkloadSpec::ycsb_b();
+  else if (wl == "C") spec = WorkloadSpec::ycsb_c();
+  else if (wl == "D") spec = WorkloadSpec::ycsb_d();
+  else if (wl == "F") spec = WorkloadSpec::ycsb_f();
+  else {
+    fprintf(stderr, "unknown workload %s (A|B|C|D|F)\n", wl.c_str());
+    return 2;
+  }
+  spec.num_objects = p.objects;
+  spec.value_size = value_size;
+  spec.threads = p.threads;
+  spec.ops_per_thread = p.ops_per_thread;
+
+  printf("system=%s workload=%s objects=%llu threads=%d ops/thread=%llu value=%zuB scale=%.2f\n",
+         store->name(), wl.c_str(), (unsigned long long)spec.num_objects, spec.threads,
+         (unsigned long long)spec.ops_per_thread, spec.value_size, p.scale);
+  if (!load_objects(*store, spec).is_ok()) {
+    fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  store->prepare_run();
+
+  std::unique_ptr<TraceWriter> writer;
+  std::unique_ptr<TracingStore> traced;
+  KVStore* target = store.get();
+  if (!trace_out.empty()) {
+    auto w = TraceWriter::create(trace_out);
+    if (!w.is_ok()) {
+      fprintf(stderr, "trace: %s\n", w.status().to_string().c_str());
+      return 1;
+    }
+    writer = std::move(w).value();
+    traced = std::make_unique<TracingStore>(store.get(), writer.get());
+    target = traced.get();
+  }
+
+  auto r = run_workload(*target, spec);
+  printf("throughput: %.0f ops/s (%llu ops, %llu failed, %llu inserts)\n",
+         r.throughput_iops(), (unsigned long long)r.total_ops,
+         (unsigned long long)r.failed_ops, (unsigned long long)r.inserts);
+  printf("reads:   %s\n", r.read_latency.summary_us().c_str());
+  printf("updates: %s\n", r.update_latency.summary_us().c_str());
+  if (writer) {
+    (void)writer->finish();
+    printf("trace written: %s (%llu records)\n", trace_out.c_str(),
+           (unsigned long long)writer->count());
+  }
+  return r.failed_ops == 0 ? 0 : 1;
+}
