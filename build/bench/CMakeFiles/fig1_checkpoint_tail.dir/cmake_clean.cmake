@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_checkpoint_tail.dir/fig1_checkpoint_tail.cc.o"
+  "CMakeFiles/fig1_checkpoint_tail.dir/fig1_checkpoint_tail.cc.o.d"
+  "fig1_checkpoint_tail"
+  "fig1_checkpoint_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_checkpoint_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_metadata_overhead.dir/fig6_metadata_overhead.cc.o"
+  "CMakeFiles/fig6_metadata_overhead.dir/fig6_metadata_overhead.cc.o.d"
+  "fig6_metadata_overhead"
+  "fig6_metadata_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_metadata_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_throughput_window.dir/fig7_throughput_window.cc.o"
+  "CMakeFiles/fig7_throughput_window.dir/fig7_throughput_window.cc.o.d"
+  "fig7_throughput_window"
+  "fig7_throughput_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_throughput_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_slo_summary.dir/table5_slo_summary.cc.o"
+  "CMakeFiles/table5_slo_summary.dir/table5_slo_summary.cc.o.d"
+  "table5_slo_summary"
+  "table5_slo_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_slo_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table5_slo_summary.
+# This may be replaced when dependencies are built.

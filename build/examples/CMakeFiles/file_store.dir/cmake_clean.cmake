@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_store.dir/file_store.cpp.o"
+  "CMakeFiles/file_store.dir/file_store.cpp.o.d"
+  "file_store"
+  "file_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

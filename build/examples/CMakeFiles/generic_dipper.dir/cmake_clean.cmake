@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_dipper.dir/generic_dipper.cpp.o"
+  "CMakeFiles/generic_dipper.dir/generic_dipper.cpp.o.d"
+  "generic_dipper"
+  "generic_dipper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_dipper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tailless_demo.dir/tailless_demo.cpp.o"
+  "CMakeFiles/tailless_demo.dir/tailless_demo.cpp.o.d"
+  "tailless_demo"
+  "tailless_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tailless_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

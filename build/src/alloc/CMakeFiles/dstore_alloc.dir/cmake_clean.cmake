@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_alloc.dir/slab_allocator.cc.o"
+  "CMakeFiles/dstore_alloc.dir/slab_allocator.cc.o.d"
+  "libdstore_alloc.a"
+  "libdstore_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdstore_alloc.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_baselines.dir/cached_btree.cc.o"
+  "CMakeFiles/dstore_baselines.dir/cached_btree.cc.o.d"
+  "CMakeFiles/dstore_baselines.dir/cached_lsm.cc.o"
+  "CMakeFiles/dstore_baselines.dir/cached_lsm.cc.o.d"
+  "CMakeFiles/dstore_baselines.dir/dstore_adapter.cc.o"
+  "CMakeFiles/dstore_baselines.dir/dstore_adapter.cc.o.d"
+  "CMakeFiles/dstore_baselines.dir/uncached.cc.o"
+  "CMakeFiles/dstore_baselines.dir/uncached.cc.o.d"
+  "libdstore_baselines.a"
+  "libdstore_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_common.dir/histogram.cc.o"
+  "CMakeFiles/dstore_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dstore_common.dir/status.cc.o"
+  "CMakeFiles/dstore_common.dir/status.cc.o.d"
+  "libdstore_common.a"
+  "libdstore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

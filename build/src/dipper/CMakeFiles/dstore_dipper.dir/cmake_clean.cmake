@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_dipper.dir/engine.cc.o"
+  "CMakeFiles/dstore_dipper.dir/engine.cc.o.d"
+  "CMakeFiles/dstore_dipper.dir/log.cc.o"
+  "CMakeFiles/dstore_dipper.dir/log.cc.o.d"
+  "libdstore_dipper.a"
+  "libdstore_dipper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_dipper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

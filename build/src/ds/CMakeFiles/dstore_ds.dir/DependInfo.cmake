@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ds/btree.cc" "src/ds/CMakeFiles/dstore_ds.dir/btree.cc.o" "gcc" "src/ds/CMakeFiles/dstore_ds.dir/btree.cc.o.d"
+  "/root/repo/src/ds/circular_pool.cc" "src/ds/CMakeFiles/dstore_ds.dir/circular_pool.cc.o" "gcc" "src/ds/CMakeFiles/dstore_ds.dir/circular_pool.cc.o.d"
+  "/root/repo/src/ds/metadata_zone.cc" "src/ds/CMakeFiles/dstore_ds.dir/metadata_zone.cc.o" "gcc" "src/ds/CMakeFiles/dstore_ds.dir/metadata_zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alloc/CMakeFiles/dstore_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dstore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

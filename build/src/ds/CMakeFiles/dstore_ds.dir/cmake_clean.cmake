@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_ds.dir/btree.cc.o"
+  "CMakeFiles/dstore_ds.dir/btree.cc.o.d"
+  "CMakeFiles/dstore_ds.dir/circular_pool.cc.o"
+  "CMakeFiles/dstore_ds.dir/circular_pool.cc.o.d"
+  "CMakeFiles/dstore_ds.dir/metadata_zone.cc.o"
+  "CMakeFiles/dstore_ds.dir/metadata_zone.cc.o.d"
+  "libdstore_ds.a"
+  "libdstore_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_core.dir/dstore.cc.o"
+  "CMakeFiles/dstore_core.dir/dstore.cc.o.d"
+  "CMakeFiles/dstore_core.dir/dstore_c.cc.o"
+  "CMakeFiles/dstore_core.dir/dstore_c.cc.o.d"
+  "CMakeFiles/dstore_core.dir/sharded.cc.o"
+  "CMakeFiles/dstore_core.dir/sharded.cc.o.d"
+  "libdstore_core.a"
+  "libdstore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_fsmeta.dir/fsmeta.cc.o"
+  "CMakeFiles/dstore_fsmeta.dir/fsmeta.cc.o.d"
+  "libdstore_fsmeta.a"
+  "libdstore_fsmeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_fsmeta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

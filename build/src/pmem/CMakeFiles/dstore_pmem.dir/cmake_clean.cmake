@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_pmem.dir/pool.cc.o"
+  "CMakeFiles/dstore_pmem.dir/pool.cc.o.d"
+  "libdstore_pmem.a"
+  "libdstore_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_ssd.dir/block_device.cc.o"
+  "CMakeFiles/dstore_ssd.dir/block_device.cc.o.d"
+  "libdstore_ssd.a"
+  "libdstore_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

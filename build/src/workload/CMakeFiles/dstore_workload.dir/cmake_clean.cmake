@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_workload.dir/trace.cc.o"
+  "CMakeFiles/dstore_workload.dir/trace.cc.o.d"
+  "CMakeFiles/dstore_workload.dir/ycsb.cc.o"
+  "CMakeFiles/dstore_workload.dir/ycsb.cc.o.d"
+  "libdstore_workload.a"
+  "libdstore_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

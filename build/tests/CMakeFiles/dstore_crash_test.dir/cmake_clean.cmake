@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_crash_test.dir/dstore_crash_test.cc.o"
+  "CMakeFiles/dstore_crash_test.dir/dstore_crash_test.cc.o.d"
+  "dstore_crash_test"
+  "dstore_crash_test.pdb"
+  "dstore_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_modes_test.dir/dstore_modes_test.cc.o"
+  "CMakeFiles/dstore_modes_test.dir/dstore_modes_test.cc.o.d"
+  "dstore_modes_test"
+  "dstore_modes_test.pdb"
+  "dstore_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

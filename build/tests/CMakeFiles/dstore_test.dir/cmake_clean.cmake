@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_test.dir/dstore_test.cc.o"
+  "CMakeFiles/dstore_test.dir/dstore_test.cc.o.d"
+  "dstore_test"
+  "dstore_test.pdb"
+  "dstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_cow_test.dir/engine_cow_test.cc.o"
+  "CMakeFiles/engine_cow_test.dir/engine_cow_test.cc.o.d"
+  "engine_cow_test"
+  "engine_cow_test.pdb"
+  "engine_cow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_cow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

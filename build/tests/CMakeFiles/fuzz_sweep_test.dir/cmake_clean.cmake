@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_sweep_test.dir/fuzz_sweep_test.cc.o"
+  "CMakeFiles/fuzz_sweep_test.dir/fuzz_sweep_test.cc.o.d"
+  "fuzz_sweep_test"
+  "fuzz_sweep_test.pdb"
+  "fuzz_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

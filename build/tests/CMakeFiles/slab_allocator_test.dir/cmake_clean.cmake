@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slab_allocator_test.dir/slab_allocator_test.cc.o"
+  "CMakeFiles/slab_allocator_test.dir/slab_allocator_test.cc.o.d"
+  "slab_allocator_test"
+  "slab_allocator_test.pdb"
+  "slab_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slab_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

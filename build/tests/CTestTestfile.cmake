@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/pmem_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/slab_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/pools_test[1]_include.cmake")
+include("/root/repo/build/tests/block_device_test[1]_include.cmake")
+include("/root/repo/build/tests/log_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/dstore_test[1]_include.cmake")
+include("/root/repo/build/tests/dstore_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_cow_test[1]_include.cmake")
+include("/root/repo/build/tests/dstore_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/c_api_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_sweep_test[1]_include.cmake")

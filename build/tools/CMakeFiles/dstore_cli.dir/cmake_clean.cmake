@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_cli.dir/dstore_cli.cc.o"
+  "CMakeFiles/dstore_cli.dir/dstore_cli.cc.o.d"
+  "dstore_cli"
+  "dstore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dstore_fsck.dir/dstore_fsck.cc.o"
+  "CMakeFiles/dstore_fsck.dir/dstore_fsck.cc.o.d"
+  "dstore_fsck"
+  "dstore_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dstore_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
