@@ -15,6 +15,10 @@ struct JournalHeader {
 };
 constexpr uint32_t kTombstone = ~0u;
 
+// Records are packed back-to-back; pad each to 8 bytes so every
+// JournalHeader (and its 8B-atomic seq marker) stays naturally aligned.
+constexpr size_t align8(size_t n) { return (n + 7) & ~(size_t)7; }
+
 // Catalog record serialized into the reserved SSD blocks at checkpoint.
 struct CatalogRecord {
   uint32_t key_len;
@@ -42,7 +46,7 @@ Result<std::unique_ptr<CachedBtreeStore>> CachedBtreeStore::make(CachedBtreeConf
 Status CachedBtreeStore::journal_append(std::string_view key, const void* value, size_t size,
                                         bool tombstone) {
   LockGuard<SpinLock> g(journal_mu_);
-  size_t rec = sizeof(JournalHeader) + key.size() + (tombstone ? 0 : size);
+  size_t rec = align8(sizeof(JournalHeader) + key.size() + (tombstone ? 0 : size));
   if (journal_off_ + rec > pool_->size()) return Status::out_of_space("journal full");
   char* base = pool_->base() + journal_off_;
   auto* h = reinterpret_cast<JournalHeader*>(base);
@@ -272,12 +276,12 @@ Result<workload::KVStore::RecoveryTiming> CachedBtreeStore::crash_and_recover() 
         free_blocks_list(it->second.blocks);
         cache_.erase(it);
       }
-      off += sizeof(JournalHeader) + h->key_len;
+      off += align8(sizeof(JournalHeader) + h->key_len);
     } else {
       Entry& e = cache_[key];
       e.cached = std::string(base + sizeof(JournalHeader) + h->key_len, h->value_len);
       e.dirty = true;
-      off += sizeof(JournalHeader) + h->key_len + h->value_len;
+      off += align8(sizeof(JournalHeader) + h->key_len + h->value_len);
     }
   }
   t.replay_ms = replay.elapsed_ms();

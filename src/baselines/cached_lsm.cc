@@ -15,6 +15,10 @@ struct WalHeader {
   uint64_t seq;        // non-zero = valid (persisted last)
 };
 constexpr uint32_t kTombstone = ~0u;
+
+// Records are packed back-to-back; pad each to 8 bytes so every WalHeader
+// (and its 8B-atomic seq marker) stays naturally aligned.
+constexpr size_t align8(size_t n) { return (n + 7) & ~(size_t)7; }
 }  // namespace
 
 Result<std::unique_ptr<CachedLsmStore>> CachedLsmStore::make(CachedLsmConfig cfg,
@@ -47,7 +51,7 @@ const CachedLsmStore::ValueLoc* CachedLsmStore::Run::find(const std::string& key
 Status CachedLsmStore::wal_append(std::string_view key, const void* value, size_t size,
                                   bool tombstone) {
   LockGuard<SpinLock> g(wal_mu_);
-  size_t rec = sizeof(WalHeader) + key.size() + (tombstone ? 0 : size);
+  size_t rec = align8(sizeof(WalHeader) + key.size() + (tombstone ? 0 : size));
   if (wal_off_ + rec > pool_->size()) {
     // WAL full: RocksDB would force a flush; signal the caller.
     return Status::out_of_space("WAL full");
@@ -349,7 +353,7 @@ Result<workload::KVStore::RecoveryTiming> CachedLsmStore::crash_and_recover() {
       memtable_[key] = std::string(base + sizeof(WalHeader) + h->key_len, h->value_len);
       memtable_bytes_ += h->value_len;
     }
-    off += sizeof(WalHeader) + h->key_len + (h->value_len == kTombstone ? 0 : h->value_len);
+    off += align8(sizeof(WalHeader) + h->key_len + (h->value_len == kTombstone ? 0 : h->value_len));
   }
   t.replay_ms = replay.elapsed_ms();
   return t;

@@ -1,0 +1,61 @@
+#include "common/check_report.h"
+
+#include <cstdio>
+
+namespace dstore {
+
+const char* check_kind_name(CheckKind k) {
+  switch (k) {
+    case CheckKind::kMissingFlush:
+      return "missing-flush";
+    case CheckKind::kRedundantFlush:
+      return "redundant-flush";
+    case CheckKind::kStoreAfterFlush:
+      return "store-after-flush-before-fence";
+    case CheckKind::kUnpersistedRead:
+      return "read-unpersisted-during-recovery";
+  }
+  return "unknown";
+}
+
+std::string CheckViolation::to_string() const {
+  std::string s = check_kind_name(kind);
+  s += " @ pool+0x";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llx", (unsigned long long)offset);
+  s += buf;
+  if (lines > 1) {
+    std::snprintf(buf, sizeof(buf), " (%llu lines)", (unsigned long long)lines);
+    s += buf;
+  }
+  if (!site.empty()) {
+    s += " [";
+    s += site;
+    s += "]";
+  }
+  if (!detail.empty()) {
+    s += ": ";
+    s += detail;
+  }
+  return s;
+}
+
+void CheckReport::clear() {
+  for (uint64_t& c : counts_) c = 0;
+  violations_.clear();
+}
+
+void CheckReport::print(std::ostream& os) const {
+  os << "PmemCheck: " << total() << " violation(s), " << hard_count() << " hard\n";
+  for (size_t k = 0; k < kNumCheckKinds; k++) {
+    if (counts_[k] != 0) {
+      os << "  " << check_kind_name((CheckKind)k) << ": " << counts_[k] << "\n";
+    }
+  }
+  for (const CheckViolation& v : violations_) os << "  " << v.to_string() << "\n";
+  if (total() > violations_.size()) {
+    os << "  ... " << (total() - violations_.size()) << " more not recorded\n";
+  }
+}
+
+}  // namespace dstore

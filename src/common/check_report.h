@@ -1,0 +1,77 @@
+// Violation report type shared by runtime checkers (PmemCheck today).
+//
+// A checker accumulates `CheckViolation`s into a `CheckReport`; tests assert
+// on per-kind counts and tools pretty-print the recorded details. The report
+// itself is not thread-safe — checkers call it under their own
+// serialization (PmemCheck runs every hook under the pool's image mutex).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dstore {
+
+// The four PMEM persistence-order defect classes (DESIGN.md §PmemCheck).
+enum class CheckKind : uint8_t {
+  // A line that must be durable at a durability point (log-record publish,
+  // root flip, checkpoint install, teardown) was never flushed+fenced.
+  kMissingFlush = 0,
+  // A flush of a line that is already clean or already staged with the same
+  // contents: pure latency waste (~600 ns/line on real PMEM), not a
+  // correctness bug. Counted so benches can report it.
+  kRedundantFlush = 1,
+  // A store landed on a line between its flush and the retiring fence and
+  // was not re-flushed: the persistent contents at the fence are ambiguous,
+  // which breaks the §3.4 reverse-order flush protocol.
+  kStoreAfterFlush = 2,
+  // Recovery/replay code consumed bytes that differ from the persistent
+  // image, i.e. it depends on volatile state a crash would have destroyed.
+  kUnpersistedRead = 3,
+};
+inline constexpr size_t kNumCheckKinds = 4;
+
+const char* check_kind_name(CheckKind k);
+
+struct CheckViolation {
+  CheckKind kind;
+  uint64_t offset = 0;  // pool offset of the first offending cache line
+  uint64_t lines = 1;   // contiguous offending lines coalesced into this entry
+  std::string site;     // annotation/scope label of the offending call site
+  std::string detail;   // human-readable specifics
+
+  std::string to_string() const;
+};
+
+class CheckReport {
+ public:
+  explicit CheckReport(size_t max_recorded = 1024) : max_recorded_(max_recorded) {}
+
+  void add(CheckViolation v) {
+    counts_[(size_t)v.kind]++;
+    if (violations_.size() < max_recorded_) violations_.push_back(std::move(v));
+  }
+
+  uint64_t count(CheckKind k) const { return counts_[(size_t)k]; }
+  uint64_t total() const {
+    uint64_t t = 0;
+    for (uint64_t c : counts_) t += c;
+    return t;
+  }
+  // Correctness violations only: redundant flushes cost latency, not data.
+  uint64_t hard_count() const { return total() - count(CheckKind::kRedundantFlush); }
+
+  const std::vector<CheckViolation>& violations() const { return violations_; }
+  void clear();
+
+  // Pretty-print a summary plus every recorded violation.
+  void print(std::ostream& os) const;
+
+ private:
+  size_t max_recorded_;
+  uint64_t counts_[kNumCheckKinds] = {0, 0, 0, 0};
+  std::vector<CheckViolation> violations_;
+};
+
+}  // namespace dstore

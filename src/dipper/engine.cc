@@ -28,6 +28,20 @@ uint64_t fingerprint(const EngineConfig& cfg) {
   mix(cfg.physical_logging ? cfg.physical_payload_bytes : 0);
   return h;
 }
+
+// CoW checkpoint page copy. The copier only reads pages that are still
+// mprotect(PROT_READ)-protected — the MMU, not the memory model, is what
+// excludes concurrent mutator writes — and TSan cannot see that barrier,
+// so under TSan the copy runs uninstrumented. A byte loop, not memcpy:
+// TSan intercepts memcpy even inside a no_sanitize function.
+#if defined(__SANITIZE_THREAD__)
+__attribute__((no_sanitize("thread")))
+void cow_raw_copy(char* dst, const char* src, size_t n) {
+  for (size_t i = 0; i < n; i++) dst[i] = src[i];
+}
+#else
+inline void cow_raw_copy(char* dst, const char* src, size_t n) { std::memcpy(dst, src, n); }
+#endif
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -146,8 +160,12 @@ PackedState Engine::load_state() const {
 }
 
 void Engine::store_state(PackedState s) {
+  // The 8B-atomic root transition — the durability point every swap /
+  // checkpoint-install hinges on (§3.5).
+  pmem::PmemCheckScope check_scope("engine:root_flip");
   root()->state.store(s.pack(), std::memory_order_release);
   pool_->persist(&root()->state, sizeof(uint64_t));
+  pool_->check_durable(&root()->state, sizeof(uint64_t), "engine:root_flip");
 }
 
 Arena Engine::pmem_arena(uint8_t slot) const {
@@ -171,6 +189,7 @@ Status Engine::init_fresh() {
   Arena shadow = pmem_arena(0);
   std::memcpy(shadow.base(), volatile_base_, volatile_space_.used_bytes());
   pool_->persist_bulk(shadow.base(), volatile_space_.used_bytes());
+  pool_->check_durable(shadow.base(), volatile_space_.used_bytes(), "engine:init_snapshot");
 
   // Logs.
   sides_[0].log.format();
@@ -195,6 +214,7 @@ Status Engine::init_fresh() {
   st.epoch = 1;
   r->state.store(st.pack(), std::memory_order_release);
   pool_->persist(r, sizeof(RootObject));
+  pool_->check_durable(r, sizeof(RootObject), "engine:init_root");
 
   active_idx_.store(0, std::memory_order_release);
   lsn_counter_.store(1, std::memory_order_release);
@@ -207,7 +227,9 @@ Status Engine::init_fresh() {
 }
 
 Status Engine::recover() {
+  pmem::PmemCheckScope check_scope("engine:recover");
   RootObject* r = root();
+  pool_->check_recovery_read(r, sizeof(RootObject), "engine:recover:root");
   if (r->magic != RootObject::kMagic) return Status::corruption("root object magic mismatch");
   if (r->config_fingerprint != fingerprint(cfg_)) {
     return Status::invalid_argument("engine config does not match on-PMEM layout");
@@ -322,6 +344,9 @@ Status Engine::rebuild_volatile_from_shadow() {
   auto shadow_space = SlabAllocator::open(shadow);
   if (!shadow_space.is_ok()) return shadow_space.status();
   uint64_t used = shadow_space.value().used_bytes();
+  // Recovery consumes the current shadow copy wholesale — it must be
+  // byte-identical to what a power failure would have left behind.
+  pool_->check_recovery_read(shadow.base(), used, "engine:recover:shadow");
   pool_->charge_read(used);
   std::memcpy(volatile_base_, shadow.base(), used);
   Arena varena(volatile_base_, cfg_.arena_bytes);
@@ -448,9 +473,12 @@ Result<Engine::RecordHandle> Engine::reserve(const Key& name) {
       LogSide& side = sides_[side_idx];
       uint32_t next = side.next_slot.load(std::memory_order_relaxed);
       if (next < cfg_.log_slots) {
-        side.next_slot.store(next + 1, std::memory_order_release);
+        // Fill the slot's scan-visible fields BEFORE publishing next_slot:
+        // scan_conflicting_write reads them lock-free after an acquire load
+        // of next_slot, so the release store must come last.
         side.states[next].store(SlotState::kReserved, std::memory_order_release);
         side.name_hashes[next] = name.hash();
+        side.next_slot.store(next + 1, std::memory_order_release);
         inflight_inc(name);
         RecordHandle h;
         h.side = side_idx;
@@ -528,11 +556,13 @@ Result<Engine::RecordHandle> Engine::lock_object(const Key& name) {
   LogSide& side = sides_[side_idx];
   uint32_t next = side.next_slot.load(std::memory_order_relaxed);
   if (next >= cfg_.log_slots) return Status::busy("log full");
-  side.next_slot.store(next + 1, std::memory_order_release);
+  // Publish next_slot only once the slot is fully formed (see reserve()):
+  // the lock-free conflict scan must never observe a half-written slot.
   side.name_hashes[next] = name.hash();
   uint64_t lsn = lsn_counter_.fetch_add(1, std::memory_order_acq_rel);
   side.log.write_record(next, lsn, OpType::kNoop, name, 0, 0, /*noop=*/true);
   side.states[next].store(SlotState::kValid, std::memory_order_release);
+  side.next_slot.store(next + 1, std::memory_order_release);
   inflight_inc(name);
   held_locks_[key_str] = HeldLock{side_idx, next};
   RecordHandle h;
@@ -621,11 +651,12 @@ Status Engine::swap_logs() {
     if (hl.side != from) continue;
     Key name = Key::from(key_str);
     uint32_t ns = ts.next_slot.load(std::memory_order_relaxed);
-    ts.next_slot.store(ns + 1, std::memory_order_release);
+    // Slot fields first, next_slot publish last (see reserve()).
     ts.name_hashes[ns] = name.hash();
     uint64_t lsn = lsn_counter_.fetch_add(1, std::memory_order_acq_rel);
     ts.log.write_record(ns, lsn, OpType::kNoop, name, 0, 0, /*noop=*/true);
     ts.states[ns].store(SlotState::kValid, std::memory_order_release);
+    ts.next_slot.store(ns + 1, std::memory_order_release);
     fs.states[hl.slot].store(SlotState::kAborted, std::memory_order_release);
     hl = HeldLock{to, ns};
   }
@@ -695,6 +726,9 @@ Status Engine::replay_onto_spare(uint8_t archived_idx) {
     std::memcpy(dst.base() + off, src.base() + off, n);
     std::this_thread::yield();
   }
+  // The clone (and everything replay writes into it) must be persistent by
+  // the install root flip; the durability pass below provides it.
+  pool_->note_obligation(dst.base(), used, "ckpt:clone");
   auto dst_space_r = SlabAllocator::open(dst);
   if (!dst_space_r.is_ok()) return dst_space_r.status();
   SlabAllocator dst_space = dst_space_r.value();
@@ -709,6 +743,10 @@ Status Engine::replay_onto_spare(uint8_t archived_idx) {
 }
 
 void Engine::install_spare(uint8_t /*archived_idx*/) {
+  // Durability point: the root flip makes the spare copy current — every
+  // obligation noted while building it (clone, replayed metadata) must be
+  // persistent before the flip publishes it.
+  pool_->check_obligations("ckpt:install");
   // Atomic checkpoint completion: one persisted 8-byte root transition.
   PackedState st = load_state();
   uint8_t spare = st.spare_slot();
@@ -863,7 +901,7 @@ Status Engine::cow_copy_into_spare() {
       char* src = volatile_base_ + run_start * kPageSize;
       char* dst = pool_->base() + layout_.arena_off[cow_target_slot_] + run_start * kPageSize;
       size_t bytes = (run_end - run_start) * kPageSize;
-      std::memcpy(dst, src, bytes);
+      cow_raw_copy(dst, src, bytes);
       pool_->persist_bulk(dst, bytes);
       mprotect(src, bytes, PROT_READ | PROT_WRITE);
       for (size_t pg = run_start; pg < run_end; pg++) {
@@ -893,7 +931,7 @@ void Engine::cow_copy_page(size_t page_idx) {
   }
   char* src = volatile_base_ + page_idx * kPageSize;
   char* dst = pool_->base() + layout_.arena_off[cow_target_slot_] + page_idx * kPageSize;
-  std::memcpy(dst, src, kPageSize);
+  cow_raw_copy(dst, src, kPageSize);
   pool_->persist_bulk(dst, kPageSize);
   mprotect(src, kPageSize, PROT_READ | PROT_WRITE);
   cow_page_done_[page_idx].store(2, std::memory_order_release);

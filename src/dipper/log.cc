@@ -14,6 +14,7 @@ void PmemLog::format() {
 
 void PmemLog::write_record(uint32_t slot, uint64_t lsn, OpType op, const Key& name, uint64_t arg0,
                            uint64_t arg1, bool noop) {
+  pmem::PmemCheckScope check_scope("log:write_record");
   Slot* s = slot_ptr(slot);
   // Phase 1: write everything except the LSN.
   s->length = (uint32_t)(8 + 8 + 1 + name.len);
@@ -39,18 +40,27 @@ void PmemLog::write_record(uint32_t slot, uint64_t lsn, OpType op, const Key& na
     s->lsn.store(lsn, std::memory_order_release);
     pool_->persist(s, kCacheLineSize);
   }
+  // Durability point: the record is published (valid LSN) — every byte a
+  // recovery scan would decode must now be in the persistent image.
+  pool_->check_durable(s, payload_end, "log:write_record");
 }
 
 void PmemLog::commit(uint32_t slot) {
+  pmem::PmemCheckScope check_scope("log:commit");
   Slot* s = slot_ptr(slot);
   s->flags.fetch_or(kFlagCommitted, std::memory_order_release);
   pool_->persist(&s->flags, sizeof(s->flags));
+  // Durability point: commit == durable (§4.5). The whole record — not
+  // just the flags line — must be persistent once the commit flag is.
+  pool_->check_durable(s, offsetof(Slot, arg0) + s->length, "log:commit");
 }
 
 void PmemLog::abort(uint32_t slot) {
+  pmem::PmemCheckScope check_scope("log:abort");
   Slot* s = slot_ptr(slot);
   s->flags.fetch_or(kFlagAborted, std::memory_order_release);
   pool_->persist(&s->flags, sizeof(s->flags));
+  pool_->check_durable(&s->flags, sizeof(s->flags), "log:abort");
 }
 
 bool PmemLog::read(uint32_t slot, LogRecordView* out) const {
@@ -58,6 +68,10 @@ bool PmemLog::read(uint32_t slot, LogRecordView* out) const {
   const Slot* s = slot_ptr(slot);
   uint64_t lsn = s->lsn.load(std::memory_order_acquire);
   if (lsn == 0) return false;
+  // Defect class 4: every read() consumer (recovery scan, checkpoint
+  // replay collection) acts on what it decodes — under PmemCheck, verify
+  // the slot's bytes are what a crash would actually have left behind.
+  pool_->check_recovery_read(s, kSlotSize, "log:read");
   out->lsn = lsn;
   out->op = (OpType)s->op;
   uint16_t flags = s->flags.load(std::memory_order_acquire);

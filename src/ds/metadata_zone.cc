@@ -2,7 +2,15 @@
 
 #include <cstring>
 
+#include "pmem/pool.h"
+
 namespace dstore {
+
+// Durability annotations: metadata mutations run against whichever arena
+// the caller hands us — the volatile DRAM space during normal operation
+// (annotations no-op) or a PMEM shadow copy during checkpoint replay, where
+// every write must be covered by the checkpoint's durability pass before
+// the install root flip. PmemCheck verifies exactly that.
 
 Result<OffPtr<MetadataZone::Header>> MetadataZone::create(SlabAllocator& sp,
                                                           uint64_t num_entries) {
@@ -13,6 +21,9 @@ Result<OffPtr<MetadataZone::Header>> MetadataZone::create(SlabAllocator& sp,
   Header* hdr = h.get(sp.arena());
   hdr->num_entries = num_entries;
   hdr->entries = entries;
+  pmem::annotate_must_persist(hdr, sizeof(Header), "meta:create");
+  pmem::annotate_must_persist(sp.arena().at(entries), num_entries * sizeof(MetaEntry),
+                              "meta:create");
   return h;
 }
 
@@ -30,6 +41,7 @@ Status MetadataZone::init_entry(uint64_t idx, const Key& name) {
   e->name = name;
   e->in_use = 1;
   e->generation = 1;
+  pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:init_entry");
   return Status::ok();
 }
 
@@ -50,6 +62,8 @@ Status MetadataZone::append_block(uint64_t idx, uint64_t block_id) {
   }
   blocks(*e)[e->nblocks++] = block_id;
   e->generation++;
+  pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:append_block");
+  pmem::annotate_must_persist(blocks(*e), e->nblocks * sizeof(uint64_t), "meta:append_block");
   return Status::ok();
 }
 
@@ -58,6 +72,7 @@ void MetadataZone::release_entry(uint64_t idx) {
   if (e == nullptr || !e->in_use) return;
   if (e->blocks != 0) sp_->free(e->blocks);
   *e = MetaEntry{};
+  pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:release_entry");
 }
 
 }  // namespace dstore

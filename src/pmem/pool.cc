@@ -4,6 +4,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -12,6 +13,19 @@
 #include "common/clock.h"
 
 namespace dstore::pmem {
+
+namespace {
+// Registry of pools with an attached checker, for checked_pool_covering().
+std::mutex g_checked_pools_mu;
+std::vector<Pool*> g_checked_pools;
+
+// Small stable per-thread id for staged-line ownership tracking.
+uint64_t checker_thread_id() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+}  // namespace
 
 Pool::Pool(size_t size, Mode mode, LatencyModel lat)
     : size_(align_up(size, kCacheLineSize)), mode_(mode), lat_(lat) {
@@ -25,6 +39,7 @@ Pool::Pool(size_t size, Mode mode, LatencyModel lat)
 }
 
 Pool::~Pool() {
+  if (checker() != nullptr) detach_checker();
   if (region_ != nullptr) munmap(region_, size_);
   if (fd_ >= 0) ::close(fd_);
 }
@@ -70,7 +85,16 @@ void Pool::flush(const void* addr, size_t len) {
   uint64_t hi = line_up(a + len) - b;
   ThreadState& st = tls();
   st.lines += (hi - lo) / kCacheLineSize;
-  if (mode_ == Mode::kCrashSim) st.ranges.push_back({lo, hi - lo});
+  if (mode_ == Mode::kCrashSim) {
+    st.ranges.push_back({lo, hi - lo});
+    if (PersistChecker* c = checker()) {
+      uint64_t tid = checker_thread_id();
+      std::lock_guard<std::mutex> g(image_mu_);
+      for (uint64_t l = lo; l < hi; l += kCacheLineSize) {
+        c->on_flush(l, region_ + l, image_.get() + l, tid);
+      }
+    }
+  }
 }
 
 void Pool::fence() {
@@ -89,6 +113,16 @@ void Pool::fence() {
   }
   if (mode_ == Mode::kCrashSim && !st.ranges.empty()) {
     std::lock_guard<std::mutex> g(image_mu_);
+    if (PersistChecker* c = checker()) {
+      // Retire this thread's staged lines: compare against the flush-time
+      // snapshots (defect class 3) before they become persistent.
+      uint64_t tid = checker_thread_id();
+      for (const Range& r : st.ranges) {
+        for (uint64_t l = r.off; l < r.off + r.len; l += kCacheLineSize) {
+          c->on_fence_line(l, region_ + l, tid);
+        }
+      }
+    }
     for (const Range& r : st.ranges) apply_to_image(r.off, r.len);
   }
   st.ranges.clear();
@@ -139,10 +173,82 @@ void Pool::evict_random_lines(Rng& rng, size_t count) {
 void Pool::crash() {
   assert(mode_ == Mode::kCrashSim && "crash() requires kCrashSim");
   std::lock_guard<std::mutex> g(image_mu_);
+  if (PersistChecker* c = checker()) c->on_crash();
   std::memcpy(region_, image_.get(), size_);
   // Note: staged-but-unfenced flushes in other threads' TLS are
   // intentionally NOT discarded here; crash tests quiesce worker threads
   // before crashing, as a real restart would.
+}
+
+// ---------------------------------------------------------------------------
+// PmemCheck integration
+// ---------------------------------------------------------------------------
+
+void Pool::attach_checker(PersistChecker* checker) {
+  assert(mode_ == Mode::kCrashSim && "PmemCheck needs the persistent image (kCrashSim)");
+  assert(checker_.load(std::memory_order_acquire) == nullptr && "checker already attached");
+  {
+    std::lock_guard<std::mutex> g(g_checked_pools_mu);
+    g_checked_pools.push_back(this);
+  }
+  checker_.store(checker, std::memory_order_release);
+  detail::checker_global_activate();
+}
+
+void Pool::detach_checker() {
+  PersistChecker* c = checker_.exchange(nullptr, std::memory_order_acq_rel);
+  if (c == nullptr) return;
+  {
+    std::lock_guard<std::mutex> g(image_mu_);
+    c->on_teardown();
+  }
+  {
+    std::lock_guard<std::mutex> g(g_checked_pools_mu);
+    g_checked_pools.erase(std::remove(g_checked_pools.begin(), g_checked_pools.end(), this),
+                          g_checked_pools.end());
+  }
+  detail::checker_global_deactivate();
+}
+
+Pool* Pool::checked_pool_covering(const void* p) {
+  auto a = reinterpret_cast<uintptr_t>(p);
+  std::lock_guard<std::mutex> g(g_checked_pools_mu);
+  for (Pool* pool : g_checked_pools) {
+    auto b = reinterpret_cast<uintptr_t>(pool->region_);
+    if (a >= b && a < b + pool->size_) return pool;
+  }
+  return nullptr;
+}
+
+void Pool::check_durable(const void* addr, size_t len, const char* site) {
+  PersistChecker* c = checker();
+  if (c == nullptr || len == 0) return;
+  uint64_t off = reinterpret_cast<uintptr_t>(addr) - reinterpret_cast<uintptr_t>(region_);
+  std::lock_guard<std::mutex> g(image_mu_);
+  c->check_durable(off, len, region_, image_.get(), site);
+}
+
+void Pool::check_recovery_read(const void* addr, size_t len, const char* site) {
+  PersistChecker* c = checker();
+  if (c == nullptr || len == 0) return;
+  uint64_t off = reinterpret_cast<uintptr_t>(addr) - reinterpret_cast<uintptr_t>(region_);
+  std::lock_guard<std::mutex> g(image_mu_);
+  c->check_recovery_read(off, len, region_, image_.get(), site);
+}
+
+void Pool::note_obligation(const void* addr, size_t len, const char* site) {
+  PersistChecker* c = checker();
+  if (c == nullptr || len == 0) return;
+  uint64_t off = reinterpret_cast<uintptr_t>(addr) - reinterpret_cast<uintptr_t>(region_);
+  std::lock_guard<std::mutex> g(image_mu_);
+  c->note_obligation(off, len, site);
+}
+
+void Pool::check_obligations(const char* site) {
+  PersistChecker* c = checker();
+  if (c == nullptr) return;
+  std::lock_guard<std::mutex> g(image_mu_);
+  c->check_obligations(region_, image_.get(), site);
 }
 
 bool Pool::is_persisted(const void* addr, size_t len) const {

@@ -38,6 +38,7 @@
 #include "common/latency_model.h"
 #include "common/rng.h"
 #include "common/timeseries.h"
+#include "pmem/persist_checker.h"
 
 namespace dstore::pmem {
 
@@ -104,6 +105,33 @@ class Pool {
   // Test helper: true if [addr,addr+len) matches the persistent image.
   bool is_persisted(const void* addr, size_t len) const;
 
+  // ---- PmemCheck (kCrashSim only) ----------------------------------------
+  // Attach a persistence-order checker: every flush/fence/crash is traced
+  // through the clean → dirty → staged → persistent state machine and the
+  // annotation calls below become live. The checker must outlive the
+  // attachment; detach (or pool destruction) runs the teardown check for
+  // staged-but-never-fenced lines.
+  void attach_checker(PersistChecker* checker);
+  void detach_checker();
+  PersistChecker* checker() const { return checker_.load(std::memory_order_acquire); }
+
+  // Durability point: every cache line of [addr, addr+len) must match the
+  // persistent image (no-op without an attached checker).
+  void check_durable(const void* addr, size_t len, const char* site);
+  // Recovery/replay read: the bytes being consumed must match the image.
+  void check_recovery_read(const void* addr, size_t len, const char* site);
+  // Record that [addr, addr+len) must be persistent by the time
+  // check_obligations() runs (writes whose durability a later bulk pass
+  // provides, e.g. checkpoint replay into the spare arena).
+  void note_obligation(const void* addr, size_t len, const char* site);
+  void check_obligations(const char* site);
+
+  // The registered checking pool whose region covers `p`, or nullptr. Lets
+  // annotation sites that only hold a raw pointer (e.g. MetadataZone
+  // writing into an arena) find their pool; only pools with an attached
+  // checker are registered.
+  static Pool* checked_pool_covering(const void* p);
+
   // ---- instrumentation ---------------------------------------------------
   const IoStats& stats() const { return stats_; }
   // Optional bandwidth time-series (bytes flushed per bin) for Figure 7.
@@ -135,7 +163,17 @@ class Pool {
   IoStats stats_;
   TimeSeries* bw_series_ = nullptr;
   BandwidthChannel bw_channel_;  // serializes the bandwidth share of bulk ops
-  mutable std::mutex image_mu_;  // guards image_ in kCrashSim
+  std::atomic<PersistChecker*> checker_{nullptr};  // PmemCheck hook (kCrashSim)
+  mutable std::mutex image_mu_;  // guards image_ (and checker state) in kCrashSim
 };
+
+// Annotation helper for code that writes into an arena without knowing
+// whether the arena lives in DRAM or inside a checked PMEM pool: records a
+// durability obligation iff some checked pool covers `p`. One relaxed
+// atomic load when no checker is attached anywhere.
+inline void annotate_must_persist(const void* p, size_t len, const char* site) {
+  if (!PersistChecker::any_active()) return;
+  if (Pool* pool = Pool::checked_pool_covering(p)) pool->note_obligation(p, len, site);
+}
 
 }  // namespace dstore::pmem

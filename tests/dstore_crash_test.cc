@@ -43,8 +43,13 @@ struct CrashRig {
     ctx = store->ds_init();
   }
 
+  ~CrashRig() {
+    if (ctx != nullptr && store) store->ds_finalize(ctx);
+  }
+
   void crash_and_recover(dipper::EngineConfig::CkptMode mode) {
     if (ctx != nullptr) store->ds_finalize(ctx);
+    ctx = nullptr;
     store->engine().stop_background();
     store.reset();
     pool->crash();
@@ -62,6 +67,7 @@ struct CrashRig {
   void set_hook(std::function<bool(const char*)> hook,
                 dipper::EngineConfig::CkptMode mode) {
     if (ctx != nullptr) store->ds_finalize(ctx);
+    ctx = nullptr;
     store->engine().shutdown();
     store.reset();
     DStoreConfig rcfg = cfg;

@@ -3,7 +3,9 @@
 // commit-flag durability.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "common/rng.h"
 #include "dipper/log.h"
@@ -138,6 +140,80 @@ TEST_F(LogTest, SpuriousEvictionCannotFakeValidity) {
       // Visible => complete: the payload byte pattern must be intact.
       EXPECT_EQ((unsigned char)pool_->base()[8], (unsigned char)(round & 0xff));
       EXPECT_EQ(rec.lsn, (uint64_t)round + 1);
+    }
+  }
+}
+
+// Adversary sweep over the multi-line append path (§3.4 reverse-order
+// flush). Long names push the payload into the slot's second cache line,
+// so visibility requires: tail line persisted, fence, LSN line persisted —
+// in that order. Hand-roll the phases with evictions injected between
+// every step; whatever interleaving the adversary picks, a slot whose LSN
+// survives the crash must carry the complete two-line record.
+TEST_F(LogTest, MultiLineEvictionSweep) {
+  constexpr size_t kNameOff = 33;  // Slot: lsn(8) len(4) op(2) flags(2) arg0(8) arg1(8) klen(1)
+  Rng rng(1234);
+  for (int round = 0; round < 300; round++) {
+    log_.format();
+    char* s = pool_->base();
+    uint8_t klen = (uint8_t)(40 + rng.next_below(24));  // 40..63: always spans two lines
+    char fill = (char)('A' + (round % 26));
+    // Phase 1: everything except the LSN.
+    *reinterpret_cast<uint32_t*>(s + 8) = 17u + klen;
+    *reinterpret_cast<uint16_t*>(s + 12) = (uint16_t)OpType::kPut;
+    *reinterpret_cast<uint16_t*>(s + 14) = 0;
+    *reinterpret_cast<uint64_t*>(s + 16) = (uint64_t)round;
+    *reinterpret_cast<uint64_t*>(s + 24) = 0;
+    s[32] = (char)klen;
+    std::memset(s + kNameOff, fill, klen);
+    size_t payload_end = kNameOff + klen;
+    pool_->evict_random_lines(rng, 4);
+    // Phase 2: persist the tail line first.
+    pool_->flush(s + 64, payload_end - 64);
+    pool_->evict_random_lines(rng, 4);
+    pool_->fence();
+    pool_->evict_random_lines(rng, 4);
+    // Phase 3: LSN last; its write-back may be explicit, spurious, or lost.
+    reinterpret_cast<std::atomic<uint64_t>*>(s)->store(round + 1, std::memory_order_release);
+    switch (rng.next_below(3)) {
+      case 0: pool_->persist(s, 64); break;
+      case 1: pool_->evict_random_lines(rng, 8); break;
+      default: break;  // crash before the LSN line is ever written back
+    }
+    pool_->crash();
+    LogRecordView rec;
+    if (log_.read(0, &rec)) {
+      ASSERT_EQ(rec.lsn, (uint64_t)round + 1);
+      ASSERT_EQ(rec.arg0, (uint64_t)round);
+      ASSERT_EQ(rec.name.len, klen);
+      for (int i = 0; i < klen; i++) {
+        ASSERT_EQ(rec.name.data[i], fill) << "round " << round << " byte " << i;
+      }
+    }
+  }
+}
+
+// Same property through the real write_record path: an eviction storm
+// between appends/commits must never corrupt a published record.
+TEST_F(LogTest, MultiLineWriteRecordSurvivesEvictionStorm) {
+  Rng rng(99);
+  for (uint32_t s = 0; s < kSlots; s++) {
+    std::string name((size_t)40 + s % 24, (char)('a' + s % 26));
+    log_.write_record(s, s + 1, OpType::kPut, Key::from(name), s, 7, false);
+    pool_->evict_random_lines(rng, 16);
+    if (s % 2 == 0) log_.commit(s);
+    pool_->evict_random_lines(rng, 16);
+  }
+  pool_->crash();
+  for (uint32_t s = 0; s < kSlots; s++) {
+    LogRecordView rec;
+    ASSERT_TRUE(log_.read(s, &rec)) << s;
+    EXPECT_EQ(rec.lsn, s + 1u);
+    EXPECT_EQ(rec.arg0, (uint64_t)s);
+    EXPECT_EQ(rec.committed, s % 2 == 0);
+    ASSERT_EQ(rec.name.len, 40 + s % 24);
+    for (size_t i = 0; i < rec.name.len; i++) {
+      ASSERT_EQ(rec.name.data[i], (char)('a' + s % 26)) << s << ":" << i;
     }
   }
 }

@@ -42,8 +42,13 @@ struct SweepRig {
     ctx = store->ds_init();
   }
 
+  ~SweepRig() {
+    if (ctx != nullptr && store) store->ds_finalize(ctx);
+  }
+
   void crash_and_recover() {
     if (ctx != nullptr) store->ds_finalize(ctx);
+    ctx = nullptr;
     store->engine().stop_background();
     store.reset();
     pool->crash();

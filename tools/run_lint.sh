@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over src/ and tools/.
+#
+# Usage: tools/run_lint.sh [build-dir]
+#
+# Needs a build directory with compile_commands.json; one is generated into
+# build-lint/ if the argument is omitted and none exists. Exits nonzero on
+# any clang-tidy warning so CI can gate on it.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-lint}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "$tidy_bin" ]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy_bin="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy_bin" ]; then
+  echo "run_lint.sh: clang-tidy not found on PATH; skipping lint (install clang-tidy to enable)." >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_lint.sh: generating compile_commands.json in $build_dir"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+fi
+
+mapfile -t sources < <(cd "$repo_root" && find src tools -name '*.cc' | sort)
+
+echo "run_lint.sh: $tidy_bin over ${#sources[@]} files"
+failed=0
+for f in "${sources[@]}"; do
+  if ! (cd "$repo_root" && "$tidy_bin" -p "$build_dir" --quiet "$f"); then
+    failed=1
+  fi
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "run_lint.sh: clang-tidy reported warnings (see above)" >&2
+  exit 1
+fi
+echo "run_lint.sh: clean"
