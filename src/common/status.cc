@@ -14,6 +14,7 @@ const char* code_name(Code c) {
     case Code::kIoError: return "IO_ERROR";
     case Code::kUnsupported: return "UNSUPPORTED";
     case Code::kInternal: return "INTERNAL";
+    case Code::kReadOnly: return "READ_ONLY";
   }
   return "UNKNOWN";
 }

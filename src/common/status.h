@@ -25,6 +25,7 @@ enum class Code : uint8_t {
   kIoError,
   kUnsupported,
   kInternal,
+  kReadOnly,  // store degraded to read-only (SSD write retries exhausted)
 };
 
 // Human-readable name for an error code (stable, for logs and tests).
@@ -46,8 +47,10 @@ class [[nodiscard]] Status {
   static Status io_error(std::string m = "") { return {Code::kIoError, std::move(m)}; }
   static Status unsupported(std::string m = "") { return {Code::kUnsupported, std::move(m)}; }
   static Status internal(std::string m = "") { return {Code::kInternal, std::move(m)}; }
+  static Status read_only(std::string m = "") { return {Code::kReadOnly, std::move(m)}; }
 
   bool is_ok() const { return code_ == Code::kOk; }
+  bool is_busy() const { return code_ == Code::kBusy; }
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 

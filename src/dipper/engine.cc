@@ -228,6 +228,7 @@ Status Engine::init_fresh() {
 
 Status Engine::recover() {
   pmem::PmemCheckScope check_scope("engine:recover");
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.begin");
   RootObject* r = root();
   pool_->check_recovery_read(r, sizeof(RootObject), "engine:recover:root");
   if (r->magic != RootObject::kMagic) return Status::corruption("root object magic mismatch");
@@ -270,10 +271,12 @@ Status Engine::recover() {
       // §3.6: "we redo the checkpoint procedure ongoing at the time of
       // crash" — clone the (old, consistent) current copy and replay the
       // archived log onto it, exactly as the interrupted checkpoint would.
+      DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.redo.begin");
       DSTORE_RETURN_IF_ERROR(replay_onto_spare(archived));
       install_spare(archived);
       recycle_archived(archived);
       st = load_state();
+      DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.redo.done");
     } else {
       // CoW cannot redo page copies (the source pages died with DRAM); the
       // archived records are folded into volatile recovery below and a
@@ -286,6 +289,7 @@ Status Engine::recover() {
   // "replicating the PMEM allocator state ... and copying pages from PMEM
   // to DRAM").
   DSTORE_RETURN_IF_ERROR(rebuild_volatile_from_shadow());
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.rebuild.done");
   stats_.recovery_metadata_ns.store(recovery_watch.elapsed_ns(), std::memory_order_release);
   StopWatch replay_watch;
 
@@ -294,10 +298,12 @@ Status Engine::recover() {
   }
 
   // Replay the active log's committed records onto the volatile space.
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.replay.begin");
   std::vector<LogRecordView> active_records = collect_committed(active);
   if (!active_records.empty()) {
     DSTORE_RETURN_IF_ERROR(client_->replay(volatile_space_, active_records));
   }
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.replay.done");
   stats_.recovery_replay_ns.store(replay_watch.elapsed_ns(), std::memory_order_release);
 
   if (cfg_.ckpt_mode == EngineConfig::CkptMode::kCow && st.ckpt_running) {
@@ -331,6 +337,7 @@ Status Engine::recover() {
   }
 
   held_locks_.clear();  // locks do not survive restarts
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.done");
   if (cfg_.background_checkpointing) {
     stop_.store(false);
     ckpt_thread_ = std::thread([this] { checkpoint_thread_main(); });
@@ -546,6 +553,16 @@ void Engine::commit(const RecordHandle& h) {
   stats_.records_committed.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Engine::abort(const RecordHandle& h) {
+  // A reserved-but-unwritten slot (lsn still 0) only gets its flags set;
+  // recovery never decodes it, and the swap's drain treats kAborted as
+  // settled — so aborting is safe at any point after reserve().
+  sides_[h.side].log.abort(h.slot);
+  sides_[h.side].states[h.slot].store(SlotState::kAborted, std::memory_order_release);
+  inflight_dec(h.name);
+  stats_.records_aborted.fetch_add(1, std::memory_order_relaxed);
+}
+
 Result<Engine::RecordHandle> Engine::lock_object(const Key& name) {
   // §4.5: olock places a NOOP record in the log; a log scan (or the
   // in-flight table mirroring it) then reports the object as conflicting.
@@ -607,7 +624,12 @@ void Engine::checkpoint_thread_main() {
       if (stop_.load(std::memory_order_acquire)) return;
       ckpt_requested_.store(false, std::memory_order_release);
     }
-    (void)do_checkpoint();
+    Status s = do_checkpoint();
+    if (!s.is_ok() && !s.is_busy()) {
+      stats_.ckpt_failures.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> g(err_mu_);
+      last_ckpt_error_ = s;
+    }
   }
 }
 
@@ -631,6 +653,7 @@ Status Engine::swap_logs() {
   if (!sides_[to].zeroed.load(std::memory_order_acquire)) {
     return Status::busy("previous archived log not yet recycled");
   }
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.swap.begin");
   // Wait for reservations in the outgoing log to finish their record
   // writes (microseconds; the writers do not need log_mu_).
   LogSide& fs = sides_[from];
@@ -646,6 +669,7 @@ Status Engine::swap_logs() {
   }
   // Move uncommitted NOOP (olock) records — the only records that can stay
   // uncommitted indefinitely — to the new active log (§3.5).
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.swap.before_relocate");
   LogSide& ts = sides_[to];
   for (auto& [key_str, hl] : held_locks_) {
     if (hl.side != from) continue;
@@ -664,7 +688,9 @@ Status Engine::swap_logs() {
   st.active_log = to;
   st.ckpt_running = true;
   st.epoch++;
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.swap.before_root_flip");
   store_state(st);
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.swap.after_root_flip");
   active_idx_.store(to, std::memory_order_release);
   return Status::ok();
 }
@@ -686,6 +712,7 @@ void Engine::drain_archived(uint8_t archived_idx) {
       }
     }
   }
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.drain.done");
 }
 
 std::vector<LogRecordView> Engine::collect_committed(uint8_t log_idx) {
@@ -720,12 +747,14 @@ Status Engine::replay_onto_spare(uint8_t archived_idx) {
   // background checkpoint must not monopolize cores the frontend needs
   // (on the paper's testbed this thread runs on its own core).
   pool_->charge_read(used);
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.clone.before_copy");
   constexpr uint64_t kCloneChunk = 256 * 1024;
   for (uint64_t off = 0; off < used; off += kCloneChunk) {
     uint64_t n = std::min(kCloneChunk, used - off);
     std::memcpy(dst.base() + off, src.base() + off, n);
     std::this_thread::yield();
   }
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.clone.after_copy");
   // The clone (and everything replay writes into it) must be persistent by
   // the install root flip; the durability pass below provides it.
   pool_->note_obligation(dst.base(), used, "ckpt:clone");
@@ -734,10 +763,13 @@ Status Engine::replay_onto_spare(uint8_t archived_idx) {
   SlabAllocator dst_space = dst_space_r.value();
 
   std::vector<LogRecordView> records = collect_committed(archived_idx);
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.replay.begin");
   DSTORE_RETURN_IF_ERROR(client_->replay(dst_space, records));
   stats_.records_replayed.fetch_add(records.size(), std::memory_order_relaxed);
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.replay.done");
 
   // Durability pass (§3.5): flush every allocated byte of the new copy.
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.flush.before_bulk");
   pool_->persist_bulk(dst.base(), dst_space.used_bytes());
   return Status::ok();
 }
@@ -755,16 +787,20 @@ void Engine::install_spare(uint8_t /*archived_idx*/) {
   ns.shadow_cur = spare;
   ns.ckpt_running = false;
   ns.epoch++;
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.install.before_root_flip");
   store_state(ns);
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.install.after_root_flip");
 }
 
 void Engine::recycle_archived(uint8_t archived_idx) {
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.recycle.begin");
   LogSide& side = sides_[archived_idx];
   side.log.format();
   for (auto& s : side.states) s.store(SlotState::kFree, std::memory_order_relaxed);
   side.name_hashes.assign(cfg_.log_slots, 0);
   side.next_slot.store(0, std::memory_order_release);
   side.zeroed.store(true, std::memory_order_release);
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.recycle.done");
 }
 
 Status Engine::do_checkpoint() {
@@ -772,6 +808,7 @@ Status Engine::do_checkpoint() {
   if (!ckpt_running_.compare_exchange_strong(expected, true)) {
     return Status::busy("checkpoint already running");
   }
+  DSTORE_FAULT_POINT(cfg_.fault, "engine.ckpt.begin");
   auto test_point = [this](const char* p) {
     const char* abandon = abandon_point_.load(std::memory_order_acquire);
     if (abandon != nullptr && std::strcmp(abandon, p) == 0) return false;

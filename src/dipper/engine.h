@@ -58,6 +58,7 @@
 #include "dipper/log.h"
 #include "dipper/root.h"
 #include "ds/key.h"
+#include "fault/fault.h"
 #include "pmem/pool.h"
 
 namespace dstore::dipper {
@@ -97,12 +98,22 @@ struct EngineConfig {
   // the checkpoint at that point — combined with pmem::Pool::crash() this
   // simulates a process kill at a precise protocol step.
   std::function<bool(const char*)> test_point_hook;
+
+  // Deterministic fault injection (src/fault): every step of the
+  // swap/drain/clone/replay/root-flip sequence and of recovery is a named
+  // fault point (see DESIGN.md §8 for the full catalogue). Unlike
+  // test_point_hook — which abandons the checkpoint cooperatively — an
+  // injected crash here freezes the pool/device persistence mid-protocol,
+  // which is what a real power failure does.
+  fault::FaultInjector* fault = nullptr;
 };
 
 struct EngineStats {
   std::atomic<uint64_t> records_appended{0};
   std::atomic<uint64_t> records_committed{0};
+  std::atomic<uint64_t> records_aborted{0};
   std::atomic<uint64_t> checkpoints{0};
+  std::atomic<uint64_t> ckpt_failures{0};  // background checkpoints that errored
   std::atomic<uint64_t> records_replayed{0};
   std::atomic<uint64_t> ckpt_total_ns{0};
   std::atomic<uint64_t> append_backpressure_waits{0};
@@ -168,6 +179,12 @@ class Engine {
   // Persistently commit a record; the op's effects are now durable.
   void commit(const RecordHandle& h);
 
+  // Persistently abort a reserved/written record whose operation failed
+  // (e.g. its SSD data write errored): the record becomes invisible to
+  // replay and the in-flight count it holds is released — without this,
+  // conflicting writers on the same key would wait forever.
+  void abort(const RecordHandle& h);
+
   // ---- concurrency control hooks (§4.4) -----------------------------------
   // True if some uncommitted (in-flight) record targets `name`. Used by the
   // client under its pipeline lock before appending.
@@ -216,6 +233,18 @@ class Engine {
 
   const EngineStats& stats() const { return stats_; }
   pmem::Pool& pool() { return *pool_; }
+
+  // The last error a *background* checkpoint hit (background failures have
+  // no caller to return to; quietly dropping them would hide injected —
+  // or real — persistence errors). ok() if none since construction.
+  Status last_checkpoint_error() const {
+    std::lock_guard<std::mutex> g(err_mu_);
+    return last_ckpt_error_;
+  }
+
+  // Test accessors: the fault/crash harness tampers with exact log slots.
+  const PmemLog& log_for_testing(uint8_t side) const { return sides_[side].log; }
+  uint8_t active_log_index() const { return active_idx_.load(std::memory_order_acquire); }
 
   // Bytes of PMEM actually in use: root + valid log records + the shadow
   // copies reachable from the root (storage-footprint accounting, Fig 10).
@@ -312,6 +341,8 @@ class Engine {
 
   mutable std::vector<InflightSlot> inflight_;
   EngineStats stats_;
+  mutable std::mutex err_mu_;
+  Status last_ckpt_error_ = Status::ok();
 
   // CoW state.
   std::vector<std::atomic<uint8_t>> cow_page_done_;  // 1 = copied this round

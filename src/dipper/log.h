@@ -68,6 +68,12 @@ class PmemLog {
   static size_t region_bytes(uint32_t slot_count) { return (size_t)slot_count * kSlotSize; }
   uint32_t slot_count() const { return slot_count_; }
 
+  // Pool-relative byte offset of `slot`'s record. The torn-write fault
+  // tests use this to tamper with the persistent image of an exact slot.
+  uint64_t slot_offset(uint32_t slot) const {
+    return region_off_ + (uint64_t)slot * kSlotSize;
+  }
+
   // Zero the whole region and persist (bulk). Required before reuse so the
   // LSN-validity rule holds.
   void format();

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "fault/fault.h"
 
 namespace dstore {
 
@@ -119,6 +120,7 @@ Status DStore::replay(SlabAllocator& space, std::span<const LogRecordView> recor
     // Background replay shares cores with the frontend on small hosts;
     // yield periodically so checkpointing stays quiescent-free in practice.
     if ((++processed & 63) == 0) std::this_thread::yield();
+    DSTORE_FAULT_POINT(cfg_.engine.fault, "dstore.replay.record");
     switch (rec.op) {
       case OpType::kPut: {
         PutPlan plan;
@@ -219,6 +221,7 @@ Status DStore::replay_parallel(View& v, std::span<const LogRecordView> records) 
   for (const LogRecordView& rec : records) {
     if (failed.load(std::memory_order_acquire)) break;
     if ((++processed & 63) == 0) std::this_thread::yield();
+    DSTORE_FAULT_POINT(cfg_.engine.fault, "dstore.replay.record");
     if (rec.op == OpType::kNoop) continue;
     // A record's phase 1 may depend on its same-object predecessor's
     // phase 2 (e.g. a put reads the btree entry a create inserted): wait
@@ -430,13 +433,47 @@ Status DStore::extend_phase2(View& v, const Key& /*name*/, uint64_t new_size,
 // Data plane
 // ---------------------------------------------------------------------------
 
+namespace {
+bool is_transient(const Status& s) {
+  return s.code() == Code::kIoError || s.code() == Code::kBusy;
+}
+}  // namespace
+
+Status DStore::retry_io(const std::function<Status()>& io, bool is_write) {
+  Status s = io();
+  for (int attempt = 0; !s.is_ok() && is_transient(s) && attempt < cfg_.io_max_retries;
+       attempt++) {
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
+    spin_for_ns(cfg_.io_retry_backoff_ns << attempt);
+    s = io();
+  }
+  if (!s.is_ok() && is_transient(s)) {
+    io_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    if (is_write) {
+      // Degrade rather than wedge: the SSD is refusing writes, so stop
+      // accepting mutations but keep serving whatever is still readable.
+      read_only_.store(true, std::memory_order_release);
+      return Status::read_only("ssd write retries exhausted: " + s.to_string());
+    }
+  }
+  return s;
+}
+
+Status DStore::device_write(uint64_t block, size_t off, const void* data, size_t len) {
+  return retry_io([&] { return device_->write(block, off, data, len); }, /*is_write=*/true);
+}
+
+Status DStore::device_read(uint64_t block, size_t off, void* buf, size_t len) {
+  return retry_io([&] { return device_->read(block, off, buf, len); }, /*is_write=*/false);
+}
+
 Status DStore::write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size) {
   const char* src = static_cast<const char*>(data);
   size_t bs = block_size();
   for (size_t i = 0; i < blocks.size(); i++) {
     size_t off = i * bs;
     size_t len = std::min(bs, size - off);
-    DSTORE_RETURN_IF_ERROR(device_->write(blocks[i], 0, src + off, len));
+    DSTORE_RETURN_IF_ERROR(device_write(blocks[i], 0, src + off, len));
   }
   return Status::ok();
 }
@@ -454,7 +491,7 @@ Status DStore::write_data_range(View& v, uint64_t meta_idx, const void* data, si
     size_t in_block = pos % bs;
     size_t len = std::min(bs - in_block, size - done);
     if (bi >= e->nblocks) return Status::internal("write beyond allocated blocks");
-    DSTORE_RETURN_IF_ERROR(device_->write(bl[bi], in_block, src + done, len));
+    DSTORE_RETURN_IF_ERROR(device_write(bl[bi], in_block, src + done, len));
     done += len;
   }
   return Status::ok();
@@ -479,7 +516,7 @@ Status DStore::read_data_range(View& v, uint64_t meta_idx, void* buf, size_t siz
     uint64_t bi = pos / bs;
     size_t in_block = pos % bs;
     size_t len = std::min(bs - in_block, want - done);
-    DSTORE_RETURN_IF_ERROR(device_->read(bl[bi], in_block, dst + done, len));
+    DSTORE_RETURN_IF_ERROR(device_read(bl[bi], in_block, dst + done, len));
     done += len;
   }
   *out_len = want;
@@ -528,6 +565,7 @@ int64_t allowed_inflight(const ds_ctx_t* ctx, const Key& name) {
 Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, size_t size) {
   if (!Key::fits(name)) return Status::invalid_argument("name too long");
   if (size > 0 && value == nullptr) return Status::invalid_argument("null value");
+  if (read_only()) return Status::read_only("store degraded after ssd write failures");
   Key k = Key::from(name);
   int64_t allowed = allowed_inflight(ctx, k);
   View v = view_of(engine_->space());
@@ -584,6 +622,7 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
     meta_ns += now_ns() - t;
     if (!s.is_ok()) {
       pipeline_mu_.unlock();
+      engine_->abort(h);
       return s;  // unreachable given the capacity checks; fail loudly
     }
     break;
@@ -604,10 +643,19 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
     engine_->write_reserved(h, OpType::kPut, size, 0, value, size);
     log_ns += now_ns() - t;
   }
-  DSTORE_RETURN_IF_ERROR(s);
-  // Step 8: data to SSD (device-cache durable).
+  if (!s.is_ok()) {
+    engine_->abort(h);
+    return s;
+  }
+  // Step 8: data to SSD (device-cache durable). A failed write must abort
+  // the reserved record: it was never committed, and leaving it in-flight
+  // would wedge every later writer of this object.
   uint64_t t = now_ns();
-  DSTORE_RETURN_IF_ERROR(write_data(plan.blocks, value, size));
+  Status ws = write_data(plan.blocks, value, size);
+  if (!ws.is_ok()) {
+    engine_->abort(h);
+    return ws;
+  }
   uint64_t t2 = now_ns();
   stage_stats_.data_ns.fetch_add(t2 - t, std::memory_order_relaxed);
   // Step 9: commit — the op is durable from here on.
@@ -642,6 +690,7 @@ Result<size_t> DStore::oget(ds_ctx_t* /*ctx*/, std::string_view name, void* buf,
 
 Status DStore::odelete(ds_ctx_t* ctx, std::string_view name) {
   if (!Key::fits(name)) return Status::invalid_argument("name too long");
+  if (read_only()) return Status::read_only("store degraded after ssd write failures");
   Key k = Key::from(name);
   int64_t allowed = allowed_inflight(ctx, k);
   View v = view_of(engine_->space());
@@ -673,6 +722,7 @@ Status DStore::odelete(ds_ctx_t* ctx, std::string_view name) {
     Status s = delete_phase1(v, k, &btree_mu_, &plan);
     if (!s.is_ok()) {
       pipeline_mu_.unlock();
+      engine_->abort(h);
       return s;
     }
     break;
@@ -687,7 +737,10 @@ Status DStore::odelete(ds_ctx_t* ctx, std::string_view name) {
     pipeline_mu_.unlock();
     engine_->write_reserved(h, OpType::kDelete, 0, 0);
   }
-  DSTORE_RETURN_IF_ERROR(s);
+  if (!s.is_ok()) {
+    engine_->abort(h);
+    return s;
+  }
   engine_->commit(h);
   return Status::ok();
 }
@@ -713,6 +766,7 @@ Result<Object*> DStore::oopen(ds_ctx_t* ctx, std::string_view name, size_t /*siz
   }
   if (!exists) {
     if ((mode & kCreate) == 0) return Status::not_found(k.str());
+    if (read_only()) return Status::read_only("store degraded after ssd write failures");
     // Create path: a logged metadata operation (§4.3: "log records for
     // oopen ... are only written if they modify any metadata").
     int64_t allowed = allowed_inflight(ctx, k);
@@ -748,12 +802,15 @@ Result<Object*> DStore::oopen(ds_ctx_t* ctx, std::string_view name, size_t /*siz
         auto idx = v.meta_pool.alloc();
         pipeline_mu_.unlock();
         engine_->write_reserved(hr.value(), OpType::kCreate, 0, 0);
-        if (!idx.has_value()) return Status::out_of_space("metadata pool exhausted");
-        s = v.zone.init_entry(*idx, k);
-        if (s.is_ok()) {
-          v.zone.entry(*idx)->size = 0;
-          LockGuard<SharedSpinLock> g(btree_mu_);
-          s = v.btree.insert(k, *idx);
+        if (!idx.has_value()) {
+          s = Status::out_of_space("metadata pool exhausted");
+        } else {
+          s = v.zone.init_entry(*idx, k);
+          if (s.is_ok()) {
+            v.zone.entry(*idx)->size = 0;
+            LockGuard<SharedSpinLock> g(btree_mu_);
+            s = v.btree.insert(k, *idx);
+          }
         }
       } else {
         uint64_t meta_idx = 0;
@@ -762,7 +819,10 @@ Result<Object*> DStore::oopen(ds_ctx_t* ctx, std::string_view name, size_t /*siz
         pipeline_mu_.unlock();
         engine_->write_reserved(hr.value(), OpType::kCreate, 0, 0);
       }
-      DSTORE_RETURN_IF_ERROR(s);
+      if (!s.is_ok()) {
+        engine_->abort(hr.value());
+        return s;
+      }
       engine_->commit(hr.value());
       break;
     }
@@ -800,6 +860,7 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
     return Status::invalid_argument("object not open for writing");
   }
   if (size == 0) return (size_t)0;
+  if (read_only()) return Status::read_only("store degraded after ssd write failures");
   Key k = object->name;
   View v = view_of(engine_->space());
   int64_t allowed = 0;
@@ -840,6 +901,7 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
       Status s = extend_phase1(v, k, new_size, &btree_mu_, &plan);
       if (!s.is_ok()) {
         pipeline_mu_.unlock();
+        engine_->abort(hr.value());
         return s;
       }
       if (cfg_.observational_equivalence) {
@@ -851,8 +913,11 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
         pipeline_mu_.unlock();
         engine_->write_reserved(hr.value(), OpType::kWrite, new_size, offset, buf, size);
       }
-      DSTORE_RETURN_IF_ERROR(s);
-      DSTORE_RETURN_IF_ERROR(write_data_range(v, *found, buf, size, offset));
+      if (s.is_ok()) s = write_data_range(v, *found, buf, size, offset);
+      if (!s.is_ok()) {
+        engine_->abort(hr.value());
+        return s;
+      }
       engine_->commit(hr.value());
       return size;
     }

@@ -64,6 +64,12 @@ struct DStoreConfig {
   // OE-parallel checkpoint replay (§3.5): pipeline pool allocations and
   // metadata/btree updates across two lanes for large record batches.
   bool parallel_replay = true;
+  // Transient SSD errors (IO_ERROR / BUSY) are retried with exponential
+  // backoff: attempt i sleeps io_retry_backoff_ns << i. After
+  // io_max_retries failed retries a write marks the store read-only and the
+  // error surfaces through the public API; reads just surface the error.
+  int io_max_retries = 3;
+  uint64_t io_retry_backoff_ns = 2000;
 
   // A volatile arena comfortably sized for `objects` objects.
   static size_t suggested_arena_bytes(uint64_t objects);
@@ -134,6 +140,12 @@ class DStore final : public dipper::SpaceClient {
 
   dipper::Engine& engine() { return *engine_; }
   Status checkpoint_now() { return engine_->checkpoint_now(); }
+
+  // True once a data write exhausted its SSD retries: mutating calls fail
+  // with READ_ONLY until the store is reopened; reads keep working.
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+  uint64_t io_retries() const { return io_retries_.load(std::memory_order_relaxed); }
+  uint64_t io_exhausted() const { return io_exhausted_.load(std::memory_order_relaxed); }
 
   // Per-stage write-pipeline timings (Table 3: NVMe write / btree /
   // metadata / log flush). Accumulated across all oput calls.
@@ -232,6 +244,13 @@ class DStore final : public dipper::SpaceClient {
   Status read_data_range(View& v, uint64_t meta_idx, void* buf, size_t size, uint64_t offset,
                          size_t* out_len);
 
+  // Retrying device wrappers: every SSD access in the data plane goes
+  // through these so transient errors are absorbed (bounded retries with
+  // exponential backoff) or surfaced — never dropped.
+  Status device_write(uint64_t block, size_t off, const void* data, size_t len);
+  Status device_read(uint64_t block, size_t off, void* buf, size_t len);
+  Status retry_io(const std::function<Status()>& io, bool is_write);
+
   pmem::Pool* pool_;
   ssd::BlockDevice* device_;
   DStoreConfig cfg_;
@@ -246,6 +265,10 @@ class DStore final : public dipper::SpaceClient {
   std::atomic<int64_t> live_ctxs_{0};
   std::atomic<int64_t> open_objects_{0};
   StageStats stage_stats_;
+
+  std::atomic<bool> read_only_{false};      // set on write-retry exhaustion
+  std::atomic<uint64_t> io_retries_{0};     // transient-error retries issued
+  std::atomic<uint64_t> io_exhausted_{0};   // ops whose retries ran out
 };
 
 // Open-object handle (stateful filesystem API). Obtained from oopen(),

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <memory>
+#include <string>
 
 #include "dstore/dstore.h"
 
@@ -37,8 +38,30 @@ int to_errno(const dstore::Status& s) {
     case dstore::Code::kIoError: return DS_EIO;
     case dstore::Code::kUnsupported: return DS_ENOTSUP;
     case dstore::Code::kInternal: return DS_EINTERNAL;
+    case dstore::Code::kReadOnly: return DS_EROFS;
   }
   return DS_EINTERNAL;
+}
+
+// ds_last_error state: one slot per thread, overwritten by every binding
+// call so callers can always ask "why did that just fail".
+thread_local int tls_last_code = DS_OK;
+thread_local std::string tls_last_msg;
+
+int record(const dstore::Status& s) {
+  tls_last_code = to_errno(s);
+  if (s.is_ok()) {
+    tls_last_msg.clear();
+  } else {
+    tls_last_msg = s.to_string();
+  }
+  return tls_last_code;
+}
+
+int record_errno(int code, const char* msg) {
+  tls_last_code = code;
+  tls_last_msg = code == DS_OK ? "" : msg;
+  return code;
 }
 
 dstore::DStoreConfig config_from(const dstore_options* o) {
@@ -66,13 +89,19 @@ dstore_t* dstore_open(const dstore_options* options, int create) {
     std::filesystem::create_directories(dir, ec);
     auto pool = dstore::pmem::Pool::open_file(std::string(dir) + "/pmem.img", pool_bytes,
                                               dstore::LatencyModel::none(), create != 0);
-    if (!pool.is_ok()) return nullptr;
+    if (!pool.is_ok()) {
+      record(pool.status());
+      return nullptr;
+    }
     s->pool = std::move(pool).value();
     dstore::ssd::DeviceConfig dc;
     dc.num_blocks = s->cfg.num_blocks;
     auto dev = dstore::ssd::FileBlockDevice::open(std::string(dir) + "/data.img", dc,
                                                   create != 0);
-    if (!dev.is_ok()) return nullptr;
+    if (!dev.is_ok()) {
+      record(dev.status());
+      return nullptr;
+    }
     s->device = std::move(dev).value();
   } else {
     s->pool = std::make_unique<dstore::pmem::Pool>(pool_bytes,
@@ -83,8 +112,12 @@ dstore_t* dstore_open(const dstore_options* options, int create) {
   }
   auto store = create != 0 ? dstore::DStore::create(s->pool.get(), s->device.get(), s->cfg)
                            : dstore::DStore::recover(s->pool.get(), s->device.get(), s->cfg);
-  if (!store.is_ok()) return nullptr;
+  if (!store.is_ok()) {
+    record(store.status());
+    return nullptr;
+  }
   s->store = std::move(store).value();
+  record(dstore::Status::ok());
   return s.release();
 }
 
@@ -107,13 +140,20 @@ void ds_finalize(ds_ctx_t* ctx) {
 }
 
 OBJECT* oopen(ds_ctx_t* ctx, const char* name, size_t size, uint32_t op) {
-  if (ctx == nullptr || name == nullptr) return nullptr;
+  if (ctx == nullptr || name == nullptr) {
+    record_errno(DS_EINVAL, "null context or name");
+    return nullptr;
+  }
   uint32_t mode = 0;
   if (op & DS_O_READ) mode |= dstore::kRead;
   if (op & DS_O_WRITE) mode |= dstore::kWrite;
   if (op & DS_O_CREATE) mode |= dstore::kCreate;
   auto r = ctx->owner->store->oopen(ctx->ctx, name, size, mode);
-  if (!r.is_ok()) return nullptr;
+  if (!r.is_ok()) {
+    record(r.status());
+    return nullptr;
+  }
+  record(dstore::Status::ok());
   auto* o = new ds_obj;
   o->owner = ctx->owner;
   o->obj = r.value();
@@ -127,56 +167,64 @@ void oclose(OBJECT* object) {
 }
 
 ssize_t oread(OBJECT* object, void* buf, size_t size, off_t offset) {
-  if (object == nullptr) return DS_EINVAL;
+  if (object == nullptr) return record_errno(DS_EINVAL, "null object");
   auto r = object->owner->store->oread(object->obj, buf, size, (uint64_t)offset);
-  if (!r.is_ok()) return to_errno(r.status());
+  if (!r.is_ok()) return record(r.status());
+  record(dstore::Status::ok());
   return (ssize_t)r.value();
 }
 
 ssize_t owrite(OBJECT* object, const void* buf, size_t size, off_t offset) {
-  if (object == nullptr) return DS_EINVAL;
+  if (object == nullptr) return record_errno(DS_EINVAL, "null object");
   auto r = object->owner->store->owrite(object->obj, buf, size, (uint64_t)offset);
-  if (!r.is_ok()) return to_errno(r.status());
+  if (!r.is_ok()) return record(r.status());
+  record(dstore::Status::ok());
   return (ssize_t)r.value();
 }
 
 ssize_t oget(ds_ctx_t* ctx, const char* key, void* value, size_t value_cap) {
-  if (ctx == nullptr || key == nullptr) return DS_EINVAL;
+  if (ctx == nullptr || key == nullptr) return record_errno(DS_EINVAL, "null context or key");
   auto r = ctx->owner->store->oget(ctx->ctx, key, value, value_cap);
-  if (!r.is_ok()) return to_errno(r.status());
+  if (!r.is_ok()) return record(r.status());
+  record(dstore::Status::ok());
   return (ssize_t)r.value();
 }
 
 ssize_t oput(ds_ctx_t* ctx, const char* key, const void* value, size_t size) {
-  if (ctx == nullptr || key == nullptr) return DS_EINVAL;
+  if (ctx == nullptr || key == nullptr) return record_errno(DS_EINVAL, "null context or key");
   dstore::Status s = ctx->owner->store->oput(ctx->ctx, key, value, size);
-  if (!s.is_ok()) return to_errno(s);
+  if (!s.is_ok()) return record(s);
+  record(s);
   return (ssize_t)size;
 }
 
 int odelete(ds_ctx_t* ctx, const char* name) {
-  if (ctx == nullptr || name == nullptr) return DS_EINVAL;
-  return to_errno(ctx->owner->store->odelete(ctx->ctx, name));
+  if (ctx == nullptr || name == nullptr) return record_errno(DS_EINVAL, "null context or name");
+  return record(ctx->owner->store->odelete(ctx->ctx, name));
 }
 
 int olock(ds_ctx_t* ctx, const char* name) {
-  if (ctx == nullptr || name == nullptr) return DS_EINVAL;
-  return to_errno(ctx->owner->store->olock(ctx->ctx, name));
+  if (ctx == nullptr || name == nullptr) return record_errno(DS_EINVAL, "null context or name");
+  return record(ctx->owner->store->olock(ctx->ctx, name));
 }
 
 int ounlock(ds_ctx_t* ctx, const char* name) {
-  if (ctx == nullptr || name == nullptr) return DS_EINVAL;
-  return to_errno(ctx->owner->store->ounlock(ctx->ctx, name));
+  if (ctx == nullptr || name == nullptr) return record_errno(DS_EINVAL, "null context or name");
+  return record(ctx->owner->store->ounlock(ctx->ctx, name));
 }
 
 int dstore_checkpoint(dstore_t* store) {
-  if (store == nullptr) return DS_EINVAL;
-  return to_errno(store->store->checkpoint_now());
+  if (store == nullptr) return record_errno(DS_EINVAL, "null store");
+  return record(store->store->checkpoint_now());
 }
 
 uint64_t dstore_object_count(dstore_t* store) {
   if (store == nullptr) return 0;
   return store->store->object_count();
 }
+
+int ds_last_error_code(void) { return tls_last_code; }
+
+const char* ds_last_error(void) { return tls_last_msg.c_str(); }
 
 }  // extern "C"

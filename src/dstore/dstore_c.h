@@ -33,6 +33,7 @@ extern "C" {
 #define DS_EIO (-7)
 #define DS_ENOTSUP (-8)
 #define DS_EINTERNAL (-9)
+#define DS_EROFS (-10) /* store degraded to read-only (SSD retries exhausted) */
 
 typedef struct dstore_t dstore_t; /* the store (opaque) */
 typedef struct ds_ctx ds_ctx_t;   /* per-thread context (opaque) */
@@ -79,6 +80,14 @@ int ounlock(ds_ctx_t* ctx, const char* name);
 /* ---- maintenance ---- */
 int dstore_checkpoint(dstore_t* store);
 uint64_t dstore_object_count(dstore_t* store);
+
+/* ---- error reporting ---- */
+/* Outcome of the calling thread's most recent binding call: the DS_E* code
+ * (DS_OK after a success) and a human-readable message ("" after a
+ * success). The returned string stays valid until this thread's next
+ * dstore call. */
+int ds_last_error_code(void);
+const char* ds_last_error(void);
 
 #ifdef __cplusplus
 } /* extern "C" */

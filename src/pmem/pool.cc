@@ -78,6 +78,7 @@ Pool::ThreadState& Pool::tls() {
 
 void Pool::flush(const void* addr, size_t len) {
   if (len == 0) return;
+  apply_fault_outcome(fault::hit(fault_, "pmem.flush"));
   auto a = reinterpret_cast<uintptr_t>(addr);
   auto b = reinterpret_cast<uintptr_t>(region_);
   assert(a >= b && a + len <= b + size_ && "flush outside pool");
@@ -85,7 +86,7 @@ void Pool::flush(const void* addr, size_t len) {
   uint64_t hi = line_up(a + len) - b;
   ThreadState& st = tls();
   st.lines += (hi - lo) / kCacheLineSize;
-  if (mode_ == Mode::kCrashSim) {
+  if (mode_ == Mode::kCrashSim && !image_frozen()) {
     st.ranges.push_back({lo, hi - lo});
     if (PersistChecker* c = checker()) {
       uint64_t tid = checker_thread_id();
@@ -98,6 +99,7 @@ void Pool::flush(const void* addr, size_t len) {
 }
 
 void Pool::fence() {
+  apply_fault_outcome(fault::hit(fault_, "pmem.fence"));
   ThreadState& st = tls();
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
   if (st.lines > 0) {
@@ -111,7 +113,7 @@ void Pool::fence() {
       spin_for_ns(lat_.pmem_flush_line_ns + (st.lines - 1) * extra);
     }
   }
-  if (mode_ == Mode::kCrashSim && !st.ranges.empty()) {
+  if (mode_ == Mode::kCrashSim && !st.ranges.empty() && !image_frozen()) {
     std::lock_guard<std::mutex> g(image_mu_);
     if (PersistChecker* c = checker()) {
       // Retire this thread's staged lines: compare against the flush-time
@@ -131,6 +133,7 @@ void Pool::fence() {
 
 void Pool::persist_bulk(const void* addr, size_t len) {
   if (len == 0) return;
+  fault::Outcome fo = fault::hit(fault_, "pmem.bulk");
   auto a = reinterpret_cast<uintptr_t>(addr);
   auto b = reinterpret_cast<uintptr_t>(region_);
   assert(a >= b && a + len <= b + size_ && "persist_bulk outside pool");
@@ -143,6 +146,18 @@ void Pool::persist_bulk(const void* addr, size_t len) {
   if (lat_.pmem_flush_line_ns > 0) spin_for_ns(lat_.pmem_flush_line_ns);
   bw_channel_.transfer(lat_.pmem_write_ns(len));
   if (mode_ == Mode::kCrashSim) {
+    if (fo.type == fault::FaultType::kTorn && !image_frozen()) {
+      // Power fails mid-writeback: only the first `arg` bytes of this bulk
+      // range reach media, then everything freezes.
+      {
+        std::lock_guard<std::mutex> g(image_mu_);
+        apply_to_image(a - b, std::min<uint64_t>(len, fo.arg));
+      }
+      fault_->trigger_crash();
+      return;
+    }
+    apply_fault_outcome(fo);
+    if (image_frozen()) return;
     uint64_t lo = line_down(a) - b;
     uint64_t hi = line_up(a + len) - b;
     std::lock_guard<std::mutex> g(image_mu_);
@@ -161,7 +176,7 @@ void Pool::apply_to_image(uint64_t off, uint64_t len) {
 }
 
 void Pool::evict_random_lines(Rng& rng, size_t count) {
-  if (mode_ != Mode::kCrashSim) return;
+  if (mode_ != Mode::kCrashSim || image_frozen()) return;
   std::lock_guard<std::mutex> g(image_mu_);
   size_t nlines = size_ / kCacheLineSize;
   for (size_t i = 0; i < count; i++) {
@@ -175,9 +190,53 @@ void Pool::crash() {
   std::lock_guard<std::mutex> g(image_mu_);
   if (PersistChecker* c = checker()) c->on_crash();
   std::memcpy(region_, image_.get(), size_);
+  frozen_.store(false, std::memory_order_release);
   // Note: staged-but-unfenced flushes in other threads' TLS are
   // intentionally NOT discarded here; crash tests quiesce worker threads
   // before crashing, as a real restart would.
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+void Pool::set_fault_injector(fault::FaultInjector* inj) {
+  assert(mode_ == Mode::kCrashSim && "fault injection needs the persistent image");
+  fault_ = inj;
+  if (inj != nullptr) {
+    inj->add_crash_sink([this] { freeze_image(); });
+  }
+}
+
+void Pool::apply_fault_outcome(const fault::Outcome& o) {
+  // kCrash froze us inside on_hit (via the crash sink) and kDelay already
+  // spun; spurious eviction is the only outcome the pool applies itself.
+  if (o.type == fault::FaultType::kEvict && fault_ != nullptr) {
+    evict_random_lines(fault_->rng(), o.arg);
+  }
+}
+
+void Pool::evict_lines(const void* addr, size_t len) {
+  if (mode_ != Mode::kCrashSim || image_frozen() || len == 0) return;
+  auto a = reinterpret_cast<uintptr_t>(addr);
+  auto b = reinterpret_cast<uintptr_t>(region_);
+  assert(a >= b && a + len <= b + size_ && "evict_lines outside pool");
+  uint64_t lo = line_down(a) - b;
+  uint64_t hi = line_up(a + len) - b;
+  std::lock_guard<std::mutex> g(image_mu_);
+  apply_to_image(lo, hi - lo);
+}
+
+void Pool::tear_image(const void* addr, size_t keep, size_t len) {
+  assert(mode_ == Mode::kCrashSim && "tear_image requires kCrashSim");
+  assert(keep <= len);
+  auto a = reinterpret_cast<uintptr_t>(addr);
+  auto b = reinterpret_cast<uintptr_t>(region_);
+  assert(a >= b && a + len <= b + size_ && "tear_image outside pool");
+  uint64_t off = a - b;
+  std::lock_guard<std::mutex> g(image_mu_);
+  std::memcpy(image_.get() + off, region_ + off, keep);
+  std::memset(image_.get() + off + keep, 0, len - keep);
 }
 
 // ---------------------------------------------------------------------------

@@ -38,6 +38,7 @@
 #include "common/latency_model.h"
 #include "common/rng.h"
 #include "common/timeseries.h"
+#include "fault/fault.h"
 #include "pmem/persist_checker.h"
 
 namespace dstore::pmem {
@@ -99,8 +100,36 @@ class Pool {
   void evict_random_lines(Rng& rng, size_t count);
 
   // Simulate power failure + restart: the region's contents revert to the
-  // persistent image. All staged flushes are discarded.
+  // persistent image. All staged flushes are discarded. Unfreezes a pool
+  // frozen by a fault-injected power failure.
   void crash();
+
+  // ---- fault injection (kCrashSim only) ---------------------------------
+  // Attach a deterministic fault injector: flush/fence/persist_bulk become
+  // the fault points "pmem.flush" / "pmem.fence" / "pmem.bulk" (crash,
+  // delay, spurious-eviction and — for bulk — torn-write faults), and this
+  // pool's freeze_image() is registered as a crash sink so an injected
+  // power failure anywhere in the system stops persistence here too.
+  void set_fault_injector(fault::FaultInjector* inj);
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
+  // Power is gone as of now: stop applying flushes/fences/bulk writes to
+  // the persistent image. The workload keeps running on the volatile region
+  // (harmlessly — a real machine would simply be off) until the harness
+  // calls crash(), which reverts to the frozen image and unfreezes.
+  void freeze_image() { frozen_.store(true, std::memory_order_release); }
+  bool image_frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  // Adversary: spuriously persist the cache lines covering exactly
+  // [addr, addr+len) — the chosen-line variant of evict_random_lines().
+  void evict_lines(const void* addr, size_t len);
+
+  // Torn-write primitive for fault tests: force the persistent image of
+  // [addr, addr+len) into "only the first `keep` bytes of this range ever
+  // persisted" — the prefix is copied from the region, the suffix zeroed.
+  // Byte-granular on purpose: callers emulating aligned 8B stores (which
+  // the hardware tears only as a whole) must snap `keep` themselves.
+  void tear_image(const void* addr, size_t keep, size_t len);
 
   // Test helper: true if [addr,addr+len) matches the persistent image.
   bool is_persisted(const void* addr, size_t len) const;
@@ -151,6 +180,7 @@ class Pool {
   ThreadState& tls();
 
   void apply_to_image(uint64_t off, uint64_t len);
+  void apply_fault_outcome(const fault::Outcome& o);
 
   Pool() = default;  // for open_file
 
@@ -164,6 +194,8 @@ class Pool {
   TimeSeries* bw_series_ = nullptr;
   BandwidthChannel bw_channel_;  // serializes the bandwidth share of bulk ops
   std::atomic<PersistChecker*> checker_{nullptr};  // PmemCheck hook (kCrashSim)
+  fault::FaultInjector* fault_ = nullptr;          // fault hook (kCrashSim)
+  std::atomic<bool> frozen_{false};  // power failed; image no longer updates
   mutable std::mutex image_mu_;  // guards image_ (and checker state) in kCrashSim
 };
 

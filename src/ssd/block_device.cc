@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/clock.h"
@@ -33,6 +34,22 @@ RamBlockDevice::RamBlockDevice(DeviceConfig cfg) : cfg_(cfg) {
 Status RamBlockDevice::write(uint64_t block, size_t offset, const void* data, size_t len) {
   DSTORE_RETURN_IF_ERROR(check_io(cfg_, block, offset, len));
   size_t pos = block * cfg_.block_size() + offset;
+  fault::Outcome fo = fault::hit(fault_, "ssd.write");
+  if (fo.type == fault::FaultType::kError) return fo.status;
+  if (fo.type == fault::FaultType::kTorn && !frozen()) {
+    // Power fails while the page is being written: only the first `arg`
+    // bytes reach non-volatile media, in both cache modes (the tear models
+    // the media program itself being interrupted).
+    size_t keep = std::min<size_t>(len, fo.arg);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      std::memcpy(media_.get() + pos, data, keep);
+    }
+    fault_->trigger_crash();
+    return Status::io_error("injected power failure tore ssd write at block " +
+                            std::to_string(block));
+  }
+  if (frozen()) return Status::ok();  // acked into the void; host is dead too
   if (cfg_.power_loss_protection) {
     // Capacitor-backed cache: acknowledged == durable; a single buffer
     // suffices. Concurrent writers target disjoint blocks (the block pool
@@ -55,6 +72,8 @@ Status RamBlockDevice::write(uint64_t block, size_t offset, const void* data, si
 
 Status RamBlockDevice::read(uint64_t block, size_t offset, void* out, size_t len) const {
   DSTORE_RETURN_IF_ERROR(check_io(cfg_, block, offset, len));
+  fault::Outcome fo = fault::hit(fault_, "ssd.read");
+  if (fo.type == fault::FaultType::kError) return fo.status;
   size_t pos = block * cfg_.block_size() + offset;
   const char* src = cfg_.power_loss_protection ? media_.get() : cache_view_.get();
   if (!cfg_.power_loss_protection) {
@@ -71,6 +90,9 @@ Status RamBlockDevice::read(uint64_t block, size_t offset, void* out, size_t len
 }
 
 Status RamBlockDevice::flush_cache() {
+  fault::Outcome fo = fault::hit(fault_, "ssd.flush");
+  if (fo.type == fault::FaultType::kError) return fo.status;
+  if (frozen()) return Status::ok();
   if (!cfg_.power_loss_protection) {
     std::lock_guard<std::mutex> g(mu_);
     std::memcpy(media_.get(), cache_view_.get(), cfg_.capacity());
@@ -79,9 +101,28 @@ Status RamBlockDevice::flush_cache() {
 }
 
 void RamBlockDevice::crash() {
+  frozen_.store(false, std::memory_order_release);
   if (cfg_.power_loss_protection) return;  // capacitors flush the cache
   std::lock_guard<std::mutex> g(mu_);
   std::memcpy(cache_view_.get(), media_.get(), cfg_.capacity());
+}
+
+void RamBlockDevice::set_fault_injector(fault::FaultInjector* inj) {
+  fault_ = inj;
+  if (inj != nullptr) {
+    inj->add_crash_sink([this] { freeze(); });
+  }
+}
+
+uint64_t RamBlockDevice::media_fingerprint() const {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const char* p = media_.get();
+  for (size_t i = 0; i < cfg_.capacity(); i++) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 // ---------------------------------------------------------------------------
@@ -106,6 +147,8 @@ FileBlockDevice::~FileBlockDevice() {
 
 Status FileBlockDevice::write(uint64_t block, size_t offset, const void* data, size_t len) {
   DSTORE_RETURN_IF_ERROR(check_io(cfg_, block, offset, len));
+  fault::Outcome fo = fault::hit(fault_, "ssd.write");
+  if (fo.type == fault::FaultType::kError) return fo.status;
   off_t pos = (off_t)(block * cfg_.block_size() + offset);
   ssize_t n = pwrite(fd_, data, len, pos);
   if (n != (ssize_t)len) return Status::io_error("pwrite short/failed");
@@ -117,6 +160,8 @@ Status FileBlockDevice::write(uint64_t block, size_t offset, const void* data, s
 
 Status FileBlockDevice::read(uint64_t block, size_t offset, void* out, size_t len) const {
   DSTORE_RETURN_IF_ERROR(check_io(cfg_, block, offset, len));
+  fault::Outcome fo = fault::hit(fault_, "ssd.read");
+  if (fo.type == fault::FaultType::kError) return fo.status;
   off_t pos = (off_t)(block * cfg_.block_size() + offset);
   ssize_t n = pread(fd_, out, len, pos);
   if (n != (ssize_t)len) return Status::io_error("pread short/failed");

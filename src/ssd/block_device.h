@@ -30,6 +30,7 @@
 #include "common/latency_model.h"
 #include "common/status.h"
 #include "common/timeseries.h"
+#include "fault/fault.h"
 
 namespace dstore::ssd {
 
@@ -68,6 +69,11 @@ class BlockDevice {
 
   // Optional bandwidth time-series (bytes written per bin) for Figure 7.
   virtual void set_bandwidth_series(TimeSeries* ts) = 0;
+
+  // Attach a deterministic fault injector: every IO becomes a fault point
+  // ("ssd.write" / "ssd.read" / "ssd.flush") supporting transient errors,
+  // latency spikes and — on RamBlockDevice — torn pages on power loss.
+  virtual void set_fault_injector(fault::FaultInjector* inj) { (void)inj; }
 };
 
 // Memory-backed device with crash simulation.
@@ -84,8 +90,22 @@ class RamBlockDevice final : public BlockDevice {
 
   // Simulate power failure: with PLP the capacitors flush the write cache
   // (nothing is lost); without PLP, writes since the last flush_cache()
-  // revert to their previous contents.
+  // revert to their previous contents. Unfreezes a device frozen by an
+  // injected power failure.
   void crash();
+
+  // Registers this device's freeze() as a crash sink on `inj`.
+  void set_fault_injector(fault::FaultInjector* inj) override;
+
+  // Power is gone: later writes/flushes no longer reach the device (they
+  // still return OK — the host that issued them is also dead; the harness
+  // stops the workload once it observes the injected crash).
+  void freeze() { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  // FNV-1a over the durable contents — byte-identical media images compare
+  // equal; used by the seed-determinism harness check.
+  uint64_t media_fingerprint() const;
 
  private:
   DeviceConfig cfg_;
@@ -94,6 +114,8 @@ class RamBlockDevice final : public BlockDevice {
   mutable DeviceStats stats_;
   TimeSeries* bw_series_ = nullptr;
   mutable BandwidthChannel bw_channel_;  // shared media bandwidth queue
+  fault::FaultInjector* fault_ = nullptr;
+  std::atomic<bool> frozen_{false};  // power failed; media no longer updates
   mutable std::mutex mu_;  // only guards the !PLP dual-buffer bookkeeping
 };
 
@@ -111,6 +133,8 @@ class FileBlockDevice final : public BlockDevice {
   const DeviceConfig& config() const override { return cfg_; }
   const DeviceStats& stats() const override { return stats_; }
   void set_bandwidth_series(TimeSeries* ts) override { bw_series_ = ts; }
+  // Error/delay injection only; torn pages and freeze need the RAM device.
+  void set_fault_injector(fault::FaultInjector* inj) override { fault_ = inj; }
 
  private:
   FileBlockDevice(int fd, DeviceConfig cfg) : fd_(fd), cfg_(cfg) {}
@@ -118,6 +142,7 @@ class FileBlockDevice final : public BlockDevice {
   DeviceConfig cfg_;
   mutable DeviceStats stats_;
   TimeSeries* bw_series_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace dstore::ssd

@@ -135,6 +135,32 @@ TEST(CApi, PersistsThroughBackingDir) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CApi, LastErrorTracksMostRecentCall) {
+  dstore_options o = small_opts();
+  dstore_t* s = dstore_open(&o, 1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(ds_last_error_code(), DS_OK);  // successful open
+  EXPECT_STREQ(ds_last_error(), "");
+  ds_ctx_t* ctx = ds_init(s);
+
+  char buf[16] = {};
+  EXPECT_EQ(oget(ctx, "nope", buf, sizeof(buf)), DS_ENOTFOUND);
+  EXPECT_EQ(ds_last_error_code(), DS_ENOTFOUND);
+  EXPECT_NE(std::string(ds_last_error()).find("nope"), std::string::npos);
+
+  const char v[] = "v";
+  EXPECT_EQ(oput(ctx, "k", v, sizeof(v)), (ssize_t)sizeof(v));
+  EXPECT_EQ(ds_last_error_code(), DS_OK);  // success clears the slot
+  EXPECT_STREQ(ds_last_error(), "");
+
+  EXPECT_EQ(oget(nullptr, "k", buf, sizeof(buf)), DS_EINVAL);
+  EXPECT_EQ(ds_last_error_code(), DS_EINVAL);
+  EXPECT_NE(ds_last_error()[0], '\0');
+
+  ds_finalize(ctx);
+  dstore_close(s);
+}
+
 TEST(CApi, NullArgumentsRejected) {
   EXPECT_EQ(ds_init(nullptr), nullptr);
   EXPECT_EQ(oget(nullptr, "k", nullptr, 0), DS_EINVAL);

@@ -1,0 +1,112 @@
+// crashplan — command-line driver for the crash-schedule harness.
+//
+//   crashplan --enumerate             print the (point, hit count) schedule
+//                                     space of one rig workload
+//   crashplan --plan=STRING           run one FaultPlan (e.g. a reproduction
+//                                     string from a CI artifact), recover,
+//                                     verify against the oracle
+//   crashplan --seed=N                generate and run FaultPlan::random(N)
+//   crashplan --sweep                 every single-crash plan over the space
+//       [--artifact=FILE]             append failing plan strings to FILE
+//
+// Exit status: 0 = all runs verified, 1 = at least one oracle violation or
+// recovery failure, 2 = usage/parse error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/crash_rig.h"
+#include "fault/fault.h"
+
+namespace dstore::fault {
+namespace {
+
+int run_one(const FaultPlan& plan, const char* artifact) {
+  CrashRig rig;
+  bool crashed = rig.run(plan);
+  Status s = crashed ? rig.crash_and_recover() : Status::ok();
+  if (s.is_ok()) s = rig.verify();
+  if (s.is_ok()) {
+    std::printf("ok     %s%s\n", plan.to_string().c_str(),
+                crashed ? "" : "  (never fired)");
+    return 0;
+  }
+  std::printf("FAIL   %s  — %s\n", plan.to_string().c_str(), s.to_string().c_str());
+  if (artifact != nullptr) {
+    std::ofstream f(artifact, std::ios::app);
+    f << plan.to_string() << "\n";
+  }
+  return 1;
+}
+
+int main(int argc, char** argv) {
+  bool enumerate = false, sweep = false;
+  const char* plan_text = nullptr;
+  const char* seed_text = nullptr;
+  const char* artifact = nullptr;
+  for (int i = 1; i < argc; i++) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--enumerate") == 0) {
+      enumerate = true;
+    } else if (std::strcmp(a, "--sweep") == 0) {
+      sweep = true;
+    } else if (std::strncmp(a, "--plan=", 7) == 0) {
+      plan_text = a + 7;
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      seed_text = a + 7;
+    } else if (std::strncmp(a, "--artifact=", 11) == 0) {
+      artifact = a + 11;
+    } else {
+      std::fprintf(stderr,
+                   "usage: crashplan --enumerate | --plan=STRING | --seed=N | "
+                   "--sweep [--artifact=FILE]\n");
+      return 2;
+    }
+  }
+
+  if (enumerate) {
+    auto space = CrashRig::enumerate_schedule();
+    uint64_t total = 0;
+    for (const auto& [point, count] : space) {
+      std::printf("%-32s %8llu\n", point.c_str(), (unsigned long long)count);
+      total += count;
+    }
+    std::printf("%-32s %8llu\n", "TOTAL", (unsigned long long)total);
+    return 0;
+  }
+  if (plan_text != nullptr) {
+    auto plan = FaultPlan::parse(plan_text);
+    if (!plan.is_ok()) {
+      std::fprintf(stderr, "bad plan: %s\n", plan.status().to_string().c_str());
+      return 2;
+    }
+    return run_one(plan.value(), artifact);
+  }
+  if (seed_text != nullptr) {
+    uint64_t seed = std::strtoull(seed_text, nullptr, 0);
+    auto space = CrashRig::enumerate_schedule();
+    return run_one(FaultPlan::random(seed, space), artifact);
+  }
+  if (sweep) {
+    auto space = CrashRig::enumerate_schedule();
+    int failures = 0;
+    size_t ran = 0;
+    for (const FaultPlan& plan : all_crash_plans(space)) {
+      failures += run_one(plan, artifact);
+      ran++;
+    }
+    std::printf("%zu plans, %d failures\n", ran, failures);
+    return failures == 0 ? 0 : 1;
+  }
+  std::fprintf(stderr,
+               "usage: crashplan --enumerate | --plan=STRING | --seed=N | "
+               "--sweep [--artifact=FILE]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace dstore::fault
+
+int main(int argc, char** argv) { return dstore::fault::main(argc, argv); }
