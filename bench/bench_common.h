@@ -14,12 +14,17 @@
 //   DSTORE_BENCH_WINDOW_S   Fig 7 window seconds      (default 10)
 //   DSTORE_BENCH_SCALE      latency-injection scale   (default 1.0 =
 //                           full calibrated device latencies)
+//   DSTORE_BENCH_SSD_QD     NVMe queue-pair depth     (default 16; 1 =
+//                           the historical synchronous data plane)
+//   DSTORE_BENCH_JSON_DIR   where BENCH_<name>.json lands (default cwd)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/cached_btree.h"
 #include "baselines/cached_lsm.h"
@@ -45,14 +50,78 @@ struct BenchParams {
   uint64_t ops_per_thread = env_u64("DSTORE_BENCH_OPS", 12500);
   uint64_t window_s = env_u64("DSTORE_BENCH_WINDOW_S", 10);
   double scale = env_f64("DSTORE_BENCH_SCALE", 1.0);
+  uint32_t ssd_qd = (uint32_t)env_u64("DSTORE_BENCH_SSD_QD", 16);
 
   LatencyModel latency() const { return LatencyModel::calibrated(scale); }
 
   void print(const char* bench) const {
-    printf("# %s  (threads=%d objects=%llu ops/thread=%llu latency-scale=%.2f)\n", bench,
-           threads, (unsigned long long)objects, (unsigned long long)ops_per_thread, scale);
+    printf("# %s  (threads=%d objects=%llu ops/thread=%llu latency-scale=%.2f ssd-qd=%u)\n",
+           bench, threads, (unsigned long long)objects, (unsigned long long)ops_per_thread,
+           scale, ssd_qd);
     printf("# Emulated devices; compare SHAPES with the paper, not absolutes.\n");
   }
+};
+
+// Machine-readable results: a bench collects rows and writes them as
+// BENCH_<name>.json into $DSTORE_BENCH_JSON_DIR (default cwd), one object
+// per row with op / system / qd / threads / value_size / percentiles /
+// throughput — the schema CI archives and the before/after latency
+// comparisons in bench/results/ are made of.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  struct Row {
+    std::string op;      // "put", "read", "update", ...
+    std::string system;  // evaluated system / variant
+    uint64_t qd = 0;     // NVMe queue-pair depth in effect
+    int threads = 1;
+    uint64_t value_size = 0;
+    double p50_us = 0, p99_us = 0, p999_us = 0;
+    double throughput_iops = 0;
+  };
+
+  void add(Row r) { rows_.push_back(std::move(r)); }
+
+  void add(const std::string& op, const std::string& system, uint64_t qd, int threads,
+           uint64_t value_size, const LatencyHistogram& h, double iops) {
+    add(Row{op, system, qd, threads, value_size, h.p50() / 1000.0, h.p99() / 1000.0,
+            h.p999() / 1000.0, iops});
+  }
+
+  std::string path() const {
+    const char* dir = std::getenv("DSTORE_BENCH_JSON_DIR");
+    std::string base = dir != nullptr ? std::string(dir) + "/" : std::string();
+    return base + "BENCH_" + bench_ + ".json";
+  }
+
+  // Write the report; prints the path so CI logs show where it landed.
+  bool write() const {
+    FILE* f = fopen(path().c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "JsonReport: cannot write %s\n", path().c_str());
+      return false;
+    }
+    fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench_.c_str());
+    for (size_t i = 0; i < rows_.size(); i++) {
+      const Row& r = rows_[i];
+      fprintf(f,
+              "    {\"op\": \"%s\", \"system\": \"%s\", \"qd\": %llu, \"threads\": %d, "
+              "\"value_size\": %llu, \"p50_us\": %.3f, \"p99_us\": %.3f, \"p999_us\": %.3f, "
+              "\"throughput_iops\": %.1f}%s\n",
+              r.op.c_str(), r.system.c_str(), (unsigned long long)r.qd, r.threads,
+              (unsigned long long)r.value_size, r.p50_us, r.p99_us, r.p999_us,
+              r.throughput_iops, i + 1 < rows_.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("# wrote %s\n", path().c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<Row> rows_;
 };
 
 // Factory for each evaluated system, sized for `p`.
@@ -74,6 +143,7 @@ inline std::unique_ptr<workload::KVStore> make_system(const std::string& which,
     cfg.max_objects = objects;
     cfg.num_blocks = blocks;
     cfg.log_slots = 16384;
+    cfg.ssd_qd = p.ssd_qd;
     auto r = DStoreAdapter::make(cfg, lat);
     if (!r.is_ok()) {
       fprintf(stderr, "make %s failed: %s\n", which.c_str(), r.status().to_string().c_str());

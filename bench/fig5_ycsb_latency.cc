@@ -13,6 +13,7 @@ using namespace dstore::bench;
 int main() {
   BenchParams p;
   p.print("Figure 5: YCSB A/B average operation latency (4KB)");
+  JsonReport report("fig5");
   printf("%-14s %-8s %14s %14s\n", "system", "workload", "read avg(us)", "update avg(us)");
   const char* systems[] = {"PMEM-RocksDB", "MongoDB-PM", "MongoDB-PMSE", "DStore-CoW",
                            "DStore"};
@@ -27,8 +28,14 @@ int main() {
       printf("%-14s %-8s %14.1f %14.1f\n", sys, wl, r.read_latency.mean_ns() / 1e3,
              r.update_latency.mean_ns() / 1e3);
       fflush(stdout);
+      std::string sys_wl = std::string(sys) + "/" + wl;
+      double iops = r.throughput_iops();
+      report.add("read", sys_wl, p.ssd_qd, p.threads, spec.value_size, r.read_latency, iops);
+      report.add("update", sys_wl, p.ssd_qd, p.threads, spec.value_size, r.update_latency,
+                 iops);
     }
   }
+  report.write();
   printf("# Expected shape: DStore lowest everywhere; bigger win on updates;\n");
   printf("# all systems' update latency lower on B (95%% reads) than A.\n");
   return 0;

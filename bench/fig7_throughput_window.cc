@@ -22,6 +22,7 @@ int main() {
   uint64_t window_ms = p.window_s * 1000;
   const uint64_t bin_ms = 500;
   size_t bins = window_ms / bin_ms;
+  JsonReport report("fig7");
 
   const char* systems[] = {"PMEM-RocksDB", "MongoDB-PM", "MongoDB-PMSE", "DStore-CoW",
                            "DStore"};
@@ -64,7 +65,11 @@ int main() {
     printf("min throughput %.1f kops/s, max %.1f kops/s\n",
            thr.min_rate(1, 2) / 1e3, thr.max_rate() / 1e3);
     fflush(stdout);
+    double iops = r.throughput_iops();
+    report.add("read", sys, p.ssd_qd, p.threads, spec.value_size, r.read_latency, iops);
+    report.add("update", sys, p.ssd_qd, p.threads, spec.value_size, r.update_latency, iops);
   }
+  report.write();
   printf("\n# Expected shape: DStore's minimum > every other system's maximum;\n");
   printf("# PMSE flat-but-low with zero SSD traffic; CoW and cached systems show\n");
   printf("# deep checkpoint troughs; RocksDB shows continuous compaction traffic.\n");

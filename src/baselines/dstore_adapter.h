@@ -24,6 +24,9 @@ struct DStoreVariantConfig {
   dipper::EngineConfig::CkptMode ckpt_mode = dipper::EngineConfig::CkptMode::kDipper;
   bool physical_logging = false;
   bool observational_equivalence = true;
+  // NVMe queue-pair depth of the data plane (DStoreConfig::ssd_qd):
+  // qd=1 is the historical synchronous one-block-at-a-time data plane.
+  uint32_t ssd_qd = 16;
   const char* display_name = "DStore";
 };
 

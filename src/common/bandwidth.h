@@ -25,11 +25,20 @@ class BandwidthChannel {
   // Returns the absolute deadline (ns) when the transfer finishes.
   uint64_t reserve(uint64_t cost_ns) {
     if (cost_ns == 0) return 0;
-    uint64_t now = now_ns();
+    return reserve_from(now_ns(), cost_ns);
+  }
+
+  // Queue a transfer that becomes eligible at `start_ns` (e.g. after the
+  // device's fixed per-IO latency has elapsed): the channel is occupied
+  // from max(start_ns, previous busy horizon) for `cost_ns`. Used by the
+  // async submission path, which charges the fixed latency in parallel
+  // across in-flight IOs but still serializes their bandwidth shares.
+  uint64_t reserve_from(uint64_t start_ns, uint64_t cost_ns) {
+    if (cost_ns == 0) return start_ns;
     uint64_t prev = busy_until_.load(std::memory_order_relaxed);
     uint64_t start, end;
     do {
-      start = prev > now ? prev : now;
+      start = prev > start_ns ? prev : start_ns;
       end = start + cost_ns;
     } while (!busy_until_.compare_exchange_weak(prev, end, std::memory_order_acq_rel));
     return end;

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cassert>
 #include <csignal>
 #include <cstring>
 
@@ -547,6 +548,14 @@ Result<Engine::RecordHandle> Engine::append(OpType op, const Key& name, uint64_t
 }
 
 void Engine::commit(const RecordHandle& h) {
+  // Ordering contract with the async data plane: between write_reserved()
+  // and commit() the record's PMEM persist and the op's SSD data writes
+  // are independent and may overlap freely; commit() is the join point and
+  // requires BOTH the record written (slot state kValid — asserted here)
+  // AND every data IO acknowledged (the caller reaps its queue-pair first).
+  // Committing a merely-reserved slot would publish a record whose bytes
+  // may not be durable.
+  assert(sides_[h.side].states[h.slot].load(std::memory_order_acquire) == SlotState::kValid);
   sides_[h.side].log.commit(h.slot);
   sides_[h.side].states[h.slot].store(SlotState::kCommitted, std::memory_order_release);
   inflight_dec(h.name);

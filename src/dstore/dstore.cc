@@ -9,6 +9,7 @@
 
 #include "common/clock.h"
 #include "fault/fault.h"
+#include "ssd/io_retry.h"
 
 namespace dstore {
 
@@ -430,24 +431,11 @@ Status DStore::extend_phase2(View& v, const Key& /*name*/, uint64_t new_size,
 }
 
 // ---------------------------------------------------------------------------
-// Data plane
+// Data plane (async NVMe queue-pair emulation; see ssd/io_queue.h)
 // ---------------------------------------------------------------------------
 
-namespace {
-bool is_transient(const Status& s) {
-  return s.code() == Code::kIoError || s.code() == Code::kBusy;
-}
-}  // namespace
-
-Status DStore::retry_io(const std::function<Status()>& io, bool is_write) {
-  Status s = io();
-  for (int attempt = 0; !s.is_ok() && is_transient(s) && attempt < cfg_.io_max_retries;
-       attempt++) {
-    io_retries_.fetch_add(1, std::memory_order_relaxed);
-    spin_for_ns(cfg_.io_retry_backoff_ns << attempt);
-    s = io();
-  }
-  if (!s.is_ok() && is_transient(s)) {
+Status DStore::apply_io_policy(Status s, bool is_write) {
+  if (!s.is_ok() && ssd::is_transient(s)) {
     io_exhausted_.fetch_add(1, std::memory_order_relaxed);
     if (is_write) {
       // Degrade rather than wedge: the SSD is refusing writes, so stop
@@ -459,42 +447,75 @@ Status DStore::retry_io(const std::function<Status()>& io, bool is_write) {
   return s;
 }
 
-Status DStore::device_write(uint64_t block, size_t off, const void* data, size_t len) {
-  return retry_io([&] { return device_->write(block, off, data, len); }, /*is_write=*/true);
-}
-
-Status DStore::device_read(uint64_t block, size_t off, void* buf, size_t len) {
-  return retry_io([&] { return device_->read(block, off, buf, len); }, /*is_write=*/false);
-}
-
-Status DStore::write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size) {
-  const char* src = static_cast<const char*>(data);
-  size_t bs = block_size();
-  for (size_t i = 0; i < blocks.size(); i++) {
-    size_t off = i * bs;
-    size_t len = std::min(bs, size - off);
-    DSTORE_RETURN_IF_ERROR(device_write(blocks[i], 0, src + off, len));
+Status DStore::finish_io(ssd::IoQueue& q, bool is_write) {
+  q.wait_all();
+  for (size_t i = 0; i < q.size(); i++) {
+    if (q.status_of(i).is_ok()) continue;
+    // Per-descriptor recovery: only the failed IO is re-issued (paying its
+    // device latency again); the original submission was the first attempt.
+    uint64_t retries = 0;
+    Status s = ssd::retry_after_failure(
+        q.status_of(i), [&] { return q.resubmit(i); },
+        ssd::RetryPolicy{cfg_.io_max_retries, cfg_.io_retry_backoff_ns}, &retries);
+    if (retries != 0) io_retries_.fetch_add(retries, std::memory_order_relaxed);
+    s = apply_io_policy(std::move(s), is_write);
+    if (!s.is_ok()) return s;
   }
   return Status::ok();
 }
 
-Status DStore::write_data_range(View& v, uint64_t meta_idx, const void* data, size_t size,
-                                uint64_t offset) {
-  const MetaEntry* e = v.zone.entry(meta_idx);
-  const uint64_t* bl = v.zone.blocks(*e);
-  const char* src = static_cast<const char*>(data);
-  size_t bs = block_size();
+Status DStore::submit_io_range(ssd::IoQueue& q, const uint64_t* bl, uint64_t nblocks,
+                               const void* wsrc, void* rdst, size_t size, uint64_t offset) {
+  const char* w = static_cast<const char*>(wsrc);
+  char* r = static_cast<char*>(rdst);
+  const size_t bs = block_size();
+  uint64_t issued = 0;
+  uint64_t saved = 0;
   size_t done = 0;
   while (done < size) {
     uint64_t pos = offset + done;
     uint64_t bi = pos / bs;
     size_t in_block = pos % bs;
+    if (bi >= nblocks) return Status::internal("io beyond allocated blocks");
     size_t len = std::min(bs - in_block, size - done);
-    if (bi >= e->nblocks) return Status::internal("write beyond allocated blocks");
-    DSTORE_RETURN_IF_ERROR(device_write(bl[bi], in_block, src + done, len));
+    // Coalesce a physically contiguous block run into one descriptor
+    // (media addressing is linear), capped at cfg_.ssd_qd blocks — the
+    // emulated max transfer size — so qd=1 degenerates to one IO per
+    // block, the historical synchronous data plane.
+    uint64_t run = 1;
+    while (run < cfg_.ssd_qd && done + len < size && bi + run < nblocks &&
+           bl[bi + run] == bl[bi] + run) {
+      len += std::min(bs, size - (done + len));
+      run++;
+    }
+    issued++;
+    saved += run - 1;
+    q.submit(ssd::IoDesc{bl[bi], in_block, len, w != nullptr ? w + done : nullptr,
+                         r != nullptr ? r + done : nullptr});
     done += len;
   }
+  ios_issued_.fetch_add(issued, std::memory_order_relaxed);
+  blocks_coalesced_.fetch_add(saved, std::memory_order_relaxed);
+  io_batches_.fetch_add(1, std::memory_order_relaxed);
   return Status::ok();
+}
+
+Status DStore::write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size) {
+  if (size == 0) return Status::ok();
+  ssd::IoQueue q(device_, cfg_.ssd_qd);
+  DSTORE_RETURN_IF_ERROR(
+      submit_io_range(q, blocks.data(), blocks.size(), data, nullptr, size, 0));
+  return finish_io(q, /*is_write=*/true);
+}
+
+Status DStore::write_data_range(View& v, uint64_t meta_idx, const void* data, size_t size,
+                                uint64_t offset) {
+  if (size == 0) return Status::ok();
+  const MetaEntry* e = v.zone.entry(meta_idx);
+  const uint64_t* bl = v.zone.blocks(*e);
+  ssd::IoQueue q(device_, cfg_.ssd_qd);
+  DSTORE_RETURN_IF_ERROR(submit_io_range(q, bl, e->nblocks, data, nullptr, size, offset));
+  return finish_io(q, /*is_write=*/true);
 }
 
 Status DStore::read_data_range(View& v, uint64_t meta_idx, void* buf, size_t size,
@@ -505,20 +526,15 @@ Status DStore::read_data_range(View& v, uint64_t meta_idx, void* buf, size_t siz
     *out_len = 0;
     return Status::ok();
   }
-  size_t avail = e->size - offset;
-  size_t want = std::min(size, avail);
-  const uint64_t* bl = v.zone.blocks(*e);
-  char* dst = static_cast<char*>(buf);
-  size_t bs = block_size();
-  size_t done = 0;
-  while (done < want) {
-    uint64_t pos = offset + done;
-    uint64_t bi = pos / bs;
-    size_t in_block = pos % bs;
-    size_t len = std::min(bs - in_block, want - done);
-    DSTORE_RETURN_IF_ERROR(device_read(bl[bi], in_block, dst + done, len));
-    done += len;
+  size_t want = std::min(size, (size_t)(e->size - offset));
+  if (want == 0) {
+    *out_len = 0;
+    return Status::ok();
   }
+  const uint64_t* bl = v.zone.blocks(*e);
+  ssd::IoQueue q(device_, cfg_.ssd_qd);
+  DSTORE_RETURN_IF_ERROR(submit_io_range(q, bl, e->nblocks, nullptr, buf, want, offset));
+  DSTORE_RETURN_IF_ERROR(finish_io(q, /*is_write=*/false));
   *out_len = want;
   return Status::ok();
 }
@@ -627,37 +643,49 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
     }
     break;
   }
+  // Steps 8a/2b: submit the op's data IOs through the NVMe queue-pair,
+  // then persist the log record while they are in flight — the record
+  // write and the data writes are independent until the commit point
+  // (step 9), so their latencies overlap instead of adding up.
+  ssd::IoQueue ioq(device_, cfg_.ssd_qd);
   Status s;
+  Status ws;
+  uint64_t data_ns = 0;
   if (cfg_.observational_equivalence) {
-    // Step 5, then 2b (record write+flush) and 6-7 outside the region.
+    // Step 5, then 8a (IO submission), 2b (record write+flush) and 6-7
+    // outside the region.
     pipeline_mu_.unlock();
     uint64_t t = now_ns();
+    ws = submit_io_range(ioq, plan.blocks.data(), plan.blocks.size(), value, nullptr, size, 0);
+    uint64_t t1 = now_ns();
+    data_ns += t1 - t;
     engine_->write_reserved(h, OpType::kPut, size, 0, value, size);
-    log_ns += now_ns() - t;
+    log_ns += now_ns() - t1;
     s = put_phase2(v, k, size, plan, &btree_mu_, &stage_stats_);
   } else {
     // Fig 9 ablation (no OE): steps 6-7 stay inside the synchronous region.
     s = put_phase2(v, k, size, plan, &btree_mu_, &stage_stats_);
     pipeline_mu_.unlock();
     uint64_t t = now_ns();
+    ws = submit_io_range(ioq, plan.blocks.data(), plan.blocks.size(), value, nullptr, size, 0);
+    uint64_t t1 = now_ns();
+    data_ns += t1 - t;
     engine_->write_reserved(h, OpType::kPut, size, 0, value, size);
-    log_ns += now_ns() - t;
+    log_ns += now_ns() - t1;
   }
+  // Step 8b: reap the data completions (device-cache durable once acked).
+  // A failed write must abort the reserved record: it was never committed,
+  // and leaving it in-flight would wedge every later writer of this object.
+  uint64_t t = now_ns();
+  if (s.is_ok() && ws.is_ok()) ws = finish_io(ioq, /*is_write=*/true);
+  if (s.is_ok()) s = ws;
   if (!s.is_ok()) {
     engine_->abort(h);
     return s;
   }
-  // Step 8: data to SSD (device-cache durable). A failed write must abort
-  // the reserved record: it was never committed, and leaving it in-flight
-  // would wedge every later writer of this object.
-  uint64_t t = now_ns();
-  Status ws = write_data(plan.blocks, value, size);
-  if (!ws.is_ok()) {
-    engine_->abort(h);
-    return ws;
-  }
   uint64_t t2 = now_ns();
-  stage_stats_.data_ns.fetch_add(t2 - t, std::memory_order_relaxed);
+  data_ns += t2 - t;
+  stage_stats_.data_ns.fetch_add(data_ns, std::memory_order_relaxed);
   // Step 9: commit — the op is durable from here on.
   engine_->commit(h);
   log_ns += now_ns() - t2;
@@ -904,16 +932,35 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
         engine_->abort(hr.value());
         return s;
       }
+      // Snapshot the full physical block list while the entry is stable
+      // under the pipeline lock: phase 2 appends plan.new_blocks to the
+      // entry (possibly reallocating its block array) after we unlock, and
+      // the data IOs below must not race that growth.
+      std::vector<uint64_t> all_blocks;
+      {
+        const uint64_t* bl = v.zone.blocks(*e);
+        all_blocks.assign(bl, bl + e->nblocks);
+      }
+      all_blocks.insert(all_blocks.end(), plan.new_blocks.begin(), plan.new_blocks.end());
+      // Submit the data IOs, then persist the log record while they are in
+      // flight (independent until commit — same overlap as oput step 8a/2b).
+      ssd::IoQueue ioq(device_, cfg_.ssd_qd);
+      Status ws;
       if (cfg_.observational_equivalence) {
         pipeline_mu_.unlock();
+        ws = submit_io_range(ioq, all_blocks.data(), all_blocks.size(), buf, nullptr, size,
+                             offset);
         engine_->write_reserved(hr.value(), OpType::kWrite, new_size, offset, buf, size);
         s = extend_phase2(v, k, new_size, plan, &btree_mu_);
       } else {
         s = extend_phase2(v, k, new_size, plan, &btree_mu_);
         pipeline_mu_.unlock();
+        ws = submit_io_range(ioq, all_blocks.data(), all_blocks.size(), buf, nullptr, size,
+                             offset);
         engine_->write_reserved(hr.value(), OpType::kWrite, new_size, offset, buf, size);
       }
-      if (s.is_ok()) s = write_data_range(v, *found, buf, size, offset);
+      if (s.is_ok() && ws.is_ok()) ws = finish_io(ioq, /*is_write=*/true);
+      if (s.is_ok()) s = ws;
       if (!s.is_ok()) {
         engine_->abort(hr.value());
         return s;

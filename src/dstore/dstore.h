@@ -50,6 +50,7 @@
 #include "ds/readcount_table.h"
 #include "pmem/pool.h"
 #include "ssd/block_device.h"
+#include "ssd/io_queue.h"
 
 namespace dstore {
 
@@ -70,6 +71,14 @@ struct DStoreConfig {
   // error surfaces through the public API; reads just surface the error.
   int io_max_retries = 3;
   uint64_t io_retry_backoff_ns = 2000;
+  // NVMe queue-pair depth for the data plane: each op submits all of its
+  // block IOs through an ssd::IoQueue bounded at this many outstanding
+  // requests, overlapping their device latency with each other and with
+  // the PMEM log persist. It also caps how many physically contiguous
+  // blocks coalesce into a single IO descriptor (an MDTS-like transfer
+  // limit). ssd_qd = 1 reproduces the historical fully synchronous
+  // one-block-at-a-time behaviour.
+  uint32_t ssd_qd = 16;
 
   // A volatile arena comfortably sized for `objects` objects.
   static size_t suggested_arena_bytes(uint64_t objects);
@@ -146,6 +155,22 @@ class DStore final : public dipper::SpaceClient {
   bool read_only() const { return read_only_.load(std::memory_order_acquire); }
   uint64_t io_retries() const { return io_retries_.load(std::memory_order_relaxed); }
   uint64_t io_exhausted() const { return io_exhausted_.load(std::memory_order_relaxed); }
+
+  // Data-plane IO accounting for the async queue-pair layer.
+  struct Stats {
+    uint64_t io_batches;        // queue-pair batches (= ops that touched the SSD)
+    uint64_t ios_issued;        // IO descriptors submitted (excluding retries)
+    uint64_t blocks_coalesced;  // per-block IOs saved by contiguous-run merging
+    uint64_t io_retries;        // transient-error retries issued
+    uint64_t io_exhausted;      // ops whose retries ran out
+  };
+  Stats stats() const {
+    return Stats{io_batches_.load(std::memory_order_relaxed),
+                 ios_issued_.load(std::memory_order_relaxed),
+                 blocks_coalesced_.load(std::memory_order_relaxed),
+                 io_retries_.load(std::memory_order_relaxed),
+                 io_exhausted_.load(std::memory_order_relaxed)};
+  }
 
   // Per-stage write-pipeline timings (Table 3: NVMe write / btree /
   // metadata / log flush). Accumulated across all oput calls.
@@ -238,18 +263,30 @@ class DStore final : public dipper::SpaceClient {
   // Reader-side CC (§4.4 + the symmetric check; see readcount_table.h).
   class ReaderGuard;
 
+  // -- async data plane ------------------------------------------------------
+  // Every SSD access goes through an ssd::IoQueue (NVMe queue-pair
+  // emulation, see ssd/io_queue.h): submit the whole byte range as
+  // coalesced descriptors, overlap their latency up to cfg_.ssd_qd deep,
+  // then reap and apply the retry/read-only policy in finish_io.
+
+  // Walk `size` bytes starting at byte `offset` into the object laid out on
+  // `bl[0..nblocks)`, coalescing physically contiguous block runs (capped
+  // at cfg_.ssd_qd blocks per descriptor) and submitting them to `q`.
+  // Writes from `wsrc`, or reads into `rdst` (exactly one non-null).
+  Status submit_io_range(ssd::IoQueue& q, const uint64_t* bl, uint64_t nblocks,
+                         const void* wsrc, void* rdst, size_t size, uint64_t offset);
+  // Wait for all of `q`'s completions; re-submit failed descriptors with
+  // bounded exponential backoff (cfg_.io_max_retries / io_retry_backoff_ns).
+  // Exhausted write retries degrade the store to read-only; reads surface
+  // the error. Transient errors are absorbed or surfaced — never dropped.
+  Status finish_io(ssd::IoQueue& q, bool is_write);
+  Status apply_io_policy(Status s, bool is_write);
+
   Status write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size);
   Status write_data_range(View& v, uint64_t meta_idx, const void* data, size_t size,
                           uint64_t offset);
   Status read_data_range(View& v, uint64_t meta_idx, void* buf, size_t size, uint64_t offset,
                          size_t* out_len);
-
-  // Retrying device wrappers: every SSD access in the data plane goes
-  // through these so transient errors are absorbed (bounded retries with
-  // exponential backoff) or surfaced — never dropped.
-  Status device_write(uint64_t block, size_t off, const void* data, size_t len);
-  Status device_read(uint64_t block, size_t off, void* buf, size_t len);
-  Status retry_io(const std::function<Status()>& io, bool is_write);
 
   pmem::Pool* pool_;
   ssd::BlockDevice* device_;
@@ -269,6 +306,9 @@ class DStore final : public dipper::SpaceClient {
   std::atomic<bool> read_only_{false};      // set on write-retry exhaustion
   std::atomic<uint64_t> io_retries_{0};     // transient-error retries issued
   std::atomic<uint64_t> io_exhausted_{0};   // ops whose retries ran out
+  std::atomic<uint64_t> io_batches_{0};     // queue-pair batches issued
+  std::atomic<uint64_t> ios_issued_{0};     // descriptors submitted (no retries)
+  std::atomic<uint64_t> blocks_coalesced_{0};  // block IOs saved by coalescing
 };
 
 // Open-object handle (stateful filesystem API). Obtained from oopen(),

@@ -40,8 +40,9 @@ Status CrashRig::build_store() {
 
 std::string CrashRig::value_for(uint32_t i) const {
   // 5003 is prime and 131 < 5003, so the length is unique per op for any
-  // workload shorter than 5003 ops: values from different ops never collide.
-  size_t len = 1 + (131ull * i + 17) % 5003;
+  // workload shorter than 5003 ops: values from different ops never collide
+  // (value_scale preserves uniqueness — it multiplies distinct lengths).
+  size_t len = (1 + (131ull * i + 17) % 5003) * opt_.value_scale;
   std::string v(len, '\0');
   for (size_t j = 0; j < len; j++) v[j] = char('a' + (i + j) % 26);
   return v;
@@ -128,7 +129,7 @@ Status CrashRig::verify() {
   if (store_ == nullptr) return Status::internal("rig has no live store");
   DSTORE_RETURN_IF_ERROR(store_->validate());
   ds_ctx_t* ctx = store_->ds_init();
-  std::vector<char> buf(1 + 5003 + 128);
+  std::vector<char> buf((1 + 5003) * (size_t)opt_.value_scale + 128);
   Status problem;
   uint64_t found = 0;
   for (uint32_t k = 0; k < opt_.keys && problem.is_ok(); k++) {

@@ -46,6 +46,10 @@ struct RigOptions {
   uint32_t keys = 16;           // key space "k0".."k15"
   uint64_t workload_seed = 0x5eed5ULL;
   bool plp = true;              // device capacitors (power-loss protection)
+  // Value-length multiplier: scale > 1 makes most values span several SSD
+  // blocks, so each op's data lands as a queue-pair batch with IOs in
+  // flight at the crash point (the async data-plane sweeps).
+  uint32_t value_scale = 1;
 };
 
 class CrashRig {

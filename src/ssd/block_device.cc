@@ -16,7 +16,43 @@ Status check_io(const DeviceConfig& cfg, uint64_t block, size_t offset, size_t l
   if (offset + len > cfg.block_size()) return Status::invalid_argument("IO crosses block end");
   return Status::ok();
 }
+
+// An async descriptor may span contiguous blocks; only the linear media
+// range has to fit (plus exactly one direction buffer must be set).
+Status check_desc(const DeviceConfig& cfg, const IoDesc& d) {
+  if ((d.wbuf != nullptr) == (d.rbuf != nullptr)) {
+    return Status::invalid_argument("exactly one of wbuf/rbuf must be set");
+  }
+  if (d.block >= cfg.num_blocks || d.offset > cfg.block_size() ||
+      d.block * cfg.block_size() + d.offset + d.len > cfg.capacity()) {
+    return Status::invalid_argument("IO out of device range");
+  }
+  return Status::ok();
+}
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// BlockDevice (base): synchronous fallback for devices without async IO
+// ---------------------------------------------------------------------------
+
+Result<uint64_t> BlockDevice::submit_io(const IoDesc& d) {
+  DSTORE_RETURN_IF_ERROR(check_desc(config(), d));
+  size_t bs = config().block_size();
+  uint64_t block = d.block;
+  size_t off = d.offset;
+  size_t done = 0;
+  while (done < d.len) {
+    size_t n = std::min(bs - off, d.len - done);
+    Status s = d.is_write()
+                   ? write(block, off, static_cast<const char*>(d.wbuf) + done, n)
+                   : read(block, off, static_cast<char*>(d.rbuf) + done, n);
+    DSTORE_RETURN_IF_ERROR(s);
+    done += n;
+    off = 0;
+    block++;
+  }
+  return now_ns();  // fully synchronous: already complete
+}
 
 // ---------------------------------------------------------------------------
 // RamBlockDevice
@@ -33,60 +69,77 @@ RamBlockDevice::RamBlockDevice(DeviceConfig cfg) : cfg_(cfg) {
 
 Status RamBlockDevice::write(uint64_t block, size_t offset, const void* data, size_t len) {
   DSTORE_RETURN_IF_ERROR(check_io(cfg_, block, offset, len));
-  size_t pos = block * cfg_.block_size() + offset;
-  fault::Outcome fo = fault::hit(fault_, "ssd.write");
-  if (fo.type == fault::FaultType::kError) return fo.status;
-  if (fo.type == fault::FaultType::kTorn && !frozen()) {
-    // Power fails while the page is being written: only the first `arg`
-    // bytes reach non-volatile media, in both cache modes (the tear models
-    // the media program itself being interrupted).
-    size_t keep = std::min<size_t>(len, fo.arg);
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      std::memcpy(media_.get() + pos, data, keep);
-    }
-    fault_->trigger_crash();
-    return Status::io_error("injected power failure tore ssd write at block " +
-                            std::to_string(block));
-  }
-  if (frozen()) return Status::ok();  // acked into the void; host is dead too
-  if (cfg_.power_loss_protection) {
-    // Capacitor-backed cache: acknowledged == durable; a single buffer
-    // suffices. Concurrent writers target disjoint blocks (the block pool
-    // hands each block to one owner), so no lock is needed.
-    std::memcpy(media_.get() + pos, data, len);
-  } else {
-    std::lock_guard<std::mutex> g(mu_);
-    std::memcpy(cache_view_.get() + pos, data, len);
-  }
-  stats_.bytes_written.fetch_add(len, std::memory_order_relaxed);
-  stats_.write_ios.fetch_add(1, std::memory_order_relaxed);
-  if (bw_series_ != nullptr) bw_series_->add(len);
-  // Fixed device latency runs in parallel (internal queue depth); the
-  // bandwidth share serializes on the shared media channel, so background
-  // streams (compaction, checkpoint flushes) contend with the frontend.
-  if (cfg_.latency.ssd_write_base_ns > 0) spin_for_ns(cfg_.latency.ssd_write_base_ns);
-  bw_channel_.transfer(cfg_.latency.ssd_per_kb_ns * (len / 1024));
+  auto r = submit_io(IoDesc{block, offset, len, data, nullptr});
+  if (!r.is_ok()) return r.status();
+  uint64_t now = now_ns();
+  if (r.value() > now) spin_for_ns(r.value() - now);
   return Status::ok();
 }
 
 Status RamBlockDevice::read(uint64_t block, size_t offset, void* out, size_t len) const {
   DSTORE_RETURN_IF_ERROR(check_io(cfg_, block, offset, len));
+  auto r = const_cast<RamBlockDevice*>(this)->submit_io(IoDesc{block, offset, len, nullptr, out});
+  if (!r.is_ok()) return r.status();
+  uint64_t now = now_ns();
+  if (r.value() > now) spin_for_ns(r.value() - now);
+  return Status::ok();
+}
+
+Result<uint64_t> RamBlockDevice::submit_io(const IoDesc& d) {
+  DSTORE_RETURN_IF_ERROR(check_desc(cfg_, d));
+  size_t pos = d.block * cfg_.block_size() + d.offset;
+  if (d.is_write()) {
+    fault::Outcome fo = fault::hit(fault_, "ssd.write");
+    if (fo.type == fault::FaultType::kError) return fo.status;
+    uint64_t t0 = now_ns();  // after the hit, so an injected delay extends the IO
+    if (fo.type == fault::FaultType::kTorn && !frozen()) {
+      // Power fails while the page is being written: only the first `arg`
+      // bytes reach non-volatile media, in both cache modes (the tear models
+      // the media program itself being interrupted).
+      size_t keep = std::min<size_t>(d.len, fo.arg);
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        std::memcpy(media_.get() + pos, d.wbuf, keep);
+      }
+      fault_->trigger_crash();
+      return Status::io_error("injected power failure tore ssd write at block " +
+                              std::to_string(d.block));
+    }
+    if (frozen()) return t0;  // acked into the void; host is dead too
+    if (cfg_.power_loss_protection) {
+      // Capacitor-backed cache: acknowledged == durable; a single buffer
+      // suffices. Concurrent writers target disjoint blocks (the block pool
+      // hands each block to one owner), so no lock is needed.
+      std::memcpy(media_.get() + pos, d.wbuf, d.len);
+    } else {
+      std::lock_guard<std::mutex> g(mu_);
+      std::memcpy(cache_view_.get() + pos, d.wbuf, d.len);
+    }
+    stats_.bytes_written.fetch_add(d.len, std::memory_order_relaxed);
+    stats_.write_ios.fetch_add(1, std::memory_order_relaxed);
+    if (bw_series_ != nullptr) bw_series_->add(d.len);
+    // Fixed device latency runs in parallel (internal queue depth); the
+    // bandwidth share queues on the shared media channel once the base
+    // latency has elapsed, so background streams (compaction, checkpoint
+    // flushes) contend with the frontend but concurrent in-flight IOs
+    // hide each other's fixed cost.
+    return bw_channel_.reserve_from(t0 + cfg_.latency.ssd_write_base_ns,
+                                    cfg_.latency.ssd_per_kb_ns * (d.len / 1024));
+  }
   fault::Outcome fo = fault::hit(fault_, "ssd.read");
   if (fo.type == fault::FaultType::kError) return fo.status;
-  size_t pos = block * cfg_.block_size() + offset;
+  uint64_t t0 = now_ns();
   const char* src = cfg_.power_loss_protection ? media_.get() : cache_view_.get();
   if (!cfg_.power_loss_protection) {
     std::lock_guard<std::mutex> g(mu_);
-    std::memcpy(out, src + pos, len);
+    std::memcpy(d.rbuf, src + pos, d.len);
   } else {
-    std::memcpy(out, src + pos, len);
+    std::memcpy(d.rbuf, src + pos, d.len);
   }
-  stats_.bytes_read.fetch_add(len, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(d.len, std::memory_order_relaxed);
   stats_.read_ios.fetch_add(1, std::memory_order_relaxed);
-  if (cfg_.latency.ssd_read_base_ns > 0) spin_for_ns(cfg_.latency.ssd_read_base_ns);
-  bw_channel_.transfer(cfg_.latency.ssd_per_kb_ns * (len / 1024));
-  return Status::ok();
+  return bw_channel_.reserve_from(t0 + cfg_.latency.ssd_read_base_ns,
+                                  cfg_.latency.ssd_per_kb_ns * (d.len / 1024));
 }
 
 Status RamBlockDevice::flush_cache() {
@@ -168,6 +221,28 @@ Status FileBlockDevice::read(uint64_t block, size_t offset, void* out, size_t le
   stats_.bytes_read.fetch_add(len, std::memory_order_relaxed);
   stats_.read_ios.fetch_add(1, std::memory_order_relaxed);
   return Status::ok();
+}
+
+Result<uint64_t> FileBlockDevice::submit_io(const IoDesc& d) {
+  DSTORE_RETURN_IF_ERROR(check_desc(cfg_, d));
+  off_t pos = (off_t)(d.block * cfg_.block_size() + d.offset);
+  if (d.is_write()) {
+    fault::Outcome fo = fault::hit(fault_, "ssd.write");
+    if (fo.type == fault::FaultType::kError) return fo.status;
+    ssize_t n = pwrite(fd_, d.wbuf, d.len, pos);
+    if (n != (ssize_t)d.len) return Status::io_error("pwrite short/failed");
+    stats_.bytes_written.fetch_add(d.len, std::memory_order_relaxed);
+    stats_.write_ios.fetch_add(1, std::memory_order_relaxed);
+    if (bw_series_ != nullptr) bw_series_->add(d.len);
+  } else {
+    fault::Outcome fo = fault::hit(fault_, "ssd.read");
+    if (fo.type == fault::FaultType::kError) return fo.status;
+    ssize_t n = pread(fd_, d.rbuf, d.len, pos);
+    if (n != (ssize_t)d.len) return Status::io_error("pread short/failed");
+    stats_.bytes_read.fetch_add(d.len, std::memory_order_relaxed);
+    stats_.read_ios.fetch_add(1, std::memory_order_relaxed);
+  }
+  return now_ns();  // real pread/pwrite: complete on return
 }
 
 Status FileBlockDevice::flush_cache() {

@@ -41,6 +41,21 @@ struct DeviceStats {
   std::atomic<uint64_t> read_ios{0};
 };
 
+// One element of an async submission queue: an IO of `len` bytes starting
+// at byte `offset` within `block`. Exactly one of wbuf/rbuf is set. A
+// descriptor may span several *physically contiguous* blocks (a coalesced
+// run produced by the data plane) — media addressing is linear, so the
+// span is one device transfer paying one per-IO base latency.
+struct IoDesc {
+  uint64_t block = 0;
+  size_t offset = 0;
+  size_t len = 0;
+  const void* wbuf = nullptr;  // write source; write iff non-null
+  void* rbuf = nullptr;        // read destination
+
+  bool is_write() const { return wbuf != nullptr; }
+};
+
 struct DeviceConfig {
   size_t page_size = 4096;       // hardware page (IO granularity)
   size_t pages_per_block = 1;    // allocation unit = block
@@ -64,6 +79,21 @@ class BlockDevice {
   // Force the device cache to non-volatile media (no-op with PLP).
   virtual Status flush_cache() = 0;
 
+  // Async submission entry point (the NVMe queue-pair model, driven by
+  // ssd::IoQueue). The media effect of the IO — data movement, the
+  // ssd.write/ssd.read fault point, stats — happens immediately, but no
+  // latency is charged inline; instead the returned value is the absolute
+  // now_ns()-clock deadline at which the transfer completes on the
+  // emulated device: the fixed per-IO base latency runs in parallel
+  // across in-flight IOs, while the bandwidth share queues on the shared
+  // media channel *after* that base latency. The caller (IoQueue) waits
+  // out deadlines, which is what makes overlapped submissions cheaper
+  // than back-to-back synchronous calls. An injected transient error
+  // completes the IO immediately with that status. The base
+  // implementation degrades to per-block synchronous write()/read()
+  // calls for devices without a native async path.
+  virtual Result<uint64_t> submit_io(const IoDesc& d);
+
   virtual const DeviceConfig& config() const = 0;
   virtual const DeviceStats& stats() const = 0;
 
@@ -84,6 +114,7 @@ class RamBlockDevice final : public BlockDevice {
   Status write(uint64_t block, size_t offset, const void* data, size_t len) override;
   Status read(uint64_t block, size_t offset, void* out, size_t len) const override;
   Status flush_cache() override;
+  Result<uint64_t> submit_io(const IoDesc& d) override;
   const DeviceConfig& config() const override { return cfg_; }
   const DeviceStats& stats() const override { return stats_; }
   void set_bandwidth_series(TimeSeries* ts) override { bw_series_ = ts; }
@@ -130,6 +161,9 @@ class FileBlockDevice final : public BlockDevice {
   Status write(uint64_t block, size_t offset, const void* data, size_t len) override;
   Status read(uint64_t block, size_t offset, void* out, size_t len) const override;
   Status flush_cache() override;
+  // One pread/pwrite per descriptor (coalesced spans stay one syscall);
+  // no latency model, so the deadline is simply "now".
+  Result<uint64_t> submit_io(const IoDesc& d) override;
   const DeviceConfig& config() const override { return cfg_; }
   const DeviceStats& stats() const override { return stats_; }
   void set_bandwidth_series(TimeSeries* ts) override { bw_series_ = ts; }

@@ -4,7 +4,7 @@
 //
 //   ycsb_runner [--system NAME] [--workload A|B|C|D|F] [--objects N]
 //               [--threads N] [--ops N] [--value BYTES] [--scale F]
-//               [--trace-out FILE | --trace-in FILE]
+//               [--ssd-qd N] [--trace-out FILE | --trace-in FILE]
 //
 // Systems: DStore (default), DStore-CoW, DStore-noOE, PMEM-RocksDB,
 //          MongoDB-PM, MongoDB-PMSE, PhysLog+CoW, LogicalLog+CoW
@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     else if (args[i] == "--ops") p.ops_per_thread = strtoull(args[i + 1].c_str(), nullptr, 10);
     else if (args[i] == "--value") value_size = strtoull(args[i + 1].c_str(), nullptr, 10);
     else if (args[i] == "--scale") p.scale = strtod(args[i + 1].c_str(), nullptr);
+    else if (args[i] == "--ssd-qd") p.ssd_qd = (uint32_t)strtoul(args[i + 1].c_str(), nullptr, 10);
     else if (args[i] == "--trace-out") trace_out = args[i + 1];
     else if (args[i] == "--trace-in") trace_in = args[i + 1];
     else {
@@ -78,9 +79,11 @@ int main(int argc, char** argv) {
   spec.threads = p.threads;
   spec.ops_per_thread = p.ops_per_thread;
 
-  printf("system=%s workload=%s objects=%llu threads=%d ops/thread=%llu value=%zuB scale=%.2f\n",
-         store->name(), wl.c_str(), (unsigned long long)spec.num_objects, spec.threads,
-         (unsigned long long)spec.ops_per_thread, spec.value_size, p.scale);
+  printf(
+      "system=%s workload=%s objects=%llu threads=%d ops/thread=%llu value=%zuB scale=%.2f "
+      "ssd-qd=%u\n",
+      store->name(), wl.c_str(), (unsigned long long)spec.num_objects, spec.threads,
+      (unsigned long long)spec.ops_per_thread, spec.value_size, p.scale, p.ssd_qd);
   if (!load_objects(*store, spec).is_ok()) {
     fprintf(stderr, "load failed\n");
     return 1;
