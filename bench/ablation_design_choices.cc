@@ -8,6 +8,7 @@
 //                       Table 3's 4KB/16KB pair across the range);
 //   4. thread count   — §5.3 "Is DStore Scalable?": atomic LSNs and the
 //                       <300ns pool lock should not be the bottleneck.
+#include "baselines/dstore_adapter.h"
 #include "bench_common.h"
 #include "dstore/dstore.h"
 

@@ -26,10 +26,7 @@
 #include <utility>
 #include <vector>
 
-#include "baselines/cached_btree.h"
-#include "baselines/cached_lsm.h"
-#include "baselines/dstore_adapter.h"
-#include "baselines/uncached.h"
+#include "baselines/backends.h"
 #include "common/latency_model.h"
 #include "workload/ycsb.h"
 
@@ -124,62 +121,15 @@ class JsonReport {
   std::vector<Row> rows_;
 };
 
-// Factory for each evaluated system, sized for `p`.
+// Factory for each evaluated system, sized for `p` (thin wrapper over the
+// shared backend table in baselines/backends.h).
 inline std::unique_ptr<workload::KVStore> make_system(const std::string& which,
                                                       const BenchParams& p) {
-  using namespace dstore::baselines;
-  LatencyModel lat = p.latency();
-  // Capacity: keyspace + 50% churn headroom.
-  uint64_t objects = p.objects * 2;
-  uint64_t blocks = p.objects * 6;
-  if (which == "DStore" || which == "DStore-CoW" || which == "DStore-noOE" ||
-      which == "LogicalLog+CoW" || which == "PhysLog+CoW") {
-    DStoreVariantConfig cfg;
-    if (which == "DStore") cfg = DStoreAdapter::dipper_variant();
-    if (which == "DStore-CoW") cfg = DStoreAdapter::cow_variant();
-    if (which == "DStore-noOE") cfg = DStoreAdapter::no_oe_variant();
-    if (which == "LogicalLog+CoW") cfg = DStoreAdapter::logical_cow_variant();
-    if (which == "PhysLog+CoW") cfg = DStoreAdapter::naive_physical_variant();
-    cfg.max_objects = objects;
-    cfg.num_blocks = blocks;
-    cfg.log_slots = 16384;
-    cfg.ssd_qd = p.ssd_qd;
-    auto r = DStoreAdapter::make(cfg, lat);
-    if (!r.is_ok()) {
-      fprintf(stderr, "make %s failed: %s\n", which.c_str(), r.status().to_string().c_str());
-      return nullptr;
-    }
-    return std::move(r).value();
-  }
-  if (which == "PMEM-RocksDB") {
-    CachedLsmConfig cfg;
-    cfg.num_blocks = blocks;
-    cfg.memtable_limit_bytes = 4 << 20;
-    // Large enough that a checkpoints-off run (Fig 1) never force-flushes.
-    cfg.wal_bytes = 512 << 20;
-    auto r = CachedLsmStore::make(cfg, lat);
-    if (!r.is_ok()) return nullptr;
-    return std::move(r).value();
-  }
-  if (which == "MongoDB-PM") {
-    CachedBtreeConfig cfg;
-    cfg.num_blocks = blocks;
-    cfg.checkpoint_trigger_bytes = 4 << 20;
-    cfg.journal_bytes = 512 << 20;
-    auto r = CachedBtreeStore::make(cfg, lat);
-    if (!r.is_ok()) return nullptr;
-    return std::move(r).value();
-  }
-  if (which == "MongoDB-PMSE") {
-    UncachedConfig cfg;
-    cfg.num_slots = objects * 2;
-    cfg.slot_bytes = 4608;  // snug fit for 4KB values (PMSE stores in place)
-    auto r = UncachedStore::make(cfg, lat);
-    if (!r.is_ok()) return nullptr;
-    return std::move(r).value();
-  }
-  fprintf(stderr, "unknown system %s\n", which.c_str());
-  return nullptr;
+  baselines::BackendParams bp;
+  bp.objects = p.objects;
+  bp.ssd_qd = p.ssd_qd;
+  bp.latency = p.latency();
+  return baselines::make_backend(which, bp);
 }
 
 inline workload::WorkloadSpec spec_for(const BenchParams& p, double read_fraction) {

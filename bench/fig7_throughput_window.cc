@@ -11,6 +11,10 @@
 //   * PMEM-RocksDB: troughs at flushes + continuous compaction traffic;
 //   * MongoDB-PM: deep troughs while the page cache is locked;
 //   * MongoDB-PMSE: flat but low; zero SSD traffic.
+#include "baselines/cached_btree.h"
+#include "baselines/cached_lsm.h"
+#include "baselines/dstore_adapter.h"
+#include "baselines/uncached.h"
 #include "bench_common.h"
 
 using namespace dstore;

@@ -7,6 +7,7 @@
 // phase at all; crash — everyone slows down, DStore pays an extra
 // checkpoint redo, PMSE recovers fastest (slot scan only), cached systems
 // pay journal/WAL replay.
+#include "baselines/dstore_adapter.h"
 #include "bench_common.h"
 #include "dstore/dstore.h"
 

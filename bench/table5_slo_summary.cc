@@ -6,6 +6,7 @@
 // throughput cliffs and tail spikes); MongoDB-PMSE best recovery and space
 // SLO (uncached); DStore-CoW shares DStore's recovery/space numbers but
 // not its performance.
+#include "baselines/dstore_adapter.h"
 #include "bench_common.h"
 
 using namespace dstore;

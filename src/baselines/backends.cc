@@ -1,0 +1,126 @@
+#include "baselines/backends.h"
+
+#include <cstdio>
+#include <functional>
+
+#include "baselines/cached_btree.h"
+#include "baselines/cached_lsm.h"
+#include "baselines/dstore_adapter.h"
+#include "baselines/sharded_adapter.h"
+#include "baselines/uncached.h"
+
+namespace dstore::baselines {
+
+namespace {
+
+using Factory =
+    std::function<std::unique_ptr<workload::KVStore>(const BackendParams&)>;
+
+std::unique_ptr<workload::KVStore> make_dstore_variant(DStoreVariantConfig cfg,
+                                                       const BackendParams& p) {
+  // Capacity: keyspace + 50% churn headroom.
+  cfg.max_objects = p.objects * 2;
+  cfg.num_blocks = p.objects * 6;
+  cfg.log_slots = 16384;
+  cfg.ssd_qd = p.ssd_qd;
+  auto r = DStoreAdapter::make(cfg, p.latency);
+  if (!r.is_ok()) {
+    fprintf(stderr, "make %s failed: %s\n", cfg.display_name, r.status().to_string().c_str());
+    return nullptr;
+  }
+  return std::move(r).value();
+}
+
+struct Entry {
+  const char* name;
+  Factory make;
+};
+
+const Entry kBackends[] = {
+    {"DStore",
+     [](const BackendParams& p) { return make_dstore_variant(DStoreAdapter::dipper_variant(), p); }},
+    {"DStore-CoW",
+     [](const BackendParams& p) { return make_dstore_variant(DStoreAdapter::cow_variant(), p); }},
+    {"DStore-noOE",
+     [](const BackendParams& p) { return make_dstore_variant(DStoreAdapter::no_oe_variant(), p); }},
+    {"LogicalLog+CoW",
+     [](const BackendParams& p) {
+       return make_dstore_variant(DStoreAdapter::logical_cow_variant(), p);
+     }},
+    {"PhysLog+CoW",
+     [](const BackendParams& p) {
+       return make_dstore_variant(DStoreAdapter::naive_physical_variant(), p);
+     }},
+    {"Sharded",
+     [](const BackendParams& p) -> std::unique_ptr<workload::KVStore> {
+       ShardedConfig cfg;
+       cfg.num_shards = p.num_shards > 0 ? p.num_shards : 4;
+       uint64_t shards = (uint64_t)cfg.num_shards;
+       // Same headroom as the single store, split across shards (rounded up
+       // so hash skew cannot run a shard out of space at small scales).
+       cfg.shard.max_objects = (p.objects * 2 + shards - 1) / shards * 2;
+       cfg.shard.num_blocks = (p.objects * 6 + shards - 1) / shards * 2;
+       cfg.shard.ssd_qd = p.ssd_qd;
+       cfg.latency = p.latency;
+       auto r = ShardedAdapter::make(cfg);
+       if (!r.is_ok()) {
+         fprintf(stderr, "make Sharded failed: %s\n", r.status().to_string().c_str());
+         return nullptr;
+       }
+       return std::move(r).value();
+     }},
+    {"PMEM-RocksDB",
+     [](const BackendParams& p) -> std::unique_ptr<workload::KVStore> {
+       CachedLsmConfig cfg;
+       cfg.num_blocks = p.objects * 6;
+       cfg.memtable_limit_bytes = 4 << 20;
+       // Large enough that a checkpoints-off run (Fig 1) never force-flushes.
+       cfg.wal_bytes = 512 << 20;
+       auto r = CachedLsmStore::make(cfg, p.latency);
+       if (!r.is_ok()) return nullptr;
+       return std::move(r).value();
+     }},
+    {"MongoDB-PM",
+     [](const BackendParams& p) -> std::unique_ptr<workload::KVStore> {
+       CachedBtreeConfig cfg;
+       cfg.num_blocks = p.objects * 6;
+       cfg.checkpoint_trigger_bytes = 4 << 20;
+       cfg.journal_bytes = 512 << 20;
+       auto r = CachedBtreeStore::make(cfg, p.latency);
+       if (!r.is_ok()) return nullptr;
+       return std::move(r).value();
+     }},
+    {"MongoDB-PMSE",
+     [](const BackendParams& p) -> std::unique_ptr<workload::KVStore> {
+       UncachedConfig cfg;
+       cfg.num_slots = p.objects * 4;
+       cfg.slot_bytes = 4608;  // snug fit for 4KB values (PMSE stores in place)
+       auto r = UncachedStore::make(cfg, p.latency);
+       if (!r.is_ok()) return nullptr;
+       return std::move(r).value();
+     }},
+};
+
+}  // namespace
+
+std::unique_ptr<workload::KVStore> make_backend(const std::string& name,
+                                                const BackendParams& params) {
+  for (const Entry& e : kBackends) {
+    if (name == e.name) return e.make(params);
+  }
+  fprintf(stderr, "unknown backend %s (known:", name.c_str());
+  for (const Entry& e : kBackends) fprintf(stderr, " %s", e.name);
+  fprintf(stderr, ")\n");
+  return nullptr;
+}
+
+const std::vector<std::string>& backend_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const Entry& e : kBackends) v.emplace_back(e.name);
+    return v;
+  }();
+  return names;
+}
+
+}  // namespace dstore::baselines

@@ -1,0 +1,34 @@
+// One factory for every evaluated backend, keyed by name. The YCSB runner
+// and the per-figure benches construct systems exclusively through here, so
+// adding a backend is one table row — not a new `if` chain in each binary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/latency_model.h"
+#include "workload/kv_interface.h"
+
+namespace dstore::baselines {
+
+// Sizing/latency knobs shared by all backends; each factory derives its own
+// capacities from `objects` (keyspace + churn headroom).
+struct BackendParams {
+  uint64_t objects = 20000;  // preloaded keyspace the run sweeps
+  uint32_t ssd_qd = 16;      // NVMe queue-pair depth (DStore variants)
+  int num_shards = 4;        // "Sharded" backend only
+  LatencyModel latency = LatencyModel::none();
+};
+
+// Construct backend `name`, or nullptr (with a stderr diagnostic) if the
+// name is unknown or construction fails. Known names: DStore, DStore-CoW,
+// DStore-noOE, LogicalLog+CoW, PhysLog+CoW, Sharded, PMEM-RocksDB,
+// MongoDB-PM, MongoDB-PMSE.
+std::unique_ptr<workload::KVStore> make_backend(const std::string& name,
+                                                const BackendParams& params);
+
+// Every name make_backend accepts, in display order.
+const std::vector<std::string>& backend_names();
+
+}  // namespace dstore::baselines

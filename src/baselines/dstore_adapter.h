@@ -49,6 +49,8 @@ class DStoreAdapter final : public workload::KVStore {
   void set_checkpoints_enabled(bool enabled) override {
     store_->engine().set_checkpointing_enabled(enabled);
   }
+  std::string metrics_json() override { return store_->metrics_json(); }
+  std::string metrics_prometheus() override { return store_->metrics_prometheus(); }
   Result<RecoveryTiming> crash_and_recover() override;
 
   DStore& store() { return *store_; }

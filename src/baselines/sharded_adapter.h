@@ -1,0 +1,35 @@
+// workload::KVStore adapter over ShardedStore, so the sharded configuration
+// is driveable from ycsb_runner and the per-figure benches exactly like the
+// single-store backends.
+#pragma once
+
+#include <memory>
+
+#include "dstore/sharded.h"
+#include "workload/kv_interface.h"
+
+namespace dstore::baselines {
+
+class ShardedAdapter final : public workload::KVStore {
+ public:
+  static Result<std::unique_ptr<ShardedAdapter>> make(ShardedConfig cfg);
+
+  Status put(void* ctx, std::string_view key, const void* value, size_t size) override;
+  Result<size_t> get(void* ctx, std::string_view key, void* buf, size_t cap) override;
+  Status del(void* ctx, std::string_view key) override;
+  const char* name() const override { return "Sharded"; }
+  workload::SpaceBreakdown space_usage() override;
+  void prepare_run() override { (void)store_->checkpoint_all(); }
+  std::string metrics_json() override { return store_->metrics_json(); }
+  std::string metrics_prometheus() override { return store_->metrics_prometheus(); }
+  Result<RecoveryTiming> crash_and_recover() override;
+
+  ShardedStore& store() { return *store_; }
+
+ private:
+  ShardedAdapter() = default;
+
+  std::unique_ptr<ShardedStore> store_;
+};
+
+}  // namespace dstore::baselines

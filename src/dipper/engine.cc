@@ -296,6 +296,7 @@ Status Engine::recover() {
 
   if (!cow_archived_records.empty()) {
     DSTORE_RETURN_IF_ERROR(client_->replay(volatile_space_, cow_archived_records));
+    stats_.records_replayed.fetch_add(cow_archived_records.size(), std::memory_order_relaxed);
   }
 
   // Replay the active log's committed records onto the volatile space.
@@ -303,6 +304,7 @@ Status Engine::recover() {
   std::vector<LogRecordView> active_records = collect_committed(active);
   if (!active_records.empty()) {
     DSTORE_RETURN_IF_ERROR(client_->replay(volatile_space_, active_records));
+    stats_.records_replayed.fetch_add(active_records.size(), std::memory_order_relaxed);
   }
   DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.replay.done");
   stats_.recovery_replay_ns.store(replay_watch.elapsed_ns(), std::memory_order_release);
@@ -618,6 +620,8 @@ double Engine::log_fill() const {
   return (double)sides_[a].next_slot.load(std::memory_order_acquire) / (double)cfg_.log_slots;
 }
 
+uint64_t Engine::current_epoch() const { return load_state().epoch; }
+
 // ---------------------------------------------------------------------------
 // Checkpointing
 // ---------------------------------------------------------------------------
@@ -825,6 +829,7 @@ Status Engine::do_checkpoint() {
   };
   StopWatch watch;
   uint8_t archived_idx;
+  uint64_t phase_mark = now_ns();
   {
     std::unique_lock<std::mutex> g(log_mu_);
     uint8_t active = active_idx_.load(std::memory_order_acquire);
@@ -868,32 +873,44 @@ Status Engine::do_checkpoint() {
     }
     archived_idx = 1 - active_idx_.load(std::memory_order_acquire);
   }
+  // Phase attribution: mark -> mark deltas land in swap/drain/replay/install.
+  auto end_phase = [&](std::atomic<uint64_t>& sink) {
+    uint64_t n = now_ns();
+    sink.fetch_add(n - phase_mark, std::memory_order_relaxed);
+    phase_mark = n;
+  };
+  end_phase(stats_.ckpt_swap_ns);
 
   Status result;
   if (!test_point("ckpt:after_swap")) {
     result = Status::internal("abandoned at ckpt:after_swap");
   } else if (cfg_.ckpt_mode == EngineConfig::CkptMode::kDipper) {
     drain_archived(archived_idx);
+    end_phase(stats_.ckpt_drain_ns);
     if (!test_point("ckpt:after_drain")) {
       result = Status::internal("abandoned at ckpt:after_drain");
     } else {
       result = replay_onto_spare(archived_idx);
+      end_phase(stats_.ckpt_replay_ns);
       if (result.is_ok() && !test_point("ckpt:after_replay")) {
         result = Status::internal("abandoned at ckpt:after_replay");
       }
     }
   } else {
     result = cow_copy_into_spare();
+    end_phase(stats_.ckpt_replay_ns);
     if (result.is_ok() && !test_point("ckpt:after_replay")) {
       result = Status::internal("abandoned at ckpt:after_replay");
     }
   }
   if (result.is_ok()) {
+    phase_mark = now_ns();
     install_spare(archived_idx);
     stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
     if (test_point("ckpt:after_install")) {
       recycle_archived(archived_idx);
     }
+    end_phase(stats_.ckpt_install_ns);
   }
   stats_.ckpt_total_ns.fetch_add(watch.elapsed_ns(), std::memory_order_relaxed);
   ckpt_running_.store(false);

@@ -116,6 +116,14 @@ struct EngineStats {
   std::atomic<uint64_t> ckpt_failures{0};  // background checkpoints that errored
   std::atomic<uint64_t> records_replayed{0};
   std::atomic<uint64_t> ckpt_total_ns{0};
+  // Checkpoint phase attribution (sums across checkpoints; §3.5 protocol):
+  // swap = log switch under log_mu_; drain = wait for archived in-flight
+  // records; replay = replay/CoW-copy onto the spare arena + durability
+  // pass; install = root flip + archived-log recycle.
+  std::atomic<uint64_t> ckpt_swap_ns{0};
+  std::atomic<uint64_t> ckpt_drain_ns{0};
+  std::atomic<uint64_t> ckpt_replay_ns{0};
+  std::atomic<uint64_t> ckpt_install_ns{0};
   std::atomic<uint64_t> append_backpressure_waits{0};
   std::atomic<uint64_t> cow_page_faults{0};  // kCow only: writer-side copies
   // Recovery phase timings from the last recover() (Table 4 attribution):
@@ -230,6 +238,8 @@ class Engine {
   bool checkpoint_running() const { return ckpt_running_.load(std::memory_order_acquire); }
   // Fraction of active-log slots in use.
   double log_fill() const;
+  // Current checkpoint epoch (increments on every installed checkpoint).
+  uint64_t current_epoch() const;
 
   const EngineStats& stats() const { return stats_; }
   pmem::Pool& pool() { return *pool_; }

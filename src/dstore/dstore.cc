@@ -27,7 +27,9 @@ size_t DStoreConfig::suggested_arena_bytes(uint64_t objects) {
 // ---------------------------------------------------------------------------
 
 DStore::DStore(pmem::Pool* pool, ssd::BlockDevice* device, DStoreConfig cfg)
-    : pool_(pool), device_(device), cfg_(cfg), read_counts_(1 << 16) {}
+    : pool_(pool), device_(device), cfg_(cfg), read_counts_(1 << 16) {
+  init_metrics();
+}
 
 Result<std::unique_ptr<DStore>> DStore::create(pmem::Pool* pool, ssd::BlockDevice* device,
                                                DStoreConfig cfg) {
@@ -41,6 +43,7 @@ Result<std::unique_ptr<DStore>> DStore::create(pmem::Pool* pool, ssd::BlockDevic
   store->engine_ = std::make_unique<dipper::Engine>(pool, store.get(), cfg.engine);
   DSTORE_RETURN_IF_ERROR(store->engine_->init_fresh());
   store->engine_->space().set_lock(&store->arena_mu_);
+  store->register_substrate_metrics();
   return store;
 }
 
@@ -50,7 +53,143 @@ Result<std::unique_ptr<DStore>> DStore::recover(pmem::Pool* pool, ssd::BlockDevi
   store->engine_ = std::make_unique<dipper::Engine>(pool, store.get(), cfg.engine);
   DSTORE_RETURN_IF_ERROR(store->engine_->recover());
   store->engine_->space().set_lock(&store->arena_mu_);
+  store->register_substrate_metrics();
   return store;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+void DStore::init_metrics() {
+  obs::MetricsRegistry& r = metrics_;
+  obs::Gauge* active = r.gauge("dstore_active_ops", "traced operations currently in flight");
+
+  // The six §4.3 pipeline stage span histograms, shared by oput and the
+  // logged owrite path (Table 3's write breakdown reads these).
+  obs::Histogram* stages[obs::kStageCount];
+  stages[obs::kStageLogAppend] =
+      r.histogram("dstore_stage_log_append_ns", "step 2b: log record write+flush span");
+  stages[obs::kStagePoolAlloc] =
+      r.histogram("dstore_stage_pool_alloc_ns", "steps 3-4: block/metadata pool allocation span");
+  stages[obs::kStageMetaZone] =
+      r.histogram("dstore_stage_meta_zone_ns", "step 6: metadata-zone update span");
+  stages[obs::kStageBtree] = r.histogram("dstore_stage_btree_ns", "step 7: btree record span");
+  stages[obs::kStageSsdBatch] =
+      r.histogram("dstore_stage_ssd_batch_ns", "step 8: NVMe queue-pair submit+reap span");
+  stages[obs::kStageCommitFlush] =
+      r.histogram("dstore_stage_commit_flush_ns", "step 9: commit flush span");
+
+  auto op = [&](obs::OpMetrics& m, const char* verb, bool staged, bool substrate) {
+    std::string p = std::string("dstore_") + verb;
+    m.ops = r.counter(p + "s_total", std::string(verb) + " operations attempted");
+    m.failures = r.counter(p + "_failures_total", std::string(verb) + " operations failed");
+    m.latency = r.histogram(p + "_latency_ns", std::string(verb) + " end-to-end latency");
+    m.active = active;
+    if (staged) {
+      for (int s = 0; s < obs::kStageCount; s++) m.stage[s] = stages[s];
+    }
+    if (substrate) {
+      m.flushes_per_op =
+          r.histogram(p + "_flushes_per_op", "pmem cache-line flushes per sampled op");
+      m.fences_per_op = r.histogram(p + "_fences_per_op", "pmem fences per sampled op");
+    }
+    m.ios_per_op = r.histogram(p + "_ios_per_op", "SSD IO descriptors per sampled op");
+    m.io_retries_per_op =
+        r.histogram(p + "_io_retries_per_op", "SSD descriptor retries per sampled op (when >0)");
+  };
+  op(put_metrics_, "put", /*staged=*/true, /*substrate=*/true);
+  op(write_metrics_, "write", /*staged=*/true, /*substrate=*/true);
+  op(get_metrics_, "get", /*staged=*/false, /*substrate=*/false);
+  op(delete_metrics_, "delete", /*staged=*/false, /*substrate=*/true);
+
+  ssd_io_batches_ = r.counter("ssd_io_batches_total", "queue-pair batches issued");
+  ssd_ios_issued_ =
+      r.counter("ssd_ios_issued_total", "IO descriptors submitted (excluding retries)");
+  ssd_blocks_coalesced_ =
+      r.counter("ssd_blocks_coalesced_total", "per-block IOs saved by contiguous-run merging");
+  ssd_io_retries_ = r.counter("ssd_io_retries_total", "transient-error descriptor retries");
+  ssd_io_exhausted_ = r.counter("ssd_io_exhausted_total", "ops whose SSD retries ran out");
+
+  // Ops accumulate the exact batch counters in their trace and publish
+  // them in OpTrace::finish() under one stripe lookup.
+  for (obs::OpMetrics* m : {&put_metrics_, &write_metrics_, &get_metrics_, &delete_metrics_}) {
+    m->ssd_batches = ssd_io_batches_;
+    m->ssd_ios = ssd_ios_issued_;
+    m->ssd_coalesced = ssd_blocks_coalesced_;
+  }
+}
+
+void DStore::register_substrate_metrics() {
+  obs::MetricsRegistry& r = metrics_;
+  // Scrape-time callbacks over atomics the substrates maintain anyway —
+  // zero added hot-path cost. Raw pointers are safe: engine_/pool_/device_
+  // outlive the registry's owner (this store).
+  pmem::Pool* pool = pool_;
+  r.counter_fn("pmem_flushes_total", "cache lines written back",
+               [pool] { return pool->stats().lines_flushed.load(std::memory_order_relaxed); });
+  r.counter_fn("pmem_fences_total", "store fences retired",
+               [pool] { return pool->stats().fences.load(std::memory_order_relaxed); });
+  r.counter_fn("pmem_bytes_flushed_total", "bytes written back to PMEM",
+               [pool] { return pool->stats().bytes_flushed.load(std::memory_order_relaxed); });
+  r.counter_fn("pmem_bytes_read_total", "bulk bytes read from PMEM",
+               [pool] { return pool->stats().bytes_read.load(std::memory_order_relaxed); });
+
+  ssd::BlockDevice* dev = device_;
+  r.counter_fn("ssd_bytes_written_total", "bytes written to the block device",
+               [dev] { return dev->stats().bytes_written.load(std::memory_order_relaxed); });
+  r.counter_fn("ssd_bytes_read_total", "bytes read from the block device",
+               [dev] { return dev->stats().bytes_read.load(std::memory_order_relaxed); });
+  r.counter_fn("ssd_write_ios_total", "device write IOs",
+               [dev] { return dev->stats().write_ios.load(std::memory_order_relaxed); });
+  r.counter_fn("ssd_read_ios_total", "device read IOs",
+               [dev] { return dev->stats().read_ios.load(std::memory_order_relaxed); });
+
+  dipper::Engine* eng = engine_.get();
+  const dipper::EngineStats& es = eng->stats();
+  auto stat = [&r, &es](const char* name, const char* help,
+                        std::atomic<uint64_t> dipper::EngineStats::* field) {
+    const std::atomic<uint64_t>* p = &(es.*field);
+    r.counter_fn(name, help, [p] { return p->load(std::memory_order_relaxed); });
+  };
+  stat("dipper_records_appended_total", "log records appended",
+       &dipper::EngineStats::records_appended);
+  stat("dipper_records_committed_total", "log records committed",
+       &dipper::EngineStats::records_committed);
+  stat("dipper_records_aborted_total", "log records aborted",
+       &dipper::EngineStats::records_aborted);
+  stat("dipper_records_replayed_total", "log records replayed (checkpoint+recovery)",
+       &dipper::EngineStats::records_replayed);
+  stat("dipper_checkpoints_total", "checkpoints installed", &dipper::EngineStats::checkpoints);
+  stat("dipper_ckpt_failures_total", "background checkpoints that errored",
+       &dipper::EngineStats::ckpt_failures);
+  stat("dipper_backpressure_waits_total", "appends that waited on a full log",
+       &dipper::EngineStats::append_backpressure_waits);
+  stat("dipper_cow_page_faults_total", "CoW writer-side page copies",
+       &dipper::EngineStats::cow_page_faults);
+  stat("dipper_ckpt_total_ns", "checkpoint wall time", &dipper::EngineStats::ckpt_total_ns);
+  stat("dipper_ckpt_swap_ns", "checkpoint phase: log switch", &dipper::EngineStats::ckpt_swap_ns);
+  stat("dipper_ckpt_drain_ns", "checkpoint phase: archived-record drain",
+       &dipper::EngineStats::ckpt_drain_ns);
+  stat("dipper_ckpt_replay_ns", "checkpoint phase: replay/copy onto spare",
+       &dipper::EngineStats::ckpt_replay_ns);
+  stat("dipper_ckpt_install_ns", "checkpoint phase: root flip + log recycle",
+       &dipper::EngineStats::ckpt_install_ns);
+  stat("dipper_recovery_metadata_ns", "last recovery: checkpoint redo + rebuild",
+       &dipper::EngineStats::recovery_metadata_ns);
+  stat("dipper_recovery_replay_ns", "last recovery: log replay",
+       &dipper::EngineStats::recovery_replay_ns);
+
+  r.gauge_fn("dipper_log_fill_ratio", "fraction of active-log slots in use",
+             [eng] { return eng->log_fill(); });
+  r.gauge_fn("dipper_epoch", "current checkpoint epoch",
+             [eng] { return (double)eng->current_epoch(); });
+  r.gauge_fn("dstore_read_only", "1 once SSD write retries were exhausted",
+             [this] { return read_only() ? 1.0 : 0.0; });
+  r.gauge_fn("dstore_live_ctxs", "ds_init contexts alive",
+             [this] { return (double)live_ctxs_.load(std::memory_order_relaxed); });
+  r.gauge_fn("dstore_open_objects", "oopen handles alive",
+             [this] { return (double)open_objects_.load(std::memory_order_relaxed); });
 }
 
 DStore::~DStore() {
@@ -309,10 +448,10 @@ Status DStore::put_phase1(View& v, const Key& name, uint64_t size, SharedSpinLoc
 }
 
 Status DStore::put_phase2(View& v, const Key& name, uint64_t size, const PutPlan& plan,
-                          SharedSpinLock* btree_mu, StageStats* stats) {
+                          SharedSpinLock* btree_mu, obs::OpTrace* trace) {
   // Steps 6-7: metadata-zone entry + btree record. Under OE these run
   // outside the synchronous region, in parallel across requests.
-  uint64_t t0 = stats != nullptr ? now_ns() : 0;
+  if (trace != nullptr) trace->enter(obs::kStageMetaZone);
   MetaEntry* e = v.zone.entry(plan.meta_idx);
   if (plan.existed) {
     e->nblocks = 0;  // block array retained; refilled below
@@ -325,11 +464,7 @@ Status DStore::put_phase2(View& v, const Key& name, uint64_t size, const PutPlan
   }
   e->size = size;
   e->generation++;
-  if (stats != nullptr) {
-    uint64_t t1 = now_ns();
-    stats->meta_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
-    t0 = t1;
-  }
+  if (trace != nullptr) trace->enter(obs::kStageBtree);
   if (!plan.existed) {
     if (btree_mu != nullptr) {
       LockGuard<SharedSpinLock> g(*btree_mu);
@@ -338,7 +473,7 @@ Status DStore::put_phase2(View& v, const Key& name, uint64_t size, const PutPlan
       DSTORE_RETURN_IF_ERROR(v.btree.insert(name, plan.meta_idx));
     }
   }
-  if (stats != nullptr) stats->btree_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  if (trace != nullptr) trace->leave();
   return Status::ok();
 }
 
@@ -436,7 +571,7 @@ Status DStore::extend_phase2(View& v, const Key& /*name*/, uint64_t new_size,
 
 Status DStore::apply_io_policy(Status s, bool is_write) {
   if (!s.is_ok() && ssd::is_transient(s)) {
-    io_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    ssd_io_exhausted_->add(1);
     if (is_write) {
       // Degrade rather than wedge: the SSD is refusing writes, so stop
       // accepting mutations but keep serving whatever is still readable.
@@ -447,7 +582,7 @@ Status DStore::apply_io_policy(Status s, bool is_write) {
   return s;
 }
 
-Status DStore::finish_io(ssd::IoQueue& q, bool is_write) {
+Status DStore::finish_io(ssd::IoQueue& q, bool is_write, obs::OpTrace* trace) {
   q.wait_all();
   for (size_t i = 0; i < q.size(); i++) {
     if (q.status_of(i).is_ok()) continue;
@@ -457,15 +592,20 @@ Status DStore::finish_io(ssd::IoQueue& q, bool is_write) {
     Status s = ssd::retry_after_failure(
         q.status_of(i), [&] { return q.resubmit(i); },
         ssd::RetryPolicy{cfg_.io_max_retries, cfg_.io_retry_backoff_ns}, &retries);
-    if (retries != 0) io_retries_.fetch_add(retries, std::memory_order_relaxed);
+    if (retries != 0) ssd_io_retries_->add(retries);
     s = apply_io_policy(std::move(s), is_write);
-    if (!s.is_ok()) return s;
+    if (!s.is_ok()) {
+      if (trace != nullptr) trace->add_io(q.size(), q.resubmits());
+      return s;
+    }
   }
+  if (trace != nullptr) trace->add_io(q.size(), q.resubmits());
   return Status::ok();
 }
 
 Status DStore::submit_io_range(ssd::IoQueue& q, const uint64_t* bl, uint64_t nblocks,
-                               const void* wsrc, void* rdst, size_t size, uint64_t offset) {
+                               const void* wsrc, void* rdst, size_t size, uint64_t offset,
+                               obs::OpTrace* trace) {
   const char* w = static_cast<const char*>(wsrc);
   char* r = static_cast<char*>(rdst);
   const size_t bs = block_size();
@@ -494,32 +634,38 @@ Status DStore::submit_io_range(ssd::IoQueue& q, const uint64_t* bl, uint64_t nbl
                          r != nullptr ? r + done : nullptr});
     done += len;
   }
-  ios_issued_.fetch_add(issued, std::memory_order_relaxed);
-  blocks_coalesced_.fetch_add(saved, std::memory_order_relaxed);
-  io_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (trace != nullptr) {
+    // Published exactly in OpTrace::finish(), batched with the op counter.
+    trace->add_batch(issued, saved);
+  } else {
+    ssd_ios_issued_->add(issued);
+    ssd_blocks_coalesced_->add(saved);
+    ssd_io_batches_->add(1);
+  }
   return Status::ok();
 }
 
-Status DStore::write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size) {
+Status DStore::write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size,
+                          obs::OpTrace* trace) {
   if (size == 0) return Status::ok();
   ssd::IoQueue q(device_, cfg_.ssd_qd);
   DSTORE_RETURN_IF_ERROR(
-      submit_io_range(q, blocks.data(), blocks.size(), data, nullptr, size, 0));
-  return finish_io(q, /*is_write=*/true);
+      submit_io_range(q, blocks.data(), blocks.size(), data, nullptr, size, 0, trace));
+  return finish_io(q, /*is_write=*/true, trace);
 }
 
 Status DStore::write_data_range(View& v, uint64_t meta_idx, const void* data, size_t size,
-                                uint64_t offset) {
+                                uint64_t offset, obs::OpTrace* trace) {
   if (size == 0) return Status::ok();
   const MetaEntry* e = v.zone.entry(meta_idx);
   const uint64_t* bl = v.zone.blocks(*e);
   ssd::IoQueue q(device_, cfg_.ssd_qd);
-  DSTORE_RETURN_IF_ERROR(submit_io_range(q, bl, e->nblocks, data, nullptr, size, offset));
-  return finish_io(q, /*is_write=*/true);
+  DSTORE_RETURN_IF_ERROR(submit_io_range(q, bl, e->nblocks, data, nullptr, size, offset, trace));
+  return finish_io(q, /*is_write=*/true, trace);
 }
 
 Status DStore::read_data_range(View& v, uint64_t meta_idx, void* buf, size_t size,
-                               uint64_t offset, size_t* out_len) {
+                               uint64_t offset, size_t* out_len, obs::OpTrace* trace) {
   const MetaEntry* e = v.zone.entry(meta_idx);
   if (e == nullptr || !e->in_use) return Status::corruption("read from free entry");
   if (offset >= e->size) {
@@ -533,8 +679,8 @@ Status DStore::read_data_range(View& v, uint64_t meta_idx, void* buf, size_t siz
   }
   const uint64_t* bl = v.zone.blocks(*e);
   ssd::IoQueue q(device_, cfg_.ssd_qd);
-  DSTORE_RETURN_IF_ERROR(submit_io_range(q, bl, e->nblocks, nullptr, buf, want, offset));
-  DSTORE_RETURN_IF_ERROR(finish_io(q, /*is_write=*/false));
+  DSTORE_RETURN_IF_ERROR(submit_io_range(q, bl, e->nblocks, nullptr, buf, want, offset, trace));
+  DSTORE_RETURN_IF_ERROR(finish_io(q, /*is_write=*/false, trace));
   *out_len = want;
   return Status::ok();
 }
@@ -588,9 +734,7 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
 
   dipper::Engine::RecordHandle h;
   PutPlan plan;
-  uint64_t op_start = now_ns();
-  uint64_t log_ns = 0;
-  uint64_t meta_ns = 0;
+  obs::OpTrace trace(put_metrics_, pool_);
   for (;;) {
     // Write-write CC (§4.4): conflicting writers serialize on the log's
     // in-flight state before entering the synchronous region. Readers are
@@ -633,9 +777,9 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
     // cleared existing ones, so this is almost always zero iterations.
     read_counts_.wait_until_unread(k);
     // Steps 3-4.
-    uint64_t t = now_ns();
+    trace.enter(obs::kStagePoolAlloc);
     Status s = put_phase1(v, k, size, &btree_mu_, &plan);
-    meta_ns += now_ns() - t;
+    trace.leave();
     if (!s.is_ok()) {
       pipeline_mu_.unlock();
       engine_->abort(h);
@@ -650,49 +794,40 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
   ssd::IoQueue ioq(device_, cfg_.ssd_qd);
   Status s;
   Status ws;
-  uint64_t data_ns = 0;
   if (cfg_.observational_equivalence) {
     // Step 5, then 8a (IO submission), 2b (record write+flush) and 6-7
     // outside the region.
     pipeline_mu_.unlock();
-    uint64_t t = now_ns();
-    ws = submit_io_range(ioq, plan.blocks.data(), plan.blocks.size(), value, nullptr, size, 0);
-    uint64_t t1 = now_ns();
-    data_ns += t1 - t;
+    trace.enter(obs::kStageSsdBatch);
+    ws = submit_io_range(ioq, plan.blocks.data(), plan.blocks.size(), value, nullptr, size, 0, &trace);
+    trace.enter(obs::kStageLogAppend);
     engine_->write_reserved(h, OpType::kPut, size, 0, value, size);
-    log_ns += now_ns() - t1;
-    s = put_phase2(v, k, size, plan, &btree_mu_, &stage_stats_);
+    s = put_phase2(v, k, size, plan, &btree_mu_, &trace);
   } else {
     // Fig 9 ablation (no OE): steps 6-7 stay inside the synchronous region.
-    s = put_phase2(v, k, size, plan, &btree_mu_, &stage_stats_);
+    s = put_phase2(v, k, size, plan, &btree_mu_, &trace);
     pipeline_mu_.unlock();
-    uint64_t t = now_ns();
-    ws = submit_io_range(ioq, plan.blocks.data(), plan.blocks.size(), value, nullptr, size, 0);
-    uint64_t t1 = now_ns();
-    data_ns += t1 - t;
+    trace.enter(obs::kStageSsdBatch);
+    ws = submit_io_range(ioq, plan.blocks.data(), plan.blocks.size(), value, nullptr, size, 0, &trace);
+    trace.enter(obs::kStageLogAppend);
     engine_->write_reserved(h, OpType::kPut, size, 0, value, size);
-    log_ns += now_ns() - t1;
+    trace.leave();
   }
   // Step 8b: reap the data completions (device-cache durable once acked).
   // A failed write must abort the reserved record: it was never committed,
   // and leaving it in-flight would wedge every later writer of this object.
-  uint64_t t = now_ns();
-  if (s.is_ok() && ws.is_ok()) ws = finish_io(ioq, /*is_write=*/true);
+  trace.enter(obs::kStageSsdBatch);
+  if (s.is_ok() && ws.is_ok()) ws = finish_io(ioq, /*is_write=*/true, &trace);
   if (s.is_ok()) s = ws;
   if (!s.is_ok()) {
     engine_->abort(h);
     return s;
   }
-  uint64_t t2 = now_ns();
-  data_ns += t2 - t;
-  stage_stats_.data_ns.fetch_add(data_ns, std::memory_order_relaxed);
   // Step 9: commit — the op is durable from here on.
+  trace.enter(obs::kStageCommitFlush);
   engine_->commit(h);
-  log_ns += now_ns() - t2;
-  stage_stats_.log_ns.fetch_add(log_ns, std::memory_order_relaxed);
-  stage_stats_.meta_ns.fetch_add(meta_ns, std::memory_order_relaxed);
-  stage_stats_.total_ns.fetch_add(now_ns() - op_start, std::memory_order_relaxed);
-  stage_stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  trace.leave();
+  trace.succeed();
   return Status::ok();
 }
 
@@ -700,6 +835,7 @@ Result<size_t> DStore::oget(ds_ctx_t* /*ctx*/, std::string_view name, void* buf,
                             size_t buf_cap) {
   if (!Key::fits(name)) return Status::invalid_argument("name too long");
   Key k = Key::from(name);
+  obs::OpTrace trace(get_metrics_, pool_);
   ReaderGuard guard(*this, k);
   View v = view_of(engine_->space());
   std::optional<uint64_t> found;
@@ -712,7 +848,8 @@ Result<size_t> DStore::oget(ds_ctx_t* /*ctx*/, std::string_view name, void* buf,
   size_t value_size = e->size;
   size_t out_len = 0;
   DSTORE_RETURN_IF_ERROR(
-      read_data_range(v, *found, buf, std::min(buf_cap, value_size), 0, &out_len));
+      read_data_range(v, *found, buf, std::min(buf_cap, value_size), 0, &out_len, &trace));
+  trace.succeed();
   return value_size;
 }
 
@@ -725,6 +862,7 @@ Status DStore::odelete(ds_ctx_t* ctx, std::string_view name) {
 
   dipper::Engine::RecordHandle h;
   DeletePlan plan;
+  obs::OpTrace trace(delete_metrics_, pool_);
   for (;;) {
     engine_->wait_inflight_at_most(k, allowed);
     read_counts_.wait_until_unread(k);
@@ -770,6 +908,7 @@ Status DStore::odelete(ds_ctx_t* ctx, std::string_view name) {
     return s;
   }
   engine_->commit(h);
+  trace.succeed();
   return Status::ok();
 }
 
@@ -798,6 +937,7 @@ Result<Object*> DStore::oopen(ds_ctx_t* ctx, std::string_view name, size_t /*siz
     // Create path: a logged metadata operation (§4.3: "log records for
     // oopen ... are only written if they modify any metadata").
     int64_t allowed = allowed_inflight(ctx, k);
+    obs::OpTrace trace(put_metrics_, pool_);
     for (;;) {
       engine_->wait_inflight_at_most(k, allowed);
       pipeline_mu_.lock();
@@ -811,6 +951,7 @@ Result<Object*> DStore::oopen(ds_ctx_t* ctx, std::string_view name, size_t /*siz
       }
       if (exists) {
         pipeline_mu_.unlock();
+        trace.succeed();
         break;  // someone else created it; open it
       }
       if (v.meta_pool.free_count() == 0) {
@@ -852,6 +993,7 @@ Result<Object*> DStore::oopen(ds_ctx_t* ctx, std::string_view name, size_t /*siz
         return s;
       }
       engine_->commit(hr.value());
+      trace.succeed();
       break;
     }
   }
@@ -870,6 +1012,7 @@ Result<size_t> DStore::oread(Object* object, void* buf, size_t size, uint64_t of
   if (object == nullptr || (object->mode & kRead) == 0) {
     return Status::invalid_argument("object not open for reading");
   }
+  obs::OpTrace trace(get_metrics_, pool_);
   ReaderGuard guard(*this, object->name);
   View v = view_of(engine_->space());
   std::optional<uint64_t> found;
@@ -879,7 +1022,8 @@ Result<size_t> DStore::oread(Object* object, void* buf, size_t size, uint64_t of
   }
   if (!found.has_value()) return Status::not_found(object->name.str());
   size_t out_len = 0;
-  DSTORE_RETURN_IF_ERROR(read_data_range(v, *found, buf, size, offset, &out_len));
+  DSTORE_RETURN_IF_ERROR(read_data_range(v, *found, buf, size, offset, &out_len, &trace));
+  trace.succeed();
   return out_len;
 }
 
@@ -892,6 +1036,7 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
   Key k = object->name;
   View v = view_of(engine_->space());
   int64_t allowed = 0;
+  obs::OpTrace trace(write_metrics_, pool_);
 
   for (;;) {
     engine_->wait_inflight_at_most(k, allowed);
@@ -926,7 +1071,9 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
       }
       read_counts_.wait_until_unread(k);
       ExtendPlan plan;
+      trace.enter(obs::kStagePoolAlloc);
       Status s = extend_phase1(v, k, new_size, &btree_mu_, &plan);
+      trace.leave();
       if (!s.is_ok()) {
         pipeline_mu_.unlock();
         engine_->abort(hr.value());
@@ -948,24 +1095,37 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
       Status ws;
       if (cfg_.observational_equivalence) {
         pipeline_mu_.unlock();
+        trace.enter(obs::kStageSsdBatch);
         ws = submit_io_range(ioq, all_blocks.data(), all_blocks.size(), buf, nullptr, size,
-                             offset);
+                             offset, &trace);
+        trace.enter(obs::kStageLogAppend);
         engine_->write_reserved(hr.value(), OpType::kWrite, new_size, offset, buf, size);
+        trace.enter(obs::kStageMetaZone);
         s = extend_phase2(v, k, new_size, plan, &btree_mu_);
+        trace.leave();
       } else {
+        trace.enter(obs::kStageMetaZone);
         s = extend_phase2(v, k, new_size, plan, &btree_mu_);
+        trace.leave();
         pipeline_mu_.unlock();
+        trace.enter(obs::kStageSsdBatch);
         ws = submit_io_range(ioq, all_blocks.data(), all_blocks.size(), buf, nullptr, size,
-                             offset);
+                             offset, &trace);
+        trace.enter(obs::kStageLogAppend);
         engine_->write_reserved(hr.value(), OpType::kWrite, new_size, offset, buf, size);
+        trace.leave();
       }
-      if (s.is_ok() && ws.is_ok()) ws = finish_io(ioq, /*is_write=*/true);
+      trace.enter(obs::kStageSsdBatch);
+      if (s.is_ok() && ws.is_ok()) ws = finish_io(ioq, /*is_write=*/true, &trace);
       if (s.is_ok()) s = ws;
       if (!s.is_ok()) {
         engine_->abort(hr.value());
         return s;
       }
+      trace.enter(obs::kStageCommitFlush);
       engine_->commit(hr.value());
+      trace.leave();
+      trace.succeed();
       return size;
     }
     // Pure data overwrite: no metadata change, no log record — but still
@@ -973,9 +1133,12 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
     engine_->register_external_write(k);
     read_counts_.wait_until_unread(k);
     pipeline_mu_.unlock();
-    Status s = write_data_range(v, *found, buf, size, offset);
+    trace.enter(obs::kStageSsdBatch);
+    Status s = write_data_range(v, *found, buf, size, offset, &trace);
+    trace.leave();
     engine_->unregister_external_write(k);
     DSTORE_RETURN_IF_ERROR(s);
+    trace.succeed();
     return size;
   }
 }

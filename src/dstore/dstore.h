@@ -43,6 +43,8 @@
 
 #include "common/spinlock.h"
 #include "dipper/engine.h"
+#include "obs/metrics.h"
+#include "obs/op_trace.h"
 #include "ds/btree.h"
 #include "ds/circular_pool.h"
 #include "ds/key.h"
@@ -153,36 +155,21 @@ class DStore final : public dipper::SpaceClient {
   // True once a data write exhausted its SSD retries: mutating calls fail
   // with READ_ONLY until the store is reopened; reads keep working.
   bool read_only() const { return read_only_.load(std::memory_order_acquire); }
-  uint64_t io_retries() const { return io_retries_.load(std::memory_order_relaxed); }
-  uint64_t io_exhausted() const { return io_exhausted_.load(std::memory_order_relaxed); }
 
-  // Data-plane IO accounting for the async queue-pair layer.
-  struct Stats {
-    uint64_t io_batches;        // queue-pair batches (= ops that touched the SSD)
-    uint64_t ios_issued;        // IO descriptors submitted (excluding retries)
-    uint64_t blocks_coalesced;  // per-block IOs saved by contiguous-run merging
-    uint64_t io_retries;        // transient-error retries issued
-    uint64_t io_exhausted;      // ops whose retries ran out
-  };
-  Stats stats() const {
-    return Stats{io_batches_.load(std::memory_order_relaxed),
-                 ios_issued_.load(std::memory_order_relaxed),
-                 blocks_coalesced_.load(std::memory_order_relaxed),
-                 io_retries_.load(std::memory_order_relaxed),
-                 io_exhausted_.load(std::memory_order_relaxed)};
-  }
-
-  // Per-stage write-pipeline timings (Table 3: NVMe write / btree /
-  // metadata / log flush). Accumulated across all oput calls.
-  struct StageStats {
-    std::atomic<uint64_t> ops{0};
-    std::atomic<uint64_t> log_ns{0};    // step 2 + step 9 (record + commit flush)
-    std::atomic<uint64_t> meta_ns{0};   // steps 3-4, 6 (pools + metadata zone)
-    std::atomic<uint64_t> btree_ns{0};  // step 7
-    std::atomic<uint64_t> data_ns{0};   // step 8 (NVMe write)
-    std::atomic<uint64_t> total_ns{0};
-  };
-  const StageStats& stage_stats() const { return stage_stats_; }
+  // ---- observability ------------------------------------------------------
+  // The one introspection surface (replaces the former Stats/StageStats/
+  // io_retries getters — see DESIGN.md §10 for the metric catalogue and the
+  // migration mapping). Everything the store, its DIPPER engine, and the
+  // PMEM/SSD substrates measure is a named metric here: op counters and
+  // latency histograms (dstore_put_latency_ns, ...), pipeline stage spans
+  // (dstore_stage_ssd_batch_ns, ...), per-op substrate distributions
+  // (dstore_put_flushes_per_op, ...), SSD data-plane counters
+  // (ssd_io_batches_total, ...), and scrape-time callbacks over substrate
+  // stats (pmem_flushes_total, dipper_log_fill_ratio, ...).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  std::string metrics_json() const { return metrics_.scrape_json(); }
+  std::string metrics_prometheus() const { return metrics_.scrape_prometheus(); }
 
   // Deep structural cross-check for tests: btree/zone/pool agreement.
   Status validate();
@@ -230,9 +217,9 @@ class DStore final : public dipper::SpaceClient {
   // frontend; capacity must have been checked.
   Status put_phase1(View& v, const Key& name, uint64_t size, SharedSpinLock* btree_mu,
                     PutPlan* plan);
-  // Steps 6-7. `stats` (optional, frontend only) splits zone vs btree time.
+  // Steps 6-7. `trace` (optional, frontend only) splits zone vs btree time.
   Status put_phase2(View& v, const Key& name, uint64_t size, const PutPlan& plan,
-                    SharedSpinLock* btree_mu, StageStats* stats = nullptr);
+                    SharedSpinLock* btree_mu, obs::OpTrace* trace = nullptr);
 
   struct DeletePlan {
     uint64_t meta_idx = 0;
@@ -274,19 +261,21 @@ class DStore final : public dipper::SpaceClient {
   // at cfg_.ssd_qd blocks per descriptor) and submitting them to `q`.
   // Writes from `wsrc`, or reads into `rdst` (exactly one non-null).
   Status submit_io_range(ssd::IoQueue& q, const uint64_t* bl, uint64_t nblocks,
-                         const void* wsrc, void* rdst, size_t size, uint64_t offset);
+                         const void* wsrc, void* rdst, size_t size, uint64_t offset,
+                         obs::OpTrace* trace = nullptr);
   // Wait for all of `q`'s completions; re-submit failed descriptors with
   // bounded exponential backoff (cfg_.io_max_retries / io_retry_backoff_ns).
   // Exhausted write retries degrade the store to read-only; reads surface
   // the error. Transient errors are absorbed or surfaced — never dropped.
-  Status finish_io(ssd::IoQueue& q, bool is_write);
+  Status finish_io(ssd::IoQueue& q, bool is_write, obs::OpTrace* trace = nullptr);
   Status apply_io_policy(Status s, bool is_write);
 
-  Status write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size);
+  Status write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size,
+                    obs::OpTrace* trace = nullptr);
   Status write_data_range(View& v, uint64_t meta_idx, const void* data, size_t size,
-                          uint64_t offset);
+                          uint64_t offset, obs::OpTrace* trace = nullptr);
   Status read_data_range(View& v, uint64_t meta_idx, void* buf, size_t size, uint64_t offset,
-                         size_t* out_len);
+                         size_t* out_len, obs::OpTrace* trace = nullptr);
 
   pmem::Pool* pool_;
   ssd::BlockDevice* device_;
@@ -301,14 +290,27 @@ class DStore final : public dipper::SpaceClient {
   std::atomic<uint64_t> next_ctx_id_{1};
   std::atomic<int64_t> live_ctxs_{0};
   std::atomic<int64_t> open_objects_{0};
-  StageStats stage_stats_;
 
-  std::atomic<bool> read_only_{false};      // set on write-retry exhaustion
-  std::atomic<uint64_t> io_retries_{0};     // transient-error retries issued
-  std::atomic<uint64_t> io_exhausted_{0};   // ops whose retries ran out
-  std::atomic<uint64_t> io_batches_{0};     // queue-pair batches issued
-  std::atomic<uint64_t> ios_issued_{0};     // descriptors submitted (no retries)
-  std::atomic<uint64_t> blocks_coalesced_{0};  // block IOs saved by coalescing
+  std::atomic<bool> read_only_{false};  // set on write-retry exhaustion
+
+  // -- metrics ---------------------------------------------------------------
+  // init_metrics() (ctor) registers the owned metrics and builds the
+  // OpMetrics handle bundles; register_substrate_metrics() (create/recover,
+  // once engine_ exists) adds the scrape-time callbacks over engine/pool/
+  // device stats.
+  void init_metrics();
+  void register_substrate_metrics();
+
+  obs::MetricsRegistry metrics_;
+  obs::OpMetrics put_metrics_;     // oput + oopen(kCreate)
+  obs::OpMetrics get_metrics_;     // oget / oread
+  obs::OpMetrics delete_metrics_;  // odelete
+  obs::OpMetrics write_metrics_;   // owrite
+  obs::Counter* ssd_io_batches_ = nullptr;
+  obs::Counter* ssd_ios_issued_ = nullptr;
+  obs::Counter* ssd_blocks_coalesced_ = nullptr;
+  obs::Counter* ssd_io_retries_ = nullptr;
+  obs::Counter* ssd_io_exhausted_ = nullptr;
 };
 
 // Open-object handle (stateful filesystem API). Obtained from oopen(),

@@ -1,5 +1,7 @@
 #include "dstore/dstore_c.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -221,6 +223,28 @@ int dstore_checkpoint(dstore_t* store) {
 uint64_t dstore_object_count(dstore_t* store) {
   if (store == nullptr) return 0;
   return store->store->object_count();
+}
+
+uint32_t ds_api_version(void) {
+  return ((uint32_t)DS_API_VERSION_MAJOR << 16) | (uint32_t)DS_API_VERSION_MINOR;
+}
+
+char* ds_metrics_dump(dstore_t* store, int format) {
+  if (store == nullptr || (format != DS_METRICS_JSON && format != DS_METRICS_PROMETHEUS)) {
+    record_errno(DS_EINVAL, "null store or bad format");
+    return nullptr;
+  }
+  std::string out = format == DS_METRICS_JSON ? store->store->metrics_json()
+                                              : store->store->metrics_prometheus();
+  char* buf = static_cast<char*>(malloc(out.size() + 1));
+  if (buf == nullptr) {
+    record_errno(DS_EINTERNAL, "out of memory");
+    return nullptr;
+  }
+  memcpy(buf, out.data(), out.size());
+  buf[out.size()] = '\0';
+  record(dstore::Status::ok());
+  return buf;
 }
 
 int ds_last_error_code(void) { return tls_last_code; }

@@ -22,6 +22,16 @@
 extern "C" {
 #endif
 
+/* Binding version, bumped whenever this header's contract changes.
+ * 2.0: removed the DStore::Stats/StageStats C++ getters the bindings sat
+ * on; added ds_api_version() and ds_metrics_dump(). */
+#define DS_API_VERSION_MAJOR 2
+#define DS_API_VERSION_MINOR 0
+
+/* Runtime version of the linked library: (major << 16) | minor. Compare
+ * the major against DS_API_VERSION_MAJOR before using anything else. */
+uint32_t ds_api_version(void);
+
 /* Error codes (negated dstore::Code values). */
 #define DS_OK 0
 #define DS_ENOTFOUND (-1)
@@ -81,11 +91,27 @@ int ounlock(ds_ctx_t* ctx, const char* name);
 int dstore_checkpoint(dstore_t* store);
 uint64_t dstore_object_count(dstore_t* store);
 
+/* ---- observability ---- */
+/* Scrape the store's metrics registry (see DESIGN.md §10 for the metric
+ * catalogue). Returns a NUL-terminated malloc()ed string the caller must
+ * free(), or NULL on invalid arguments. Scraping is thread-safe and does
+ * not perturb concurrent operations. */
+#define DS_METRICS_JSON 0
+#define DS_METRICS_PROMETHEUS 1
+char* ds_metrics_dump(dstore_t* store, int format);
+
 /* ---- error reporting ---- */
 /* Outcome of the calling thread's most recent binding call: the DS_E* code
  * (DS_OK after a success) and a human-readable message ("" after a
- * success). The returned string stays valid until this thread's next
- * dstore call. */
+ * success).
+ *
+ * Thread safety: the error slot is THREAD-LOCAL. Each thread observes only
+ * the outcome of its own most recent binding call; calls made by other
+ * threads never disturb it. Consequently (a) there is no cross-thread
+ * "last error" — query from the thread that made the failing call — and
+ * (b) the pointer returned by ds_last_error() refers to the calling
+ * thread's slot and is invalidated by that same thread's next binding
+ * call (copy the string out if you need it longer). */
 int ds_last_error_code(void);
 const char* ds_last_error(void);
 

@@ -3,12 +3,10 @@
 namespace dstore {
 
 DStoreConfig ShardedStore::shard_config() const {
-  DStoreConfig cfg;
-  cfg.max_objects = cfg_.max_objects_per_shard;
-  cfg.num_blocks = cfg_.num_blocks_per_shard;
-  cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(cfg.max_objects);
-  cfg.engine.log_slots = cfg_.log_slots;
-  cfg.engine.background_checkpointing = cfg_.background_checkpointing;
+  DStoreConfig cfg = cfg_.shard;
+  if (cfg.engine.arena_bytes == 0) {
+    cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(cfg.max_objects);
+  }
   return cfg;
 }
 
@@ -22,7 +20,7 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::create(ShardedConfig cfg) {
     sh.pool = std::make_unique<pmem::Pool>(dipper::Engine::required_pool_bytes(scfg.engine),
                                            cfg.pool_mode, cfg.latency);
     ssd::DeviceConfig dc;
-    dc.num_blocks = cfg.num_blocks_per_shard;
+    dc.num_blocks = scfg.num_blocks;
     dc.latency = cfg.latency;
     sh.device = std::make_unique<ssd::RamBlockDevice>(dc);
     auto store = DStore::create(sh.pool.get(), sh.device.get(), scfg);
@@ -77,6 +75,21 @@ DStore::SpaceUsage ShardedStore::space_usage() {
     total.ssd_bytes += u.ssd_bytes;
   }
   return total;
+}
+
+std::vector<obs::MetricSnapshot> ShardedStore::metrics_snapshot() const {
+  std::vector<std::vector<obs::MetricSnapshot>> scrapes;
+  scrapes.reserve(shards_.size());
+  for (const Shard& sh : shards_) scrapes.push_back(sh.store->metrics().snapshot());
+  return obs::MetricsRegistry::merge(scrapes);
+}
+
+std::string ShardedStore::metrics_json() const {
+  return obs::MetricsRegistry::to_json(metrics_snapshot());
+}
+
+std::string ShardedStore::metrics_prometheus() const {
+  return obs::MetricsRegistry::to_prometheus(metrics_snapshot());
 }
 
 Status ShardedStore::checkpoint_all() {

@@ -20,11 +20,18 @@ namespace dstore {
 
 struct ShardedConfig {
   int num_shards = 4;
-  // Per-shard sizing.
-  uint64_t max_objects_per_shard = 1 << 13;
-  uint64_t num_blocks_per_shard = 1 << 14;
-  uint32_t log_slots = 4096;
-  bool background_checkpointing = true;
+  // Per-shard template: every DStoreConfig knob (ssd_qd, retry policy, OE,
+  // engine settings, ...) applies to each shard verbatim — no per-field
+  // re-declaration here. shard.engine.arena_bytes == 0 means "derive from
+  // shard.max_objects via suggested_arena_bytes()".
+  DStoreConfig shard = [] {
+    DStoreConfig c;
+    c.max_objects = 1 << 13;
+    c.num_blocks = 1 << 14;
+    c.engine.log_slots = 4096;
+    c.engine.arena_bytes = 0;  // auto-size
+    return c;
+  }();
   // kCrashSim pools enable crash_and_recover() in tests.
   pmem::Pool::Mode pool_mode = pmem::Pool::Mode::kDirect;
   LatencyModel latency = LatencyModel::none();
@@ -47,6 +54,12 @@ class ShardedStore {
 
   // Power-fail every shard and recover them all (kCrashSim pools only).
   Status crash_and_recover_all();
+
+  // Per-shard registries merged into one scrape (counters/gauges sum,
+  // histograms merge bucket-wise).
+  std::vector<obs::MetricSnapshot> metrics_snapshot() const;
+  std::string metrics_json() const;
+  std::string metrics_prometheus() const;
 
   int num_shards() const { return cfg_.num_shards; }
   DStore& shard(int i) { return *shards_[i].store; }

@@ -86,6 +86,7 @@ void Pool::flush(const void* addr, size_t len) {
   uint64_t hi = line_up(a + len) - b;
   ThreadState& st = tls();
   st.lines += (hi - lo) / kCacheLineSize;
+  st.flushes_total += (hi - lo) / kCacheLineSize;
   if (mode_ == Mode::kCrashSim && !image_frozen()) {
     st.ranges.push_back({lo, hi - lo});
     if (PersistChecker* c = checker()) {
@@ -102,9 +103,11 @@ void Pool::fence() {
   apply_fault_outcome(fault::hit(fault_, "pmem.fence"));
   ThreadState& st = tls();
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  st.fences_total++;
   if (st.lines > 0) {
     uint64_t bytes = st.lines * kCacheLineSize;
     stats_.bytes_flushed.fetch_add(bytes, std::memory_order_relaxed);
+    stats_.lines_flushed.fetch_add(st.lines, std::memory_order_relaxed);
     if (bw_series_ != nullptr) bw_series_->add(bytes);
     if (lat_.pmem_flush_line_ns > 0) {
       // First line pays full flush+fence latency; subsequent lines overlap
@@ -139,6 +142,8 @@ void Pool::persist_bulk(const void* addr, size_t len) {
   assert(a >= b && a + len <= b + size_ && "persist_bulk outside pool");
   stats_.bytes_flushed.fetch_add(len, std::memory_order_relaxed);
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  stats_.lines_flushed.fetch_add((len + kCacheLineSize - 1) / kCacheLineSize,
+                                 std::memory_order_relaxed);
   if (bw_series_ != nullptr) bw_series_->add(len);
   // A bulk persist pays the fixed flush+fence latency (device-parallel) and
   // queues its bandwidth share on the shared media channel — concurrent

@@ -47,6 +47,7 @@ struct IoStats {
   std::atomic<uint64_t> bytes_flushed{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> fences{0};
+  std::atomic<uint64_t> lines_flushed{0};  // cache lines written back
 };
 
 class Pool {
@@ -163,6 +164,17 @@ class Pool {
 
   // ---- instrumentation ---------------------------------------------------
   const IoStats& stats() const { return stats_; }
+  // Monotone per-thread flush/fence counts for the calling thread. An op
+  // trace reads this at op start and end; the delta is that op's substrate
+  // cost (valid because an op runs on one thread).
+  struct ThreadIoCounts {
+    uint64_t flushes = 0;  // cache lines staged by flush()
+    uint64_t fences = 0;
+  };
+  ThreadIoCounts thread_io_counts() {
+    ThreadState& st = tls();
+    return ThreadIoCounts{st.flushes_total, st.fences_total};
+  }
   // Optional bandwidth time-series (bytes flushed per bin) for Figure 7.
   void set_bandwidth_series(TimeSeries* ts) { bw_series_ = ts; }
   const LatencyModel& latency() const { return lat_; }
@@ -176,6 +188,8 @@ class Pool {
   struct ThreadState {
     std::vector<Range> ranges;
     size_t lines = 0;
+    uint64_t flushes_total = 0;  // monotone; see thread_io_counts()
+    uint64_t fences_total = 0;
   };
   ThreadState& tls();
 

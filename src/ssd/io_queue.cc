@@ -52,6 +52,7 @@ void IoQueue::reap_until_below(size_t target) {
 void IoQueue::wait_all() { reap_until_below(1); }
 
 Status IoQueue::resubmit(size_t id) {
+  resubmits_++;
   Sub& sub = subs_[id];
   auto r = dev_->submit_io(sub.desc);
   if (!r.is_ok()) {

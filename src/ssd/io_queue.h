@@ -70,6 +70,8 @@ class IoQueue {
   size_t size() const { return subs_.size(); }
   uint32_t depth() const { return depth_; }
   size_t in_flight() const { return inflight_; }
+  // Descriptors re-issued through resubmit() over this queue's lifetime.
+  size_t resubmits() const { return resubmits_; }
 
   // Completion status of submission `id`. Only meaningful once reaped
   // (poll()/wait_all()); an unreaped in-flight IO reads as ok.
@@ -95,6 +97,7 @@ class IoQueue {
   uint32_t depth_;
   std::vector<Sub> subs_;
   size_t inflight_ = 0;
+  size_t resubmits_ = 0;
 };
 
 }  // namespace dstore::ssd

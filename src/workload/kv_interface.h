@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "common/status.h"
@@ -37,6 +38,13 @@ class KVStore {
   // (flush memtables, take a checkpoint) so measurements start from a
   // comparable steady state.
   virtual void prepare_run() {}
+
+  // Metrics scrape (obs::MetricsRegistry export; see DESIGN.md §10).
+  // Backends without a registry return a valid empty scrape, so harnesses
+  // can dump metrics unconditionally. Declared as strings rather than
+  // obs types to keep this interface dependency-light.
+  virtual std::string metrics_json() { return "{\n  \"version\": 1,\n  \"metrics\": []\n}\n"; }
+  virtual std::string metrics_prometheus() { return ""; }
 
   // Checkpoint / maintenance control for the Fig 1 on/off comparison.
   virtual void set_checkpoints_enabled(bool /*enabled*/) {}

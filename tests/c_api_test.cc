@@ -3,6 +3,7 @@
 // through a backing directory.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -170,6 +171,40 @@ TEST(CApi, NullArgumentsRejected) {
   dstore_close(nullptr);  // no-op
   ds_finalize(nullptr);   // no-op
   oclose(nullptr);        // no-op
+}
+
+TEST(CApi, ApiVersionMatchesHeader) {
+  uint32_t v = ds_api_version();
+  EXPECT_EQ(v >> 16, (uint32_t)DS_API_VERSION_MAJOR);
+  EXPECT_EQ(v & 0xffffu, (uint32_t)DS_API_VERSION_MINOR);
+  EXPECT_GE(DS_API_VERSION_MAJOR, 2);  // Stats getters removed in 2.0
+}
+
+TEST(CApi, MetricsDumpBothFormats) {
+  dstore_options o = small_opts();
+  dstore_t* s = dstore_open(&o, 1);
+  ASSERT_NE(s, nullptr);
+  ds_ctx_t* ctx = ds_init(s);
+  const char v[] = "value";
+  ASSERT_EQ(oput(ctx, "k", v, sizeof(v)), (ssize_t)sizeof(v));
+
+  char* json = ds_metrics_dump(s, DS_METRICS_JSON);
+  ASSERT_NE(json, nullptr);
+  EXPECT_NE(strstr(json, "\"version\": 1"), nullptr);
+  EXPECT_NE(strstr(json, "dstore_puts_total"), nullptr);
+  free(json);
+
+  char* prom = ds_metrics_dump(s, DS_METRICS_PROMETHEUS);
+  ASSERT_NE(prom, nullptr);
+  EXPECT_NE(strstr(prom, "# TYPE dstore_puts_total counter"), nullptr);
+  free(prom);
+
+  // Invalid arguments yield NULL, not a crash.
+  EXPECT_EQ(ds_metrics_dump(nullptr, DS_METRICS_JSON), nullptr);
+  EXPECT_EQ(ds_metrics_dump(s, 99), nullptr);
+
+  ds_finalize(ctx);
+  dstore_close(s);
 }
 
 }  // namespace

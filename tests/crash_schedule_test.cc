@@ -357,8 +357,8 @@ TEST(SsdTransientError, SingleEioIsRetriedToSuccess) {
   Status s = f.store->oput(f.ctx, "k", v.data(), v.size());
   f.inj.disarm();
   EXPECT_TRUE(s.is_ok()) << s.to_string();
-  EXPECT_EQ(f.store->io_retries(), 1u);
-  EXPECT_EQ(f.store->io_exhausted(), 0u);
+  EXPECT_EQ(f.store->metrics().counter_value("ssd_io_retries_total"), 1u);
+  EXPECT_EQ(f.store->metrics().counter_value("ssd_io_exhausted_total"), 0u);
   EXPECT_FALSE(f.store->read_only());
   std::vector<char> buf(256);
   auto r = f.store->oget(f.ctx, "k", buf.data(), buf.size());
@@ -377,7 +377,7 @@ TEST(SsdTransientError, BackToBackEiosExhaustLastRetry) {
   Status s = f.store->oput(f.ctx, "k", v.data(), v.size());
   f.inj.disarm();
   EXPECT_TRUE(s.is_ok()) << s.to_string();
-  EXPECT_EQ(f.store->io_retries(), 3u);
+  EXPECT_EQ(f.store->metrics().counter_value("ssd_io_retries_total"), 3u);
   EXPECT_FALSE(f.store->read_only());
 }
 
@@ -396,8 +396,8 @@ TEST(SsdTransientError, ExhaustionSurfacesAtPutBoundaryAndDegradesReadOnly) {
 
   Status s = f.store->oput(f.ctx, "k", v.data(), v.size());
   EXPECT_EQ(s.code(), Code::kReadOnly) << s.to_string();
-  EXPECT_EQ(f.store->io_retries(), 3u);
-  EXPECT_EQ(f.store->io_exhausted(), 1u);
+  EXPECT_EQ(f.store->metrics().counter_value("ssd_io_retries_total"), 3u);
+  EXPECT_EQ(f.store->metrics().counter_value("ssd_io_exhausted_total"), 1u);
   EXPECT_TRUE(f.store->read_only());
   // The reserved record was aborted — no wedge, no replayable garbage.
   EXPECT_EQ(f.store->engine().stats().records_aborted.load(), 1u);
@@ -411,7 +411,7 @@ TEST(SsdTransientError, ExhaustionSurfacesAtPutBoundaryAndDegradesReadOnly) {
   EXPECT_EQ(std::string(buf.data(), r.value()), pre);
   EXPECT_EQ(f.store->oput(f.ctx, "x", v.data(), v.size()).code(), Code::kReadOnly);
   EXPECT_EQ(f.store->odelete(f.ctx, "pre").code(), Code::kReadOnly);
-  EXPECT_EQ(f.store->io_retries(), 3u);  // no further device attempts
+  EXPECT_EQ(f.store->metrics().counter_value("ssd_io_retries_total"), 3u);  // no further device attempts
   f.inj.disarm();
   EXPECT_TRUE(f.store->validate().is_ok());
 }
@@ -425,7 +425,7 @@ TEST(SsdTransientError, LatencySpikeDelaysButCompletes) {
   f.inj.arm();
   EXPECT_TRUE(f.store->oput(f.ctx, "k", v.data(), v.size()).is_ok());
   f.inj.disarm();
-  EXPECT_EQ(f.store->io_retries(), 0u);
+  EXPECT_EQ(f.store->metrics().counter_value("ssd_io_retries_total"), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -277,20 +277,39 @@ TEST(DStoreModes, ParallelReplayUnderCrashChurn) {
   }
 }
 
-TEST(DStoreModes, StageStatsAccumulateSanely) {
+TEST(DStoreModes, StageMetricsAccumulateSanely) {
   ModeRig rig;
   std::string v(4096, 's');
-  for (int i = 0; i < 50; i++) {
+  // Stage spans are sampled 1-in-OpTrace::kSampleEvery per thread, so run
+  // enough puts that several full traces land in the histograms.
+  const int kOps = 8 * (int)obs::OpTrace::kSampleEvery;
+  for (int i = 0; i < kOps; i++) {
     ASSERT_TRUE(rig.store->oput(rig.ctx, "st" + std::to_string(i), v.data(), v.size()).is_ok());
   }
-  const auto& st = rig.store->stage_stats();
-  EXPECT_EQ(st.ops.load(), 50u);
-  EXPECT_GT(st.total_ns.load(), 0u);
-  EXPECT_GT(st.data_ns.load(), 0u);
-  EXPECT_GT(st.log_ns.load(), 0u);
-  // Stages are sub-portions of the total.
-  EXPECT_LE(st.data_ns.load() + st.log_ns.load() + st.meta_ns.load() + st.btree_ns.load(),
-            st.total_ns.load() + 50 * 2000 /* timer slack */);
+  auto& m = rig.store->metrics();
+  EXPECT_EQ(m.counter_value("dstore_puts_total"), (uint64_t)kOps);
+  EXPECT_EQ(m.counter_value("dstore_put_failures_total"), 0u);
+#if !defined(DSTORE_METRICS_DISABLED)
+  obs::Histogram* lat = m.find_histogram("dstore_put_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  // Latency is recorded on sampled traces only: exactly 1-in-kSampleEvery
+  // of this thread's consecutive puts.
+  EXPECT_EQ(lat->count(), (uint64_t)kOps / obs::OpTrace::kSampleEvery);
+  uint64_t stage_sum = 0, sampled = 0;
+  for (const char* name :
+       {"dstore_stage_log_append_ns", "dstore_stage_pool_alloc_ns", "dstore_stage_meta_zone_ns",
+        "dstore_stage_btree_ns", "dstore_stage_ssd_batch_ns", "dstore_stage_commit_flush_ns"}) {
+    obs::Histogram* h = m.find_histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count(), 0u) << name;
+    sampled = h->count();  // every stage sees the same sampled traces
+    stage_sum += h->sum();
+  }
+  // Sampled stage spans are sub-portions of the sampled ops' total time.
+  EXPECT_LE(stage_sum, lat->sum() + sampled * 2000 /* timer slack */);
+  // No trace left open.
+  EXPECT_EQ(m.value("dstore_active_ops"), 0);
+#endif
 }
 
 TEST(DStoreModes, CheckpointThresholdHonored) {

@@ -203,10 +203,10 @@ TEST(DStoreAsyncIo, ContiguousRunsCoalesceUpToQueueDepth) {
   // circular pool, so the whole put coalesces into ONE descriptor.
   std::string v = patterned(64 << 10, 'c');
   ASSERT_TRUE(f.store->oput(f.ctx, "big", v.data(), v.size()).is_ok());
-  auto st = f.store->stats();
-  EXPECT_EQ(st.io_batches, 1u);
-  EXPECT_EQ(st.ios_issued, 1u);
-  EXPECT_EQ(st.blocks_coalesced, 15u);
+  auto& m = f.store->metrics();
+  EXPECT_EQ(m.counter_value("ssd_io_batches_total"), 1u);
+  EXPECT_EQ(m.counter_value("ssd_ios_issued_total"), 1u);
+  EXPECT_EQ(m.counter_value("ssd_blocks_coalesced_total"), 15u);
   EXPECT_EQ(f.get("big"), v);
 }
 
@@ -215,10 +215,10 @@ TEST(DStoreAsyncIo, QdOneDegeneratesToPerBlockIos) {
   f.build(/*ssd_qd=*/1);
   std::string v = patterned(64 << 10, 'd');
   ASSERT_TRUE(f.store->oput(f.ctx, "big", v.data(), v.size()).is_ok());
-  auto st = f.store->stats();
-  EXPECT_EQ(st.io_batches, 1u);
-  EXPECT_EQ(st.ios_issued, 16u);  // one IO per block: the historical plane
-  EXPECT_EQ(st.blocks_coalesced, 0u);
+  auto& m = f.store->metrics();
+  EXPECT_EQ(m.counter_value("ssd_io_batches_total"), 1u);
+  EXPECT_EQ(m.counter_value("ssd_ios_issued_total"), 16u);  // one IO per block
+  EXPECT_EQ(m.counter_value("ssd_blocks_coalesced_total"), 0u);
   EXPECT_EQ(f.get("big"), v);
 }
 
@@ -229,9 +229,9 @@ TEST(DStoreAsyncIo, MdtsCapSplitsLongRuns) {
   f.build(/*ssd_qd=*/2);
   std::string v = patterned(5 * 4096, 'e');
   ASSERT_TRUE(f.store->oput(f.ctx, "five", v.data(), v.size()).is_ok());
-  auto st = f.store->stats();
-  EXPECT_EQ(st.ios_issued, 3u);
-  EXPECT_EQ(st.blocks_coalesced, 2u);
+  auto& m = f.store->metrics();
+  EXPECT_EQ(m.counter_value("ssd_ios_issued_total"), 3u);
+  EXPECT_EQ(m.counter_value("ssd_blocks_coalesced_total"), 2u);
   EXPECT_EQ(f.get("five"), v);
 }
 
@@ -251,10 +251,10 @@ TEST(DStoreAsyncIo, TransientEioOnOneDescriptorRetriesOnlyThatDescriptor) {
   Status s = f.store->oput(f.ctx, "k", v.data(), v.size());
   f.inj.disarm();
   ASSERT_TRUE(s.is_ok()) << s.to_string();
-  auto st = f.store->stats();
-  EXPECT_EQ(st.io_retries, 1u);
-  EXPECT_EQ(st.ios_issued, 3u);  // retries are not new descriptors
-  EXPECT_EQ(st.io_exhausted, 0u);
+  auto& m = f.store->metrics();
+  EXPECT_EQ(m.counter_value("ssd_io_retries_total"), 1u);
+  EXPECT_EQ(m.counter_value("ssd_ios_issued_total"), 3u);  // retries are not new descriptors
+  EXPECT_EQ(m.counter_value("ssd_io_exhausted_total"), 0u);
   EXPECT_FALSE(f.store->read_only());
   EXPECT_EQ(f.get("k"), v);
   // 3 original submissions + 1 resubmission reached the device.

@@ -16,10 +16,10 @@ namespace {
 ShardedConfig small_cfg(int shards = 4, bool crashsim = true) {
   ShardedConfig cfg;
   cfg.num_shards = shards;
-  cfg.max_objects_per_shard = 256;
-  cfg.num_blocks_per_shard = 2048;
-  cfg.log_slots = 256;
-  cfg.background_checkpointing = false;
+  cfg.shard.max_objects = 256;
+  cfg.shard.num_blocks = 2048;
+  cfg.shard.engine.log_slots = 256;
+  cfg.shard.engine.background_checkpointing = false;
   cfg.pool_mode = crashsim ? pmem::Pool::Mode::kCrashSim : pmem::Pool::Mode::kDirect;
   return cfg;
 }
@@ -109,8 +109,8 @@ TEST(Sharded, FleetCrashRecoveryPreservesEverything) {
 
 TEST(Sharded, ConcurrentClientsAcrossShards) {
   ShardedConfig cfg = small_cfg(4, /*crashsim=*/false);
-  cfg.background_checkpointing = true;
-  cfg.log_slots = 1024;
+  cfg.shard.engine.background_checkpointing = true;
+  cfg.shard.engine.log_slots = 1024;
   auto sr = ShardedStore::create(cfg);
   ASSERT_TRUE(sr.is_ok());
   auto& s = *sr.value();

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate a metrics scrape (ycsb_runner --metrics-json output) against
+tools/metrics_schema.json.
+
+Stdlib-only: implements the small JSON Schema subset the schema file uses
+(type / const / enum / pattern / minimum / required / oneOf on metric
+entries) rather than depending on a jsonschema package.
+
+Usage: check_metrics_schema.py SCRAPE.json [--schema SCHEMA.json]
+                               [--expect-dstore]
+
+--expect-dstore additionally requires every name in the schema's
+expected_metrics list to be present (use for DStore-backend scrapes; other
+backends legitimately export an empty metrics list).
+
+Exit code 0 if valid, 1 with a diagnostic per violation otherwise.
+"""
+import argparse
+import json
+import re
+import sys
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    return False
+
+
+def check_metric(entry, spec, where, errors):
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not an object")
+        return
+    for req in spec.get("required", []):
+        if req not in entry:
+            errors.append(f"{where}: missing required field '{req}'")
+    props = spec.get("properties", {})
+    for key, value in entry.items():
+        if key not in props:
+            errors.append(f"{where}: unknown field '{key}'")
+            continue
+        p = props[key]
+        if "type" in p and not type_ok(value, p["type"]):
+            errors.append(f"{where}.{key}: expected {p['type']}, got {value!r}")
+            continue
+        if "enum" in p and value not in p["enum"]:
+            errors.append(f"{where}.{key}: {value!r} not in {p['enum']}")
+        if "pattern" in p and isinstance(value, str) and not re.match(p["pattern"], value):
+            errors.append(f"{where}.{key}: {value!r} does not match {p['pattern']}")
+        if "minimum" in p and isinstance(value, (int, float)) and value < p["minimum"]:
+            errors.append(f"{where}.{key}: {value!r} < minimum {p['minimum']}")
+    # oneOf: counter/gauge carry value; histogram carries count/sum/max.
+    branches = spec.get("oneOf", [])
+    if branches:
+        matches = sum(all(r in entry for r in b.get("required", [])) for b in branches)
+        if matches == 0:
+            errors.append(f"{where}: matches no oneOf branch (has {sorted(entry)})")
+    mtype = entry.get("type")
+    if mtype in ("counter", "gauge") and "value" not in entry:
+        errors.append(f"{where}: {mtype} without 'value'")
+    if mtype == "histogram" and "count" not in entry:
+        errors.append(f"{where}: histogram without 'count'")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("scrape")
+    ap.add_argument("--schema", default=None)
+    ap.add_argument("--expect-dstore", action="store_true")
+    args = ap.parse_args()
+
+    schema_path = args.schema
+    if schema_path is None:
+        import os
+        schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                   "metrics_schema.json")
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        with open(args.scrape) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        print(f"{args.scrape}: not valid JSON: {e}", file=sys.stderr)
+        return 1
+
+    errors = []
+    if not isinstance(doc, dict):
+        errors.append("top level: not an object")
+    else:
+        for req in schema.get("required", []):
+            if req not in doc:
+                errors.append(f"top level: missing '{req}'")
+        version_spec = schema["properties"]["version"]
+        if "version" in doc and doc["version"] != version_spec.get("const", 1):
+            errors.append(f"version: expected {version_spec.get('const', 1)}, got {doc['version']}")
+        metric_spec = schema["properties"]["metrics"]["items"]
+        metrics = doc.get("metrics", [])
+        if not isinstance(metrics, list):
+            errors.append("metrics: not an array")
+            metrics = []
+        names = set()
+        for i, entry in enumerate(metrics):
+            check_metric(entry, metric_spec, f"metrics[{i}]", errors)
+            if isinstance(entry, dict) and isinstance(entry.get("name"), str):
+                if entry["name"] in names:
+                    errors.append(f"metrics[{i}]: duplicate name '{entry['name']}'")
+                names.add(entry["name"])
+        if args.expect_dstore:
+            expected = schema.get("expected_metrics", {}).get("names", [])
+            for name in expected:
+                if name not in names:
+                    errors.append(f"expected metric missing from scrape: {name}")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{args.scrape}: INVALID ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    n = len(doc.get("metrics", [])) if isinstance(doc, dict) else 0
+    print(f"{args.scrape}: valid ({n} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

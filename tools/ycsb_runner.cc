@@ -2,12 +2,16 @@
 // print throughput + the full latency profile. The Swiss-army knife behind
 // the per-figure benches, exposed directly.
 //
-//   ycsb_runner [--system NAME] [--workload A|B|C|D|F] [--objects N]
+//   ycsb_runner [--backend NAME] [--workload A|B|C|D|F] [--objects N]
 //               [--threads N] [--ops N] [--value BYTES] [--scale F]
-//               [--ssd-qd N] [--trace-out FILE | --trace-in FILE]
+//               [--ssd-qd N] [--shards N] [--metrics-json FILE]
+//               [--trace-out FILE | --trace-in FILE]
 //
-// Systems: DStore (default), DStore-CoW, DStore-noOE, PMEM-RocksDB,
-//          MongoDB-PM, MongoDB-PMSE, PhysLog+CoW, LogicalLog+CoW
+// Backends come from the shared registry (baselines/backends.h); run with
+// `--backend help` to list them. Default: DStore. `--system` is accepted as
+// a legacy alias for `--backend`. `--metrics-json FILE` scrapes the
+// backend's obs::MetricsRegistry after the run and writes the JSON export
+// (a valid empty scrape for backends without instrumentation).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -20,15 +24,29 @@ using namespace dstore;
 using namespace dstore::bench;
 using namespace dstore::workload;
 
+static bool dump_metrics(workload::KVStore& store, const std::string& path) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string json = store.metrics_json();
+  fwrite(json.data(), 1, json.size(), f);
+  fclose(f);
+  printf("metrics written: %s\n", path.c_str());
+  return true;
+}
+
 int main(int argc, char** argv) {
-  std::string system = "DStore";
+  std::string backend = "DStore";
   std::string wl = "A";
-  std::string trace_out, trace_in;
+  std::string trace_out, trace_in, metrics_json;
   BenchParams p;
+  baselines::BackendParams bp;
   size_t value_size = 4096;
   std::vector<std::string> args(argv + 1, argv + argc);
   for (size_t i = 0; i + 1 < args.size(); i += 2) {
-    if (args[i] == "--system") system = args[i + 1];
+    if (args[i] == "--backend" || args[i] == "--system") backend = args[i + 1];
     else if (args[i] == "--workload") wl = args[i + 1];
     else if (args[i] == "--objects") p.objects = strtoull(args[i + 1].c_str(), nullptr, 10);
     else if (args[i] == "--threads") p.threads = (int)strtoul(args[i + 1].c_str(), nullptr, 10);
@@ -36,6 +54,8 @@ int main(int argc, char** argv) {
     else if (args[i] == "--value") value_size = strtoull(args[i + 1].c_str(), nullptr, 10);
     else if (args[i] == "--scale") p.scale = strtod(args[i + 1].c_str(), nullptr);
     else if (args[i] == "--ssd-qd") p.ssd_qd = (uint32_t)strtoul(args[i + 1].c_str(), nullptr, 10);
+    else if (args[i] == "--shards") bp.num_shards = (int)strtoul(args[i + 1].c_str(), nullptr, 10);
+    else if (args[i] == "--metrics-json") metrics_json = args[i + 1];
     else if (args[i] == "--trace-out") trace_out = args[i + 1];
     else if (args[i] == "--trace-in") trace_in = args[i + 1];
     else {
@@ -43,8 +63,17 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (backend == "help" || backend == "list") {
+    printf("backends:");
+    for (const std::string& n : baselines::backend_names()) printf(" %s", n.c_str());
+    printf("\n");
+    return 0;
+  }
 
-  auto store = make_system(system, p);
+  bp.objects = p.objects;
+  bp.ssd_qd = p.ssd_qd;
+  bp.latency = p.latency();
+  auto store = baselines::make_backend(backend, bp);
   if (!store) return 1;
 
   if (!trace_in.empty()) {
@@ -61,6 +90,7 @@ int main(int argc, char** argv) {
            (unsigned long long)r.value().ops, r.value().elapsed_s,
            r.value().ops / r.value().elapsed_s, (unsigned long long)r.value().failures);
     printf("latency: %s\n", r.value().latency.summary_us().c_str());
+    if (!metrics_json.empty() && !dump_metrics(*store, metrics_json)) return 1;
     return 0;
   }
 
@@ -115,5 +145,6 @@ int main(int argc, char** argv) {
     printf("trace written: %s (%llu records)\n", trace_out.c_str(),
            (unsigned long long)writer->count());
   }
+  if (!metrics_json.empty() && !dump_metrics(*store, metrics_json)) return 1;
   return r.failed_ops == 0 ? 0 : 1;
 }
