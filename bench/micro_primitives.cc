@@ -104,7 +104,7 @@ static void BM_SlabAllocFree(benchmark::State& state) {
   for (auto _ : state) {
     offset_t o = sp.alloc(256);
     benchmark::DoNotOptimize(o);
-    sp.free(o);
+    benchmark::DoNotOptimize(sp.free(o));
   }
 }
 BENCHMARK(BM_SlabAllocFree);

@@ -78,10 +78,10 @@ offset_t SlabAllocator::alloc_zeroed(size_t size) {
   return off;
 }
 
-void SlabAllocator::free(offset_t off) {
+Status SlabAllocator::free(offset_t off) {
   if (lock_ == nullptr) return free_impl(off);
   LockGuard<SpinLock> g(*lock_);
-  free_impl(off);
+  return free_impl(off);
 }
 
 offset_t SlabAllocator::alloc_impl(size_t size) {
@@ -97,14 +97,17 @@ offset_t SlabAllocator::alloc_impl(size_t size) {
   return block + kTagBytes;
 }
 
-void SlabAllocator::free_impl(offset_t off) {
-  if (off == 0) return;
+Status SlabAllocator::free_impl(offset_t off) {
+  if (off == 0) return Status::ok();
   offset_t block = off - kTagBytes;
   uint64_t tag = *reinterpret_cast<uint64_t*>(arena_.at(block));
   if (!tag_valid(tag)) {
-    // Double free or corruption; in a storage engine this is a bug we want
-    // loudly visible in debug builds and ignored-but-harmless in release.
-    return;
+    // The tag was overwritten: a double free (the tag is replaced by a free-
+    // list link), a stray offset, or in-arena corruption. Leave the free
+    // lists untouched — threading an unowned block would corrupt the arena
+    // far beyond this one allocation.
+    return Status::corruption("slab free: invalid allocation tag at offset " +
+                              std::to_string(block));
   }
   int cls = tag_class(tag);
   Header* h = header();
@@ -112,6 +115,7 @@ void SlabAllocator::free_impl(offset_t off) {
   h->free_lists[cls] = block;
   h->allocated_bytes -= class_size(cls);
   h->allocation_count--;
+  return Status::ok();
 }
 
 size_t SlabAllocator::allocation_size(offset_t off) const {

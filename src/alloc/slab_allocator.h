@@ -72,7 +72,11 @@ class SlabAllocator {
   offset_t alloc(size_t size);
   // Allocate and zero.
   offset_t alloc_zeroed(size_t size);
-  void free(offset_t off);
+  // Return an allocation to its size-class free list. Freeing an offset
+  // whose tag is invalid — a double free, a stray pointer, or in-arena
+  // corruption — returns Status::corruption and leaves the allocator state
+  // untouched; freeing 0 is a no-op.
+  Status free(offset_t off);
 
   // Usable size of the allocation at `off` (its size-class capacity).
   size_t allocation_size(offset_t off) const;
@@ -115,7 +119,7 @@ class SlabAllocator {
   bool refill(int cls);
 
   offset_t alloc_impl(size_t size);
-  void free_impl(offset_t off);
+  Status free_impl(offset_t off);
 
   Arena arena_;
   SpinLock* lock_ = nullptr;

@@ -18,9 +18,8 @@ Result<std::unique_ptr<DStoreAdapter>> DStoreAdapter::make(DStoreVariantConfig c
   a->store_cfg_.engine.ckpt_mode = cfg.ckpt_mode;
   a->store_cfg_.engine.physical_logging = cfg.physical_logging;
 
-  a->pool_ = std::make_unique<pmem::Pool>(
-      dipper::Engine::required_pool_bytes(a->store_cfg_.engine), pmem::Pool::Mode::kDirect,
-      latency);
+  a->pool_ = std::make_unique<pmem::Pool>(DStoreConfig::required_pool_bytes(a->store_cfg_),
+                                          pmem::Pool::Mode::kDirect, latency);
   ssd::DeviceConfig dc;
   dc.num_blocks = cfg.num_blocks;
   dc.latency = latency;

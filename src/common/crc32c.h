@@ -1,0 +1,120 @@
+// CRC32C (Castagnoli) — the end-to-end integrity checksum.
+//
+// Every persistence tier carries one: DIPPER log slots, metadata-zone
+// entries, and the block device's per-4KB-page sidecar. The Castagnoli
+// polynomial was chosen (over CRC32/ISO) because x86 has carried a
+// dedicated instruction for it since SSE4.2 — a 4 KB page checksums in
+// ~500ns on the hardware path vs ~2µs for the slice-by-8 software path,
+// which matters on the read path where every page is verified.
+//
+// Seeding: checksums are *location-seeded* (slot index, entry index,
+// absolute page number) so a structurally valid record or page read from
+// the WRONG location fails verification — this is what catches misdirected
+// writes, which plain content checksums cannot (the misplaced bytes are
+// internally consistent).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dstore {
+
+namespace crc32c_detail {
+
+// Slice-by-8 tables for the reflected Castagnoli polynomial 0x82F63B78.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+inline const Tables& tables() {
+  static const Tables tbl = [] {
+    Tables out;
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      out.t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = out.t[0][i];
+      for (int s = 1; s < 8; s++) {
+        c = out.t[0][c & 0xff] ^ (c >> 8);
+        out.t[s][i] = c;
+      }
+    }
+    return out;
+  }();
+  return tbl;
+}
+
+inline uint32_t extend_sw(uint32_t crc, const void* data, size_t n) {
+  const Tables& tbl = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n >= 8) {
+    uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    w ^= crc;
+    crc = tbl.t[7][w & 0xff] ^ tbl.t[6][(w >> 8) & 0xff] ^ tbl.t[5][(w >> 16) & 0xff] ^
+          tbl.t[4][(w >> 24) & 0xff] ^ tbl.t[3][(w >> 32) & 0xff] ^
+          tbl.t[2][(w >> 40) & 0xff] ^ tbl.t[1][(w >> 48) & 0xff] ^ tbl.t[0][w >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = tbl.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  return crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+__attribute__((target("sse4.2"))) inline uint32_t extend_hw(uint32_t crc, const void* data,
+                                                            size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    c = __builtin_ia32_crc32di(c, w);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(c);
+  while (n-- > 0) crc = __builtin_ia32_crc32qi(crc, *p++);
+  return crc;
+}
+
+inline bool have_hw_crc() {
+  static const bool ok = __builtin_cpu_supports("sse4.2");
+  return ok;
+}
+#else
+inline bool have_hw_crc() { return false; }
+inline uint32_t extend_hw(uint32_t crc, const void* data, size_t n) {
+  return extend_sw(crc, data, n);
+}
+#endif
+
+}  // namespace crc32c_detail
+
+// Raw extension: feed `n` bytes into a running (non-inverted) CRC state.
+// Compose location seeds and data by chaining calls; finish with
+// crc32c_finish() (a plain xor keeps composition associative).
+inline uint32_t crc32c_extend(uint32_t crc, const void* data, size_t n) {
+  return crc32c_detail::have_hw_crc() ? crc32c_detail::extend_hw(crc, data, n)
+                                      : crc32c_detail::extend_sw(crc, data, n);
+}
+
+inline uint32_t crc32c_extend_u64(uint32_t crc, uint64_t v) {
+  return crc32c_extend(crc, &v, sizeof(v));
+}
+
+// One-shot checksum of a buffer with an optional integer location seed.
+// Never returns 0 for convenience of "0 = no checksum recorded" sidecars:
+// a computed 0 is mapped to 1 (one extra collision in 2^32, irrelevant for
+// corruption detection).
+inline uint32_t crc32c(const void* data, size_t n, uint64_t seed = 0) {
+  uint32_t crc = 0xffffffffu;
+  crc = crc32c_extend_u64(crc, seed);
+  crc = crc32c_extend(crc, data, n);
+  crc ^= 0xffffffffu;
+  return crc == 0 ? 1u : crc;
+}
+
+}  // namespace dstore

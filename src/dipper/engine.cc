@@ -10,6 +10,7 @@
 
 #include "common/cacheline.h"
 #include "common/clock.h"
+#include "common/crc32c.h"
 
 namespace dstore::dipper {
 
@@ -247,13 +248,21 @@ Status Engine::recover() {
     bool any = false;
     for (uint32_t s = 0; s < cfg_.log_slots; s++) {
       LogRecordView rec;
-      if (sides_[i].log.read(s, &rec)) {
+      bool corrupt = false;
+      if (sides_[i].log.read(s, &rec, &corrupt)) {
         sides_[i].states[s].store(rec.committed ? SlotState::kCommitted : SlotState::kAborted,
                                   std::memory_order_relaxed);
         sides_[i].name_hashes[s] = rec.name.hash();
         last_valid = s;
         any = true;
         max_lsn = std::max(max_lsn, rec.lsn);
+      } else if (corrupt) {
+        // A published record whose bytes fail their checksum: the log's
+        // history is no longer trustworthy, and replaying around the hole
+        // could silently resurrect or drop committed operations. Fail-stop.
+        stats_.log_crc_failures.fetch_add(1, std::memory_order_relaxed);
+        return Status::corruption("log side " + std::to_string(i) + " slot " + std::to_string(s) +
+                                  " failed its record checksum during recovery");
       } else {
         sides_[i].states[s].store(SlotState::kFree, std::memory_order_relaxed);
         sides_[i].name_hashes[s] = 0;
@@ -282,7 +291,7 @@ Status Engine::recover() {
       // CoW cannot redo page copies (the source pages died with DRAM); the
       // archived records are folded into volatile recovery below and a
       // fresh full snapshot is taken.
-      cow_archived_records = collect_committed(archived);
+      DSTORE_RETURN_IF_ERROR(collect_committed(archived, &cow_archived_records));
     }
   }
 
@@ -301,7 +310,8 @@ Status Engine::recover() {
 
   // Replay the active log's committed records onto the volatile space.
   DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.replay.begin");
-  std::vector<LogRecordView> active_records = collect_committed(active);
+  std::vector<LogRecordView> active_records;
+  DSTORE_RETURN_IF_ERROR(collect_committed(active, &active_records));
   if (!active_records.empty()) {
     DSTORE_RETURN_IF_ERROR(client_->replay(volatile_space_, active_records));
     stats_.records_replayed.fetch_add(active_records.size(), std::memory_order_relaxed);
@@ -518,14 +528,21 @@ void Engine::write_reserved(const RecordHandle& h, OpType op, uint64_t arg0, uin
   // The record write and its persist run outside every lock: the flush
   // latency (~600ns, Table 3) never serializes other appenders. The slot
   // reservation already fixed this record's conflict-order position.
+  uint32_t payload_crc = 0;
   if (cfg_.physical_logging && phys_payload != nullptr && phys_len > 0) {
     size_t cap = cfg_.physical_payload_bytes;
     size_t n = phys_len < cap ? phys_len : cap;
     char* dst = pool_->base() + layout_.payload_off + (uint64_t)h.slot * cap;
     std::memcpy(dst, phys_payload, n);
     pool_->persist_bulk(dst, n);
+    // Content checksum of the bytes actually stored, carried (and itself
+    // checksummed) inside the log record: the read-repair path can then
+    // authenticate the payload slot even though the region is shared by
+    // slot index between the two log sides.
+    payload_crc = crc32c(dst, n);
   }
-  sides_[h.side].log.write_record(h.slot, h.lsn, op, h.name, arg0, arg1, op == OpType::kNoop);
+  sides_[h.side].log.write_record(h.slot, h.lsn, op, h.name, arg0, arg1, op == OpType::kNoop,
+                                  payload_crc);
   sides_[h.side].states[h.slot].store(SlotState::kValid, std::memory_order_release);
   stats_.records_appended.fetch_add(1, std::memory_order_relaxed);
 
@@ -613,6 +630,56 @@ void Engine::unlock_object(const RecordHandle& /*h*/, const Key& name) {
   sides_[hl.side].log.commit(hl.slot);
   sides_[hl.side].states[hl.slot].store(SlotState::kCommitted, std::memory_order_release);
   inflight_dec(name);
+}
+
+Result<std::vector<char>> Engine::find_repair_payload(const Key& name,
+                                                      uint64_t expected_size) const {
+  if (!cfg_.physical_logging) return Status::not_found("physical logging disabled");
+  if (expected_size == 0 || expected_size > cfg_.physical_payload_bytes) {
+    return Status::not_found("object does not fit a payload slot");
+  }
+  std::unique_lock<std::mutex> g(log_mu_);
+  // The globally newest committed record for `name` across both log sides.
+  // Records from before the last checkpoint were recycled with their log,
+  // so "found" implies the record is inside the current checkpoint window —
+  // its payload, if any, reflects the object's current committed state.
+  LogRecordView best;
+  uint32_t best_slot = 0;
+  bool found = false;
+  for (int i = 0; i < 2; i++) {
+    const LogSide& side = sides_[i];
+    uint32_t limit = std::min(side.next_slot.load(std::memory_order_acquire), cfg_.log_slots);
+    for (uint32_t s = 0; s < limit; s++) {
+      LogRecordView rec;
+      if (!side.log.read(s, &rec)) continue;
+      if (!rec.committed || rec.op == OpType::kNoop) continue;
+      if (!(rec.name == name)) continue;
+      if (!found || rec.lsn > best.lsn) {
+        best = rec;
+        best_slot = s;
+        found = true;
+      }
+    }
+  }
+  if (!found) return Status::not_found("no committed record for object in the log window");
+  // Only a whole-object put is a valid repair source: any newer create/
+  // delete/partial-write means the logged payload no longer equals the
+  // object's committed content.
+  if (best.op != OpType::kPut || best.arg0 != expected_size || best.payload_crc == 0) {
+    return Status::not_found("newest record is not a whole-object put with a logged payload");
+  }
+  const char* src =
+      pool_->base() + layout_.payload_off + (uint64_t)best_slot * cfg_.physical_payload_bytes;
+  std::vector<char> data(src, src + expected_size);
+  // Authenticate: the payload region is indexed by slot alone (shared
+  // between the two log sides), so a record in the *other* side's same
+  // slot may have overwritten these bytes. The record's own payload CRC is
+  // the final arbiter of whether this copy is the one it logged.
+  if (crc32c(data.data(), data.size()) != best.payload_crc) {
+    return Status::corruption("logged payload failed its record's checksum");
+  }
+  pool_->charge_read(expected_size);
+  return data;
 }
 
 double Engine::log_fill() const {
@@ -728,22 +795,32 @@ void Engine::drain_archived(uint8_t archived_idx) {
   DSTORE_FAULT_POINT(cfg_.fault, "engine.drain.done");
 }
 
-std::vector<LogRecordView> Engine::collect_committed(uint8_t log_idx) {
-  std::vector<LogRecordView> out;
+Status Engine::collect_committed(uint8_t log_idx, std::vector<LogRecordView>* out) {
   const LogSide& side = sides_[log_idx];
   uint32_t limit = std::max(side.next_slot.load(std::memory_order_acquire), (uint32_t)0);
   if (limit == 0) limit = cfg_.log_slots;  // recovery path: scan everything
   for (uint32_t s = 0; s < limit && s < cfg_.log_slots; s++) {
     LogRecordView rec;
-    if (!side.log.read(s, &rec)) continue;
+    bool corrupt = false;
+    if (!side.log.read(s, &rec, &corrupt)) {
+      if (corrupt) {
+        // Replaying a log with an unreadable published record would build a
+        // checkpoint missing (or misordering) committed operations. Fail
+        // the pass; the caller surfaces Status::corruption.
+        stats_.log_crc_failures.fetch_add(1, std::memory_order_relaxed);
+        return Status::corruption("log side " + std::to_string(log_idx) + " slot " +
+                                  std::to_string(s) + " failed its record checksum");
+      }
+      continue;
+    }
     if (!rec.committed || rec.op == OpType::kNoop) continue;
-    out.push_back(rec);
+    out->push_back(rec);
   }
   // Replay order is LSN order: a valid linearization because conflicting
   // ops were serialized by CC before their records were appended (§3.7).
-  std::sort(out.begin(), out.end(),
+  std::sort(out->begin(), out->end(),
             [](const LogRecordView& a, const LogRecordView& b) { return a.lsn < b.lsn; });
-  return out;
+  return Status::ok();
 }
 
 Status Engine::replay_onto_spare(uint8_t archived_idx) {
@@ -775,7 +852,8 @@ Status Engine::replay_onto_spare(uint8_t archived_idx) {
   if (!dst_space_r.is_ok()) return dst_space_r.status();
   SlabAllocator dst_space = dst_space_r.value();
 
-  std::vector<LogRecordView> records = collect_committed(archived_idx);
+  std::vector<LogRecordView> records;
+  DSTORE_RETURN_IF_ERROR(collect_committed(archived_idx, &records));
   DSTORE_FAULT_POINT(cfg_.fault, "engine.replay.begin");
   DSTORE_RETURN_IF_ERROR(client_->replay(dst_space, records));
   stats_.records_replayed.fetch_add(records.size(), std::memory_order_relaxed);

@@ -131,6 +131,9 @@ struct EngineStats {
   // (and, in CoW mode, archived-log) replay onto the volatile space.
   std::atomic<uint64_t> recovery_metadata_ns{0};
   std::atomic<uint64_t> recovery_replay_ns{0};
+  // Published log records (valid LSN) that failed their slot checksum —
+  // silent PMEM corruption the scan refused to decode.
+  std::atomic<uint64_t> log_crc_failures{0};
 };
 
 class Engine {
@@ -263,6 +266,16 @@ class Engine {
   // Test hook: quiesce background work so pool().crash() is race-free.
   void stop_background();
 
+  // Read-repair source lookup: the physically-logged payload for `name`,
+  // iff the globally newest committed record for the name (across both log
+  // sides) is a whole-object put of exactly `expected_size` bytes and the
+  // stored payload authenticates against that record's payload CRC.
+  // Anything else — no record (already checkpointed out), a newer partial
+  // write, a clobbered payload slot — returns not_found/corruption and the
+  // caller falls through to quarantine. Callers must hold the object's
+  // write exclusion (no in-flight writes on `name`).
+  Result<std::vector<char>> find_repair_payload(const Key& name, uint64_t expected_size) const;
+
  private:
   // Volatile per-slot bookkeeping mirroring the active/archived logs.
   enum class SlotState : uint8_t { kFree = 0, kReserved, kValid, kCommitted, kAborted };
@@ -294,7 +307,10 @@ class Engine {
   Status do_checkpoint();
   Status swap_logs();                           // flip active log (root transition)
   void drain_archived(uint8_t archived_idx);    // wait for in-flight commits
-  std::vector<LogRecordView> collect_committed(uint8_t log_idx);
+  // Gathers the log's committed records in LSN order. Fails with
+  // Status::corruption (fail-stop: the log can no longer be trusted) if any
+  // published record fails its slot checksum.
+  Status collect_committed(uint8_t log_idx, std::vector<LogRecordView>* out);
   Status replay_onto_spare(uint8_t archived_idx);  // kDipper
   Status cow_copy_into_spare();                    // kCow
   void install_spare(uint8_t archived_idx);

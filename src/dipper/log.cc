@@ -3,8 +3,23 @@
 #include <cstring>
 
 #include "common/cacheline.h"
+#include "common/crc32c.h"
 
 namespace dstore::dipper {
+
+uint32_t PmemLog::record_crc(const Slot* s, uint32_t slot, uint64_t lsn) {
+  uint32_t c = 0xffffffffu;
+  c = crc32c_extend_u64(c, slot);  // location seed: wrong-slot decode fails
+  c = crc32c_extend_u64(c, lsn);
+  c = crc32c_extend_u64(c, ((uint64_t)s->length << 32) | s->op);
+  c = crc32c_extend_u64(c, s->arg0);
+  c = crc32c_extend_u64(c, s->arg1);
+  c = crc32c_extend_u64(c, ((uint64_t)s->klen << 32) | s->payload_crc);
+  size_t klen = s->klen <= kMaxNameLen ? s->klen : kMaxNameLen;
+  c = crc32c_extend(c, s->name, klen);
+  c ^= 0xffffffffu;
+  return c == 0 ? 1u : c;
+}
 
 void PmemLog::format() {
   char* base = pool_->base() + region_off_;
@@ -13,7 +28,7 @@ void PmemLog::format() {
 }
 
 void PmemLog::write_record(uint32_t slot, uint64_t lsn, OpType op, const Key& name, uint64_t arg0,
-                           uint64_t arg1, bool noop) {
+                           uint64_t arg1, bool noop, uint32_t payload_crc) {
   pmem::PmemCheckScope check_scope("log:write_record");
   Slot* s = slot_ptr(slot);
   // Phase 1: write everything except the LSN.
@@ -24,25 +39,23 @@ void PmemLog::write_record(uint32_t slot, uint64_t lsn, OpType op, const Key& na
   s->arg1 = arg1;
   s->klen = name.len;
   std::memcpy(s->name, name.data, name.len);
-  size_t payload_end = offsetof(Slot, name) + name.len;
-  if (payload_end <= kCacheLineSize) {
-    // Single-line record (the common case, §3.4: "we expect most log
-    // records to fit within a single cache line"): the cache line is the
-    // write-back atom and the LSN store is program-ordered after every
-    // other field, so any write-back — explicit or spurious — either has
-    // lsn==0 (invisible) or carries the complete record. One flush+fence.
-    s->lsn.store(lsn, std::memory_order_release);
-    pool_->persist(s, kCacheLineSize);
-  } else {
-    // Multi-line record: persist the tail lines first, then write the LSN
-    // and persist its line last (§3.4 reverse-order flush protocol).
-    pool_->persist(reinterpret_cast<char*>(s) + kCacheLineSize, payload_end - kCacheLineSize);
-    s->lsn.store(lsn, std::memory_order_release);
-    pool_->persist(s, kCacheLineSize);
-  }
+  s->payload_crc = payload_crc;
+  s->crc = record_crc(s, slot, lsn);
+  // The record CRC lives in the slot's second cache line, so every record —
+  // even one whose fields fit a single line — persists the tail line before
+  // the LSN publishes (§3.4 reverse-order flush protocol). This keeps the
+  // LSN-validity rule airtight: a valid LSN implies a complete *and
+  // checksummed* record; a crash can never leave a published record whose
+  // CRC was not yet persistent. One extra flush+fence per record is the
+  // price of end-to-end log integrity.
+  pool_->persist(reinterpret_cast<char*>(s) + kCacheLineSize, kSlotSize - kCacheLineSize);
+  s->lsn.store(lsn, std::memory_order_release);
+  pool_->persist(s, kCacheLineSize);
   // Durability point: the record is published (valid LSN) — every byte a
   // recovery scan would decode must now be in the persistent image.
+  size_t payload_end = offsetof(Slot, name) + name.len;
   pool_->check_durable(s, payload_end, "log:write_record");
+  pool_->check_durable(&s->crc, sizeof(s->crc) + sizeof(s->payload_crc), "log:write_record");
 }
 
 void PmemLog::commit(uint32_t slot) {
@@ -63,7 +76,8 @@ void PmemLog::abort(uint32_t slot) {
   pool_->check_durable(&s->flags, sizeof(s->flags), "log:abort");
 }
 
-bool PmemLog::read(uint32_t slot, LogRecordView* out) const {
+bool PmemLog::read(uint32_t slot, LogRecordView* out, bool* corrupt) const {
+  if (corrupt != nullptr) *corrupt = false;
   if (slot >= slot_count_) return false;
   const Slot* s = slot_ptr(slot);
   uint64_t lsn = s->lsn.load(std::memory_order_acquire);
@@ -72,6 +86,12 @@ bool PmemLog::read(uint32_t slot, LogRecordView* out) const {
   // replay collection) acts on what it decodes — under PmemCheck, verify
   // the slot's bytes are what a crash would actually have left behind.
   pool_->check_recovery_read(s, kSlotSize, "log:read");
+  if (s->crc != record_crc(s, slot, lsn)) {
+    // Published record (valid LSN) whose bytes no longer checksum: silent
+    // PMEM corruption. Never decode it.
+    if (corrupt != nullptr) *corrupt = true;
+    return false;
+  }
   out->lsn = lsn;
   out->op = (OpType)s->op;
   uint16_t flags = s->flags.load(std::memory_order_acquire);
@@ -80,6 +100,7 @@ bool PmemLog::read(uint32_t slot, LogRecordView* out) const {
   out->arg1 = s->arg1;
   out->name.len = s->klen > kMaxNameLen ? kMaxNameLen : s->klen;
   std::memcpy(out->name.data, s->name, out->name.len);
+  out->payload_crc = s->payload_crc;
   return true;
 }
 

@@ -50,6 +50,10 @@ struct LogRecordView {
   Key name;
   uint64_t arg0 = 0;
   uint64_t arg1 = 0;
+  // Checksum of the record's physically-logged payload (0 when none was
+  // logged). Lets the read-repair path verify a candidate payload before
+  // trusting it.
+  uint32_t payload_crc = 0;
 };
 
 class PmemLog {
@@ -79,16 +83,22 @@ class PmemLog {
   void format();
 
   // Write a record into `slot` following the LSN-last protocol. The record
-  // is persistent-but-uncommitted on return.
+  // is persistent-but-uncommitted on return. `payload_crc` is the checksum
+  // of the physically-logged payload accompanying the record (0 if none);
+  // it is covered by the record's own CRC so a repair source can be
+  // authenticated end to end.
   void write_record(uint32_t slot, uint64_t lsn, OpType op, const Key& name, uint64_t arg0,
-                    uint64_t arg1, bool noop);
+                    uint64_t arg1, bool noop, uint32_t payload_crc = 0);
 
   // Persistently mark the record committed / aborted.
   void commit(uint32_t slot);
   void abort(uint32_t slot);
 
-  // Decode `slot`. Returns false if the slot holds no valid record.
-  bool read(uint32_t slot, LogRecordView* out) const;
+  // Decode `slot`. Returns false if the slot holds no valid record; in that
+  // case `*corrupt` (when non-null) distinguishes "empty/invalid slot"
+  // (false) from "valid LSN but failed checksum" (true) — a record that was
+  // written but can no longer be trusted.
+  bool read(uint32_t slot, LogRecordView* out, bool* corrupt = nullptr) const;
 
   bool is_committed(uint32_t slot) const;
 
@@ -104,9 +114,18 @@ class PmemLog {
     uint64_t arg1;
     uint8_t klen;
     char name[kMaxNameLen];
-    uint8_t pad[32];
+    // Slot-index-seeded CRC32C over every field above except `flags` (which
+    // legitimately mutates at commit/abort) — a record decoded from the
+    // wrong slot fails its seed. Persisted before the LSN publishes.
+    uint32_t crc;
+    uint32_t payload_crc;  // checksum of the physically-logged payload, or 0
+    uint8_t pad[24];
   };
   static_assert(sizeof(Slot) == kSlotSize, "slot must be exactly two cache lines");
+
+  // The record checksum (lsn passed explicitly: it is computed before the
+  // LSN field is stored).
+  static uint32_t record_crc(const Slot* s, uint32_t slot, uint64_t lsn);
 
   Slot* slot_ptr(uint32_t slot) const {
     return reinterpret_cast<Slot*>(pool_->base() + region_off_ + (uint64_t)slot * kSlotSize);

@@ -46,7 +46,10 @@ offset_t BTree::alloc_node(bool leaf) {
 }
 
 void BTree::free_node(offset_t off) {
-  sp_->free(off);
+  // An invalid slab tag here means in-arena corruption: refuse the free
+  // (leaking the node) and leave node_count unchanged so the mismatch stays
+  // visible to validation instead of threading a bad block into free lists.
+  if (!sp_->free(off).is_ok()) return;
   hdr()->node_count--;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "pmem/pool.h"
 
 namespace dstore {
@@ -33,6 +34,39 @@ MetaEntry* MetadataZone::entry(uint64_t idx) const {
   return reinterpret_cast<MetaEntry*>(sp_->arena().at(h->entries)) + idx;
 }
 
+uint32_t MetadataZone::entry_crc(uint64_t idx, const MetaEntry& e) const {
+  uint32_t c = 0xffffffffu;
+  c = crc32c_extend_u64(c, idx);  // location seed: wrong-index decode fails
+  c = crc32c_extend(c, &e.name, sizeof(e.name));
+  c = crc32c_extend_u64(c, e.size);
+  c = crc32c_extend_u64(c, ((uint64_t)e.nblocks << 8) | e.in_use);
+  c = crc32c_extend_u64(c, e.generation);
+  c = crc32c_extend_u64(c, ((uint64_t)e.data_crc << 8) | e.data_crc_valid);
+  if (e.in_use && e.blocks != 0 && e.nblocks > 0) {
+    c = crc32c_extend(c, blocks(e), e.nblocks * sizeof(uint64_t));
+  }
+  c ^= 0xffffffffu;
+  return c == 0 ? 1u : c;
+}
+
+void MetadataZone::seal_entry(uint64_t idx) {
+  MetaEntry* e = entry(idx);
+  if (e == nullptr) return;
+  e->crc = entry_crc(idx, *e);
+  pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:seal_entry");
+}
+
+Status MetadataZone::verify_entry(uint64_t idx) const {
+  const MetaEntry* e = entry(idx);
+  if (e == nullptr) return Status::invalid_argument("metadata index out of range");
+  if (!e->in_use && e->crc == 0) return Status::ok();  // fresh zeroed entry, never sealed
+  if (e->crc != entry_crc(idx, *e)) {
+    return Status::corruption("metadata entry " + std::to_string(idx) +
+                              " failed its checksum");
+  }
+  return Status::ok();
+}
+
 Status MetadataZone::init_entry(uint64_t idx, const Key& name) {
   MetaEntry* e = entry(idx);
   if (e == nullptr) return Status::invalid_argument("metadata index out of range");
@@ -41,6 +75,7 @@ Status MetadataZone::init_entry(uint64_t idx, const Key& name) {
   e->name = name;
   e->in_use = 1;
   e->generation = 1;
+  seal_entry(idx);
   pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:init_entry");
   return Status::ok();
 }
@@ -55,24 +90,26 @@ Status MetadataZone::append_block(uint64_t idx, uint64_t block_id) {
     if (e->blocks != 0) {
       std::memcpy(sp_->arena().at(grown), sp_->arena().at(e->blocks),
                   e->nblocks * sizeof(uint64_t));
-      sp_->free(e->blocks);
+      DSTORE_RETURN_IF_ERROR(sp_->free(e->blocks));
     }
     e->blocks = grown;
     e->cap = new_cap;
   }
   blocks(*e)[e->nblocks++] = block_id;
   e->generation++;
+  seal_entry(idx);
   pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:append_block");
   pmem::annotate_must_persist(blocks(*e), e->nblocks * sizeof(uint64_t), "meta:append_block");
   return Status::ok();
 }
 
-void MetadataZone::release_entry(uint64_t idx) {
+Status MetadataZone::release_entry(uint64_t idx) {
   MetaEntry* e = entry(idx);
-  if (e == nullptr || !e->in_use) return;
-  if (e->blocks != 0) sp_->free(e->blocks);
-  *e = MetaEntry{};
+  if (e == nullptr || !e->in_use) return Status::ok();
+  if (e->blocks != 0) DSTORE_RETURN_IF_ERROR(sp_->free(e->blocks));
+  *e = MetaEntry{};  // crc = 0: reads as never-sealed free entry
   pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:release_entry");
+  return Status::ok();
 }
 
 }  // namespace dstore

@@ -23,7 +23,23 @@ struct MetaEntry {
   offset_t blocks;     // uint64_t[cap] in the arena
   uint64_t generation; // bumped on every metadata change (debug/validation)
   uint8_t in_use;
-  uint8_t pad[31];
+  // 1 iff data_crc holds the checksum of the object's full content. Set by
+  // a frontend whole-object put, cleared by partial writes and by replay
+  // (which has no data bytes to checksum) — so after recovery, content
+  // verification falls back to the device's page sidecar alone.
+  uint8_t data_crc_valid;
+  uint8_t pad0[2];
+  // Index-seeded CRC32C over the entry's logical fields (name, size,
+  // nblocks, generation, in_use, data_crc[_valid]) and its block-id list —
+  // everything except the arena-layout fields (blocks offset, cap) and the
+  // CRC itself. 0 = never sealed (fresh zeroed entry).
+  uint32_t crc;
+  // Whole-object content CRC32C (valid iff data_crc_valid). Catches lost
+  // and misdirected writes whose stale page contents are internally
+  // self-consistent — the one corruption class a per-page sidecar cannot
+  // see.
+  uint32_t data_crc;
+  uint8_t pad[20];
 };
 static_assert(sizeof(MetaEntry) == 128, "MetaEntry must pack to 128B");
 
@@ -46,8 +62,18 @@ class MetadataZone {
   // Append a data block id; grows the block array (powers of two).
   Status append_block(uint64_t idx, uint64_t block_id);
   // Release the entry's block array and mark it free; the block ids
-  // themselves are returned to the block pool by the caller.
-  void release_entry(uint64_t idx);
+  // themselves are returned to the block pool by the caller. Surfaces
+  // Status::corruption if the block array's slab tag is invalid.
+  Status release_entry(uint64_t idx);
+
+  // Recompute and store entry `idx`'s checksum. The mutators above seal
+  // automatically; callers that write entry fields directly (size bumps,
+  // generation, data_crc) MUST seal afterwards or the entry reads as
+  // corrupt.
+  void seal_entry(uint64_t idx);
+  // Checksum-verify entry `idx`. A never-sealed free entry passes; an
+  // in-use entry (or a sealed free one) must match its stored CRC.
+  Status verify_entry(uint64_t idx) const;
 
   const uint64_t* blocks(const MetaEntry& e) const {
     return e.blocks == 0 ? nullptr : reinterpret_cast<const uint64_t*>(sp_->arena().at(e.blocks));
@@ -58,6 +84,7 @@ class MetadataZone {
 
  private:
   Header* hdr() const { return header_.get(sp_->arena()); }
+  uint32_t entry_crc(uint64_t idx, const MetaEntry& e) const;
 
   SlabAllocator* sp_;
   OffPtr<Header> header_;

@@ -1,6 +1,7 @@
 #include "dstore/dstore.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -8,6 +9,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/crc32c.h"
 #include "fault/fault.h"
 #include "ssd/io_retry.h"
 
@@ -22,6 +24,24 @@ size_t DStoreConfig::suggested_arena_bytes(uint64_t objects) {
   return (size_t)(4ull << 20) + objects * 1024;
 }
 
+namespace {
+dipper::EngineConfig effective_engine_config(const DStoreConfig& cfg) {
+  dipper::EngineConfig e = cfg.engine;
+  // Read-repair needs the payload of every logged write in PMEM.
+  if (cfg.repair_logging) e.physical_logging = true;
+  return e;
+}
+uint64_t badpage_region_off(const dipper::EngineConfig& engine) {
+  size_t need = dipper::Engine::required_pool_bytes(engine);
+  return (need + 4095) & ~(uint64_t)4095;
+}
+}  // namespace
+
+size_t DStoreConfig::required_pool_bytes(const DStoreConfig& cfg) {
+  return badpage_region_off(effective_engine_config(cfg)) +
+         fsmeta::BadPageTable::kRegionBytes;
+}
+
 // ---------------------------------------------------------------------------
 // Construction / lifecycle
 // ---------------------------------------------------------------------------
@@ -33,6 +53,7 @@ DStore::DStore(pmem::Pool* pool, ssd::BlockDevice* device, DStoreConfig cfg)
 
 Result<std::unique_ptr<DStore>> DStore::create(pmem::Pool* pool, ssd::BlockDevice* device,
                                                DStoreConfig cfg) {
+  cfg.engine = effective_engine_config(cfg);
   if (device->config().num_blocks < cfg.num_blocks) {
     return Status::invalid_argument("device smaller than configured block pool");
   }
@@ -43,17 +64,28 @@ Result<std::unique_ptr<DStore>> DStore::create(pmem::Pool* pool, ssd::BlockDevic
   store->engine_ = std::make_unique<dipper::Engine>(pool, store.get(), cfg.engine);
   DSTORE_RETURN_IF_ERROR(store->engine_->init_fresh());
   store->engine_->space().set_lock(&store->arena_mu_);
+  uint64_t bp_off = badpage_region_off(cfg.engine);
+  if (pool->size() >= bp_off + fsmeta::BadPageTable::kRegionBytes) {
+    store->badpages_.format_region(pool, bp_off);
+  }
   store->register_substrate_metrics();
+  if (cfg.scrub_interval_ms > 0) store->start_scrubber();
   return store;
 }
 
 Result<std::unique_ptr<DStore>> DStore::recover(pmem::Pool* pool, ssd::BlockDevice* device,
                                                 DStoreConfig cfg) {
+  cfg.engine = effective_engine_config(cfg);
   std::unique_ptr<DStore> store(new DStore(pool, device, cfg));
   store->engine_ = std::make_unique<dipper::Engine>(pool, store.get(), cfg.engine);
   DSTORE_RETURN_IF_ERROR(store->engine_->recover());
   store->engine_->space().set_lock(&store->arena_mu_);
+  uint64_t bp_off = badpage_region_off(cfg.engine);
+  if (pool->size() >= bp_off + fsmeta::BadPageTable::kRegionBytes) {
+    store->badpages_.attach_region(pool, bp_off);
+  }
   store->register_substrate_metrics();
+  if (cfg.scrub_interval_ms > 0) store->start_scrubber();
   return store;
 }
 
@@ -111,6 +143,17 @@ void DStore::init_metrics() {
   ssd_io_retries_ = r.counter("ssd_io_retries_total", "transient-error descriptor retries");
   ssd_io_exhausted_ = r.counter("ssd_io_exhausted_total", "ops whose SSD retries ran out");
 
+  // Integrity layer (DESIGN.md §11): detection, repair, and quarantine
+  // counters plus the scrubber's progress.
+  integrity_failures_ = r.counter("dstore_integrity_checksum_failures_total",
+                                  "checksum failures detected across all tiers");
+  integrity_repairs_ = r.counter("dstore_integrity_repairs_total",
+                                 "objects read-repaired from the PMEM log copy");
+  integrity_quarantined_ = r.counter("dstore_integrity_quarantined_pages_total",
+                                     "unrepairable device pages quarantined");
+  scrub_pages_verified_ = r.counter("dstore_scrub_pages_verified_total",
+                                    "device pages checksum-verified by scrub passes");
+
   // Ops accumulate the exact batch counters in their trace and publish
   // them in OpTrace::finish() under one stripe lookup.
   for (obs::OpMetrics* m : {&put_metrics_, &write_metrics_, &get_metrics_, &delete_metrics_}) {
@@ -144,6 +187,10 @@ void DStore::register_substrate_metrics() {
                [dev] { return dev->stats().write_ios.load(std::memory_order_relaxed); });
   r.counter_fn("ssd_read_ios_total", "device read IOs",
                [dev] { return dev->stats().read_ios.load(std::memory_order_relaxed); });
+  r.counter_fn("ssd_read_crc_failures_total", "reads that failed the page checksum sidecar",
+               [dev] {
+                 return dev->stats().read_crc_failures.load(std::memory_order_relaxed);
+               });
 
   dipper::Engine* eng = engine_.get();
   const dipper::EngineStats& es = eng->stats();
@@ -179,6 +226,8 @@ void DStore::register_substrate_metrics() {
        &dipper::EngineStats::recovery_metadata_ns);
   stat("dipper_recovery_replay_ns", "last recovery: log replay",
        &dipper::EngineStats::recovery_replay_ns);
+  stat("dipper_log_crc_failures_total", "log records that failed their record checksum",
+       &dipper::EngineStats::log_crc_failures);
 
   r.gauge_fn("dipper_log_fill_ratio", "fraction of active-log slots in use",
              [eng] { return eng->log_fill(); });
@@ -190,9 +239,16 @@ void DStore::register_substrate_metrics() {
              [this] { return (double)live_ctxs_.load(std::memory_order_relaxed); });
   r.gauge_fn("dstore_open_objects", "oopen handles alive",
              [this] { return (double)open_objects_.load(std::memory_order_relaxed); });
+  r.gauge_fn("dstore_scrub_last_pass_seconds", "wall time of the last full scrub pass",
+             [this] {
+               return (double)last_scrub_ns_.load(std::memory_order_relaxed) / 1e9;
+             });
+  r.gauge_fn("dstore_quarantined_pages", "bad-page table entries",
+             [this] { return (double)badpages_.count(); });
 }
 
 DStore::~DStore() {
+  stop_scrubber();
   if (engine_) engine_->shutdown();
 }
 
@@ -464,6 +520,10 @@ Status DStore::put_phase2(View& v, const Key& name, uint64_t size, const PutPlan
   }
   e->size = size;
   e->generation++;
+  // Content is changing: the frontend re-records the whole-object CRC once
+  // its data IOs complete; replay (no data bytes) leaves it invalid.
+  e->data_crc_valid = 0;
+  v.zone.seal_entry(plan.meta_idx);
   if (trace != nullptr) trace->enter(obs::kStageBtree);
   if (!plan.existed) {
     if (btree_mu != nullptr) {
@@ -507,8 +567,7 @@ Status DStore::delete_phase2(View& v, const DeletePlan& plan, SharedSpinLock* bt
   } else {
     DSTORE_RETURN_IF_ERROR(v.btree.erase(name));
   }
-  v.zone.release_entry(plan.meta_idx);
-  return Status::ok();
+  return v.zone.release_entry(plan.meta_idx);
 }
 
 Status DStore::create_phase1(View& v, uint64_t* meta_idx) {
@@ -562,6 +621,10 @@ Status DStore::extend_phase2(View& v, const Key& /*name*/, uint64_t new_size,
   MetaEntry* e = v.zone.entry(plan.meta_idx);
   if (new_size > e->size) e->size = new_size;
   e->generation++;
+  // A (possibly partial) write invalidates the recorded content CRC; the
+  // frontend re-records it when the write covers the whole object.
+  e->data_crc_valid = 0;
+  v.zone.seal_entry(plan.meta_idx);
   return Status::ok();
 }
 
@@ -666,6 +729,7 @@ Status DStore::write_data_range(View& v, uint64_t meta_idx, const void* data, si
 
 Status DStore::read_data_range(View& v, uint64_t meta_idx, void* buf, size_t size,
                                uint64_t offset, size_t* out_len, obs::OpTrace* trace) {
+  DSTORE_RETURN_IF_ERROR(verify_meta(v, meta_idx));
   const MetaEntry* e = v.zone.entry(meta_idx);
   if (e == nullptr || !e->in_use) return Status::corruption("read from free entry");
   if (offset >= e->size) {
@@ -680,9 +744,132 @@ Status DStore::read_data_range(View& v, uint64_t meta_idx, void* buf, size_t siz
   const uint64_t* bl = v.zone.blocks(*e);
   ssd::IoQueue q(device_, cfg_.ssd_qd);
   DSTORE_RETURN_IF_ERROR(submit_io_range(q, bl, e->nblocks, nullptr, buf, want, offset, trace));
-  DSTORE_RETURN_IF_ERROR(finish_io(q, /*is_write=*/false, trace));
+  Status s = finish_io(q, /*is_write=*/false, trace);
+  if (s.code() == Code::kCorruption) {
+    // The device flagged a bad page under this read: run the containment
+    // ladder, and on a successful repair retry the read against the healed
+    // pages — the caller sees either verified bytes or corruption, never
+    // silently wrong data.
+    s = contain_corruption(v, meta_idx, trace);
+    if (s.is_ok()) {
+      ssd::IoQueue retry(device_, cfg_.ssd_qd);
+      s = submit_io_range(retry, bl, e->nblocks, nullptr, buf, want, offset, trace);
+      if (s.is_ok()) s = finish_io(retry, /*is_write=*/false, trace);
+    }
+  }
+  DSTORE_RETURN_IF_ERROR(s);
   *out_len = want;
   return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Integrity containment ladder + scrubber (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+Status DStore::verify_meta(View& v, uint64_t meta_idx) {
+  Status s = v.zone.verify_entry(meta_idx);
+  if (s.code() == Code::kCorruption) {
+    // The entry's block list itself is untrustworthy, so no repair tier can
+    // run — the one uncontainable case. Stop accepting mutations; reads of
+    // other objects keep working.
+    integrity_failures_->add(1);
+    read_only_.store(true, std::memory_order_release);
+  }
+  return s;
+}
+
+Status DStore::verify_object_pages(View& v, uint64_t meta_idx, uint64_t* pages,
+                                   std::vector<uint64_t>* bad) {
+  const MetaEntry* e = v.zone.entry(meta_idx);
+  if (e == nullptr || !e->in_use) return Status::invalid_argument("bad metadata entry");
+  const uint64_t* bl = v.zone.blocks(*e);
+  const uint64_t bs = block_size();
+  const uint64_t ps = device_->config().page_size;
+  Status worst;
+  for (uint32_t i = 0; i < e->nblocks; i++) {
+    uint64_t off = (uint64_t)i * bs;
+    if (off >= e->size) break;
+    size_t len = (size_t)std::min(bs, e->size - off);
+    if (pages != nullptr) *pages += (len + ps - 1) / ps;
+    Status s = device_->verify_pages(bl[i], 0, len, bad);
+    if (!s.is_ok()) {
+      if (bad == nullptr) return s;  // fail fast when not collecting
+      if (worst.is_ok()) worst = s;
+    }
+  }
+  return worst;
+}
+
+Status DStore::repair_object(View& v, uint64_t meta_idx, obs::OpTrace* trace) {
+  const MetaEntry* e = v.zone.entry(meta_idx);
+  if (e == nullptr || !e->in_use) return Status::corruption("repair of free entry");
+  if (e->size == 0) return Status::ok();  // no data pages to heal
+  // The newest committed whole-object put inside the checkpoint window,
+  // authenticated by its payload CRC (engine::find_repair_payload).
+  auto rp = engine_->find_repair_payload(e->name, e->size);
+  if (!rp.is_ok()) return rp.status();
+  const std::vector<char>& data = rp.value();
+  if (e->data_crc_valid && crc32c(data.data(), data.size()) != e->data_crc) {
+    return Status::corruption("log payload does not match the object's content checksum");
+  }
+  const uint64_t* bl = v.zone.blocks(*e);
+  std::vector<uint64_t> blocks(bl, bl + e->nblocks);
+  return write_data(blocks, data.data(), data.size(), trace);
+}
+
+Status DStore::contain_corruption(View& v, uint64_t meta_idx, obs::OpTrace* trace,
+                                  uint64_t* quarantined) {
+  integrity_failures_->add(1);
+  Status rs = repair_object(v, meta_idx, trace);
+  if (rs.is_ok()) rs = verify_object_pages(v, meta_idx, nullptr, nullptr);
+  if (rs.is_ok()) {
+    integrity_repairs_->add(1);
+    return Status::ok();
+  }
+  // Unrepairable: quarantine every page that still fails its checksum so
+  // later reads, scrubs, and fsck report it as known-bad.
+  std::vector<uint64_t> bad;
+  (void)verify_object_pages(v, meta_idx, nullptr, &bad);
+  uint64_t before = badpages_.count();
+  for (uint64_t page : bad) (void)badpages_.add(page);
+  uint64_t added = badpages_.count() - before;
+  integrity_quarantined_->add(added);
+  if (quarantined != nullptr) *quarantined += added;
+  const MetaEntry* e = v.zone.entry(meta_idx);
+  return Status::corruption("object '" + (e != nullptr ? e->name.str() : std::string()) +
+                            "' is corrupt and unrepairable (" + std::to_string(bad.size()) +
+                            " bad pages, " + std::to_string(added) + " newly quarantined)");
+}
+
+// scrub_now lives below ReaderGuard's definition (it takes per-object read
+// exclusion the same way foreground reads do).
+
+void DStore::start_scrubber() {
+  scrub_thread_ = std::thread([this] { scrub_loop(); });
+}
+
+void DStore::stop_scrubber() {
+  {
+    std::lock_guard<std::mutex> g(scrub_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  if (scrub_thread_.joinable()) scrub_thread_.join();
+}
+
+void DStore::scrub_loop() {
+  std::unique_lock<std::mutex> g(scrub_mu_);
+  while (!scrub_stop_) {
+    if (scrub_cv_.wait_for(g, std::chrono::milliseconds(cfg_.scrub_interval_ms),
+                           [this] { return scrub_stop_; })) {
+      break;
+    }
+    g.unlock();
+    // Failures publish through the integrity metrics and re-surface on the
+    // next foreground read; the scrubber itself never aborts.
+    (void)scrub_now(nullptr);
+    g.lock();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -711,6 +898,73 @@ class DStore::ReaderGuard {
   DStore& store_;
   Key name_;
 };
+
+Status DStore::scrub_now(ScrubReport* report) {
+  ScrubReport local;
+  ScrubReport* rep = report != nullptr ? report : &local;
+  uint64_t t0 = now_ns();
+  std::vector<std::string> names;
+  list([&](std::string_view n, uint64_t) {
+    names.emplace_back(n);
+    return true;
+  });
+  View v = view_of(engine_->space());
+  Status worst;
+  for (const std::string& n : names) {
+    Key k = Key::from(n);
+    // Per-object read exclusion: writers of this object wait, everything
+    // else proceeds — the scrubber never stalls the store globally.
+    ReaderGuard guard(*this, k);
+    std::optional<uint64_t> found;
+    {
+      SharedLockGuard g(btree_mu_);
+      found = v.btree.find(k);
+    }
+    if (!found.has_value()) continue;  // deleted since the listing
+    uint64_t idx = *found;
+    rep->objects_scanned++;
+    // Tier 1: metadata entry CRC (uncontainable on failure).
+    Status es = verify_meta(v, idx);
+    if (!es.is_ok()) {
+      rep->checksum_failures++;
+      rep->corrupt_objects.push_back(n);
+      if (worst.is_ok()) worst = es;
+      continue;
+    }
+    // Tier 2: device page sidecar over the object's used bytes. The
+    // device's bandwidth channel rate-limits these verification reads.
+    Status ds = verify_object_pages(v, idx, &rep->pages_verified, nullptr);
+    // Tier 3: whole-object content CRC — catches internally consistent
+    // stale pages (lost or misdirected writes) the sidecar cannot see.
+    const MetaEntry* e = v.zone.entry(idx);
+    if (ds.is_ok() && e->data_crc_valid && e->size > 0) {
+      std::vector<char> content(e->size);
+      const uint64_t* bl = v.zone.blocks(*e);
+      ssd::IoQueue q(device_, cfg_.ssd_qd);
+      ds = submit_io_range(q, bl, e->nblocks, nullptr, content.data(), e->size, 0);
+      if (ds.is_ok()) ds = finish_io(q, /*is_write=*/false);
+      if (ds.is_ok() && crc32c(content.data(), content.size()) != e->data_crc) {
+        ds = Status::corruption("object '" + n + "' content checksum mismatch");
+      }
+    }
+    if (ds.is_ok()) continue;
+    if (ds.code() != Code::kCorruption) {
+      if (worst.is_ok()) worst = ds;  // transient IO problem, not corruption
+      continue;
+    }
+    rep->checksum_failures++;
+    Status cs = contain_corruption(v, idx, nullptr, &rep->quarantined_pages);
+    if (cs.is_ok()) {
+      rep->repaired++;
+    } else {
+      rep->corrupt_objects.push_back(n);
+      if (worst.is_ok()) worst = cs;
+    }
+  }
+  scrub_pages_verified_->add(rep->pages_verified);
+  last_scrub_ns_.store(now_ns() - t0, std::memory_order_relaxed);
+  return worst;
+}
 
 // ---------------------------------------------------------------------------
 // Key-value API
@@ -823,6 +1077,16 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
     engine_->abort(h);
     return s;
   }
+  // Record the whole-object content CRC — the tier that catches internally
+  // consistent stale pages (lost and misdirected writes) the per-page
+  // sidecar cannot see. Frontend-only: replay has no data bytes, so shadow
+  // entries keep data_crc_valid = 0.
+  if (size > 0) {
+    MetaEntry* e = v.zone.entry(plan.meta_idx);
+    e->data_crc = crc32c(value, size);
+    e->data_crc_valid = 1;
+    v.zone.seal_entry(plan.meta_idx);
+  }
   // Step 9: commit — the op is durable from here on.
   trace.enter(obs::kStageCommitFlush);
   engine_->commit(h);
@@ -849,6 +1113,20 @@ Result<size_t> DStore::oget(ds_ctx_t* /*ctx*/, std::string_view name, void* buf,
   size_t out_len = 0;
   DSTORE_RETURN_IF_ERROR(
       read_data_range(v, *found, buf, std::min(buf_cap, value_size), 0, &out_len, &trace));
+  // Content tier: a misdirected write leaves the intended pages stale but
+  // internally consistent — only the whole-object checksum can tell. Runs
+  // whenever the caller's buffer covered the entire object.
+  if (out_len == value_size && value_size > 0 && e->data_crc_valid &&
+      crc32c(buf, out_len) != e->data_crc) {
+    Status s = contain_corruption(v, *found, &trace);
+    if (s.is_ok()) {
+      s = read_data_range(v, *found, buf, value_size, 0, &out_len, &trace);
+      if (s.is_ok() && crc32c(buf, out_len) != e->data_crc) {
+        s = Status::corruption("object '" + k.str() + "' content checksum mismatch");
+      }
+    }
+    DSTORE_RETURN_IF_ERROR(s);
+  }
   trace.succeed();
   return value_size;
 }
@@ -1056,7 +1334,10 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
     }
     MetaEntry* e = v.zone.entry(*found);
     uint64_t new_size = std::max<uint64_t>(e->size, offset + size);
-    if (new_size > e->size) {
+    // repair_logging routes pure overwrites through the logged path too, so
+    // their payloads reach the physical log and stay repairable (§11); the
+    // kWrite record replays as a metadata no-op.
+    if (new_size > e->size || cfg_.repair_logging) {
       // Metadata changes: logged operation (§4.3).
       uint64_t need = blocks_needed(new_size);
       if (need > e->nblocks &&
@@ -1122,6 +1403,14 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
         engine_->abort(hr.value());
         return s;
       }
+      // Whole-object writes re-establish the content CRC; partial ones left
+      // it invalidated by extend_phase2.
+      if (offset == 0 && size == new_size) {
+        MetaEntry* e2 = v.zone.entry(plan.meta_idx);
+        e2->data_crc = crc32c(buf, size);
+        e2->data_crc_valid = 1;
+        v.zone.seal_entry(plan.meta_idx);
+      }
       trace.enter(obs::kStageCommitFlush);
       engine_->commit(hr.value());
       trace.leave();
@@ -1132,10 +1421,19 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
     // visible to CC so readers and conflicting writers serialize.
     engine_->register_external_write(k);
     read_counts_.wait_until_unread(k);
+    // Content is about to change: drop the recorded CRC first, so a torn
+    // write can never leave a stale-but-"valid" content checksum behind.
+    e->data_crc_valid = 0;
+    v.zone.seal_entry(*found);
     pipeline_mu_.unlock();
     trace.enter(obs::kStageSsdBatch);
     Status s = write_data_range(v, *found, buf, size, offset, &trace);
     trace.leave();
+    if (s.is_ok() && offset == 0 && size == e->size) {
+      e->data_crc = crc32c(buf, size);
+      e->data_crc_valid = 1;
+      v.zone.seal_entry(*found);
+    }
     engine_->unregister_external_write(k);
     DSTORE_RETURN_IF_ERROR(s);
     trace.succeed();
@@ -1237,6 +1535,11 @@ Status DStore::validate() {
     }
     if (blocks_needed(e->size) != e->nblocks) {
       problem = Status::corruption("entry size/block-count mismatch");
+      return false;
+    }
+    Status es = v.zone.verify_entry(idx);
+    if (!es.is_ok()) {
+      problem = es;
       return false;
     }
     visited++;

@@ -32,17 +32,21 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <functional>
 #include <set>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/spinlock.h"
 #include "dipper/engine.h"
+#include "fsmeta/badpage_table.h"
 #include "obs/metrics.h"
 #include "obs/op_trace.h"
 #include "ds/btree.h"
@@ -82,8 +86,26 @@ struct DStoreConfig {
   // one-block-at-a-time behaviour.
   uint32_t ssd_qd = 16;
 
+  // Background scrubber (DESIGN.md §11): every scrub_interval_ms a store
+  // thread walks all objects and verifies every checksum tier — metadata
+  // entry CRCs, the device page sidecar, and whole-object content CRCs —
+  // repairing or quarantining what it finds, so latent corruption is found
+  // before a read hits it. The device's bandwidth channel rate-limits the
+  // verification reads. 0 disables the thread; scrub_now() always works.
+  uint64_t scrub_interval_ms = 0;
+  // Read-repair support: route pure data overwrites through logged kWrite
+  // records and force the engine's physical payload logging, so every
+  // committed write inside the checkpoint window has an authenticated PMEM
+  // copy the containment ladder can repair corrupted SSD pages from.
+  bool repair_logging = false;
+
   // A volatile arena comfortably sized for `objects` objects.
   static size_t suggested_arena_bytes(uint64_t objects);
+  // Total PMEM pool bytes a store with this config needs: the DIPPER
+  // engine's layout (with the repair_logging override applied) plus the
+  // persistent bad-page table region. Pools sized exactly for the engine
+  // still work — the bad-page table then runs volatile.
+  static size_t required_pool_bytes(const DStoreConfig& cfg);
 };
 
 // Per-thread IO context (ds_init/ds_finalize, Table 2).
@@ -155,6 +177,41 @@ class DStore final : public dipper::SpaceClient {
   // True once a data write exhausted its SSD retries: mutating calls fail
   // with READ_ONLY until the store is reopened; reads keep working.
   bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+
+  // ---- integrity (DESIGN.md §11) ------------------------------------------
+  // One full verification pass over every object: metadata entry CRC,
+  // device page sidecar over the object's used bytes, and (when recorded)
+  // the whole-object content CRC. Detected corruption runs the containment
+  // ladder — read-repair from the PMEM log copy, else quarantine — exactly
+  // like a foreground read. Returns ok when every object verified clean or
+  // was repaired; the first unrepairable corruption otherwise. The same
+  // pass the background scrubber thread runs every scrub_interval_ms.
+  struct ScrubReport {
+    uint64_t objects_scanned = 0;
+    uint64_t pages_verified = 0;
+    uint64_t checksum_failures = 0;  // objects that failed any checksum tier
+    uint64_t repaired = 0;           // of those, healed from the log copy
+    uint64_t quarantined_pages = 0;  // pages quarantined this pass
+    std::vector<std::string> corrupt_objects;  // unrepairable, by name
+  };
+  Status scrub_now(ScrubReport* report = nullptr);
+
+  // The quarantine tier's persistent record (advisory; see badpage_table.h).
+  const fsmeta::BadPageTable& bad_pages() const { return badpages_; }
+
+  // Snapshot of the integrity counters (the dstore_integrity_* /
+  // dstore_scrub_* metrics), for harnesses that reconcile detections
+  // against injected fault counts without scraping the registry.
+  struct IntegrityCounters {
+    uint64_t checksum_failures = 0;
+    uint64_t repairs = 0;
+    uint64_t quarantined_pages = 0;
+    uint64_t scrub_pages_verified = 0;
+  };
+  IntegrityCounters counters() const {
+    return {integrity_failures_->value(), integrity_repairs_->value(),
+            integrity_quarantined_->value(), scrub_pages_verified_->value()};
+  }
 
   // ---- observability ------------------------------------------------------
   // The one introspection surface (replaces the former Stats/StageStats/
@@ -277,6 +334,33 @@ class DStore final : public dipper::SpaceClient {
   Status read_data_range(View& v, uint64_t meta_idx, void* buf, size_t size, uint64_t offset,
                          size_t* out_len, obs::OpTrace* trace = nullptr);
 
+  // -- integrity containment ladder (DESIGN.md §11) --------------------------
+  // Caller holds the object's read/write exclusion (ReaderGuard or an
+  // in-flight record) for all of these.
+
+  // Metadata entry CRC check; a failure is uncontainable (the block list
+  // itself is untrustworthy), so it degrades the store to READ_ONLY.
+  Status verify_meta(View& v, uint64_t meta_idx);
+  // Sidecar-verify every device page backing the object's used bytes.
+  // Counts pages into *pages (may be null); collects failing absolute page
+  // numbers into *bad (may be null, then fails fast).
+  Status verify_object_pages(View& v, uint64_t meta_idx, uint64_t* pages,
+                             std::vector<uint64_t>* bad);
+  // Rewrite the whole object from the engine's authenticated physical-log
+  // payload (find_repair_payload); fails when no committed whole-object
+  // copy of the right size exists in the checkpoint window.
+  Status repair_object(View& v, uint64_t meta_idx, obs::OpTrace* trace);
+  // The ladder: count the failure, attempt repair_object + re-verify; on
+  // success count a repair, else quarantine the object's bad pages and
+  // surface Status::corruption.
+  Status contain_corruption(View& v, uint64_t meta_idx, obs::OpTrace* trace,
+                            uint64_t* quarantined = nullptr);
+
+  // -- background scrubber ---------------------------------------------------
+  void start_scrubber();
+  void stop_scrubber();
+  void scrub_loop();
+
   pmem::Pool* pool_;
   ssd::BlockDevice* device_;
   DStoreConfig cfg_;
@@ -292,6 +376,14 @@ class DStore final : public dipper::SpaceClient {
   std::atomic<int64_t> open_objects_{0};
 
   std::atomic<bool> read_only_{false};  // set on write-retry exhaustion
+
+  fsmeta::BadPageTable badpages_;
+
+  std::thread scrub_thread_;
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
+  std::atomic<uint64_t> last_scrub_ns_{0};  // wall time of the last full pass
 
   // -- metrics ---------------------------------------------------------------
   // init_metrics() (ctor) registers the owned metrics and builds the
@@ -311,6 +403,10 @@ class DStore final : public dipper::SpaceClient {
   obs::Counter* ssd_blocks_coalesced_ = nullptr;
   obs::Counter* ssd_io_retries_ = nullptr;
   obs::Counter* ssd_io_exhausted_ = nullptr;
+  obs::Counter* integrity_failures_ = nullptr;     // checksum failures detected
+  obs::Counter* integrity_repairs_ = nullptr;      // healed from the log copy
+  obs::Counter* integrity_quarantined_ = nullptr;  // pages quarantined
+  obs::Counter* scrub_pages_verified_ = nullptr;
 };
 
 // Open-object handle (stateful filesystem API). Obtained from oopen(),

@@ -84,7 +84,7 @@ extern "C" {
 dstore_t* dstore_open(const dstore_options* options, int create) {
   auto s = std::make_unique<dstore_t>();
   s->cfg = config_from(options);
-  size_t pool_bytes = dstore::dipper::Engine::required_pool_bytes(s->cfg.engine);
+  size_t pool_bytes = dstore::DStoreConfig::required_pool_bytes(s->cfg);
   const char* dir = options != nullptr ? options->backing_dir : nullptr;
   if (dir != nullptr) {
     std::error_code ec;

@@ -17,7 +17,7 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::create(ShardedConfig cfg) {
   s->shards_.resize(cfg.num_shards);
   for (int i = 0; i < cfg.num_shards; i++) {
     Shard& sh = s->shards_[i];
-    sh.pool = std::make_unique<pmem::Pool>(dipper::Engine::required_pool_bytes(scfg.engine),
+    sh.pool = std::make_unique<pmem::Pool>(DStoreConfig::required_pool_bytes(scfg),
                                            cfg.pool_mode, cfg.latency);
     ssd::DeviceConfig dc;
     dc.num_blocks = scfg.num_blocks;

@@ -21,8 +21,14 @@ Status CrashRig::build_store() {
   // checkpoint_now(), so every fault-point hit has one deterministic order.
   cfg_.engine.background_checkpointing = false;
   cfg_.engine.fault = &injector_;
+  if (opt_.repair_logging) {
+    cfg_.repair_logging = true;
+    // Workload values reach (5003 + 1) * value_scale bytes; the payload
+    // region slot must hold the largest whole-object put.
+    cfg_.engine.physical_payload_bytes = 8192ull * opt_.value_scale;
+  }
 
-  size_t pool_bytes = dipper::Engine::required_pool_bytes(cfg_.engine);
+  size_t pool_bytes = DStoreConfig::required_pool_bytes(cfg_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<pmem::Pool>(pool_bytes, pmem::Pool::Mode::kCrashSim);
     ssd::DeviceConfig dc;
@@ -164,6 +170,44 @@ Status CrashRig::verify() {
   return problem;
 }
 
+Status CrashRig::verify_integrity(uint64_t* detected) {
+  if (store_ == nullptr) return Status::internal("rig has no live store");
+  ds_ctx_t* ctx = store_->ds_init();
+  std::vector<char> buf((1 + 5003) * (size_t)opt_.value_scale + 128);
+  Status problem;
+  for (uint32_t k = 0; k < opt_.keys && problem.is_ok(); k++) {
+    std::string key = "k" + std::to_string(k);
+    uint64_t failures_before = store_->counters().checksum_failures;
+    auto r = store_->oget(ctx, key, buf.data(), buf.size());
+    if (!r.is_ok()) {
+      if (r.status().code() == Code::kCorruption) {
+        if (detected != nullptr) (*detected)++;
+        continue;  // detected and contained: exactly what the sweep wants
+      }
+      if (r.status().code() != Code::kNotFound) {
+        problem = r.status();
+        break;
+      }
+    }
+    if (r.is_ok() &&
+        store_->counters().checksum_failures > failures_before &&
+        detected != nullptr) {
+      (*detected)++;  // read-repair healed the pages under this read
+    }
+    bool present = r.is_ok();
+    std::string got =
+        present ? std::string(buf.data(), std::min(r.value(), buf.size())) : std::string();
+    auto it = oracle_.find(key);
+    bool old_ok = it != oracle_.end() ? (present && got == it->second) : !present;
+    if (!old_ok) {
+      problem = Status::corruption("silent corruption: key " + key +
+                                   " read OK but does not match the oracle");
+    }
+  }
+  store_->ds_finalize(ctx);
+  return problem;
+}
+
 uint64_t CrashRig::pmem_fingerprint() const {
   const unsigned char* p = reinterpret_cast<const unsigned char*>(pool_->base());
   uint64_t h = 0xcbf29ce484222325ULL;
@@ -185,6 +229,30 @@ std::vector<FaultPlan> all_crash_plans(
   for (const auto& [point, count] : space) {
     for (uint64_t hit = 1; hit <= count; hit++) {
       plans.push_back(FaultPlan::crash_at(point, hit));
+    }
+  }
+  return plans;
+}
+
+std::vector<FaultPlan> all_corruption_plans(
+    const std::vector<std::pair<std::string, uint64_t>>& space, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FaultPlan> plans;
+  auto add = [&](const std::string& point, uint64_t hit, FaultType type, uint64_t arg) {
+    FaultPlan p(seed);
+    p.add({point, hit, type, arg, 1});
+    plans.push_back(std::move(p));
+  };
+  for (const auto& [point, count] : space) {
+    for (uint64_t hit = 1; hit <= count; hit++) {
+      if (point == "ssd.write") {
+        // arg is the bit to flip (mod page bits); drawn seeded so sweeps
+        // with different seeds cover different bit positions.
+        add(point, hit, FaultType::kBitFlipSsdPage, rng.next_below(4096 * 8));
+        add(point, hit, FaultType::kMisdirectedWrite, 1 + rng.next_below(7));
+      } else if (point == "ssd.read") {
+        add(point, hit, FaultType::kBitFlipSsdPage, rng.next_below(4096 * 8));
+      }
     }
   }
   return plans;

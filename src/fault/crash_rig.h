@@ -50,6 +50,10 @@ struct RigOptions {
   // blocks, so each op's data lands as a queue-pair batch with IOs in
   // flight at the crash point (the async data-plane sweeps).
   uint32_t value_scale = 1;
+  // Corruption sweeps: keep whole-object payloads in the DIPPER physical
+  // log so read-repair has a source copy, and give the payload region the
+  // headroom those values need.
+  bool repair_logging = false;
 };
 
 class CrashRig {
@@ -79,6 +83,14 @@ class CrashRig {
   // Oracle check: validate() + every key in either its oracle state or (for
   // the single in-flight op only) its post-op state.
   Status verify();
+
+  // Oracle check for silent-corruption sweeps. The store is allowed — and
+  // expected — to *detect* injected corruption, so Status::corruption on a
+  // read counts as success (`detected` tallies them, along with repairs
+  // that the read healed transparently). What fails the check is the one
+  // thing the integrity layer exists to rule out: a read that returns OK
+  // with bytes different from the oracle's, i.e. silent corruption.
+  Status verify_integrity(uint64_t* detected = nullptr);
 
   FaultInjector& injector() { return injector_; }
   DStore* store() { return store_.get(); }
@@ -119,5 +131,14 @@ class CrashRig {
 // crash_at(point, hit) plan per (point, hit<=count) pair.
 std::vector<FaultPlan> all_crash_plans(
     const std::vector<std::pair<std::string, uint64_t>>& space);
+
+// Every single-fault silent-corruption plan over an enumerated schedule
+// space: for each ssd.write hit, a page bit-flip after the write lands and
+// a misdirected write; for each ssd.read hit, a media bit-flip before the
+// copy. The flipped bit index is drawn from `seed` per plan, so different
+// sweeps cover different bit positions while any one sweep stays exactly
+// reproducible from its plan strings.
+std::vector<FaultPlan> all_corruption_plans(
+    const std::vector<std::pair<std::string, uint64_t>>& space, uint64_t seed = 1);
 
 }  // namespace dstore::fault

@@ -21,6 +21,12 @@ const char* fault_type_name(FaultType t) {
       return "delay";
     case FaultType::kEvict:
       return "evict";
+    case FaultType::kBitFlipPmemLine:
+      return "pmemflip";
+    case FaultType::kBitFlipSsdPage:
+      return "ssdflip";
+    case FaultType::kMisdirectedWrite:
+      return "misdirect";
   }
   return "?";
 }
@@ -29,7 +35,9 @@ namespace {
 
 bool parse_type(std::string_view name, FaultType* out) {
   for (FaultType t : {FaultType::kNone, FaultType::kCrash, FaultType::kError,
-                      FaultType::kTorn, FaultType::kDelay, FaultType::kEvict}) {
+                      FaultType::kTorn, FaultType::kDelay, FaultType::kEvict,
+                      FaultType::kBitFlipPmemLine, FaultType::kBitFlipSsdPage,
+                      FaultType::kMisdirectedWrite}) {
     if (name == fault_type_name(t)) {
       *out = t;
       return true;
@@ -241,6 +249,12 @@ Outcome FaultInjector::on_hit(std::string_view point) {
       spin_for_ns(arg);
       break;
     case FaultType::kEvict:
+    case FaultType::kBitFlipPmemLine:
+    case FaultType::kBitFlipSsdPage:
+    case FaultType::kMisdirectedWrite:
+      // Silent corruption (and eviction) is applied by the faulting layer:
+      // the op must complete "successfully" with wrong bytes, which only
+      // the layer holding the buffers can arrange.
     case FaultType::kNone:
       break;
   }

@@ -58,6 +58,17 @@ enum class FaultType : uint8_t {
   kTorn,   // persist only the first `arg` bytes of the write, then kCrash
   kDelay,  // latency spike: spin for `arg` ns, then proceed normally
   kEvict,  // pmem only: spuriously persist `arg` random dirty lines
+  // Silent-corruption faults: the layer completes the operation normally
+  // (no error is returned, no crash) but the persisted or returned bytes
+  // are wrong — exactly what media/transport bit rot does. Detection is
+  // the integrity layer's job, never the injector's.
+  kBitFlipPmemLine,   // pmem flush/bulk: flip bit `arg` (mod range) of the
+                      // range being persisted, in DRAM and the image
+  kBitFlipSsdPage,    // ssd read/write: flip bit `arg` (mod page) of the
+                      // IO's first page on media, after the write lands /
+                      // before the read copies
+  kMisdirectedWrite,  // ssd write: the data lands `max(arg,1)` blocks away
+                      // (mod device); the intended LBA is never written
 };
 
 const char* fault_type_name(FaultType t);

@@ -78,10 +78,16 @@ Pool::ThreadState& Pool::tls() {
 
 void Pool::flush(const void* addr, size_t len) {
   if (len == 0) return;
-  apply_fault_outcome(fault::hit(fault_, "pmem.flush"));
+  fault::Outcome fo = fault::hit(fault_, "pmem.flush");
+  apply_fault_outcome(fo);
   auto a = reinterpret_cast<uintptr_t>(addr);
   auto b = reinterpret_cast<uintptr_t>(region_);
   assert(a >= b && a + len <= b + size_ && "flush outside pool");
+  // Silent media corruption: the flushed line goes bad in place, so both
+  // the DRAM view and (via the normal staging below) the persistent image
+  // carry the flipped bit. No error, no crash — detection is up to the
+  // checksums layered above.
+  if (fo.type == fault::FaultType::kBitFlipPmemLine) corrupt_bit(a - b, len, fo.arg);
   uint64_t lo = line_down(a) - b;
   uint64_t hi = line_up(a + len) - b;
   ThreadState& st = tls();
@@ -150,6 +156,7 @@ void Pool::persist_bulk(const void* addr, size_t len) {
   // bulk writers (e.g. a CoW copier vs faulting clients) serialize here.
   if (lat_.pmem_flush_line_ns > 0) spin_for_ns(lat_.pmem_flush_line_ns);
   bw_channel_.transfer(lat_.pmem_write_ns(len));
+  if (fo.type == fault::FaultType::kBitFlipPmemLine) corrupt_bit(a - b, len, fo.arg);
   if (mode_ == Mode::kCrashSim) {
     if (fo.type == fault::FaultType::kTorn && !image_frozen()) {
       // Power fails mid-writeback: only the first `arg` bytes of this bulk
@@ -219,6 +226,12 @@ void Pool::apply_fault_outcome(const fault::Outcome& o) {
   if (o.type == fault::FaultType::kEvict && fault_ != nullptr) {
     evict_random_lines(fault_->rng(), o.arg);
   }
+}
+
+void Pool::corrupt_bit(uint64_t off, uint64_t len, uint64_t bit) {
+  if (len == 0) return;
+  uint64_t target = bit % (len * 8);
+  region_[off + target / 8] ^= static_cast<char>(1u << (target % 8));
 }
 
 void Pool::evict_lines(const void* addr, size_t len) {

@@ -195,6 +195,10 @@ class Pool {
 
   void apply_to_image(uint64_t off, uint64_t len);
   void apply_fault_outcome(const fault::Outcome& o);
+  // Silent-corruption injection (kBitFlipPmemLine): flip bit `bit` (mod the
+  // range's bit count) of region_[off, off+len) in place, so the caller's
+  // own staging/apply propagates the flipped byte into the image.
+  void corrupt_bit(uint64_t off, uint64_t len, uint64_t bit);
 
   Pool() = default;  // for open_file
 

@@ -7,10 +7,33 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/crc32c.h"
 
 namespace dstore::ssd {
 
 namespace {
+// Sidecar tag encoding: 0 = page never written (unverifiable), otherwise
+// the high marker bit plus the page's location-seeded CRC32C.
+constexpr uint64_t kTagKnown = 1ull << 32;
+
+inline uint64_t make_tag(const char* page, size_t page_size, uint64_t seed_page) {
+  return kTagKnown | crc32c(page, page_size, seed_page);
+}
+
+// Where a misdirected write actually lands: the whole transfer shifts
+// `max(arg,1)` blocks, wrapped so the span still fits the device (and never
+// back onto the intended block — that would be a correct write).
+uint64_t misdirect_block(const DeviceConfig& cfg, uint64_t block, size_t offset, size_t len,
+                         uint64_t arg) {
+  size_t span = (offset + len + cfg.block_size() - 1) / cfg.block_size();
+  if (span == 0) span = 1;
+  if (span >= cfg.num_blocks) return block;  // nowhere else to land
+  uint64_t slots = cfg.num_blocks - span + 1;
+  uint64_t wrong = (block + std::max<uint64_t>(arg, 1)) % slots;
+  if (wrong == block) wrong = (wrong + 1) % slots;
+  return wrong;
+}
+
 Status check_io(const DeviceConfig& cfg, uint64_t block, size_t offset, size_t len) {
   if (block >= cfg.num_blocks) return Status::invalid_argument("block out of range");
   if (offset + len > cfg.block_size()) return Status::invalid_argument("IO crosses block end");
@@ -65,6 +88,41 @@ RamBlockDevice::RamBlockDevice(DeviceConfig cfg) : cfg_(cfg) {
     cache_view_ = std::make_unique<char[]>(cfg_.capacity());
     std::memset(cache_view_.get(), 0, cfg_.capacity());
   }
+  if (cfg_.checksum_pages) {
+    size_t npages = cfg_.capacity() / cfg_.page_size;
+    tags_media_.assign(npages, 0);  // fresh media: every page unknown
+    if (!cfg_.power_loss_protection) tags_cache_.assign(npages, 0);
+  }
+}
+
+void RamBlockDevice::retag_pages(const char* view, std::vector<uint64_t>& tags, uint64_t pos,
+                                 size_t len, int64_t seed_delta) {
+  if (!cfg_.checksum_pages || len == 0) return;
+  size_t ps = cfg_.page_size;
+  uint64_t first = pos / ps;
+  uint64_t last = (pos + len - 1) / ps;
+  for (uint64_t p = first; p <= last; p++) {
+    tags[p] = make_tag(view + p * ps, ps, static_cast<uint64_t>(static_cast<int64_t>(p) + seed_delta));
+  }
+}
+
+Status RamBlockDevice::verify_view(const char* view, const std::vector<uint64_t>& tags,
+                                   uint64_t pos, size_t len, std::vector<uint64_t>* bad) const {
+  if (!cfg_.checksum_pages || len == 0) return Status::ok();
+  size_t ps = cfg_.page_size;
+  uint64_t first = pos / ps;
+  uint64_t last = (pos + len - 1) / ps;
+  Status s = Status::ok();
+  for (uint64_t p = first; p <= last; p++) {
+    uint64_t tag = tags[p];
+    if (tag == 0) continue;  // never written: nothing to hold it to
+    if (crc32c(view + p * ps, ps, p) == static_cast<uint32_t>(tag)) continue;
+    stats_.read_crc_failures.fetch_add(1, std::memory_order_relaxed);
+    s = Status::corruption("ssd page " + std::to_string(p) + " checksum mismatch");
+    if (bad == nullptr) return s;  // read path: fail fast
+    bad->push_back(p);             // scrub path: report every bad page
+  }
+  return s;
 }
 
 Status RamBlockDevice::write(uint64_t block, size_t offset, const void* data, size_t len) {
@@ -106,14 +164,40 @@ Result<uint64_t> RamBlockDevice::submit_io(const IoDesc& d) {
                               std::to_string(d.block));
     }
     if (frozen()) return t0;  // acked into the void; host is dead too
+    // Silent-corruption injection. A misdirected write lands the whole
+    // transfer at the wrong LBA but carries the tags of the LBA the host
+    // *claimed* (T10-DIF style), so the clobbered pages fail their
+    // location-seeded check on read while the intended LBA silently keeps
+    // its old contents. A write-side bit flip lands after the page is
+    // checksummed: tag and media disagree from then on.
+    uint64_t land = pos;
+    int64_t seed_delta = 0;
+    if (fo.type == fault::FaultType::kMisdirectedWrite) {
+      uint64_t wrong = misdirect_block(cfg_, d.block, d.offset, d.len, fo.arg);
+      land = wrong * cfg_.block_size() + d.offset;
+      size_t ps = cfg_.page_size;
+      seed_delta = static_cast<int64_t>(pos / ps) - static_cast<int64_t>(land / ps);
+    }
     if (cfg_.power_loss_protection) {
       // Capacitor-backed cache: acknowledged == durable; a single buffer
       // suffices. Concurrent writers target disjoint blocks (the block pool
       // hands each block to one owner), so no lock is needed.
-      std::memcpy(media_.get() + pos, d.wbuf, d.len);
+      std::memcpy(media_.get() + land, d.wbuf, d.len);
+      retag_pages(media_.get(), tags_media_, land, d.len, seed_delta);
+      if (fo.type == fault::FaultType::kBitFlipSsdPage) {
+        uint64_t bit = fo.arg % (cfg_.page_size * 8);
+        media_[(land / cfg_.page_size) * cfg_.page_size + bit / 8] ^=
+            static_cast<char>(1u << (bit % 8));
+      }
     } else {
       std::lock_guard<std::mutex> g(mu_);
-      std::memcpy(cache_view_.get() + pos, d.wbuf, d.len);
+      std::memcpy(cache_view_.get() + land, d.wbuf, d.len);
+      retag_pages(cache_view_.get(), tags_cache_, land, d.len, seed_delta);
+      if (fo.type == fault::FaultType::kBitFlipSsdPage) {
+        uint64_t bit = fo.arg % (cfg_.page_size * 8);
+        cache_view_[(land / cfg_.page_size) * cfg_.page_size + bit / 8] ^=
+            static_cast<char>(1u << (bit % 8));
+      }
     }
     stats_.bytes_written.fetch_add(d.len, std::memory_order_relaxed);
     stats_.write_ios.fetch_add(1, std::memory_order_relaxed);
@@ -129,17 +213,65 @@ Result<uint64_t> RamBlockDevice::submit_io(const IoDesc& d) {
   fault::Outcome fo = fault::hit(fault_, "ssd.read");
   if (fo.type == fault::FaultType::kError) return fo.status;
   uint64_t t0 = now_ns();
-  const char* src = cfg_.power_loss_protection ? media_.get() : cache_view_.get();
-  if (!cfg_.power_loss_protection) {
-    std::lock_guard<std::mutex> g(mu_);
+  char* src = cfg_.power_loss_protection ? media_.get() : cache_view_.get();
+  std::vector<uint64_t>& tags = cfg_.power_loss_protection ? tags_media_ : tags_cache_;
+  Status verdict = Status::ok();
+  {
+    std::unique_lock<std::mutex> g(mu_, std::defer_lock);
+    if (!cfg_.power_loss_protection) g.lock();
+    if (fo.type == fault::FaultType::kBitFlipSsdPage) {
+      // At-rest rot on the page the read touches first: flip it on media,
+      // behind the sidecar's back, before the copy-out.
+      uint64_t bit = fo.arg % (cfg_.page_size * 8);
+      src[(pos / cfg_.page_size) * cfg_.page_size + bit / 8] ^=
+          static_cast<char>(1u << (bit % 8));
+    }
     std::memcpy(d.rbuf, src + pos, d.len);
-  } else {
-    std::memcpy(d.rbuf, src + pos, d.len);
+    // Verify every page the transfer overlaps (full pages from media, so a
+    // flip outside the requested byte range is still caught).
+    verdict = verify_view(src, tags, pos, d.len, nullptr);
   }
+  if (!verdict.is_ok()) return verdict;
   stats_.bytes_read.fetch_add(d.len, std::memory_order_relaxed);
   stats_.read_ios.fetch_add(1, std::memory_order_relaxed);
   return bw_channel_.reserve_from(t0 + cfg_.latency.ssd_read_base_ns,
                                   cfg_.latency.ssd_per_kb_ns * (d.len / 1024));
+}
+
+Status RamBlockDevice::verify_pages(uint64_t block, size_t offset, size_t len,
+                                    std::vector<uint64_t>* bad_pages) {
+  if (block >= cfg_.num_blocks ||
+      block * cfg_.block_size() + offset + len > cfg_.capacity()) {
+    return Status::invalid_argument("verify_pages out of device range");
+  }
+  if (!cfg_.checksum_pages || len == 0) return Status::ok();
+  uint64_t pos = block * cfg_.block_size() + offset;
+  uint64_t t0 = now_ns();
+  Status s;
+  {
+    std::unique_lock<std::mutex> g(mu_, std::defer_lock);
+    if (!cfg_.power_loss_protection) g.lock();
+    const char* view = cfg_.power_loss_protection ? media_.get() : cache_view_.get();
+    const std::vector<uint64_t>& tags =
+        cfg_.power_loss_protection ? tags_media_ : tags_cache_;
+    s = verify_view(view, tags, pos, len, bad_pages);
+  }
+  stats_.bytes_read.fetch_add(len, std::memory_order_relaxed);
+  stats_.read_ios.fetch_add(1, std::memory_order_relaxed);
+  // A scrub pass is a media read: queue its bandwidth share on the shared
+  // channel and wait it out, so scrubbing self-limits against frontend IO.
+  uint64_t deadline = bw_channel_.reserve_from(t0 + cfg_.latency.ssd_read_base_ns,
+                                               cfg_.latency.ssd_per_kb_ns * (len / 1024));
+  uint64_t now = now_ns();
+  if (deadline > now) spin_for_ns(deadline - now);
+  return s;
+}
+
+void RamBlockDevice::flip_media_bit(uint64_t byte_off, uint32_t bit) {
+  std::lock_guard<std::mutex> g(mu_);
+  char mask = static_cast<char>(1u << (bit % 8));
+  media_[byte_off] ^= mask;
+  if (cache_view_ != nullptr) cache_view_[byte_off] ^= mask;
 }
 
 Status RamBlockDevice::flush_cache() {
@@ -149,6 +281,7 @@ Status RamBlockDevice::flush_cache() {
   if (!cfg_.power_loss_protection) {
     std::lock_guard<std::mutex> g(mu_);
     std::memcpy(media_.get(), cache_view_.get(), cfg_.capacity());
+    tags_media_ = tags_cache_;  // sidecar flushes with the data it covers
   }
   return Status::ok();
 }
@@ -158,6 +291,7 @@ void RamBlockDevice::crash() {
   if (cfg_.power_loss_protection) return;  // capacitors flush the cache
   std::lock_guard<std::mutex> g(mu_);
   std::memcpy(cache_view_.get(), media_.get(), cfg_.capacity());
+  tags_cache_ = tags_media_;  // cached-but-unflushed tags die with the cache
 }
 
 void RamBlockDevice::set_fault_injector(fault::FaultInjector* inj) {
@@ -182,6 +316,16 @@ uint64_t RamBlockDevice::media_fingerprint() const {
 // FileBlockDevice
 // ---------------------------------------------------------------------------
 
+namespace {
+// Sidecar file layout: header + one uint64 tag per page.
+struct SidecarHeader {
+  uint64_t magic;
+  uint64_t page_size;
+  uint64_t npages;
+};
+constexpr uint64_t kSidecarMagic = 0x3143524354534444ull;  // "DDSTCRC1"
+}  // namespace
+
 Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::open(const std::string& path,
                                                                DeviceConfig cfg, bool create) {
   int flags = O_RDWR | (create ? O_CREAT | O_TRUNC : 0);
@@ -191,33 +335,152 @@ Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::open(const std::string
     ::close(fd);
     return Status::io_error("ftruncate " + path + " failed");
   }
-  return std::unique_ptr<FileBlockDevice>(new FileBlockDevice(fd, cfg));
+  auto dev = std::unique_ptr<FileBlockDevice>(new FileBlockDevice(fd, path, cfg));
+  if (cfg.checksum_pages) {
+    dev->tags_.assign(cfg.capacity() / cfg.page_size, 0);
+    if (!create) dev->load_sidecar();
+  }
+  return dev;
+}
+
+void FileBlockDevice::load_sidecar() {
+  int fd = ::open((path_ + ".crc").c_str(), O_RDONLY);
+  if (fd < 0) return;  // no sidecar: legacy store, every page unknown
+  SidecarHeader h{};
+  bool ok = pread(fd, &h, sizeof(h), 0) == (ssize_t)sizeof(h) && h.magic == kSidecarMagic &&
+            h.page_size == cfg_.page_size && h.npages == tags_.size();
+  if (ok) {
+    size_t bytes = tags_.size() * sizeof(uint64_t);
+    ok = pread(fd, tags_.data(), bytes, sizeof(h)) == (ssize_t)bytes;
+    if (!ok) std::fill(tags_.begin(), tags_.end(), 0);
+  }
+  ::close(fd);
+}
+
+void FileBlockDevice::save_sidecar() {
+  if (!cfg_.checksum_pages || !tags_dirty_) return;
+  std::string tmp = path_ + ".crc";
+  int fd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  SidecarHeader h{kSidecarMagic, cfg_.page_size, tags_.size()};
+  bool ok = pwrite(fd, &h, sizeof(h), 0) == (ssize_t)sizeof(h);
+  size_t bytes = tags_.size() * sizeof(uint64_t);
+  ok = ok && pwrite(fd, tags_.data(), bytes, sizeof(h)) == (ssize_t)bytes;
+  if (ok) tags_dirty_ = false;
+  ::close(fd);
 }
 
 FileBlockDevice::~FileBlockDevice() {
+  save_sidecar();
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status FileBlockDevice::write(uint64_t block, size_t offset, const void* data, size_t len) {
-  DSTORE_RETURN_IF_ERROR(check_io(cfg_, block, offset, len));
-  fault::Outcome fo = fault::hit(fault_, "ssd.write");
-  if (fo.type == fault::FaultType::kError) return fo.status;
-  off_t pos = (off_t)(block * cfg_.block_size() + offset);
-  ssize_t n = pwrite(fd_, data, len, pos);
+void FileBlockDevice::retag_range(uint64_t pos, size_t len, const char* buf, int64_t seed_delta) {
+  if (!cfg_.checksum_pages || len == 0) return;
+  size_t ps = cfg_.page_size;
+  uint64_t first = pos / ps;
+  uint64_t last = (pos + len - 1) / ps;
+  std::vector<char> tmp;
+  for (uint64_t p = first; p <= last; p++) {
+    uint64_t seed = static_cast<uint64_t>(static_cast<int64_t>(p) + seed_delta);
+    const char* page;
+    if (p * ps >= pos && (p + 1) * ps <= pos + len) {
+      page = buf + (p * ps - pos);  // fully covered by the caller's buffer
+    } else {
+      // Boundary page: the result on media mixes old and new bytes.
+      tmp.resize(ps);
+      if (pread(fd_, tmp.data(), ps, (off_t)(p * ps)) != (ssize_t)ps) continue;
+      page = tmp.data();
+    }
+    tags_[p] = make_tag(page, ps, seed);
+  }
+  tags_dirty_ = true;
+}
+
+Status FileBlockDevice::verify_range(uint64_t pos, size_t len, const char* buf,
+                                     std::vector<uint64_t>* bad) const {
+  if (!cfg_.checksum_pages || len == 0) return Status::ok();
+  size_t ps = cfg_.page_size;
+  uint64_t first = pos / ps;
+  uint64_t last = (pos + len - 1) / ps;
+  std::vector<char> tmp;
+  Status s = Status::ok();
+  for (uint64_t p = first; p <= last; p++) {
+    uint64_t tag = tags_[p];
+    if (tag == 0) continue;
+    const char* page;
+    if (buf != nullptr && p * ps >= pos && (p + 1) * ps <= pos + len) {
+      page = buf + (p * ps - pos);
+    } else {
+      tmp.resize(ps);
+      if (pread(fd_, tmp.data(), ps, (off_t)(p * ps)) != (ssize_t)ps) {
+        return Status::io_error("pread for page verification failed");
+      }
+      page = tmp.data();
+    }
+    if (crc32c(page, ps, p) == static_cast<uint32_t>(tag)) continue;
+    stats_.read_crc_failures.fetch_add(1, std::memory_order_relaxed);
+    s = Status::corruption("ssd page " + std::to_string(p) + " checksum mismatch");
+    if (bad == nullptr) return s;
+    bad->push_back(p);
+  }
+  return s;
+}
+
+Status FileBlockDevice::do_write(uint64_t block, size_t offset, const void* data, size_t len,
+                                 const fault::Outcome& fo) {
+  size_t ps = cfg_.page_size;
+  uint64_t pos = block * cfg_.block_size() + offset;
+  uint64_t land = pos;
+  int64_t seed_delta = 0;
+  if (fo.type == fault::FaultType::kMisdirectedWrite) {
+    uint64_t wrong = misdirect_block(cfg_, block, offset, len, fo.arg);
+    land = wrong * cfg_.block_size() + offset;
+    seed_delta = static_cast<int64_t>(pos / ps) - static_cast<int64_t>(land / ps);
+  }
+  ssize_t n = pwrite(fd_, data, len, (off_t)land);
   if (n != (ssize_t)len) return Status::io_error("pwrite short/failed");
+  retag_range(land, len, static_cast<const char*>(data), seed_delta);
+  if (fo.type == fault::FaultType::kBitFlipSsdPage) {
+    uint64_t bit = fo.arg % (ps * 8);
+    off_t bpos = (off_t)((land / ps) * ps + bit / 8);
+    char c;
+    if (pread(fd_, &c, 1, bpos) == 1) {
+      c ^= static_cast<char>(1u << (bit % 8));
+      (void)!pwrite(fd_, &c, 1, bpos);
+    }
+  }
   stats_.bytes_written.fetch_add(len, std::memory_order_relaxed);
   stats_.write_ios.fetch_add(1, std::memory_order_relaxed);
   if (bw_series_ != nullptr) bw_series_->add(len);
   return Status::ok();
 }
 
+Status FileBlockDevice::write(uint64_t block, size_t offset, const void* data, size_t len) {
+  DSTORE_RETURN_IF_ERROR(check_io(cfg_, block, offset, len));
+  fault::Outcome fo = fault::hit(fault_, "ssd.write");
+  if (fo.type == fault::FaultType::kError) return fo.status;
+  return do_write(block, offset, data, len, fo);
+}
+
 Status FileBlockDevice::read(uint64_t block, size_t offset, void* out, size_t len) const {
   DSTORE_RETURN_IF_ERROR(check_io(cfg_, block, offset, len));
   fault::Outcome fo = fault::hit(fault_, "ssd.read");
   if (fo.type == fault::FaultType::kError) return fo.status;
-  off_t pos = (off_t)(block * cfg_.block_size() + offset);
-  ssize_t n = pread(fd_, out, len, pos);
+  uint64_t pos = block * cfg_.block_size() + offset;
+  if (fo.type == fault::FaultType::kBitFlipSsdPage) {
+    // At-rest rot: flip on disk, behind the sidecar, before the copy-out.
+    uint64_t bit = fo.arg % (cfg_.page_size * 8);
+    off_t bpos = (off_t)((pos / cfg_.page_size) * cfg_.page_size + bit / 8);
+    char c;
+    if (pread(fd_, &c, 1, bpos) == 1) {
+      c ^= static_cast<char>(1u << (bit % 8));
+      (void)!pwrite(fd_, &c, 1, bpos);
+    }
+  }
+  ssize_t n = pread(fd_, out, len, (off_t)pos);
   if (n != (ssize_t)len) return Status::io_error("pread short/failed");
+  DSTORE_RETURN_IF_ERROR(verify_range(pos, len, static_cast<const char*>(out), nullptr));
   stats_.bytes_read.fetch_add(len, std::memory_order_relaxed);
   stats_.read_ios.fetch_add(1, std::memory_order_relaxed);
   return Status::ok();
@@ -225,28 +488,49 @@ Status FileBlockDevice::read(uint64_t block, size_t offset, void* out, size_t le
 
 Result<uint64_t> FileBlockDevice::submit_io(const IoDesc& d) {
   DSTORE_RETURN_IF_ERROR(check_desc(cfg_, d));
-  off_t pos = (off_t)(d.block * cfg_.block_size() + d.offset);
   if (d.is_write()) {
     fault::Outcome fo = fault::hit(fault_, "ssd.write");
     if (fo.type == fault::FaultType::kError) return fo.status;
-    ssize_t n = pwrite(fd_, d.wbuf, d.len, pos);
-    if (n != (ssize_t)d.len) return Status::io_error("pwrite short/failed");
-    stats_.bytes_written.fetch_add(d.len, std::memory_order_relaxed);
-    stats_.write_ios.fetch_add(1, std::memory_order_relaxed);
-    if (bw_series_ != nullptr) bw_series_->add(d.len);
+    DSTORE_RETURN_IF_ERROR(do_write(d.block, d.offset, d.wbuf, d.len, fo));
   } else {
     fault::Outcome fo = fault::hit(fault_, "ssd.read");
     if (fo.type == fault::FaultType::kError) return fo.status;
-    ssize_t n = pread(fd_, d.rbuf, d.len, pos);
+    uint64_t pos = d.block * cfg_.block_size() + d.offset;
+    if (fo.type == fault::FaultType::kBitFlipSsdPage) {
+      uint64_t bit = fo.arg % (cfg_.page_size * 8);
+      off_t bpos = (off_t)((pos / cfg_.page_size) * cfg_.page_size + bit / 8);
+      char c;
+      if (pread(fd_, &c, 1, bpos) == 1) {
+        c ^= static_cast<char>(1u << (bit % 8));
+        (void)!pwrite(fd_, &c, 1, bpos);
+      }
+    }
+    ssize_t n = pread(fd_, d.rbuf, d.len, (off_t)pos);
     if (n != (ssize_t)d.len) return Status::io_error("pread short/failed");
+    DSTORE_RETURN_IF_ERROR(verify_range(pos, d.len, static_cast<const char*>(d.rbuf), nullptr));
     stats_.bytes_read.fetch_add(d.len, std::memory_order_relaxed);
     stats_.read_ios.fetch_add(1, std::memory_order_relaxed);
   }
   return now_ns();  // real pread/pwrite: complete on return
 }
 
+Status FileBlockDevice::verify_pages(uint64_t block, size_t offset, size_t len,
+                                     std::vector<uint64_t>* bad_pages) {
+  if (block >= cfg_.num_blocks ||
+      block * cfg_.block_size() + offset + len > cfg_.capacity()) {
+    return Status::invalid_argument("verify_pages out of device range");
+  }
+  if (!cfg_.checksum_pages || len == 0) return Status::ok();
+  uint64_t pos = block * cfg_.block_size() + offset;
+  Status s = verify_range(pos, len, nullptr, bad_pages);
+  stats_.bytes_read.fetch_add(len, std::memory_order_relaxed);
+  stats_.read_ios.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
 Status FileBlockDevice::flush_cache() {
   if (fdatasync(fd_) != 0) return Status::io_error("fdatasync failed");
+  save_sidecar();
   return Status::ok();
 }
 

@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/bandwidth.h"
 #include "common/latency_model.h"
@@ -39,6 +40,8 @@ struct DeviceStats {
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> write_ios{0};
   std::atomic<uint64_t> read_ios{0};
+  // Pages whose sidecar checksum failed verification (read path + scrub).
+  std::atomic<uint64_t> read_crc_failures{0};
 };
 
 // One element of an async submission queue: an IO of `len` bytes starting
@@ -61,6 +64,11 @@ struct DeviceConfig {
   size_t pages_per_block = 1;    // allocation unit = block
   size_t num_blocks = 16384;
   bool power_loss_protection = true;
+  // Per-page CRC32C sidecar (the emulation analogue of T10-DIF protection
+  // information): every write records a location-seeded page checksum,
+  // every read verifies it, so bit rot and misdirected writes surface as
+  // Status::corruption instead of silently wrong bytes.
+  bool checksum_pages = true;
   LatencyModel latency = LatencyModel::none();
 
   size_t block_size() const { return page_size * pages_per_block; }
@@ -102,8 +110,27 @@ class BlockDevice {
 
   // Attach a deterministic fault injector: every IO becomes a fault point
   // ("ssd.write" / "ssd.read" / "ssd.flush") supporting transient errors,
-  // latency spikes and — on RamBlockDevice — torn pages on power loss.
+  // latency spikes, silent corruption (bit flips, misdirected writes) and
+  // — on RamBlockDevice — torn pages on power loss.
   virtual void set_fault_injector(fault::FaultInjector* inj) { (void)inj; }
+
+  // True when the device maintains a page-checksum sidecar (and therefore
+  // verifies reads itself). The scrubber and fsck use verify_pages() to
+  // check at-rest data without copying it out.
+  virtual bool has_page_checksums() const { return false; }
+
+  // Verify the sidecar checksums of every page overlapping
+  // [block*block_size+offset, +len) against current media contents. Appends
+  // the absolute index of each failing page to `bad_pages` (when non-null)
+  // and keeps scanning, so one call reports every bad page in the range.
+  // Charged like a media read: the scrubber is rate-limited through the
+  // same bandwidth channel as frontend IO. Default: no sidecar, trivially
+  // clean.
+  virtual Status verify_pages(uint64_t block, size_t offset, size_t len,
+                              std::vector<uint64_t>* bad_pages) {
+    (void)block, (void)offset, (void)len, (void)bad_pages;
+    return Status::ok();
+  }
 };
 
 // Memory-backed device with crash simulation.
@@ -138,10 +165,35 @@ class RamBlockDevice final : public BlockDevice {
   // equal; used by the seed-determinism harness check.
   uint64_t media_fingerprint() const;
 
+  bool has_page_checksums() const override { return cfg_.checksum_pages; }
+  Status verify_pages(uint64_t block, size_t offset, size_t len,
+                      std::vector<uint64_t>* bad_pages) override;
+
+  // Tamper helper for integrity tests: flip bit `bit` of media byte
+  // `byte_off` behind the sidecar's back (both buffers in !PLP mode), as
+  // silent media rot would. The next read or scrub of that page must fail.
+  void flip_media_bit(uint64_t byte_off, uint32_t bit);
+
  private:
+  // Recompute the sidecar tags of every page overlapping [pos, pos+len) of
+  // `view`. `seed_delta` shifts the location seed: 0 for a correct write,
+  // intended_page - landed_page for a misdirected one (the device checksums
+  // the LBA the host *claimed*, so the misplaced pages verify against the
+  // wrong location and fail on read).
+  void retag_pages(const char* view, std::vector<uint64_t>& tags, uint64_t pos,
+                   size_t len, int64_t seed_delta);
+  // Verify tags over [pos, pos+len) of `view`. With `bad` set, collects
+  // every failing page and keeps going; otherwise fails fast.
+  Status verify_view(const char* view, const std::vector<uint64_t>& tags,
+                     uint64_t pos, size_t len, std::vector<uint64_t>* bad) const;
+
   DeviceConfig cfg_;
   std::unique_ptr<char[]> media_;        // durable contents
   std::unique_ptr<char[]> cache_view_;   // current contents incl. cached writes (!plp only)
+  // Page-checksum sidecar, one tag per page mirroring media_/cache_view_.
+  // 0 = never written (unverifiable); else (1<<32) | crc32c(page, page_idx).
+  std::vector<uint64_t> tags_media_;
+  std::vector<uint64_t> tags_cache_;  // !plp only
   mutable DeviceStats stats_;
   TimeSeries* bw_series_ = nullptr;
   mutable BandwidthChannel bw_channel_;  // shared media bandwidth queue
@@ -150,7 +202,12 @@ class RamBlockDevice final : public BlockDevice {
   mutable std::mutex mu_;  // only guards the !PLP dual-buffer bookkeeping
 };
 
-// File-backed device (pread/pwrite on a regular file).
+// File-backed device (pread/pwrite on a regular file). The page-checksum
+// sidecar persists next to the image as `<path>.crc` (saved on flush_cache
+// and close, loaded on open), so an offline hex edit of the image is caught
+// on the next read or `dstore_fsck --deep` pass. A store whose sidecar is
+// missing or stale opens with every page unknown: legacy data is served
+// unverified, new writes regain protection.
 class FileBlockDevice final : public BlockDevice {
  public:
   // Creates/truncates the file when `create` is true; otherwise opens it.
@@ -167,13 +224,35 @@ class FileBlockDevice final : public BlockDevice {
   const DeviceConfig& config() const override { return cfg_; }
   const DeviceStats& stats() const override { return stats_; }
   void set_bandwidth_series(TimeSeries* ts) override { bw_series_ = ts; }
-  // Error/delay injection only; torn pages and freeze need the RAM device.
+  // Error/delay/corruption injection; torn pages and freeze need the RAM
+  // device.
   void set_fault_injector(fault::FaultInjector* inj) override { fault_ = inj; }
 
+  bool has_page_checksums() const override { return cfg_.checksum_pages; }
+  Status verify_pages(uint64_t block, size_t offset, size_t len,
+                      std::vector<uint64_t>* bad_pages) override;
+
  private:
-  FileBlockDevice(int fd, DeviceConfig cfg) : fd_(fd), cfg_(cfg) {}
+  FileBlockDevice(int fd, std::string path, DeviceConfig cfg)
+      : fd_(fd), path_(std::move(path)), cfg_(cfg) {}
+
+  // Shared write path: applies misdirect/bit-flip outcomes, performs the
+  // pwrite, recomputes sidecar tags of the touched pages.
+  Status do_write(uint64_t block, size_t offset, const void* data, size_t len,
+                  const fault::Outcome& fo);
+  // Verify tags over [pos, pos+len); pages fully inside the caller's buffer
+  // are checksummed from it, boundary pages are re-read from the file.
+  Status verify_range(uint64_t pos, size_t len, const char* buf,
+                      std::vector<uint64_t>* bad) const;
+  void retag_range(uint64_t pos, size_t len, const char* buf, int64_t seed_delta);
+  void load_sidecar();
+  void save_sidecar();
+
   int fd_;
+  std::string path_;
   DeviceConfig cfg_;
+  std::vector<uint64_t> tags_;  // sidecar; same encoding as RamBlockDevice
+  bool tags_dirty_ = false;
   mutable DeviceStats stats_;
   TimeSeries* bw_series_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;

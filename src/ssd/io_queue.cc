@@ -20,8 +20,12 @@ size_t IoQueue::submit(const IoDesc& d) {
     }
   } else {
     // Errored at submission: the device posts the completion immediately.
+    // A checksum-failed read completes here too — the device verifies the
+    // sidecar before acking, so the bad completion is visible the moment
+    // the caller reaps it, never after the data has been consumed.
     sub.status = r.status();
     sub.done = true;
+    if (sub.status.code() == Code::kCorruption) crc_failures_++;
   }
   subs_.push_back(std::move(sub));
   return subs_.size() - 1;
@@ -58,6 +62,7 @@ Status IoQueue::resubmit(size_t id) {
   if (!r.is_ok()) {
     sub.status = r.status();
     sub.done = true;
+    if (sub.status.code() == Code::kCorruption) crc_failures_++;
     return sub.status;
   }
   uint64_t now = now_ns();

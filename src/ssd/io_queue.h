@@ -72,6 +72,10 @@ class IoQueue {
   size_t in_flight() const { return inflight_; }
   // Descriptors re-issued through resubmit() over this queue's lifetime.
   size_t resubmits() const { return resubmits_; }
+  // Completions that carried a page-checksum failure (Status corruption).
+  // The device verifies the sidecar before posting the completion, so this
+  // counts every read whose data could not be trusted.
+  size_t crc_failures() const { return crc_failures_; }
 
   // Completion status of submission `id`. Only meaningful once reaped
   // (poll()/wait_all()); an unreaped in-flight IO reads as ok.
@@ -98,6 +102,7 @@ class IoQueue {
   std::vector<Sub> subs_;
   size_t inflight_ = 0;
   size_t resubmits_ = 0;
+  size_t crc_failures_ = 0;
 };
 
 }  // namespace dstore::ssd

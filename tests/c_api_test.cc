@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "dstore/dstore_c.h"
@@ -130,6 +131,51 @@ TEST(CApi, PersistsThroughBackingDir) {
     char buf[16] = {};
     EXPECT_EQ(oget(ctx, "persists", buf, sizeof(buf)), (ssize_t)8);
     EXPECT_STREQ(buf, "durable");
+    ds_finalize(ctx);
+    dstore_close(s);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CApi, CorruptionSurfacesAsEcorrupt) {
+  auto dir = std::filesystem::temp_directory_path() / "dstore_capi_corrupt";
+  std::filesystem::remove_all(dir);
+  dstore_options o = small_opts(dir.c_str());
+  const char v[] = "bytes that are about to rot on the device";
+  {
+    dstore_t* s = dstore_open(&o, /*create=*/1);
+    ASSERT_NE(s, nullptr);
+    ds_ctx_t* ctx = ds_init(s);
+    ASSERT_EQ(oput(ctx, "victim", v, sizeof(v)), (ssize_t)sizeof(v));
+    ds_finalize(ctx);
+    dstore_close(s);
+  }
+  // Hex-edit the data image behind the store's back — silent media rot.
+  // The page-checksum sidecar (data.img.crc) is left intact, so the edit
+  // is exactly the mismatch the integrity layer exists to catch.
+  {
+    std::fstream img(dir / "data.img",
+                     std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(img.is_open());
+    std::string blob((std::istreambuf_iterator<char>(img)), {});
+    size_t pos = blob.find("about to rot");
+    ASSERT_NE(pos, std::string::npos);
+    img.clear();
+    img.seekp((std::streamoff)pos);
+    char flipped = (char)(blob[pos] ^ 0x01);
+    img.write(&flipped, 1);
+  }
+  {
+    dstore_t* s = dstore_open(&o, /*create=*/0);  // recover
+    ASSERT_NE(s, nullptr);
+    ds_ctx_t* ctx = ds_init(s);
+    char buf[64] = {};
+    // The read must never return the rotten bytes as OK: the device-level
+    // checksum fails, repair has no log copy to heal from, and the error
+    // propagates through the C bindings as DS_ECORRUPT.
+    EXPECT_EQ(oget(ctx, "victim", buf, sizeof(buf)), (ssize_t)DS_ECORRUPT);
+    EXPECT_EQ(ds_last_error_code(), DS_ECORRUPT);
+    EXPECT_NE(ds_last_error()[0], '\0');
     ds_finalize(ctx);
     dstore_close(s);
   }

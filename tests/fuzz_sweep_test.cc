@@ -106,7 +106,7 @@ TEST_P(SlabFuzz, RandomAllocFreeNoCorruption) {
       for (size_t b = 0; b < a.size; b += 97) {
         ASSERT_EQ((uint8_t)p[b], a.fill) << "seed " << seed << " alloc " << a.off;
       }
-      sp.free(a.off);
+      ASSERT_TRUE(sp.free(a.off).is_ok());
       live.erase(live.begin() + idx);
     } else {
       size_t size = 1 + rng.next_below(1 << (4 + rng.next_below(10)));  // 1B..16KB
@@ -123,7 +123,7 @@ TEST_P(SlabFuzz, RandomAllocFreeNoCorruption) {
   for (const Alloc& a : live) {
     const char* p = arena.at(a.off);
     for (size_t b = 0; b < a.size; b += 97) ASSERT_EQ((uint8_t)p[b], a.fill);
-    sp.free(a.off);
+    ASSERT_TRUE(sp.free(a.off).is_ok());
   }
   EXPECT_EQ(sp.allocated_bytes(), 0u) << "seed " << seed;
   EXPECT_EQ(sp.allocation_count(), 0u);

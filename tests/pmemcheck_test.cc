@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/crc32c.h"
 #include "common/rng.h"
 #include "dipper/engine.h"
 #include "ds/btree.h"
@@ -216,8 +217,11 @@ TEST(PmemCheckLog, ForgedUnpersistedRecordCaughtOnRead) {
   pool.attach_checker(&checker);
   PmemLog log(&pool, 0, 64);
   log.format();
-  // A buggy writer that skips the persist: stores the record (LSN and all)
-  // with plain memory writes and never flushes.
+  // A buggy writer that skips the persist: stores the record (LSN and all,
+  // including a *correct* slot CRC) with plain memory writes and never
+  // flushes. The CRC must be valid — the defect under test is the missing
+  // persist, and a checksum failure would mask it behind the earlier
+  // integrity tier.
   struct RawSlot {
     uint64_t lsn;
     uint32_t length;
@@ -225,7 +229,9 @@ TEST(PmemCheckLog, ForgedUnpersistedRecordCaughtOnRead) {
     uint16_t flags;
     uint64_t arg0, arg1;
     uint8_t klen;
-    char name[3];
+    char name[kMaxNameLen];
+    uint32_t crc;
+    uint32_t payload_crc;
   };
   auto* raw = reinterpret_cast<RawSlot*>(pool.base());
   raw->length = 8 + 8 + 1 + 3;
@@ -234,6 +240,18 @@ TEST(PmemCheckLog, ForgedUnpersistedRecordCaughtOnRead) {
   raw->arg0 = 7;
   raw->klen = 3;
   std::memcpy(raw->name, "key", 3);
+  {  // mirror of PmemLog::record_crc for slot 0, lsn 42
+    uint32_t c = 0xffffffffu;
+    c = crc32c_extend_u64(c, 0);
+    c = crc32c_extend_u64(c, 42);
+    c = crc32c_extend_u64(c, ((uint64_t)raw->length << 32) | raw->op);
+    c = crc32c_extend_u64(c, raw->arg0);
+    c = crc32c_extend_u64(c, raw->arg1);
+    c = crc32c_extend_u64(c, ((uint64_t)raw->klen << 32) | raw->payload_crc);
+    c = crc32c_extend(c, raw->name, raw->klen);
+    c ^= 0xffffffffu;
+    raw->crc = c == 0 ? 1u : c;
+  }
   raw->lsn = 42;  // published without any flush/fence
   LogRecordView rec;
   ASSERT_TRUE(log.read(0, &rec));  // replay would consume this record...

@@ -124,7 +124,7 @@ TEST_F(PoolTest, MetadataZoneInitAndRelease) {
   EXPECT_EQ(e->name.str(), "hello");
   EXPECT_EQ(e->nblocks, 0u);
 
-  zone.release_entry(3);
+  ASSERT_TRUE(zone.release_entry(3).is_ok());
   EXPECT_FALSE(zone.entry(3)->in_use);
 }
 

@@ -63,7 +63,7 @@ TEST_F(SlabTest, AllocationSizeIsClassCapacity) {
 TEST_F(SlabTest, AllocZeroedZeroes) {
   offset_t a = sp_.alloc(256);
   std::memset(arena_.at(a), 0xff, 256);
-  sp_.free(a);
+  ASSERT_TRUE(sp_.free(a).is_ok());
   offset_t b = sp_.alloc_zeroed(256);
   EXPECT_EQ(a, b);  // LIFO reuse of the same block
   for (int i = 0; i < 256; i++) EXPECT_EQ(arena_.at(b)[i], 0);
@@ -71,14 +71,40 @@ TEST_F(SlabTest, AllocZeroedZeroes) {
 
 TEST_F(SlabTest, FreeEnablesReuse) {
   offset_t a = sp_.alloc(500);
-  sp_.free(a);
+  ASSERT_TRUE(sp_.free(a).is_ok());
   offset_t b = sp_.alloc(500);
   EXPECT_EQ(a, b);
 }
 
 TEST_F(SlabTest, FreeNullIsNoop) {
-  sp_.free(0);
+  EXPECT_TRUE(sp_.free(0).is_ok());
   EXPECT_EQ(sp_.allocation_count(), 0u);
+}
+
+TEST_F(SlabTest, DoubleFreeReturnsCorruption) {
+  offset_t a = sp_.alloc(100);
+  ASSERT_NE(a, 0u);
+  ASSERT_TRUE(sp_.free(a).is_ok());
+  // The first free replaced the allocation tag with a free-list link, so a
+  // second free must be detected instead of double-threading the block.
+  Status s = sp_.free(a);
+  EXPECT_EQ(s.code(), Code::kCorruption);
+  // Allocator state is untouched by the rejected free: the block is handed
+  // out exactly once.
+  offset_t b = sp_.alloc(100);
+  EXPECT_EQ(b, a);
+  offset_t c = sp_.alloc(100);
+  EXPECT_NE(c, a);
+}
+
+TEST_F(SlabTest, FreeWithClobberedTagReturnsCorruption) {
+  offset_t a = sp_.alloc(64);
+  ASSERT_NE(a, 0u);
+  uint64_t count = sp_.allocation_count();
+  // Scribble over the allocation tag (the 8 bytes preceding the payload).
+  std::memset(arena_.at(a - 8), 0x5a, 8);
+  EXPECT_EQ(sp_.free(a).code(), Code::kCorruption);
+  EXPECT_EQ(sp_.allocation_count(), count);  // accounting untouched
 }
 
 TEST_F(SlabTest, AccountingTracksAllocations) {
@@ -88,8 +114,8 @@ TEST_F(SlabTest, AccountingTracksAllocations) {
   EXPECT_EQ(sp_.allocation_count(), 2u);
   uint64_t bytes = sp_.allocated_bytes();
   EXPECT_GE(bytes, 2 * 64u);
-  sp_.free(a);
-  sp_.free(b);
+  ASSERT_TRUE(sp_.free(a).is_ok());
+  ASSERT_TRUE(sp_.free(b).is_ok());
   EXPECT_EQ(sp_.allocation_count(), 0u);
   EXPECT_EQ(sp_.allocated_bytes(), 0u);
 }
@@ -97,7 +123,7 @@ TEST_F(SlabTest, AccountingTracksAllocations) {
 TEST_F(SlabTest, DifferentClassesDontMix) {
   offset_t small = sp_.alloc(16);
   offset_t big = sp_.alloc(4096);
-  sp_.free(small);
+  ASSERT_TRUE(sp_.free(small).is_ok());
   offset_t big2 = sp_.alloc(4096);
   EXPECT_NE(big2, small);  // the freed 32B block can't satisfy a 4KB class
   EXPECT_NE(big2, big);
@@ -190,7 +216,7 @@ TEST_F(SlabTest, DeterministicReplayAfterClone) {
   for (int i = 0; i < 500; i++) {
     if (!live.empty() && ops_rng.next_bool(0.4)) {
       size_t idx = ops_rng.next_below(live.size());
-      sp_.free(live[idx]);
+      ASSERT_TRUE(sp_.free(live[idx]).is_ok());
       live.erase(live.begin() + idx);
     } else {
       offset_t o = sp_.alloc(16 << ops_rng.next_below(8));
@@ -227,7 +253,7 @@ TEST_P(SlabSizeSweep, AllocWriteFreeCycle) {
   ASSERT_NE(o, 0u);
   ASSERT_GE(sp.allocation_size(o), size);
   std::memset(arena.at(o), 0x42, size);
-  sp.free(o);
+  ASSERT_TRUE(sp.free(o).is_ok());
   offset_t o2 = sp.alloc(size);
   EXPECT_EQ(o2, o);
 }

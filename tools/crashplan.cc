@@ -7,6 +7,11 @@
 //                                     verify against the oracle
 //   crashplan --seed=N                generate and run FaultPlan::random(N)
 //   crashplan --sweep                 every single-crash plan over the space
+//   crashplan --corruption-sweep      every silent-corruption plan (SSD page
+//                                     bit-flips + misdirected writes) over the
+//                                     space; a plan fails only if some read
+//                                     returns wrong bytes *silently*
+//   crashplan --corruption-plan=STRING  run one corruption plan
 //       [--artifact=FILE]             append failing plan strings to FILE
 //
 // Exit status: 0 = all runs verified, 1 = at least one oracle violation or
@@ -41,8 +46,31 @@ int run_one(const FaultPlan& plan, const char* artifact) {
   return 1;
 }
 
+// Corruption plans never power-fail the rig; the pass/fail question is the
+// integrity contract — corruption must be detected or repaired on read,
+// never silently returned (DESIGN.md §11).
+int run_one_corruption(const FaultPlan& plan, const RigOptions& opt, const char* artifact) {
+  CrashRig rig(opt);
+  bool crashed = rig.run(plan);
+  Status s = crashed ? Status::internal("corruption plan crashed the rig") : Status::ok();
+  uint64_t detected = 0;
+  if (s.is_ok()) s = rig.verify_integrity(&detected);
+  if (s.is_ok()) {
+    std::printf("ok     %s  (%llu detected)\n", plan.to_string().c_str(),
+                (unsigned long long)detected);
+    return 0;
+  }
+  std::printf("FAIL   %s  — %s\n", plan.to_string().c_str(), s.to_string().c_str());
+  if (artifact != nullptr) {
+    std::ofstream f(artifact, std::ios::app);
+    f << plan.to_string() << "\n";
+  }
+  return 1;
+}
+
 int main(int argc, char** argv) {
-  bool enumerate = false, sweep = false;
+  bool enumerate = false, sweep = false, corruption_sweep = false;
+  const char* corruption_plan_text = nullptr;
   const char* plan_text = nullptr;
   const char* seed_text = nullptr;
   const char* artifact = nullptr;
@@ -52,6 +80,10 @@ int main(int argc, char** argv) {
       enumerate = true;
     } else if (std::strcmp(a, "--sweep") == 0) {
       sweep = true;
+    } else if (std::strcmp(a, "--corruption-sweep") == 0) {
+      corruption_sweep = true;
+    } else if (std::strncmp(a, "--corruption-plan=", 18) == 0) {
+      corruption_plan_text = a + 18;
     } else if (std::strncmp(a, "--plan=", 7) == 0) {
       plan_text = a + 7;
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
@@ -61,7 +93,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: crashplan --enumerate | --plan=STRING | --seed=N | "
-                   "--sweep [--artifact=FILE]\n");
+                   "--sweep | --corruption-sweep | --corruption-plan=STRING "
+                   "[--artifact=FILE]\n");
       return 2;
     }
   }
@@ -100,9 +133,36 @@ int main(int argc, char** argv) {
     std::printf("%zu plans, %d failures\n", ran, failures);
     return failures == 0 ? 0 : 1;
   }
+  if (corruption_sweep || corruption_plan_text != nullptr) {
+    // repair_logging keeps whole-object payload copies in the DIPPER log so
+    // the sweep also exercises the read-repair arm of the containment
+    // ladder, not just detect-and-quarantine.
+    RigOptions opt;
+    opt.repair_logging = true;
+    int failures = 0;
+    size_t ran = 0;
+    if (corruption_plan_text != nullptr) {
+      auto plan = FaultPlan::parse(corruption_plan_text);
+      if (!plan.is_ok()) {
+        std::fprintf(stderr, "bad plan: %s\n", plan.status().to_string().c_str());
+        return 2;
+      }
+      failures = run_one_corruption(plan.value(), opt, artifact);
+      ran = 1;
+    } else {
+      auto space = CrashRig::enumerate_schedule(opt);
+      for (const FaultPlan& plan : all_corruption_plans(space)) {
+        failures += run_one_corruption(plan, opt, artifact);
+        ran++;
+      }
+    }
+    std::printf("%zu plans, %d failures\n", ran, failures);
+    return failures == 0 ? 0 : 1;
+  }
   std::fprintf(stderr,
                "usage: crashplan --enumerate | --plan=STRING | --seed=N | "
-               "--sweep [--artifact=FILE]\n");
+               "--sweep | --corruption-sweep | --corruption-plan=STRING "
+               "[--artifact=FILE]\n");
   return 2;
 }
 

@@ -14,6 +14,7 @@
 //   dstore_cli --dir DIR ls
 //   dstore_cli --dir DIR stat
 //   dstore_cli --dir DIR checkpoint
+//   dstore_cli --dir DIR scrub
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -73,7 +74,7 @@ int open_store(const fs::path& dir, bool create, const Manifest& manifest, CliSt
   }
   out->cfg = config_from(m);
   auto pool = pmem::Pool::open_file((dir / "pmem.img").string(),
-                                    dipper::Engine::required_pool_bytes(out->cfg.engine),
+                                    DStoreConfig::required_pool_bytes(out->cfg),
                                     LatencyModel::none(), create);
   if (!pool.is_ok()) {
     fprintf(stderr, "pmem open failed: %s\n", pool.status().to_string().c_str());
@@ -132,7 +133,8 @@ int usage() {
           "  del NAME                          delete an object\n"
           "  ls                                list objects\n"
           "  stat                              space usage & engine stats\n"
-          "  checkpoint                        force a checkpoint\n");
+          "  checkpoint                        force a checkpoint\n"
+          "  scrub                             one full integrity pass\n");
   return 2;
 }
 
@@ -240,6 +242,24 @@ int main(int argc, char** argv) {
     Status st = s.store->checkpoint_now();
     printf("checkpoint: %s\n", st.to_string().c_str());
     rc = st.is_ok() ? 0 : 1;
+  } else if (cmd == "scrub") {
+    // One full verification pass: metadata CRCs, the SSD page checksum
+    // sidecar, and whole-object content CRCs; detected corruption runs the
+    // repair/quarantine ladder just like a foreground read would.
+    DStore::ScrubReport rep;
+    Status st = s.store->scrub_now(&rep);
+    printf("scrub: %llu objects scanned, %llu pages verified\n",
+           (unsigned long long)rep.objects_scanned, (unsigned long long)rep.pages_verified);
+    printf("scrub: %llu checksum failure(s), %llu repaired, %llu page(s) quarantined\n",
+           (unsigned long long)rep.checksum_failures, (unsigned long long)rep.repaired,
+           (unsigned long long)rep.quarantined_pages);
+    for (const std::string& name : rep.corrupt_objects) {
+      fprintf(stderr, "scrub: CORRUPT OBJECT %s (unrepairable)\n", name.c_str());
+    }
+    if (!st.is_ok()) {
+      fprintf(stderr, "scrub: FAILED: %s\n", st.to_string().c_str());
+      rc = 1;
+    }
   } else {
     s.store->ds_finalize(ctx);
     return usage();

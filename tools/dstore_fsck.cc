@@ -9,9 +9,14 @@
 //   * btree structure (ordering, fill factors, uniform depth);
 //   * btree <-> metadata-zone agreement (names, liveness, block counts);
 //   * block/metadata pool accounting (free + in-use == capacity);
-//   * per-object data-plane readability (every block readable).
+//   * with --deep, full checksum verification (DESIGN.md §11): metadata
+//     entry CRCs, the per-page SSD checksum sidecar over every object's
+//     used bytes, whole-object content CRCs, and per-object data-plane
+//     readability — a hex-edited image is flagged here.
 //
-// Exit code 0 = clean; 1 = open/recovery failed; 2 = invariant violations.
+// Exit code 0 = clean; 1 = open/recovery failed; 2 = invariant violations;
+// 64 = usage error (EX_USAGE, so scripts can tell "bad invocation" from
+// "bad store").
 //
 //   dstore_fsck --dir DIR [--deep]
 #include <cstdio>
@@ -40,7 +45,7 @@ int main(int argc, char** argv) {
   }
   if (dir.empty()) {
     fprintf(stderr, "usage: dstore_fsck --dir DIR [--deep]\n");
-    return 2;
+    return 64;  // EX_USAGE
   }
 
   // Manifest (written by dstore_cli).
@@ -61,7 +66,7 @@ int main(int argc, char** argv) {
   cfg.engine.background_checkpointing = false;
 
   auto pool = pmem::Pool::open_file((dir / "pmem.img").string(),
-                                    dipper::Engine::required_pool_bytes(cfg.engine),
+                                    DStoreConfig::required_pool_bytes(cfg),
                                     LatencyModel::none(), false);
   if (!pool.is_ok()) {
     fprintf(stderr, "fsck: pmem image: %s\n", pool.status().to_string().c_str());
@@ -96,6 +101,29 @@ int main(int argc, char** argv) {
          usage.ssd_bytes / 1e6);
 
   if (deep) {
+    printf("fsck: deep scan — full checksum verification (meta CRCs, page\n");
+    printf("fsck: sidecar, content CRCs)...\n");
+    DStore::ScrubReport rep;
+    Status sc = store.value()->scrub_now(&rep);
+    printf("fsck: scrubbed %llu objects, %llu pages verified, %llu checksum "
+           "failure(s), %llu repaired, %llu page(s) quarantined\n",
+           (unsigned long long)rep.objects_scanned, (unsigned long long)rep.pages_verified,
+           (unsigned long long)rep.checksum_failures, (unsigned long long)rep.repaired,
+           (unsigned long long)rep.quarantined_pages);
+    for (const std::string& name : rep.corrupt_objects) {
+      fprintf(stderr, "fsck: CORRUPT OBJECT %s\n", name.c_str());
+      problems++;
+    }
+    if (!sc.is_ok() && rep.corrupt_objects.empty()) {
+      fprintf(stderr, "fsck: SCRUB FAILED: %s\n", sc.to_string().c_str());
+      problems++;
+    }
+    uint64_t quarantined = store.value()->bad_pages().count();
+    if (quarantined > 0) {
+      fprintf(stderr, "fsck: %llu page(s) in the quarantine table\n",
+              (unsigned long long)quarantined);
+    }
+
     printf("fsck: deep scan — reading every object's data...\n");
     ds_ctx_t* ctx = store.value()->ds_init();
     std::vector<std::string> names;
