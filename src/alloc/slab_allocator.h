@@ -34,7 +34,7 @@
 #include <cstdint>
 
 #include "alloc/arena.h"
-#include "common/spinlock.h"
+#include "common/lockdep.h"
 #include "common/status.h"
 
 namespace dstore {

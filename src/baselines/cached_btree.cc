@@ -124,6 +124,7 @@ Status CachedBtreeStore::checkpoint_locked() {
 
 void CachedBtreeStore::prepare_run() {
   LockGuard<SharedSpinLock> g(cache_mu_);
+  // lint: allow-discard best-effort pre-run settling; runs report their own IO errors
   (void)checkpoint_locked();
 }
 

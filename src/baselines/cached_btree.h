@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "common/spinlock.h"
+#include "common/lockdep.h"
 #include "pmem/pool.h"
 #include "ssd/block_device.h"
 #include "workload/kv_interface.h"
@@ -83,13 +83,13 @@ class CachedBtreeStore final : public workload::KVStore {
   std::unique_ptr<pmem::Pool> pool_;
   std::unique_ptr<ssd::RamBlockDevice> device_;
 
-  SharedSpinLock cache_mu_;
+  SharedSpinLock cache_mu_{"baseline.btree.cache"};
   std::map<std::string, Entry> cache_;
 
-  SpinLock journal_mu_;
+  SpinLock journal_mu_{"baseline.btree.journal"};
   size_t journal_off_ = 0;
 
-  SpinLock blocks_mu_;
+  SpinLock blocks_mu_{"baseline.btree.blocks"};
   std::vector<uint64_t> free_blocks_;
 
   std::atomic<bool> checkpoints_enabled_{true};

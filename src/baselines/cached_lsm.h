@@ -25,7 +25,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/spinlock.h"
+#include "common/lockdep.h"
 #include "pmem/pool.h"
 #include "ssd/block_device.h"
 #include "workload/kv_interface.h"
@@ -96,15 +96,15 @@ class CachedLsmStore final : public workload::KVStore {
   std::unique_ptr<pmem::Pool> pool_;
   std::unique_ptr<ssd::RamBlockDevice> device_;
 
-  SharedSpinLock table_mu_;  // memtable + runs (runs swapped under exclusive)
+  SharedSpinLock table_mu_{"baseline.lsm.table"};  // memtable + runs (runs swapped under exclusive)
   std::map<std::string, std::optional<std::string>> memtable_;  // nullopt = tombstone
   size_t memtable_bytes_ = 0;
   std::vector<std::shared_ptr<Run>> runs_;  // newest first
 
-  SpinLock wal_mu_;
+  SpinLock wal_mu_{"baseline.lsm.wal"};
   size_t wal_off_ = 0;
 
-  SpinLock blocks_mu_;
+  SpinLock blocks_mu_{"baseline.lsm.blocks"};
   std::vector<uint64_t> free_blocks_;
 
   std::thread compaction_thread_;

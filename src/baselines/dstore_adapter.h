@@ -45,6 +45,7 @@ class DStoreAdapter final : public workload::KVStore {
   Status del(void* ctx, std::string_view key) override;
   const char* name() const override { return cfg_.display_name; }
   workload::SpaceBreakdown space_usage() override;
+  // lint: allow-discard pre-run settling; the measured run reports its own errors
   void prepare_run() override { (void)store_->checkpoint_now(); }
   void set_checkpoints_enabled(bool enabled) override {
     store_->engine().set_checkpointing_enabled(enabled);

@@ -19,6 +19,7 @@ class ShardedAdapter final : public workload::KVStore {
   Status del(void* ctx, std::string_view key) override;
   const char* name() const override { return "Sharded"; }
   workload::SpaceBreakdown space_usage() override;
+  // lint: allow-discard pre-run settling; the measured run reports its own errors
   void prepare_run() override { (void)store_->checkpoint_all(); }
   std::string metrics_json() override { return store_->metrics_json(); }
   std::string metrics_prometheus() override { return store_->metrics_prometheus(); }

@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "common/spinlock.h"
+#include "common/lockdep.h"
 #include "pmem/pool.h"
 #include "workload/kv_interface.h"
 
@@ -75,7 +75,7 @@ class UncachedStore final : public workload::KVStore {
   UncachedConfig cfg_;
   std::unique_ptr<pmem::Pool> pool_;
 
-  SpinLock tx_mu_;  // PMSE-style coarse transaction latch
+  SpinLock tx_mu_{"baseline.tx"};  // PMSE-style coarse transaction latch
   std::map<std::string, uint64_t> index_;  // key -> slot (rebuilt on recovery)
   std::vector<uint64_t> free_slots_;
   uint64_t next_seq_ = 1;

@@ -1,9 +1,15 @@
-// Spinlocks used in DStore's short critical sections.
+// Raw spinlock primitives used in DStore's short critical sections.
 //
 // The paper's write pipeline holds a lock over block/metadata-pool
 // allocation for <300ns (Table 3), so a ticket spinlock is the right tool.
 // We yield while spinning because test/bench environments may be
 // oversubscribed (fewer cores than threads).
+//
+// These are the *uninstrumented* primitives. All code outside
+// src/common/lockdep.{h,cc} must use the instrumented wrappers in
+// common/lockdep.h (dstore::SpinLock / dstore::SharedSpinLock / dstore::Mutex
+// and the guards), which compile down to exactly these when DSTORE_LOCKDEP
+// is OFF. tools/dstore_lint enforces that rule.
 #pragma once
 
 #include <atomic>
@@ -12,11 +18,11 @@
 
 namespace dstore {
 
-class SpinLock {
+class RawSpinLock {
  public:
-  SpinLock() = default;
-  SpinLock(const SpinLock&) = delete;
-  SpinLock& operator=(const SpinLock&) = delete;
+  RawSpinLock() = default;
+  RawSpinLock(const RawSpinLock&) = delete;
+  RawSpinLock& operator=(const RawSpinLock&) = delete;
 
   void lock() {
     int spins = 0;
@@ -36,7 +42,11 @@ class SpinLock {
 
 // Reader-writer spinlock; writer-preferring to keep checkpoint/frontend
 // interaction bounded. Suitable for the DRAM btree where reads dominate.
-class SharedSpinLock {
+// Note the writer preference makes *recursive* shared acquisition a real
+// deadlock (reader A → writer announces intent → reader A again spins
+// forever); lockdep reports any same-instance re-acquisition for this
+// reason.
+class RawSharedSpinLock {
  public:
   void lock() {  // exclusive
     // Announce writer intent, then wait for readers to drain.
@@ -57,6 +67,12 @@ class SharedSpinLock {
       }
     }
   }
+  // Succeeds only when the lock is entirely free (no readers, no writer).
+  bool try_lock() {
+    uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriterBit,
+                                          std::memory_order_acquire);
+  }
   void unlock() { state_.fetch_and(~kWriterBit, std::memory_order_release); }
 
   void lock_shared() {
@@ -72,35 +88,17 @@ class SharedSpinLock {
       }
     }
   }
+  bool try_lock_shared() {
+    uint32_t s = state_.load(std::memory_order_relaxed);
+    if ((s & kWriterBit) != 0) return false;
+    return state_.compare_exchange_strong(s, s + 1, std::memory_order_acquire);
+  }
   void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
 
  private:
   static constexpr uint32_t kWriterBit = 0x80000000u;
   static constexpr uint32_t kReaderMask = ~kWriterBit;
   std::atomic<uint32_t> state_{0};
-};
-
-template <typename Lock>
-class LockGuard {
- public:
-  explicit LockGuard(Lock& l) : l_(l) { l_.lock(); }
-  ~LockGuard() { l_.unlock(); }
-  LockGuard(const LockGuard&) = delete;
-  LockGuard& operator=(const LockGuard&) = delete;
-
- private:
-  Lock& l_;
-};
-
-class SharedLockGuard {
- public:
-  explicit SharedLockGuard(SharedSpinLock& l) : l_(l) { l_.lock_shared(); }
-  ~SharedLockGuard() { l_.unlock_shared(); }
-  SharedLockGuard(const SharedLockGuard&) = delete;
-  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
-
- private:
-  SharedSpinLock& l_;
 };
 
 }  // namespace dstore

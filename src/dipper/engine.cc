@@ -229,6 +229,7 @@ Status Engine::init_fresh() {
 }
 
 Status Engine::recover() {
+  lockdep::RoleScope role(lockdep::Role::kRecovery);
   pmem::PmemCheckScope check_scope("engine:recover");
   DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.begin");
   RootObject* r = root();
@@ -383,7 +384,7 @@ void Engine::shutdown() {
 void Engine::stop_background() {
   if (ckpt_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> g(ckpt_mu_);
+      MutexGuard g(ckpt_mu_);
       stop_.store(true);
     }
     ckpt_cv_.notify_all();
@@ -488,7 +489,7 @@ bool Engine::scan_conflicting_write(const Key& name) const {
 Result<Engine::RecordHandle> Engine::reserve(const Key& name) {
   for (;;) {
     {
-      std::unique_lock<std::mutex> g(log_mu_);
+      MutexGuard g(log_mu_);
       uint8_t side_idx = active_idx_.load(std::memory_order_acquire);
       LogSide& side = sides_[side_idx];
       uint32_t next = side.next_slot.load(std::memory_order_relaxed);
@@ -514,11 +515,7 @@ Result<Engine::RecordHandle> Engine::reserve(const Key& name) {
     if (!cfg_.background_checkpointing) {
       return Status::busy("log full; run checkpoint_now()");
     }
-    {
-      std::lock_guard<std::mutex> cg(ckpt_mu_);
-      ckpt_requested_.store(true, std::memory_order_release);
-    }
-    ckpt_cv_.notify_one();
+    request_checkpoint();
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
 }
@@ -549,10 +546,20 @@ void Engine::write_reserved(const RecordHandle& h, OpType op, uint64_t arg0, uin
   if (cfg_.background_checkpointing && checkpointing_enabled_.load(std::memory_order_acquire) &&
       !ckpt_running_.load(std::memory_order_acquire) &&
       log_fill() > cfg_.checkpoint_threshold) {
-    {
-      std::lock_guard<std::mutex> cg(ckpt_mu_);
-      ckpt_requested_.store(true, std::memory_order_release);
-    }
+    request_checkpoint();
+  }
+}
+
+void Engine::request_checkpoint() {
+  // Never block on ckpt_mu_ from the hot path: the checkpoint thread holds
+  // it only around its wakeup predicate, but even that window must not
+  // stall a foreground append (quiescent-freedom, §3). The request flag is
+  // sticky, so if the try_lock loses the race and the notify is skipped,
+  // the next append (or the backpressure retry loop) re-notifies and the
+  // thread re-checks the flag on every wakeup.
+  ckpt_requested_.store(true, std::memory_order_release);
+  if (ckpt_mu_.try_lock()) {
+    ckpt_mu_.unlock();
     ckpt_cv_.notify_one();
   }
 }
@@ -594,7 +601,7 @@ void Engine::abort(const RecordHandle& h) {
 Result<Engine::RecordHandle> Engine::lock_object(const Key& name) {
   // §4.5: olock places a NOOP record in the log; a log scan (or the
   // in-flight table mirroring it) then reports the object as conflicting.
-  std::unique_lock<std::mutex> g(log_mu_);
+  MutexGuard g(log_mu_);
   std::string key_str = name.str();
   if (held_locks_.count(key_str) != 0) return Status::busy("object already locked");
   uint8_t side_idx = active_idx_.load(std::memory_order_acquire);
@@ -622,7 +629,7 @@ void Engine::unlock_object(const RecordHandle& /*h*/, const Key& name) {
   // §4.5: ounlock marks the NOOP record committed. The record may have been
   // relocated by a log swap, so resolve through the held-locks map under
   // the same mutex the swap takes.
-  std::unique_lock<std::mutex> g(log_mu_);
+  MutexGuard g(log_mu_);
   auto it = held_locks_.find(name.str());
   if (it == held_locks_.end()) return;
   HeldLock hl = it->second;
@@ -638,48 +645,77 @@ Result<std::vector<char>> Engine::find_repair_payload(const Key& name,
   if (expected_size == 0 || expected_size > cfg_.physical_payload_bytes) {
     return Status::not_found("object does not fit a payload slot");
   }
-  std::unique_lock<std::mutex> g(log_mu_);
   // The globally newest committed record for `name` across both log sides.
   // Records from before the last checkpoint were recycled with their log,
   // so "found" implies the record is inside the current checkpoint window —
   // its payload, if any, reflects the object's current committed state.
-  LogRecordView best;
-  uint32_t best_slot = 0;
-  bool found = false;
-  for (int i = 0; i < 2; i++) {
-    const LogSide& side = sides_[i];
-    uint32_t limit = std::min(side.next_slot.load(std::memory_order_acquire), cfg_.log_slots);
-    for (uint32_t s = 0; s < limit; s++) {
-      LogRecordView rec;
-      if (!side.log.read(s, &rec)) continue;
-      if (!rec.committed || rec.op == OpType::kNoop) continue;
-      if (!(rec.name == name)) continue;
-      if (!found || rec.lsn > best.lsn) {
-        best = rec;
-        best_slot = s;
-        found = true;
+  //
+  // The walk takes log_mu_ in bounded chunks instead of holding it across
+  // the full 2x log scan: a scrubber-driven repair must never stall
+  // foreground reserve() for the scan's duration (quiescent-freedom, §3).
+  // Consistency across the chunk boundaries comes from each side's recycle
+  // generation: a checkpoint recycling the side mid-walk bumps it (under
+  // log_mu_) and the scan restarts.
+  constexpr uint32_t kScanChunk = 256;
+  for (int attempt = 0; attempt < 3; attempt++) {
+    LogRecordView best;
+    uint32_t best_slot = 0;
+    int best_side = -1;
+    bool restart = false;
+    uint64_t gen_seen[2] = {0, 0};
+    for (int i = 0; i < 2 && !restart; i++) {
+      const LogSide& side = sides_[i];
+      gen_seen[i] = side.gen.load(std::memory_order_acquire);
+      uint32_t s = 0;
+      for (;;) {
+        MutexGuard g(log_mu_);
+        if (side.gen.load(std::memory_order_acquire) != gen_seen[i]) {
+          restart = true;
+          break;
+        }
+        uint32_t limit = std::min(side.next_slot.load(std::memory_order_acquire), cfg_.log_slots);
+        if (s >= limit) break;
+        uint32_t end = std::min(s + kScanChunk, limit);
+        for (; s < end; s++) {
+          LogRecordView rec;
+          if (!side.log.read(s, &rec)) continue;
+          if (!rec.committed || rec.op == OpType::kNoop) continue;
+          if (!(rec.name == name)) continue;
+          if (best_side < 0 || rec.lsn > best.lsn) {
+            best = rec;
+            best_slot = s;
+            best_side = i;
+          }
+        }
       }
     }
+    if (restart) continue;
+    if (best_side < 0) {
+      return Status::not_found("no committed record for object in the log window");
+    }
+    // Only a whole-object put is a valid repair source: any newer create/
+    // delete/partial-write means the logged payload no longer equals the
+    // object's committed content.
+    if (best.op != OpType::kPut || best.arg0 != expected_size || best.payload_crc == 0) {
+      return Status::not_found("newest record is not a whole-object put with a logged payload");
+    }
+    const char* src =
+        pool_->base() + layout_.payload_off + (uint64_t)best_slot * cfg_.physical_payload_bytes;
+    std::vector<char> data(src, src + expected_size);
+    if (sides_[best_side].gen.load(std::memory_order_acquire) != gen_seen[best_side]) {
+      continue;  // side recycled after the walk; the copied bytes are stale
+    }
+    // Authenticate: the payload region is indexed by slot alone (shared
+    // between the two log sides), so a record in the *other* side's same
+    // slot may have overwritten these bytes. The record's own payload CRC is
+    // the final arbiter of whether this copy is the one it logged.
+    if (crc32c(data.data(), data.size()) != best.payload_crc) {
+      return Status::corruption("logged payload failed its record's checksum");
+    }
+    pool_->charge_read(expected_size);
+    return data;
   }
-  if (!found) return Status::not_found("no committed record for object in the log window");
-  // Only a whole-object put is a valid repair source: any newer create/
-  // delete/partial-write means the logged payload no longer equals the
-  // object's committed content.
-  if (best.op != OpType::kPut || best.arg0 != expected_size || best.payload_crc == 0) {
-    return Status::not_found("newest record is not a whole-object put with a logged payload");
-  }
-  const char* src =
-      pool_->base() + layout_.payload_off + (uint64_t)best_slot * cfg_.physical_payload_bytes;
-  std::vector<char> data(src, src + expected_size);
-  // Authenticate: the payload region is indexed by slot alone (shared
-  // between the two log sides), so a record in the *other* side's same
-  // slot may have overwritten these bytes. The record's own payload CRC is
-  // the final arbiter of whether this copy is the one it logged.
-  if (crc32c(data.data(), data.size()) != best.payload_crc) {
-    return Status::corruption("logged payload failed its record's checksum");
-  }
-  pool_->charge_read(expected_size);
-  return data;
+  return Status::not_found("log side recycled repeatedly during the repair scan");
 }
 
 double Engine::log_fill() const {
@@ -694,9 +730,10 @@ uint64_t Engine::current_epoch() const { return load_state().epoch; }
 // ---------------------------------------------------------------------------
 
 void Engine::checkpoint_thread_main() {
+  lockdep::RoleScope role(lockdep::Role::kCheckpoint);
   for (;;) {
     {
-      std::unique_lock<std::mutex> g(ckpt_mu_);
+      UniqueLock g(ckpt_mu_);
       ckpt_cv_.wait(g, [this] {
         return stop_.load(std::memory_order_acquire) ||
                ckpt_requested_.load(std::memory_order_acquire);
@@ -707,7 +744,7 @@ void Engine::checkpoint_thread_main() {
     Status s = do_checkpoint();
     if (!s.is_ok() && !s.is_busy()) {
       stats_.ckpt_failures.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> g(err_mu_);
+      MutexGuard g(err_mu_);
       last_ckpt_error_ = s;
     }
   }
@@ -886,15 +923,28 @@ void Engine::install_spare(uint8_t /*archived_idx*/) {
 void Engine::recycle_archived(uint8_t archived_idx) {
   DSTORE_FAULT_POINT(cfg_.fault, "engine.recycle.begin");
   LogSide& side = sides_[archived_idx];
+  {
+    // Reset the volatile mirror under log_mu_ and bump the recycle
+    // generation so chunked scans (find_repair_payload) restart instead of
+    // reading half-reset state. With next_slot published as 0 no scan
+    // touches the slot bytes, so the bulk format below can run outside the
+    // lock — the old code formatted without any exclusion against scans,
+    // a latent data race this ordering removes.
+    MutexGuard g(log_mu_);
+    side.gen.fetch_add(1, std::memory_order_acq_rel);
+    for (auto& s : side.states) s.store(SlotState::kFree, std::memory_order_relaxed);
+    side.name_hashes.assign(cfg_.log_slots, 0);
+    side.next_slot.store(0, std::memory_order_release);
+  }
   side.log.format();
-  for (auto& s : side.states) s.store(SlotState::kFree, std::memory_order_relaxed);
-  side.name_hashes.assign(cfg_.log_slots, 0);
-  side.next_slot.store(0, std::memory_order_release);
   side.zeroed.store(true, std::memory_order_release);
   DSTORE_FAULT_POINT(cfg_.fault, "engine.recycle.done");
 }
 
 Status Engine::do_checkpoint() {
+  // checkpoint_now() runs this on the caller's thread; the role scope makes
+  // the quiescence gate treat it as checkpoint work either way.
+  lockdep::RoleScope role(lockdep::Role::kCheckpoint);
   bool expected = false;
   if (!ckpt_running_.compare_exchange_strong(expected, true)) {
     return Status::busy("checkpoint already running");
@@ -909,7 +959,7 @@ Status Engine::do_checkpoint() {
   uint8_t archived_idx;
   uint64_t phase_mark = now_ns();
   {
-    std::unique_lock<std::mutex> g(log_mu_);
+    MutexGuard g(log_mu_);
     uint8_t active = active_idx_.load(std::memory_order_acquire);
     if (sides_[active].next_slot.load(std::memory_order_acquire) == 0) {
       ckpt_running_.store(false);

@@ -41,11 +41,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -53,7 +51,7 @@
 #include <vector>
 
 #include "alloc/slab_allocator.h"
-#include "common/spinlock.h"
+#include "common/lockdep.h"
 #include "common/status.h"
 #include "dipper/log.h"
 #include "dipper/root.h"
@@ -251,7 +249,7 @@ class Engine {
   // no caller to return to; quietly dropping them would hide injected —
   // or real — persistence errors). ok() if none since construction.
   Status last_checkpoint_error() const {
-    std::lock_guard<std::mutex> g(err_mu_);
+    MutexGuard g(err_mu_);
     return last_ckpt_error_;
   }
 
@@ -285,6 +283,10 @@ class Engine {
     std::vector<uint64_t> name_hashes;  // for conflict scans
     std::atomic<uint32_t> next_slot{0};
     std::atomic<bool> zeroed{true};  // region is formatted and ready for use
+    // Recycle generation: bumped (under log_mu_) every time this side's
+    // slots are reset, so chunked scans (find_repair_payload) can detect a
+    // checkpoint recycling the side mid-walk and restart.
+    std::atomic<uint64_t> gen{0};
   };
 
   // Pool layout offsets.
@@ -315,6 +317,9 @@ class Engine {
   Status cow_copy_into_spare();                    // kCow
   void install_spare(uint8_t archived_idx);
   void recycle_archived(uint8_t archived_idx);
+  // Wake the checkpoint thread without ever blocking on ckpt_mu_ (hot-path
+  // safe; a lost notify race is recovered by the sticky request flag).
+  void request_checkpoint();
 
   // CoW support.
   void cow_protect_arena();
@@ -355,9 +360,13 @@ class Engine {
   };
   std::unordered_map<std::string, HeldLock> held_locks_;  // guarded by log_mu_
 
-  mutable std::mutex log_mu_;  // serializes append-reserve, swap, lock/unlock
-  std::condition_variable ckpt_cv_;
-  std::mutex ckpt_mu_;
+  // Quiescence-exempt: the §3.5 log swap briefly holds this against
+  // foreground reserve() — the paper's one by-design bounded stall (a
+  // persisted 8-byte root flip plus held-lock relocation). Every other
+  // holder keeps it O(chunk) (see find_repair_payload / recycle_archived).
+  mutable Mutex log_mu_{"dipper.log", lockdep::kQuiesceExempt};
+  CondVar ckpt_cv_;
+  Mutex ckpt_mu_{"dipper.ckpt"};
   std::thread ckpt_thread_;
   std::atomic<bool> ckpt_requested_{false};
   std::atomic<bool> ckpt_running_{false};
@@ -367,7 +376,7 @@ class Engine {
 
   mutable std::vector<InflightSlot> inflight_;
   EngineStats stats_;
-  mutable std::mutex err_mu_;
+  mutable Mutex err_mu_{"dipper.err"};
   Status last_ckpt_error_ = Status::ok();
 
   // CoW state.

@@ -1,11 +1,38 @@
 #include "ds/metadata_zone.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/crc32c.h"
 #include "pmem/pool.h"
 
 namespace dstore {
+
+namespace {
+
+// peek_live() reads (in_use, name) WITHOUT the per-object exclusion every
+// other accessor holds, so these two fields' writers must cooperate:
+// in_use is release-published last on init and retracted first on release,
+// and neither field is ever plain-zeroed while the entry is reachable —
+// otherwise the scrubber's lock-free walk is a data race. All other entry
+// fields stay plain; they are only read under exclusion.
+static_assert(sizeof(Key) % sizeof(uint64_t) == 0, "Key must be word-granular");
+constexpr size_t kNameWords = sizeof(Key) / sizeof(uint64_t);
+
+void name_store_atomic(Key* dst, const Key& src) {
+  uint64_t words[kNameWords];
+  std::memcpy(words, &src, sizeof(Key));
+  auto* d = reinterpret_cast<uint64_t*>(dst);
+  for (size_t i = 0; i < kNameWords; i++) {
+    std::atomic_ref<uint64_t>(d[i]).store(words[i], std::memory_order_relaxed);
+  }
+}
+
+void in_use_store_release(MetaEntry* e, uint8_t v) {
+  std::atomic_ref<uint8_t>(e->in_use).store(v, std::memory_order_release);
+}
+
+}  // namespace
 
 // Durability annotations: metadata mutations run against whichever arena
 // the caller hands us — the volatile DRAM space during normal operation
@@ -32,6 +59,25 @@ MetaEntry* MetadataZone::entry(uint64_t idx) const {
   const Header* h = hdr();
   if (idx >= h->num_entries) return nullptr;
   return reinterpret_cast<MetaEntry*>(sp_->arena().at(h->entries)) + idx;
+}
+
+bool MetadataZone::peek_live(uint64_t idx, Key* name) const {
+  MetaEntry* e = entry(idx);
+  if (e == nullptr) return false;
+  std::atomic_ref<uint8_t> used(e->in_use);
+  if (used.load(std::memory_order_acquire) == 0) return false;
+  // in_use == 1 was release-published after the name, so these word loads
+  // see a fully written name — unless the entry was released and
+  // re-initialized mid-peek, in which case the copy may be torn. The
+  // caller's re-validation under ReaderGuard catches that.
+  uint64_t words[kNameWords];
+  auto* src = reinterpret_cast<uint64_t*>(&e->name);
+  for (size_t i = 0; i < kNameWords; i++) {
+    words[i] = std::atomic_ref<uint64_t>(src[i]).load(std::memory_order_relaxed);
+  }
+  if (used.load(std::memory_order_acquire) == 0) return false;
+  std::memcpy(name, words, sizeof(Key));
+  return true;
 }
 
 uint32_t MetadataZone::entry_crc(uint64_t idx, const MetaEntry& e) const {
@@ -71,10 +117,20 @@ Status MetadataZone::init_entry(uint64_t idx, const Key& name) {
   MetaEntry* e = entry(idx);
   if (e == nullptr) return Status::invalid_argument("metadata index out of range");
   if (e->in_use) return Status::internal("metadata entry already in use");
-  *e = MetaEntry{};
-  e->name = name;
-  e->in_use = 1;
+  // Plain-reset everything EXCEPT (name, in_use), which the scrubber's
+  // lock-free peek may be reading concurrently: write the name with atomic
+  // word stores, then release-publish in_use so an observed in_use == 1
+  // implies a fully written name.
+  e->size = 0;
+  e->nblocks = 0;
+  e->cap = 0;
+  e->blocks = 0;
+  e->data_crc_valid = 0;
+  e->crc = 0;
+  e->data_crc = 0;
+  name_store_atomic(&e->name, name);
   e->generation = 1;
+  in_use_store_release(e, 1);
   seal_entry(idx);
   pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:init_entry");
   return Status::ok();
@@ -107,7 +163,19 @@ Status MetadataZone::release_entry(uint64_t idx) {
   MetaEntry* e = entry(idx);
   if (e == nullptr || !e->in_use) return Status::ok();
   if (e->blocks != 0) DSTORE_RETURN_IF_ERROR(sp_->free(e->blocks));
-  *e = MetaEntry{};  // crc = 0: reads as never-sealed free entry
+  // Retract in_use FIRST (the peek's liveness bit), then zero the name with
+  // atomic word stores and the remaining fields plainly. crc = 0 reads as a
+  // never-sealed free entry.
+  in_use_store_release(e, 0);
+  name_store_atomic(&e->name, Key{});
+  e->size = 0;
+  e->nblocks = 0;
+  e->cap = 0;
+  e->blocks = 0;
+  e->generation = 0;
+  e->data_crc_valid = 0;
+  e->crc = 0;
+  e->data_crc = 0;
   pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:release_entry");
   return Status::ok();
 }

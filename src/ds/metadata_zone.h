@@ -57,6 +57,16 @@ class MetadataZone {
   MetaEntry* entry(uint64_t idx) const;
   uint64_t num_entries() const { return hdr()->num_entries; }
 
+  // Lock-free liveness peek for the scrubber's zone walk: atomically read
+  // the entry's (in_use, name) publication pair. Returns true iff the entry
+  // was observed in use, copying its name into *name. The name may still be
+  // torn if the entry was released and re-initialized mid-peek — callers
+  // MUST re-validate the (idx -> name) binding under per-object exclusion
+  // (ReaderGuard) before trusting any other entry field. This is what lets
+  // the scrubber enumerate live objects without taking any store-wide lock
+  // (quiescent-free: a foreground writer can never block on the scrubber).
+  bool peek_live(uint64_t idx, Key* name) const;
+
   // Initialize entry `idx` for a new object.
   Status init_entry(uint64_t idx, const Key& name);
   // Append a data block id; grows the block array (powers of two).

@@ -44,7 +44,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/spinlock.h"
+#include "common/lockdep.h"
 #include "dipper/engine.h"
 #include "fsmeta/badpage_table.h"
 #include "obs/metrics.h"
@@ -366,9 +366,9 @@ class DStore final : public dipper::SpaceClient {
   DStoreConfig cfg_;
   std::unique_ptr<dipper::Engine> engine_;
 
-  SpinLock pipeline_mu_;      // §4.3 step 1/5: pools + log-append order
-  SpinLock arena_mu_;         // volatile slab allocator (attached via set_lock)
-  SharedSpinLock btree_mu_;   // volatile btree
+  SpinLock pipeline_mu_{"dstore.pipeline"};   // §4.3 step 1/5: pools + log order
+  SpinLock arena_mu_{"dstore.arena"};         // volatile slab alloc (set_lock)
+  SharedSpinLock btree_mu_{"dstore.btree"};   // volatile btree
   ReadCountTable read_counts_;
 
   std::atomic<uint64_t> next_ctx_id_{1};
@@ -380,8 +380,8 @@ class DStore final : public dipper::SpaceClient {
   fsmeta::BadPageTable badpages_;
 
   std::thread scrub_thread_;
-  std::mutex scrub_mu_;
-  std::condition_variable scrub_cv_;
+  Mutex scrub_mu_{"dstore.scrub"};
+  CondVar scrub_cv_;
   bool scrub_stop_ = false;
   std::atomic<uint64_t> last_scrub_ns_{0};  // wall time of the last full pass
 

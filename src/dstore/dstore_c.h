@@ -22,6 +22,16 @@
 extern "C" {
 #endif
 
+/* Error-code and byte-count returns must be checked: ignoring them turns a
+ * failed write into silent data loss. The C++ side gets the same guarantee
+ * from [[nodiscard]] on Status/Result; this is the C89-compatible spelling.
+ * tools/dstore_lint additionally rejects discarded Status returns in src/. */
+#if defined(__GNUC__) || defined(__clang__)
+#define DS_NODISCARD __attribute__((warn_unused_result))
+#else
+#define DS_NODISCARD
+#endif
+
 /* Binding version, bumped whenever this header's contract changes.
  * 2.0: removed the DStore::Stats/StageStats C++ getters the bindings sat
  * on; added ds_api_version() and ds_metrics_dump(). */
@@ -74,21 +84,21 @@ void ds_finalize(ds_ctx_t* ctx);
 /* ---- filesystem style (Table 2) ---- */
 OBJECT* oopen(ds_ctx_t* ctx, const char* name, size_t size, uint32_t op);
 void oclose(OBJECT* object);
-ssize_t oread(OBJECT* object, void* buf, size_t size, off_t offset);
-ssize_t owrite(OBJECT* object, const void* buf, size_t size, off_t offset);
+DS_NODISCARD ssize_t oread(OBJECT* object, void* buf, size_t size, off_t offset);
+DS_NODISCARD ssize_t owrite(OBJECT* object, const void* buf, size_t size, off_t offset);
 
 /* ---- key-value style (Table 2) ---- */
 /* oget copies up to value_cap bytes and returns the full value size. */
-ssize_t oget(ds_ctx_t* ctx, const char* key, void* value, size_t value_cap);
-ssize_t oput(ds_ctx_t* ctx, const char* key, const void* value, size_t size);
-int odelete(ds_ctx_t* ctx, const char* name);
+DS_NODISCARD ssize_t oget(ds_ctx_t* ctx, const char* key, void* value, size_t value_cap);
+DS_NODISCARD ssize_t oput(ds_ctx_t* ctx, const char* key, const void* value, size_t size);
+DS_NODISCARD int odelete(ds_ctx_t* ctx, const char* name);
 
 /* ---- concurrency control (Table 2) ---- */
-int olock(ds_ctx_t* ctx, const char* name);
-int ounlock(ds_ctx_t* ctx, const char* name);
+DS_NODISCARD int olock(ds_ctx_t* ctx, const char* name);
+DS_NODISCARD int ounlock(ds_ctx_t* ctx, const char* name);
 
 /* ---- maintenance ---- */
-int dstore_checkpoint(dstore_t* store);
+DS_NODISCARD int dstore_checkpoint(dstore_t* store);
 uint64_t dstore_object_count(dstore_t* store);
 
 /* ---- observability ---- */

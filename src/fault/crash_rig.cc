@@ -76,6 +76,7 @@ void CrashRig::run_workload() {
     if (i == opt_.ops / 2) {
       // One full inline checkpoint cycle mid-workload: swap, drain, clone,
       // replay, bulk flush, install, recycle — all on this thread.
+      // lint: allow-discard a checkpoint interrupted by the planned crash is the point
       (void)store_->checkpoint_now();
       if (injector_.crashed()) break;
     }

@@ -172,7 +172,7 @@ FaultPlan FaultPlan::random(
 }
 
 void FaultInjector::set_plan(FaultPlan plan) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   plan_ = std::move(plan);
   counts_.clear();
   total_ = 0;
@@ -181,7 +181,7 @@ void FaultInjector::set_plan(FaultPlan plan) {
 }
 
 void FaultInjector::reset() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   counts_.clear();
   total_ = 0;
   rng_ = Rng(plan_.seed() != 0 ? plan_.seed() : 0x0defa017ULL);
@@ -189,14 +189,14 @@ void FaultInjector::reset() {
 }
 
 void FaultInjector::add_crash_sink(std::function<void()> sink) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   sinks_.push_back(std::move(sink));
 }
 
 void FaultInjector::trigger_crash() {
   std::vector<std::function<void()>> to_run;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexGuard g(mu_);
     if (crashed_.exchange(true, std::memory_order_acq_rel)) return;
     to_run = sinks_;
   }
@@ -214,7 +214,7 @@ Outcome FaultInjector::on_hit(std::string_view point) {
   uint64_t arg = 0;
   uint64_t n = 0;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexGuard g(mu_);
     auto [it, inserted] = counts_.emplace(std::string(point), 0);
     n = ++it->second;
     total_++;
@@ -262,7 +262,7 @@ Outcome FaultInjector::on_hit(std::string_view point) {
 }
 
 uint64_t FaultInjector::hit_count(std::string_view point) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   auto it = counts_.find(std::string(point));
   return it == counts_.end() ? 0 : it->second;
 }
@@ -270,7 +270,7 @@ uint64_t FaultInjector::hit_count(std::string_view point) const {
 std::vector<std::pair<std::string, uint64_t>> FaultInjector::hit_counts() const {
   std::vector<std::pair<std::string, uint64_t>> out;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexGuard g(mu_);
     out.assign(counts_.begin(), counts_.end());
   }
   std::sort(out.begin(), out.end());
@@ -278,7 +278,7 @@ std::vector<std::pair<std::string, uint64_t>> FaultInjector::hit_counts() const 
 }
 
 uint64_t FaultInjector::total_hits() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   return total_;
 }
 

@@ -39,13 +39,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/lockdep.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -171,7 +171,9 @@ class FaultInjector {
   Rng& rng() { return rng_; }
 
  private:
-  mutable std::mutex mu_;
+  // Quiescence-exempt: on_hit() runs on every thread at every fault point —
+  // pure test infrastructure, compiled out of release builds entirely.
+  mutable Mutex mu_{"fault.injector", lockdep::kQuiesceExempt};
   FaultPlan plan_;
   Rng rng_{0};
   std::unordered_map<std::string, uint64_t> counts_;

@@ -24,7 +24,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/spinlock.h"
+#include "common/lockdep.h"
 #include "common/status.h"
 #include "pmem/pool.h"
 
@@ -74,7 +74,7 @@ class BadPageTable {
 
   pmem::Pool* pool_ = nullptr;
   uint64_t off_ = 0;
-  mutable SpinLock mu_;
+  mutable SpinLock mu_{"fsmeta.badpage"};
   std::vector<uint64_t> volatile_pages_;  // used when pool_ == nullptr
 };
 

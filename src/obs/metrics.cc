@@ -122,7 +122,7 @@ MetricsRegistry::Entry* MetricsRegistry::find_entry(std::string_view name) const
 }
 
 Counter* MetricsRegistry::counter(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   if (Entry* e = find_entry(name)) return e->counter.get();
   auto e = std::make_unique<Entry>();
   e->name = name;
@@ -135,7 +135,7 @@ Counter* MetricsRegistry::counter(std::string_view name, std::string_view help) 
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   if (Entry* e = find_entry(name)) return e->gauge.get();
   auto e = std::make_unique<Entry>();
   e->name = name;
@@ -148,7 +148,7 @@ Gauge* MetricsRegistry::gauge(std::string_view name, std::string_view help) {
 }
 
 Histogram* MetricsRegistry::histogram(std::string_view name, std::string_view help) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   if (Entry* e = find_entry(name)) return e->histogram.get();
   auto e = std::make_unique<Entry>();
   e->name = name;
@@ -162,7 +162,7 @@ Histogram* MetricsRegistry::histogram(std::string_view name, std::string_view he
 
 void MetricsRegistry::counter_fn(std::string_view name, std::string_view help,
                                  std::function<uint64_t()> fn) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   if (find_entry(name) != nullptr) return;
   auto e = std::make_unique<Entry>();
   e->name = name;
@@ -174,7 +174,7 @@ void MetricsRegistry::counter_fn(std::string_view name, std::string_view help,
 
 void MetricsRegistry::gauge_fn(std::string_view name, std::string_view help,
                                std::function<double()> fn) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   if (find_entry(name) != nullptr) return;
   auto e = std::make_unique<Entry>();
   e->name = name;
@@ -185,25 +185,25 @@ void MetricsRegistry::gauge_fn(std::string_view name, std::string_view help,
 }
 
 Counter* MetricsRegistry::find_counter(std::string_view name) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   Entry* e = find_entry(name);
   return e != nullptr ? e->counter.get() : nullptr;
 }
 
 Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   Entry* e = find_entry(name);
   return e != nullptr ? e->gauge.get() : nullptr;
 }
 
 Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   Entry* e = find_entry(name);
   return e != nullptr ? e->histogram.get() : nullptr;
 }
 
 double MetricsRegistry::value(std::string_view name) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   Entry* e = find_entry(name);
   if (e == nullptr) return 0;
   if (e->counter) return (double)e->counter->value();
@@ -214,7 +214,7 @@ double MetricsRegistry::value(std::string_view name) const {
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   std::vector<MetricSnapshot> out;
   out.reserve(entries_.size());
   for (const auto& e : entries_) {
@@ -242,7 +242,7 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   for (const auto& e : entries_) {
     if (e->counter) e->counter->reset();
     if (e->gauge) e->gauge->reset();

@@ -36,10 +36,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/lockdep.h"
 
 namespace dstore::obs {
 
@@ -291,7 +292,7 @@ class MetricsRegistry {
   };
   Entry* find_entry(std::string_view name) const;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"obs.registry"};
   std::vector<std::unique_ptr<Entry>> entries_;  // registration order
 };
 

@@ -31,6 +31,7 @@
 #include <cstdint>
 
 #include "common/clock.h"
+#include "common/lockdep.h"
 #include "obs/metrics.h"
 #include "pmem/pool.h"
 
@@ -216,6 +217,11 @@ class OpTrace {
   void finish() {}
   bool sampled() const { return false; }
 #endif
+
+  // Lockdep quiescence gate: an OpTrace's lifetime is exactly the §4.3
+  // foreground op scope, so it carries the hot-path marker. Empty unless
+  // DSTORE_LOCKDEP is ON.
+  lockdep::HotOpScope hot_scope_;
 };
 
 }  // namespace dstore::obs

@@ -16,7 +16,8 @@ namespace dstore::pmem {
 
 namespace {
 // Registry of pools with an attached checker, for checked_pool_covering().
-std::mutex g_checked_pools_mu;
+// Quiescence-exempt: PmemCheck bookkeeping (kCrashSim only).
+Mutex g_checked_pools_mu{"pmem.checked_pools", lockdep::kQuiesceExempt};
 std::vector<Pool*> g_checked_pools;
 
 // Small stable per-thread id for staged-line ownership tracking.
@@ -97,7 +98,7 @@ void Pool::flush(const void* addr, size_t len) {
     st.ranges.push_back({lo, hi - lo});
     if (PersistChecker* c = checker()) {
       uint64_t tid = checker_thread_id();
-      std::lock_guard<std::mutex> g(image_mu_);
+      MutexGuard g(image_mu_);
       for (uint64_t l = lo; l < hi; l += kCacheLineSize) {
         c->on_flush(l, region_ + l, image_.get() + l, tid);
       }
@@ -123,7 +124,7 @@ void Pool::fence() {
     }
   }
   if (mode_ == Mode::kCrashSim && !st.ranges.empty() && !image_frozen()) {
-    std::lock_guard<std::mutex> g(image_mu_);
+    MutexGuard g(image_mu_);
     if (PersistChecker* c = checker()) {
       // Retire this thread's staged lines: compare against the flush-time
       // snapshots (defect class 3) before they become persistent.
@@ -162,7 +163,7 @@ void Pool::persist_bulk(const void* addr, size_t len) {
       // Power fails mid-writeback: only the first `arg` bytes of this bulk
       // range reach media, then everything freezes.
       {
-        std::lock_guard<std::mutex> g(image_mu_);
+        MutexGuard g(image_mu_);
         apply_to_image(a - b, std::min<uint64_t>(len, fo.arg));
       }
       fault_->trigger_crash();
@@ -172,7 +173,7 @@ void Pool::persist_bulk(const void* addr, size_t len) {
     if (image_frozen()) return;
     uint64_t lo = line_down(a) - b;
     uint64_t hi = line_up(a + len) - b;
-    std::lock_guard<std::mutex> g(image_mu_);
+    MutexGuard g(image_mu_);
     apply_to_image(lo, hi - lo);
   }
 }
@@ -189,7 +190,7 @@ void Pool::apply_to_image(uint64_t off, uint64_t len) {
 
 void Pool::evict_random_lines(Rng& rng, size_t count) {
   if (mode_ != Mode::kCrashSim || image_frozen()) return;
-  std::lock_guard<std::mutex> g(image_mu_);
+  MutexGuard g(image_mu_);
   size_t nlines = size_ / kCacheLineSize;
   for (size_t i = 0; i < count; i++) {
     uint64_t line = rng.next_below(nlines);
@@ -199,7 +200,7 @@ void Pool::evict_random_lines(Rng& rng, size_t count) {
 
 void Pool::crash() {
   assert(mode_ == Mode::kCrashSim && "crash() requires kCrashSim");
-  std::lock_guard<std::mutex> g(image_mu_);
+  MutexGuard g(image_mu_);
   if (PersistChecker* c = checker()) c->on_crash();
   std::memcpy(region_, image_.get(), size_);
   frozen_.store(false, std::memory_order_release);
@@ -241,7 +242,7 @@ void Pool::evict_lines(const void* addr, size_t len) {
   assert(a >= b && a + len <= b + size_ && "evict_lines outside pool");
   uint64_t lo = line_down(a) - b;
   uint64_t hi = line_up(a + len) - b;
-  std::lock_guard<std::mutex> g(image_mu_);
+  MutexGuard g(image_mu_);
   apply_to_image(lo, hi - lo);
 }
 
@@ -252,7 +253,7 @@ void Pool::tear_image(const void* addr, size_t keep, size_t len) {
   auto b = reinterpret_cast<uintptr_t>(region_);
   assert(a >= b && a + len <= b + size_ && "tear_image outside pool");
   uint64_t off = a - b;
-  std::lock_guard<std::mutex> g(image_mu_);
+  MutexGuard g(image_mu_);
   std::memcpy(image_.get() + off, region_ + off, keep);
   std::memset(image_.get() + off + keep, 0, len - keep);
 }
@@ -265,7 +266,7 @@ void Pool::attach_checker(PersistChecker* checker) {
   assert(mode_ == Mode::kCrashSim && "PmemCheck needs the persistent image (kCrashSim)");
   assert(checker_.load(std::memory_order_acquire) == nullptr && "checker already attached");
   {
-    std::lock_guard<std::mutex> g(g_checked_pools_mu);
+    MutexGuard g(g_checked_pools_mu);
     g_checked_pools.push_back(this);
   }
   checker_.store(checker, std::memory_order_release);
@@ -276,11 +277,11 @@ void Pool::detach_checker() {
   PersistChecker* c = checker_.exchange(nullptr, std::memory_order_acq_rel);
   if (c == nullptr) return;
   {
-    std::lock_guard<std::mutex> g(image_mu_);
+    MutexGuard g(image_mu_);
     c->on_teardown();
   }
   {
-    std::lock_guard<std::mutex> g(g_checked_pools_mu);
+    MutexGuard g(g_checked_pools_mu);
     g_checked_pools.erase(std::remove(g_checked_pools.begin(), g_checked_pools.end(), this),
                           g_checked_pools.end());
   }
@@ -289,7 +290,7 @@ void Pool::detach_checker() {
 
 Pool* Pool::checked_pool_covering(const void* p) {
   auto a = reinterpret_cast<uintptr_t>(p);
-  std::lock_guard<std::mutex> g(g_checked_pools_mu);
+  MutexGuard g(g_checked_pools_mu);
   for (Pool* pool : g_checked_pools) {
     auto b = reinterpret_cast<uintptr_t>(pool->region_);
     if (a >= b && a < b + pool->size_) return pool;
@@ -301,7 +302,7 @@ void Pool::check_durable(const void* addr, size_t len, const char* site) {
   PersistChecker* c = checker();
   if (c == nullptr || len == 0) return;
   uint64_t off = reinterpret_cast<uintptr_t>(addr) - reinterpret_cast<uintptr_t>(region_);
-  std::lock_guard<std::mutex> g(image_mu_);
+  MutexGuard g(image_mu_);
   c->check_durable(off, len, region_, image_.get(), site);
 }
 
@@ -309,7 +310,7 @@ void Pool::check_recovery_read(const void* addr, size_t len, const char* site) {
   PersistChecker* c = checker();
   if (c == nullptr || len == 0) return;
   uint64_t off = reinterpret_cast<uintptr_t>(addr) - reinterpret_cast<uintptr_t>(region_);
-  std::lock_guard<std::mutex> g(image_mu_);
+  MutexGuard g(image_mu_);
   c->check_recovery_read(off, len, region_, image_.get(), site);
 }
 
@@ -317,14 +318,14 @@ void Pool::note_obligation(const void* addr, size_t len, const char* site) {
   PersistChecker* c = checker();
   if (c == nullptr || len == 0) return;
   uint64_t off = reinterpret_cast<uintptr_t>(addr) - reinterpret_cast<uintptr_t>(region_);
-  std::lock_guard<std::mutex> g(image_mu_);
+  MutexGuard g(image_mu_);
   c->note_obligation(off, len, site);
 }
 
 void Pool::check_obligations(const char* site) {
   PersistChecker* c = checker();
   if (c == nullptr) return;
-  std::lock_guard<std::mutex> g(image_mu_);
+  MutexGuard g(image_mu_);
   c->check_obligations(region_, image_.get(), site);
 }
 
@@ -333,7 +334,7 @@ bool Pool::is_persisted(const void* addr, size_t len) const {
   auto a = reinterpret_cast<uintptr_t>(addr);
   auto b = reinterpret_cast<uintptr_t>(region_);
   uint64_t off = a - b;
-  std::lock_guard<std::mutex> g(image_mu_);
+  MutexGuard g(image_mu_);
   return std::memcmp(image_.get() + off, region_ + off, len) == 0;
 }
 

@@ -28,11 +28,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bandwidth.h"
+#include "common/lockdep.h"
 #include "common/status.h"
 #include "common/cacheline.h"
 #include "common/latency_model.h"
@@ -214,7 +214,9 @@ class Pool {
   std::atomic<PersistChecker*> checker_{nullptr};  // PmemCheck hook (kCrashSim)
   fault::FaultInjector* fault_ = nullptr;          // fault hook (kCrashSim)
   std::atomic<bool> frozen_{false};  // power failed; image no longer updates
-  mutable std::mutex image_mu_;  // guards image_ (and checker state) in kCrashSim
+  // Quiescence-exempt: kCrashSim bookkeeping only — real PMEM flushes are
+  // lock-free; the simulated shadow image is what needs the serialization.
+  mutable Mutex image_mu_{"pmem.image", lockdep::kQuiesceExempt};  // guards image_ (and checker state) in kCrashSim
 };
 
 // Annotation helper for code that writes into an arena without knowing

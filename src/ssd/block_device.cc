@@ -156,7 +156,7 @@ Result<uint64_t> RamBlockDevice::submit_io(const IoDesc& d) {
       // the media program itself being interrupted).
       size_t keep = std::min<size_t>(d.len, fo.arg);
       {
-        std::lock_guard<std::mutex> g(mu_);
+        MutexGuard g(mu_);
         std::memcpy(media_.get() + pos, d.wbuf, keep);
       }
       fault_->trigger_crash();
@@ -190,7 +190,7 @@ Result<uint64_t> RamBlockDevice::submit_io(const IoDesc& d) {
             static_cast<char>(1u << (bit % 8));
       }
     } else {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexGuard g(mu_);
       std::memcpy(cache_view_.get() + land, d.wbuf, d.len);
       retag_pages(cache_view_.get(), tags_cache_, land, d.len, seed_delta);
       if (fo.type == fault::FaultType::kBitFlipSsdPage) {
@@ -217,7 +217,7 @@ Result<uint64_t> RamBlockDevice::submit_io(const IoDesc& d) {
   std::vector<uint64_t>& tags = cfg_.power_loss_protection ? tags_media_ : tags_cache_;
   Status verdict = Status::ok();
   {
-    std::unique_lock<std::mutex> g(mu_, std::defer_lock);
+    UniqueLock g(mu_, std::defer_lock);
     if (!cfg_.power_loss_protection) g.lock();
     if (fo.type == fault::FaultType::kBitFlipSsdPage) {
       // At-rest rot on the page the read touches first: flip it on media,
@@ -249,7 +249,7 @@ Status RamBlockDevice::verify_pages(uint64_t block, size_t offset, size_t len,
   uint64_t t0 = now_ns();
   Status s;
   {
-    std::unique_lock<std::mutex> g(mu_, std::defer_lock);
+    UniqueLock g(mu_, std::defer_lock);
     if (!cfg_.power_loss_protection) g.lock();
     const char* view = cfg_.power_loss_protection ? media_.get() : cache_view_.get();
     const std::vector<uint64_t>& tags =
@@ -268,7 +268,7 @@ Status RamBlockDevice::verify_pages(uint64_t block, size_t offset, size_t len,
 }
 
 void RamBlockDevice::flip_media_bit(uint64_t byte_off, uint32_t bit) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   char mask = static_cast<char>(1u << (bit % 8));
   media_[byte_off] ^= mask;
   if (cache_view_ != nullptr) cache_view_[byte_off] ^= mask;
@@ -279,7 +279,7 @@ Status RamBlockDevice::flush_cache() {
   if (fo.type == fault::FaultType::kError) return fo.status;
   if (frozen()) return Status::ok();
   if (!cfg_.power_loss_protection) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexGuard g(mu_);
     std::memcpy(media_.get(), cache_view_.get(), cfg_.capacity());
     tags_media_ = tags_cache_;  // sidecar flushes with the data it covers
   }
@@ -289,7 +289,7 @@ Status RamBlockDevice::flush_cache() {
 void RamBlockDevice::crash() {
   frozen_.store(false, std::memory_order_release);
   if (cfg_.power_loss_protection) return;  // capacitors flush the cache
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   std::memcpy(cache_view_.get(), media_.get(), cfg_.capacity());
   tags_cache_ = tags_media_;  // cached-but-unflushed tags die with the cache
 }
@@ -302,7 +302,7 @@ void RamBlockDevice::set_fault_injector(fault::FaultInjector* inj) {
 }
 
 uint64_t RamBlockDevice::media_fingerprint() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexGuard g(mu_);
   uint64_t h = 0xcbf29ce484222325ULL;
   const char* p = media_.get();
   for (size_t i = 0; i < cfg_.capacity(); i++) {

@@ -23,11 +23,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bandwidth.h"
+#include "common/lockdep.h"
 #include "common/latency_model.h"
 #include "common/status.h"
 #include "common/timeseries.h"
@@ -199,7 +199,9 @@ class RamBlockDevice final : public BlockDevice {
   mutable BandwidthChannel bw_channel_;  // shared media bandwidth queue
   fault::FaultInjector* fault_ = nullptr;
   std::atomic<bool> frozen_{false};  // power failed; media no longer updates
-  mutable std::mutex mu_;  // only guards the !PLP dual-buffer bookkeeping
+  // Quiescence-exempt: guards only the simulated !PLP dual-buffer (cache vs
+  // media) bookkeeping — a real NVMe device has no such host-side lock.
+  mutable Mutex mu_{"ssd.device", lockdep::kQuiesceExempt};  // !PLP dual-buffer bookkeeping
 };
 
 // File-backed device (pread/pwrite on a regular file). The page-checksum

@@ -2,10 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/lockdep.h"
 #include "ds/key.h"
 
 namespace dstore::workload {
@@ -24,7 +24,7 @@ struct RecordHeader {
   uint16_t key_len;
   uint32_t value_size;
 };
-std::mutex g_writer_mu;  // TraceWriter append serialization
+Mutex g_writer_mu{"workload.trace"};  // TraceWriter append serialization
 }  // namespace
 
 Result<std::unique_ptr<TraceWriter>> TraceWriter::create(const std::string& path) {
@@ -39,6 +39,7 @@ Result<std::unique_ptr<TraceWriter>> TraceWriter::create(const std::string& path
 }
 
 TraceWriter::~TraceWriter() {
+  // lint: allow-discard destructor; a short tail write only truncates the trace
   if (!finished_) (void)finish();
   if (file_ != nullptr) fclose(file_);
 }
@@ -46,7 +47,7 @@ TraceWriter::~TraceWriter() {
 Status TraceWriter::append(TraceOp op, std::string_view key, uint32_t value_size) {
   if (finished_) return Status::invalid_argument("trace already finished");
   if (key.size() > 0xffff) return Status::invalid_argument("key too long for trace");
-  std::lock_guard<std::mutex> g(g_writer_mu);
+  MutexGuard g(g_writer_mu);
   RecordHeader h{(uint8_t)op, 0, (uint16_t)key.size(), value_size};
   if (fwrite(&h, sizeof(h), 1, file_) != 1 ||
       fwrite(key.data(), 1, key.size(), file_) != key.size()) {

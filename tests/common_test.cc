@@ -12,7 +12,7 @@
 #include "common/histogram.h"
 #include "common/latency_model.h"
 #include "common/rng.h"
-#include "common/spinlock.h"
+#include "common/lockdep.h"
 #include "common/status.h"
 #include "common/timeseries.h"
 #include "common/zipf.h"
@@ -197,7 +197,7 @@ TEST(Histogram, ResetClears) {
 }
 
 TEST(SpinLock, MutualExclusion) {
-  SpinLock mu;
+  SpinLock mu{"test.spin"};
   int counter = 0;
   std::vector<std::thread> ts;
   for (int t = 0; t < 4; t++) {
@@ -213,7 +213,7 @@ TEST(SpinLock, MutualExclusion) {
 }
 
 TEST(SpinLock, TryLock) {
-  SpinLock mu;
+  SpinLock mu{"test.spin_try"};
   EXPECT_TRUE(mu.try_lock());
   EXPECT_FALSE(mu.try_lock());
   mu.unlock();
@@ -222,7 +222,7 @@ TEST(SpinLock, TryLock) {
 }
 
 TEST(SharedSpinLock, ReadersShareWritersExclude) {
-  SharedSpinLock mu;
+  SharedSpinLock mu{"test.shared_spin"};
   std::atomic<int> readers{0};
   std::atomic<int> writer_active{0};
   std::atomic<bool> violation{false};

@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
 # Run clang-tidy (config: .clang-tidy at the repo root) over src/ and tools/.
 #
-# Usage: tools/run_lint.sh [build-dir]
+# Usage: tools/run_lint.sh [--strict] [build-dir]
 #
 # Needs a build directory with compile_commands.json; one is generated into
 # build-lint/ if the argument is omitted and none exists. Exits nonzero on
 # any clang-tidy warning so CI can gate on it.
+#
+# --strict: a missing clang-tidy is a FAILURE instead of a soft skip. CI
+# passes this (it installs clang-tidy, so a skip there means the install
+# silently broke and the gate would pass vacuously); local runs without the
+# flag keep the soft skip so the script never blocks development machines.
 set -u
+
+strict=0
+if [ "${1:-}" = "--strict" ]; then
+  strict=1
+  shift
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-lint}"
@@ -21,6 +32,10 @@ if [ -z "$tidy_bin" ]; then
   done
 fi
 if [ -z "$tidy_bin" ]; then
+  if [ "$strict" -ne 0 ]; then
+    echo "run_lint.sh: clang-tidy not found on PATH (--strict: failing)." >&2
+    exit 1
+  fi
   echo "run_lint.sh: clang-tidy not found on PATH; skipping lint (install clang-tidy to enable)." >&2
   exit 0
 fi
