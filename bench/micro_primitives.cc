@@ -2,16 +2,26 @@
 // append/commit, btree ops, slab allocation, PMEM persistence primitives,
 // circular-pool ops. These are not paper figures; they are the
 // engineering-level numbers behind Table 3's sub-microsecond software path.
+//
+// `micro_primitives --persist-budget` switches to a different job: emit the
+// measured per-op PMEM fence/flush budgets as JSON (the machine-readable
+// twin of tests/persist_budget_test.cc). CI diffs the output against the
+// committed bench/results/BENCH_persist_budget.json and fails on any fence
+// regression, so an ordering-point creep can never merge silently.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "alloc/slab_allocator.h"
 #include "common/rng.h"
 #include "dipper/log.h"
 #include "ds/btree.h"
 #include "ds/circular_pool.h"
+#include "dstore/dstore.h"
 #include "pmem/pool.h"
 #include "ssd/block_device.h"
 #include "ssd/io_retry.h"
@@ -181,4 +191,114 @@ static void BM_RetryIoTemplate(benchmark::State& state) {
 }
 BENCHMARK(BM_RetryIoTemplate);
 
-BENCHMARK_MAIN();
+// ---- --persist-budget: measured per-op fence/flush budgets as JSON -------
+
+namespace {
+
+struct OpBudget {
+  uint64_t flushed_lines = 0;
+  uint64_t fences = 0;
+  uint64_t nt_lines = 0;
+};
+
+// A minimal single-threaded store, foreground-checkpoint, nt mode explicit
+// (independent of DSTORE_PMEM_NT) — mirrors persist_budget_test's fixture.
+struct BudgetStore {
+  DStoreConfig cfg;
+  std::unique_ptr<pmem::Pool> pool;
+  std::unique_ptr<ssd::RamBlockDevice> device;
+  std::unique_ptr<DStore> store;
+  ds_ctx_t* ctx = nullptr;
+
+  explicit BudgetStore(bool nt_stores) {
+    cfg.max_objects = 256;
+    cfg.num_blocks = 1024;
+    cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(256);
+    cfg.engine.log_slots = 128;
+    cfg.engine.background_checkpointing = false;
+    cfg.engine.nt_stores = nt_stores;
+    pool = std::make_unique<pmem::Pool>(DStoreConfig::required_pool_bytes(cfg),
+                                        pmem::Pool::Mode::kDirect);
+    ssd::DeviceConfig dc;
+    dc.num_blocks = 1024;
+    device = std::make_unique<ssd::RamBlockDevice>(dc);
+    auto r = DStore::create(pool.get(), device.get(), cfg);
+    if (!r.is_ok()) {
+      fprintf(stderr, "persist-budget: store creation failed: %s\n",
+              r.status().to_string().c_str());
+      exit(2);
+    }
+    store = std::move(r).value();
+    ctx = store->ds_init();
+  }
+  ~BudgetStore() {
+    if (store && ctx != nullptr) store->ds_finalize(ctx);
+  }
+
+  template <typename Fn>
+  OpBudget measure(Fn&& fn) {
+    pmem::Pool::ThreadIoCounts before = pool->thread_io_counts();
+    fn();
+    pmem::Pool::ThreadIoCounts after = pool->thread_io_counts();
+    return {after.flushes - before.flushes, after.fences - before.fences,
+            after.nt_lines - before.nt_lines};
+  }
+};
+
+int run_persist_budget() {
+  std::string v(4096, 'p');
+  BudgetStore plain(/*nt_stores=*/false);
+  OpBudget put = plain.measure([&] {
+    (void)plain.store->oput(plain.ctx, "obj", v.data(), v.size());  // lint: allow-discard measured op; budgets are the output
+  });
+  std::string out(4096, 0);
+  OpBudget get = plain.measure([&] {
+    (void)plain.store->oget(plain.ctx, "obj", out.data(), out.size());  // lint: allow-discard measured op
+  });
+  OpBudget del = plain.measure([&] {
+    (void)plain.store->odelete(plain.ctx, "obj");  // lint: allow-discard measured op
+  });
+  for (int i = 0; i < 8; i++) {
+    std::string name = "obj" + std::to_string(i);
+    (void)plain.store->oput(plain.ctx, name, v.data(), v.size());  // lint: allow-discard warmup
+  }
+  OpBudget ckpt = plain.measure([&] {
+    (void)plain.store->checkpoint_now();  // lint: allow-discard measured op
+  });
+
+  BudgetStore nt(/*nt_stores=*/true);
+  OpBudget put_nt = nt.measure([&] {
+    (void)nt.store->oput(nt.ctx, "obj", v.data(), v.size());  // lint: allow-discard measured op
+  });
+
+  auto row = [](const char* name, const OpBudget& b, const char* trailing) {
+    printf("    \"%s\": {\"flushed_lines\": %llu, \"fences\": %llu, \"nt_lines\": %llu}%s\n",
+           name, (unsigned long long)b.flushed_lines, (unsigned long long)b.fences,
+           (unsigned long long)b.nt_lines, trailing);
+  };
+  printf("{\n");
+  printf("  \"bench\": \"persist_budget\",\n");
+  printf("  \"unit\": \"per 4KB op, single thread\",\n");
+  printf("  \"budgets\": {\n");
+  row("put", put, ",");
+  row("put_nt", put_nt, ",");
+  row("get", get, ",");
+  row("delete", del, ",");
+  row("checkpoint", ckpt, "");
+  printf("  }\n");
+  printf("}\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--persist-budget") == 0) return run_persist_budget();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

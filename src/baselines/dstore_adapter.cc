@@ -12,6 +12,7 @@ Result<std::unique_ptr<DStoreAdapter>> DStoreAdapter::make(DStoreVariantConfig c
   a->store_cfg_.num_blocks = cfg.num_blocks;
   a->store_cfg_.observational_equivalence = cfg.observational_equivalence;
   a->store_cfg_.ssd_qd = cfg.ssd_qd;
+  a->store_cfg_.early_ack = cfg.early_ack;
   a->store_cfg_.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(cfg.max_objects);
   a->store_cfg_.engine.log_slots = cfg.log_slots;
   a->store_cfg_.engine.background_checkpointing = cfg.background_checkpointing;

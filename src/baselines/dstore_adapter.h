@@ -27,6 +27,9 @@ struct DStoreVariantConfig {
   // NVMe queue-pair depth of the data plane (DStoreConfig::ssd_qd):
   // qd=1 is the historical synchronous one-block-at-a-time data plane.
   uint32_t ssd_qd = 16;
+  // Acknowledge puts at log commit, draining SSD data IO after the ack
+  // (DStoreConfig::early_ack; requires device power-loss protection).
+  bool early_ack = false;
   const char* display_name = "DStore";
 };
 

@@ -140,7 +140,7 @@ Engine::Engine(pmem::Pool* pool, SpaceClient* client, EngineConfig cfg)
   if (p == MAP_FAILED) throw std::bad_alloc();
   volatile_base_ = static_cast<char*>(p);
   for (int i = 0; i < 2; i++) {
-    sides_[i].log = PmemLog(pool_, layout_.log_off[i], cfg_.log_slots);
+    sides_[i].log = PmemLog(pool_, layout_.log_off[i], cfg_.log_slots, cfg_.nt_stores);
     sides_[i].states = std::vector<std::atomic<SlotState>>(cfg_.log_slots);
     sides_[i].name_hashes.assign(cfg_.log_slots, 0);
   }
@@ -166,7 +166,9 @@ void Engine::store_state(PackedState s) {
   // checkpoint-install hinges on (§3.5).
   pmem::PmemCheckScope check_scope("engine:root_flip");
   root()->state.store(s.pack(), std::memory_order_release);
-  pool_->persist(&root()->state, sizeof(uint64_t));
+  pmem::PersistBatch batch(pool_);
+  batch.add(&root()->state, sizeof(uint64_t));
+  batch.commit();
   pool_->check_durable(&root()->state, sizeof(uint64_t), "engine:root_flip");
 }
 
@@ -215,7 +217,9 @@ Status Engine::init_fresh() {
   st.shadow_old = 1;
   st.epoch = 1;
   r->state.store(st.pack(), std::memory_order_release);
-  pool_->persist(r, sizeof(RootObject));
+  pmem::PersistBatch batch(pool_);
+  batch.add(r, sizeof(RootObject));
+  batch.commit();
   pool_->check_durable(r, sizeof(RootObject), "engine:init_root");
 
   active_idx_.store(0, std::memory_order_release);
@@ -258,12 +262,28 @@ Status Engine::recover() {
         any = true;
         max_lsn = std::max(max_lsn, rec.lsn);
       } else if (corrupt) {
-        // A published record whose bytes fail their checksum: the log's
-        // history is no longer trustworthy, and replaying around the hole
-        // could silently resurrect or drop committed operations. Fail-stop.
-        stats_.log_crc_failures.fetch_add(1, std::memory_order_relaxed);
-        return Status::corruption("log side " + std::to_string(i) + " slot " + std::to_string(s) +
-                                  " failed its record checksum during recovery");
+        if (sides_[i].log.is_committed(s)) {
+          // A COMMITTED record whose bytes fail their checksum is silent
+          // media corruption — commit fences strictly after the publication
+          // train persisted the CRC, so no crash schedule can produce this.
+          // The log's history is no longer trustworthy, and replaying
+          // around the hole could silently resurrect or drop committed
+          // operations. Fail-stop.
+          stats_.log_crc_failures.fetch_add(1, std::memory_order_relaxed);
+          return Status::corruption("log side " + std::to_string(i) + " slot " +
+                                    std::to_string(s) +
+                                    " failed its record checksum during recovery");
+        }
+        // Uncommitted + CRC-fail: a torn publication — the crash landed
+        // inside the single-fence window and persisted the LSN line without
+        // the CRC line (DESIGN.md §13). The op was never acknowledged, so
+        // ignoring the slot is correct; park it as aborted (NOT free — it
+        // stays occupied until the side is recycled and reformatted) and
+        // keep scanning, since committed records can follow in slot order.
+        sides_[i].states[s].store(SlotState::kAborted, std::memory_order_relaxed);
+        sides_[i].name_hashes[s] = 0;
+        last_valid = s;
+        any = true;
       } else {
         sides_[i].states[s].store(SlotState::kFree, std::memory_order_relaxed);
         sides_[i].name_hashes[s] = 0;
@@ -840,10 +860,13 @@ Status Engine::collect_committed(uint8_t log_idx, std::vector<LogRecordView>* ou
     LogRecordView rec;
     bool corrupt = false;
     if (!side.log.read(s, &rec, &corrupt)) {
-      if (corrupt) {
-        // Replaying a log with an unreadable published record would build a
+      if (corrupt && side.log.is_committed(s)) {
+        // Replaying a log with an unreadable COMMITTED record would build a
         // checkpoint missing (or misordering) committed operations. Fail
-        // the pass; the caller surfaces Status::corruption.
+        // the pass; the caller surfaces Status::corruption. (Uncommitted +
+        // CRC-fail is a torn publication — a crash inside the single-fence
+        // window, DESIGN.md §13 — never acknowledged, never replayable:
+        // skip it like any other non-committed slot.)
         stats_.log_crc_failures.fetch_add(1, std::memory_order_relaxed);
         return Status::corruption("log side " + std::to_string(log_idx) + " slot " +
                                   std::to_string(s) + " failed its record checksum");

@@ -42,6 +42,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <span>
@@ -75,6 +76,16 @@ class SpaceClient {
   virtual Status replay(SlabAllocator& space, std::span<const LogRecordView> records) = 0;
 };
 
+// Default for EngineConfig::nt_stores: the DSTORE_PMEM_NT environment knob
+// (README "Build & test") — "1" publishes log records with non-temporal
+// stores, anything else uses the clwb path. An env default (rather than a
+// hardwired one) lets CI run the whole crash sweep with nt forced on
+// without a second binary.
+inline bool nt_stores_default() {
+  const char* e = std::getenv("DSTORE_PMEM_NT");
+  return e != nullptr && e[0] == '1';
+}
+
 struct EngineConfig {
   size_t arena_bytes = 64ull << 20;  // size of the system space (and each shadow slot)
   uint32_t log_slots = 8192;         // capacity of each of the two logs
@@ -89,6 +100,11 @@ struct EngineConfig {
   // per-slot PMEM payload region, emulating value-carrying log records.
   bool physical_logging = false;
   size_t physical_payload_bytes = 4096;  // payload region slot size
+  // Publish log records with non-temporal stores (pmem::Pool::persist_nt)
+  // instead of store+clwb: cheaper per line, identical single-fence
+  // ordering (DESIGN.md §13). Does not change the on-PMEM layout, so a pool
+  // written with either setting recovers under the other.
+  bool nt_stores = nt_stores_default();
 
   // Test-only crash-point hook. Called at named points inside the
   // checkpoint ("ckpt:after_swap", "ckpt:after_drain", "ckpt:after_replay",

@@ -41,16 +41,16 @@ void PmemLog::write_record(uint32_t slot, uint64_t lsn, OpType op, const Key& na
   std::memcpy(s->name, name.data, name.len);
   s->payload_crc = payload_crc;
   s->crc = record_crc(s, slot, lsn);
-  // The record CRC lives in the slot's second cache line, so every record —
-  // even one whose fields fit a single line — persists the tail line before
-  // the LSN publishes (§3.4 reverse-order flush protocol). This keeps the
-  // LSN-validity rule airtight: a valid LSN implies a complete *and
-  // checksummed* record; a crash can never leave a published record whose
-  // CRC was not yet persistent. One extra flush+fence per record is the
-  // price of end-to-end log integrity.
-  pool_->persist(reinterpret_cast<char*>(s) + kCacheLineSize, kSlotSize - kCacheLineSize);
+  // Single-fence publication (see log.h / DESIGN.md §13): the LSN is the
+  // last *store* but persists in the same train as everything else. Any
+  // crash-persisted subset of the two lines is safe — the head line alone
+  // yields a valid LSN whose CRC (stale tail line) fails, which recovery
+  // classifies as a torn uncommitted publication and skips. One flush train
+  // + one fence replaces the old two-fence reverse-order protocol.
   s->lsn.store(lsn, std::memory_order_release);
-  pool_->persist(s, kCacheLineSize);
+  pmem::PersistBatch batch(pool_, nt_);
+  batch.add(s, kSlotSize);
+  batch.commit();
   // Durability point: the record is published (valid LSN) — every byte a
   // recovery scan would decode must now be in the persistent image.
   size_t payload_end = offsetof(Slot, name) + name.len;
@@ -61,8 +61,12 @@ void PmemLog::write_record(uint32_t slot, uint64_t lsn, OpType op, const Key& na
 void PmemLog::commit(uint32_t slot) {
   pmem::PmemCheckScope check_scope("log:commit");
   Slot* s = slot_ptr(slot);
+  // Read-modify-write of a live line: clwb path, never nt (a streaming
+  // store of a partially-rewritten line would be wrong on real hardware).
   s->flags.fetch_or(kFlagCommitted, std::memory_order_release);
-  pool_->persist(&s->flags, sizeof(s->flags));
+  pmem::PersistBatch batch(pool_);
+  batch.add(&s->flags, sizeof(s->flags));
+  batch.commit();
   // Durability point: commit == durable (§4.5). The whole record — not
   // just the flags line — must be persistent once the commit flag is.
   pool_->check_durable(s, offsetof(Slot, arg0) + s->length, "log:commit");
@@ -72,7 +76,9 @@ void PmemLog::abort(uint32_t slot) {
   pmem::PmemCheckScope check_scope("log:abort");
   Slot* s = slot_ptr(slot);
   s->flags.fetch_or(kFlagAborted, std::memory_order_release);
-  pool_->persist(&s->flags, sizeof(s->flags));
+  pmem::PersistBatch batch(pool_);
+  batch.add(&s->flags, sizeof(s->flags));
+  batch.commit();
   pool_->check_durable(&s->flags, sizeof(s->flags), "log:abort");
 }
 

@@ -9,20 +9,31 @@
 // cache line, matching the paper's "we expect most log records to fit
 // within a single cache line".
 //
-// Atomic visibility protocol (§3.4): PMEM gives 8-byte atomicity and may
-// evict cache lines spuriously, so the LSN — the validity marker — is
-// written and flushed *last*:
+// Atomic visibility protocol (§3.4, minimally ordered — DESIGN.md §13):
+// PMEM gives 8-byte atomicity and may evict cache lines spuriously. Rather
+// than store-ordering the LSN behind its own fence (the old reverse-order
+// two-fence protocol), the record is *self-certifying*: every field —
+// including the slot-seeded CRC and, last in program order, the LSN — is
+// written with plain stores, then BOTH slot lines are persisted by a single
+// flush train and ONE fence (pmem::PersistBatch). Publication is that fence.
 //
-//   1. write everything except the LSN (length, op, flags, params);
-//   2. flush those lines (second line first), fence;
-//   3. write the LSN with an atomic 8B store, flush its line, fence.
+// A crash or spurious eviction inside the publication window can persist
+// any subset of the two lines, and every subset is safe:
 //
-// A spurious eviction can only ever persist what has been written, and the
-// LSN is not written until the rest of the record is persistent, so a
-// recovered slot with a valid LSN always carries a complete record.
+//   * neither line, or the tail line alone  → LSN still 0 → empty slot;
+//   * head line alone (valid LSN, stale CRC) → the CRC check fails →
+//     recovery counts the slot as a torn, uncommitted publication and
+//     skips it — it can never be committed, because the commit store
+//     happens-after the publication fence;
+//   * both lines → complete record.
 //
-// The commit flag is set (and its line flushed) only after the operation's
-// data is durable on the SSD (§4.5), making commit == durable.
+// So the invariant the old protocol bought with two fences — a decodable
+// record is a complete record — holds with one.
+//
+// The commit flag is set (and its line flushed+fenced) only after the
+// operation's data is durable on the SSD (§4.5), making commit == durable;
+// a committed record that fails its CRC is therefore silent media
+// corruption, never a torn publication, and recovery fail-stops on it.
 #pragma once
 
 #include <atomic>
@@ -66,8 +77,12 @@ class PmemLog {
   static constexpr uint16_t kFlagNoop = 1u << 2;
 
   PmemLog() = default;
-  PmemLog(pmem::Pool* pool, uint64_t region_off, uint32_t slot_count)
-      : pool_(pool), region_off_(region_off), slot_count_(slot_count) {}
+  // `nt`: publish records with non-temporal stores (persist_nt) instead of
+  // clwb — the record write is a full-two-line streaming store, the nt
+  // sweet spot. Commit/abort stay on the clwb path (they read-modify-write
+  // one line). See EngineConfig::nt_stores / DSTORE_PMEM_NT.
+  PmemLog(pmem::Pool* pool, uint64_t region_off, uint32_t slot_count, bool nt = false)
+      : pool_(pool), region_off_(region_off), slot_count_(slot_count), nt_(nt) {}
 
   static size_t region_bytes(uint32_t slot_count) { return (size_t)slot_count * kSlotSize; }
   uint32_t slot_count() const { return slot_count_; }
@@ -82,8 +97,8 @@ class PmemLog {
   // LSN-validity rule holds.
   void format();
 
-  // Write a record into `slot` following the LSN-last protocol. The record
-  // is persistent-but-uncommitted on return. `payload_crc` is the checksum
+  // Write a record into `slot` following the single-fence publication
+  // protocol above. The record is persistent-but-uncommitted on return. `payload_crc` is the checksum
   // of the physically-logged payload accompanying the record (0 if none);
   // it is covered by the record's own CRC so a repair source can be
   // authenticated end to end.
@@ -116,7 +131,9 @@ class PmemLog {
     char name[kMaxNameLen];
     // Slot-index-seeded CRC32C over every field above except `flags` (which
     // legitimately mutates at commit/abort) — a record decoded from the
-    // wrong slot fails its seed. Persisted before the LSN publishes.
+    // wrong slot fails its seed. Persisted in the same single-fence train
+    // as the LSN; a crash that publishes the LSN line without this one
+    // reads as a torn (CRC-failing, uncommitted) publication.
     uint32_t crc;
     uint32_t payload_crc;  // checksum of the physically-logged payload, or 0
     uint8_t pad[24];
@@ -134,6 +151,7 @@ class PmemLog {
   pmem::Pool* pool_ = nullptr;
   uint64_t region_off_ = 0;
   uint32_t slot_count_ = 0;
+  bool nt_ = false;  // publish records via non-temporal stores
 };
 
 }  // namespace dstore::dipper

@@ -39,6 +39,15 @@ void in_use_store_release(MetaEntry* e, uint8_t v) {
 // (annotations no-op) or a PMEM shadow copy during checkpoint replay, where
 // every write must be covered by the checkpoint's durability pass before
 // the install root flip. PmemCheck verifies exactly that.
+//
+// Minimal ordering (DESIGN.md §13): an entry update records ONE batched
+// obligation covering the whole entry (seal_entry, after all field stores)
+// rather than annotating field by field, and issues no flush or fence of
+// its own — the checkpoint's single persist_bulk pass is the only ordering
+// point for the entire metadata zone. Intra-entry store order is
+// irrelevant to crash consistency here because the shadow copy only
+// becomes reachable at the install root flip, which happens-after the bulk
+// pass; the entry CRC covers torn media, not ordering.
 
 Result<OffPtr<MetadataZone::Header>> MetadataZone::create(SlabAllocator& sp,
                                                           uint64_t num_entries) {
@@ -131,8 +140,7 @@ Status MetadataZone::init_entry(uint64_t idx, const Key& name) {
   name_store_atomic(&e->name, name);
   e->generation = 1;
   in_use_store_release(e, 1);
-  seal_entry(idx);
-  pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:init_entry");
+  seal_entry(idx);  // one whole-entry obligation covers every store above
   return Status::ok();
 }
 
@@ -153,8 +161,7 @@ Status MetadataZone::append_block(uint64_t idx, uint64_t block_id) {
   }
   blocks(*e)[e->nblocks++] = block_id;
   e->generation++;
-  seal_entry(idx);
-  pmem::annotate_must_persist(e, sizeof(MetaEntry), "meta:append_block");
+  seal_entry(idx);  // one whole-entry obligation covers every store above
   pmem::annotate_must_persist(blocks(*e), e->nblocks * sizeof(uint64_t), "meta:append_block");
   return Status::ok();
 }

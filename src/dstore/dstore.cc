@@ -173,6 +173,8 @@ void DStore::register_substrate_metrics() {
                [pool] { return pool->stats().lines_flushed.load(std::memory_order_relaxed); });
   r.counter_fn("pmem_fences_total", "store fences retired",
                [pool] { return pool->stats().fences.load(std::memory_order_relaxed); });
+  r.counter_fn("pmem_nt_lines_total", "cache lines written with non-temporal stores",
+               [pool] { return pool->stats().lines_nt.load(std::memory_order_relaxed); });
   r.counter_fn("pmem_bytes_flushed_total", "bytes written back to PMEM",
                [pool] { return pool->stats().bytes_flushed.load(std::memory_order_relaxed); });
   r.counter_fn("pmem_bytes_read_total", "bulk bytes read from PMEM",
@@ -261,6 +263,10 @@ ds_ctx_t* DStore::ds_init() {
 
 void DStore::ds_finalize(ds_ctx_t* ctx) {
   if (ctx == nullptr) return;
+  // Early-ack queues spin out their remaining emulated device latency here;
+  // their ops are already committed and their data already durable.
+  for (auto& q : ctx->pending_io) q->wait_all();
+  ctx->pending_io.clear();
   live_ctxs_.fetch_sub(1, std::memory_order_relaxed);
   delete ctx;
 }
@@ -650,6 +656,23 @@ Status DStore::apply_io_policy(Status s, bool is_write) {
   return s;
 }
 
+void DStore::reap_pending(ds_ctx_t* ctx) {
+  if (ctx == nullptr || ctx->pending_io.empty()) return;
+  // A parked queue only ever holds ok statuses, so poll()/wait_all() here
+  // never resubmit (which would dereference a dead caller buffer).
+  auto& v = ctx->pending_io;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [](std::unique_ptr<ssd::IoQueue>& q) { return q->poll() == 0; }),
+          v.end());
+  // Bound the context's outstanding emulated commands like a real
+  // queue-pair would: past the cap, the oldest is waited out.
+  constexpr size_t kMaxParked = 4;
+  while (v.size() > kMaxParked) {
+    v.front()->wait_all();
+    v.erase(v.begin());
+  }
+}
+
 Status DStore::finish_io(ssd::IoQueue& q, bool is_write, obs::OpTrace* trace) {
   q.wait_all();
   for (size_t i = 0; i < q.size(); i++) {
@@ -999,6 +1022,7 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
   if (read_only()) return Status::read_only("store degraded after ssd write failures");
   Key k = Key::from(name);
   int64_t allowed = allowed_inflight(ctx, k);
+  reap_pending(ctx);
   View v = view_of(engine_->space());
 
   dipper::Engine::RecordHandle h;
@@ -1060,7 +1084,12 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
   // then persist the log record while they are in flight — the record
   // write and the data writes are independent until the commit point
   // (step 9), so their latencies overlap instead of adding up.
-  ssd::IoQueue ioq(device_, cfg_.ssd_qd);
+  // Heap-owned so the early-ack path can park it on the context; the
+  // allocation is noise next to the device's per-IO base latency.
+  const bool early_ack =
+      cfg_.early_ack && ctx != nullptr && device_->config().power_loss_protection;
+  auto ioq_owner = std::make_unique<ssd::IoQueue>(device_, cfg_.ssd_qd);
+  ssd::IoQueue& ioq = *ioq_owner;
   Status s;
   Status ws;
   if (cfg_.observational_equivalence) {
@@ -1085,8 +1114,24 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
   // Step 8b: reap the data completions (device-cache durable once acked).
   // A failed write must abort the reserved record: it was never committed,
   // and leaving it in-flight would wedge every later writer of this object.
+  //
+  // Early ack (DESIGN.md §13): with a PLP device, every submission already
+  // landed in the capacitor-backed write cache — acknowledged == durable —
+  // and in this emulation a failure completes at submission time, so a
+  // queue with none observed will drain clean. Skip the latency wait,
+  // commit now, and park the queue on the context; anything else (a failure
+  // already posted, no context, no PLP) takes the synchronous reap with its
+  // bounded-retry policy.
   trace.enter(obs::kStageSsdBatch);
-  if (s.is_ok() && ws.is_ok()) ws = finish_io(ioq, /*is_write=*/true, &trace);
+  bool parked = false;
+  if (s.is_ok() && ws.is_ok()) {
+    if (early_ack && !ioq.any_failed()) {
+      trace.add_io(ioq.size(), ioq.resubmits());
+      parked = true;
+    } else {
+      ws = finish_io(ioq, /*is_write=*/true, &trace);
+    }
+  }
   if (s.is_ok()) s = ws;
   if (!s.is_ok()) {
     engine_->abort(h);
@@ -1106,6 +1151,7 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
   trace.enter(obs::kStageCommitFlush);
   engine_->commit(h);
   trace.leave();
+  if (parked) ctx->pending_io.push_back(std::move(ioq_owner));
   trace.succeed();
   return Status::ok();
 }
@@ -1146,11 +1192,91 @@ Result<size_t> DStore::oget(ds_ctx_t* /*ctx*/, std::string_view name, void* buf,
   return value_size;
 }
 
+// Out-of-line so unique_ptr<ReaderGuard> sees the complete guard type.
+DStore::ReadView::ReadView() = default;
+DStore::ReadView::ReadView(ReadView&&) noexcept = default;
+DStore::ReadView& DStore::ReadView::operator=(ReadView&&) noexcept = default;
+DStore::ReadView::~ReadView() = default;
+
+namespace {
+// The same composition crc32c(data, size) produces, streamed over the
+// view's pieces — zero-copy reads verify the identical content checksum
+// oget computes over the copied-out buffer.
+uint32_t crc_over_pieces(const std::vector<DStore::ReadView::Piece>& pieces) {
+  uint32_t c = 0xffffffffu;
+  c = crc32c_extend_u64(c, 0);
+  for (const auto& p : pieces) c = crc32c_extend(c, p.data, p.len);
+  c ^= 0xffffffffu;
+  return c == 0 ? 1u : c;
+}
+}  // namespace
+
+Result<DStore::ReadView> DStore::oget_zc(ds_ctx_t* /*ctx*/, std::string_view name) {
+  if (!Key::fits(name)) return Status::invalid_argument("name too long");
+  Key k = Key::from(name);
+  obs::OpTrace trace(get_metrics_, pool_);
+  ReadView view;
+  view.pin_ = std::make_unique<ReaderGuard>(*this, k);  // pin before lookup
+  View v = view_of(engine_->space());
+  std::optional<uint64_t> found;
+  {
+    SharedLockGuard g(btree_mu_);
+    found = v.btree.find(k);
+  }
+  if (!found.has_value()) return Status::not_found(k.str());
+  DSTORE_RETURN_IF_ERROR(verify_meta(v, *found));
+  const MetaEntry* e = v.zone.entry(*found);
+  view.size_ = e->size;
+  if (e->size == 0) {
+    trace.succeed();
+    return std::move(view);
+  }
+  const uint64_t* bl = v.zone.blocks(*e);
+  const size_t bs = block_size();
+  // Map every block, merging pointer-contiguous runs into one piece, and
+  // sidecar-verify what is handed out — verify_pages charges the media
+  // bandwidth channel, so zero-copy reads still pay the device's read cost
+  // (minus the copy-out).
+  uint64_t remaining = e->size;
+  for (uint32_t i = 0; i < e->nblocks && remaining > 0; i++) {
+    const char* p = static_cast<const char*>(device_->direct_read_map(bl[i]));
+    if (p == nullptr) {
+      return Status::unsupported("device has no direct read mapping; use oget()");
+    }
+    size_t len = (size_t)std::min<uint64_t>(bs, remaining);
+    Status vs = device_->verify_pages(bl[i], 0, len, nullptr);
+    if (vs.code() == Code::kCorruption) {
+      vs = contain_corruption(v, *found, &trace);
+      if (vs.is_ok()) vs = device_->verify_pages(bl[i], 0, len, nullptr);
+    }
+    DSTORE_RETURN_IF_ERROR(vs);
+    if (!view.pieces_.empty() &&
+        static_cast<const char*>(view.pieces_.back().data) + view.pieces_.back().len == p) {
+      view.pieces_.back().len += len;
+    } else {
+      view.pieces_.push_back({p, len});
+    }
+    remaining -= len;
+  }
+  // Content tier (as in oget): catches internally consistent stale pages —
+  // lost or misdirected writes — the per-page sidecar cannot see.
+  if (e->data_crc_valid && crc_over_pieces(view.pieces_) != e->data_crc) {
+    Status cs = contain_corruption(v, *found, &trace);
+    if (cs.is_ok() && crc_over_pieces(view.pieces_) != e->data_crc) {
+      cs = Status::corruption("object '" + k.str() + "' content checksum mismatch");
+    }
+    DSTORE_RETURN_IF_ERROR(cs);
+  }
+  trace.succeed();
+  return std::move(view);
+}
+
 Status DStore::odelete(ds_ctx_t* ctx, std::string_view name) {
   if (!Key::fits(name)) return Status::invalid_argument("name too long");
   if (read_only()) return Status::read_only("store degraded after ssd write failures");
   Key k = Key::from(name);
   int64_t allowed = allowed_inflight(ctx, k);
+  reap_pending(ctx);
   View v = view_of(engine_->space());
 
   dipper::Engine::RecordHandle h;

@@ -93,6 +93,15 @@ struct DStoreConfig {
   // before a read hits it. The device's bandwidth channel rate-limits the
   // verification reads. 0 disables the thread; scrub_now() always works.
   uint64_t scrub_interval_ms = 0;
+  // Early-ack puts (DESIGN.md §13): acknowledge an oput once every data IO
+  // has been accepted into the device's capacitor-backed write cache and
+  // the log record committed, instead of also waiting out the emulated
+  // device latency — the queue-pair is parked on the caller's ds_ctx_t and
+  // reaped on its next mutating op (ds_finalize drains the rest). Only
+  // effective with a power-loss-protected device and a non-null context;
+  // otherwise puts stay fully synchronous. Acknowledged == durable under
+  // PLP, so commit-implies-durable is unchanged.
+  bool early_ack = false;
   // Read-repair support: route pure data overwrites through logged kWrite
   // records and force the engine's physical payload logging, so every
   // committed write inside the checkpoint window has an authenticated PMEM
@@ -113,6 +122,11 @@ struct ds_ctx_t {
   uint64_t id = 0;
   // Object locks held via olock() (a writer tolerates its own lock record).
   std::set<std::string> held_locks;
+  // Early-ack puts: committed ops whose queue-pairs are still spinning out
+  // their emulated device latency. Every parked queue has only ok statuses
+  // (checked before parking), so reaping never resubmits — and therefore
+  // never touches a caller write buffer that is long gone.
+  std::vector<std::unique_ptr<ssd::IoQueue>> pending_io;
 };
 
 // Open-object handle for the filesystem-style API.
@@ -145,6 +159,40 @@ class DStore final : public dipper::SpaceClient {
   // Fetch the value; copies min(buf_cap, value_size) bytes and returns the
   // full value size.
   Result<size_t> oget(ds_ctx_t* ctx, std::string_view name, void* buf, size_t buf_cap);
+
+ private:
+  class ReaderGuard;  // per-object read exclusion (defined in dstore.cc)
+
+ public:
+  // Zero-copy get (DESIGN.md §13): the object's bytes as views over the
+  // device's internal buffer — no copy into a caller buffer. The view holds
+  // the object's read exclusion (writers of this object wait) until it is
+  // destroyed, so drop it promptly. Both checksum tiers still run: the
+  // per-page sidecar (bandwidth-charged like a media read) and, when
+  // recorded, the whole-object content CRC over the mapped bytes. Devices
+  // without a direct read mapping (FileBlockDevice, !PLP RamBlockDevice)
+  // return Status::unsupported — fall back to oget().
+  class ReadView {
+   public:
+    struct Piece {
+      const void* data;
+      size_t len;
+    };
+    ReadView();
+    ReadView(ReadView&&) noexcept;
+    ReadView& operator=(ReadView&&) noexcept;
+    ~ReadView();
+    const std::vector<Piece>& pieces() const { return pieces_; }
+    size_t size() const { return size_; }
+
+   private:
+    friend class DStore;
+    std::vector<Piece> pieces_;
+    size_t size_ = 0;
+    std::unique_ptr<ReaderGuard> pin_;  // released on destruction
+  };
+  Result<ReadView> oget_zc(ds_ctx_t* ctx, std::string_view name);
+
   Status odelete(ds_ctx_t* ctx, std::string_view name);
 
   // ---- filesystem API -----------------------------------------------------
@@ -304,8 +352,9 @@ class DStore final : public dipper::SpaceClient {
   // ordered through a pending-name table.
   Status replay_parallel(View& v, std::span<const dipper::LogRecordView> records);
 
-  // Reader-side CC (§4.4 + the symmetric check; see readcount_table.h).
-  class ReaderGuard;
+  // Reader-side CC (§4.4 + the symmetric check) is class ReaderGuard,
+  // declared with the public API above (ReadView holds one); defined in
+  // dstore.cc. See readcount_table.h.
 
   // -- async data plane ------------------------------------------------------
   // Every SSD access goes through an ssd::IoQueue (NVMe queue-pair
@@ -326,6 +375,9 @@ class DStore final : public dipper::SpaceClient {
   // the error. Transient errors are absorbed or surfaced — never dropped.
   Status finish_io(ssd::IoQueue& q, bool is_write, obs::OpTrace* trace = nullptr);
   Status apply_io_policy(Status s, bool is_write);
+  // Early-ack bookkeeping: drop the context's drained parked queues and
+  // bound the still-spinning ones (oldest waited out past a small cap).
+  void reap_pending(ds_ctx_t* ctx);
 
   Status write_data(const std::vector<uint64_t>& blocks, const void* data, size_t size,
                     obs::OpTrace* trace = nullptr);

@@ -119,6 +119,20 @@ class BlockDevice {
   // check at-rest data without copying it out.
   virtual bool has_page_checksums() const { return false; }
 
+  // Zero-copy read support: a stable pointer to `block`'s current durable
+  // contents, or nullptr when the device cannot hand one out (file-backed
+  // media, or a dual-buffered !PLP cache whose view moves under a lock).
+  // The pointer stays valid for the device's lifetime; the CALLER must hold
+  // the object-level read exclusion for as long as it dereferences it —
+  // the device does not snapshot. Consecutive blocks of linear media map
+  // to consecutive addresses, which is what lets the data plane coalesce
+  // pieces. No latency is charged here; callers account the read through
+  // verify_pages() (bandwidth-charged) or their own model.
+  virtual const void* direct_read_map(uint64_t block) const {
+    (void)block;
+    return nullptr;
+  }
+
   // Verify the sidecar checksums of every page overlapping
   // [block*block_size+offset, +len) against current media contents. Appends
   // the absolute index of each failing page to `bad_pages` (when non-null)
@@ -168,6 +182,15 @@ class RamBlockDevice final : public BlockDevice {
   bool has_page_checksums() const override { return cfg_.checksum_pages; }
   Status verify_pages(uint64_t block, size_t offset, size_t len,
                       std::vector<uint64_t>* bad_pages) override;
+
+  // With PLP there is exactly one buffer and writes to a block are
+  // single-owner (the block pool), so handing out the backing pointer is
+  // safe under the caller's read exclusion. The !PLP dual-buffer mode
+  // mutates cache_view_ under mu_ — no stable pointer exists there.
+  const void* direct_read_map(uint64_t block) const override {
+    if (!cfg_.power_loss_protection || block >= cfg_.num_blocks) return nullptr;
+    return media_.get() + block * cfg_.block_size();
+  }
 
   // Tamper helper for integrity tests: flip bit `bit` of media byte
   // `byte_off` behind the sidecar's back (both buffers in !PLP mode), as

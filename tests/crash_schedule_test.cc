@@ -151,6 +151,18 @@ TEST(CrashSchedule, ExhaustiveSingleCrashSweep) {
         p.add({point, h + 3, FaultType::kCrash, 0, 1});
         plans.push_back(p);
       }
+    } else if (point == "pmem.nt") {
+      // Torn nt-store publication: the write-combining buffer drains a
+      // line-snapped prefix (here one line: the LSN line without the CRC
+      // line) to media, then power fails inside the batched publication
+      // window. Recovery must classify the slot as a torn uncommitted
+      // publication. Fires only when the rig runs with nt stores enabled
+      // (DSTORE_PMEM_NT=1); the space is empty otherwise.
+      for (uint64_t h = 1; h <= count; h += 2) {
+        FaultPlan p;
+        p.add({point, h, FaultType::kTorn, 64, 1});
+        plans.push_back(p);
+      }
     }
   }
   bool single = maybe_single_plan(&plans);
@@ -284,11 +296,19 @@ TEST(TornLogRecord, HeaderByteSweepNeverLosesCommittedRecords) {
 
     t.store.reset();
     // Tear the record's persistent image: only the first `keep` bytes ever
-    // persisted. The LSN is written+flushed last (§3.4) and 8-byte atomic,
-    // so in any torn persist of this record the LSN word is still zero —
-    // force that unless the whole record survived.
+    // persisted. Under the single-fence publication protocol (DESIGN.md
+    // §13) the LSN persists in the SAME train as the rest of the record, so
+    // a torn publication CAN leave a valid LSN with a stale CRC line — that
+    // is the torn-uncommitted case recovery must classify and skip. What a
+    // crash can never leave is the committed bit set (commit fences
+    // strictly after the publication fence), so emulate that: clear the
+    // bit in the region before the tear copies the prefix from it. The one
+    // hardware guarantee we keep is 8-byte atomicity of the LSN word.
+    if (keep < dipper::PmemLog::kSlotSize) {
+      const_cast<char*>(addr)[14] &= ~(char)dipper::PmemLog::kFlagCommitted;
+    }
     t.pool->tear_image(addr, keep, dipper::PmemLog::kSlotSize);
-    if (keep < dipper::PmemLog::kSlotSize) t.pool->tear_image(addr, 0, 8);
+    if (keep < 8) t.pool->tear_image(addr, 0, 8);
     t.pool->crash();
     t.device->crash();
 
@@ -298,7 +318,10 @@ TEST(TornLogRecord, HeaderByteSweepNeverLosesCommittedRecords) {
     // Committed records before the torn one are never lost.
     EXPECT_EQ(torn::get(t.store.get(), "a"), va) << "keep=" << keep;
     EXPECT_EQ(torn::get(t.store.get(), "b"), vb) << "keep=" << keep;
-    // The torn record itself is ignored (or, untouched at keep==128, kept).
+    // The torn record itself is ignored — keep<8: no LSN (empty slot);
+    // 8<=keep<104: valid LSN, CRC fails (torn uncommitted publication);
+    // 104<=keep<128: CRC intact but uncommitted (aborted). Only the
+    // untouched keep==128 record survives as committed.
     if (keep == dipper::PmemLog::kSlotSize) {
       EXPECT_EQ(torn::get(t.store.get(), "c"), vc);
     } else {
@@ -306,6 +329,39 @@ TEST(TornLogRecord, HeaderByteSweepNeverLosesCommittedRecords) {
     }
     EXPECT_TRUE(t.store->validate().is_ok()) << "keep=" << keep;
   }
+}
+
+// A committed record that fails its CRC is NOT a torn publication — commit
+// fences strictly after the publication train persisted the CRC, so no
+// crash schedule can produce it. It is silent media corruption, and
+// recovery must fail-stop rather than replay around the hole. (The
+// uncommitted variant of the same tear is tolerated by the sweep above.)
+TEST(TornLogRecord, CommittedRecordWithTornCrcFailStopsRecovery) {
+  const std::string vc(300, 'C');
+  torn::Probe t = torn::make_probe();
+  ds_ctx_t* ctx = t.store->ds_init();
+  ASSERT_TRUE(t.store->oput(ctx, "c", vc.data(), vc.size()).is_ok());
+  t.store->ds_finalize(ctx);
+
+  auto& eng = t.store->engine();
+  const dipper::PmemLog& log = eng.log_for_testing(eng.active_log_index());
+  uint32_t slot = UINT32_MAX;
+  for (uint32_t i = 0; i < log.slot_count(); i++) {
+    dipper::LogRecordView rec;
+    if (log.read(i, &rec) && rec.name.view() == "c") slot = i;
+  }
+  ASSERT_NE(slot, UINT32_MAX);
+  const char* addr = t.pool->base() + log.slot_offset(slot);
+
+  t.store.reset();
+  // Keep the head line (valid LSN + committed flag) but lose the CRC line.
+  t.pool->tear_image(addr, 96, dipper::PmemLog::kSlotSize);
+  t.pool->crash();
+  t.device->crash();
+
+  auto r = DStore::recover(t.pool.get(), t.device.get(), t.cfg);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Code::kCorruption) << r.status().to_string();
 }
 
 // ---------------------------------------------------------------------------

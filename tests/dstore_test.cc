@@ -3,6 +3,8 @@
 // multi-threaded operation.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -23,9 +25,11 @@ struct TestStore {
   ds_ctx_t* ctx = nullptr;
 
   explicit TestStore(bool background_ckpt = false, uint32_t log_slots = 512,
-                     uint64_t max_objects = 1024, uint64_t num_blocks = 4096) {
+                     uint64_t max_objects = 1024, uint64_t num_blocks = 4096,
+                     bool early_ack = false) {
     cfg.max_objects = max_objects;
     cfg.num_blocks = num_blocks;
+    cfg.early_ack = early_ack;
     cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(max_objects);
     cfg.engine.log_slots = log_slots;
     cfg.engine.background_checkpointing = background_ckpt;
@@ -47,6 +51,10 @@ struct TestStore {
   void crash_and_recover() {
     store->engine().stop_background();
     store.reset();  // destroys engine threads
+    // Process death reclaims the context without draining it — parked
+    // early-ack queues are dropped mid-flight, which is the point.
+    delete ctx;
+    ctx = nullptr;
     pool->crash();
     device->crash();
     auto r = DStore::recover(pool.get(), device.get(), cfg);
@@ -133,6 +141,165 @@ TEST(DStoreApi, SmallBufferGetsTruncatedCopyFullSize) {
   ASSERT_TRUE(r.is_ok());
   EXPECT_EQ(r.value(), 4096u);  // true size reported
   EXPECT_EQ(std::memcmp(buf, v.data(), sizeof(buf)), 0);
+}
+
+std::string flatten(const DStore::ReadView& view) {
+  std::string out;
+  for (const auto& p : view.pieces()) {
+    out.append(static_cast<const char*>(p.data), p.len);
+  }
+  return out;
+}
+
+TEST(DStoreZeroCopy, GetReturnsExactBytesWithoutCopy) {
+  TestStore t;
+  // 3.5 blocks, so the view spans multiple pieces unless runs coalesce.
+  std::string v = value_of(14336, 'q');
+  v[0] = 'A';
+  v[14335] = 'Z';
+  ASSERT_TRUE(t.store->oput(t.ctx, "obj", v.data(), v.size()).is_ok());
+  auto r = t.store->oget_zc(t.ctx, "obj");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  DStore::ReadView view = std::move(r).value();
+  EXPECT_EQ(view.size(), v.size());
+  EXPECT_EQ(flatten(view), v);
+  // The pieces alias device memory — nothing was copied into a test buffer.
+  ASSERT_FALSE(view.pieces().empty());
+  const char* media_begin = static_cast<const char*>(t.device->direct_read_map(0));
+  const char* media_end = media_begin + t.device->config().capacity();
+  for (const auto& p : view.pieces()) {
+    const char* d = static_cast<const char*>(p.data);
+    EXPECT_TRUE(d >= media_begin && d + p.len <= media_end);
+  }
+}
+
+TEST(DStoreZeroCopy, EmptyAndMissingObjects) {
+  TestStore t;
+  ASSERT_TRUE(t.store->oput(t.ctx, "empty", nullptr, 0).is_ok());
+  auto r = t.store->oget_zc(t.ctx, "empty");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().size(), 0u);
+  EXPECT_TRUE(r.value().pieces().empty());
+  EXPECT_EQ(t.store->oget_zc(t.ctx, "ghost").status().code(), Code::kNotFound);
+}
+
+TEST(DStoreZeroCopy, ViewPinsObjectAgainstWriters) {
+  TestStore t;
+  std::string v1 = value_of(4096, '1');
+  std::string v2 = value_of(4096, '2');
+  ASSERT_TRUE(t.store->oput(t.ctx, "pinned", v1.data(), v1.size()).is_ok());
+  std::atomic<bool> wrote{false};
+  std::thread writer;
+  {
+    auto r = t.store->oget_zc(t.ctx, "pinned");
+    ASSERT_TRUE(r.is_ok());
+    DStore::ReadView view = std::move(r).value();
+    writer = std::thread([&] {
+      ds_ctx_t* ctx2 = t.store->ds_init();
+      ASSERT_TRUE(t.store->oput(ctx2, "pinned", v2.data(), v2.size()).is_ok());
+      wrote.store(true, std::memory_order_release);
+      t.store->ds_finalize(ctx2);
+    });
+    // The writer must wait for the view's read exclusion: the mapped bytes
+    // stay the old value for the entire time we hold the pin.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(wrote.load(std::memory_order_acquire));
+    EXPECT_EQ(flatten(view), v1);
+  }
+  writer.join();
+  EXPECT_TRUE(wrote.load(std::memory_order_acquire));
+  std::string out(4096, 0);
+  ASSERT_TRUE(t.store->oget(t.ctx, "pinned", out.data(), out.size()).is_ok());
+  EXPECT_EQ(out, v2);
+}
+
+TEST(DStoreZeroCopy, UnsupportedWithoutDirectMapping) {
+  // A !PLP device dual-buffers its cache under a lock — no stable pointer
+  // exists, so zero-copy must refuse and the caller falls back to oget().
+  DStoreConfig cfg;
+  cfg.max_objects = 64;
+  cfg.num_blocks = 256;
+  cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(64);
+  cfg.engine.log_slots = 64;
+  pmem::Pool pool(dipper::Engine::required_pool_bytes(cfg.engine), pmem::Pool::Mode::kCrashSim);
+  ssd::DeviceConfig dc;
+  dc.num_blocks = 256;
+  dc.power_loss_protection = false;
+  ssd::RamBlockDevice device(dc);
+  auto r = DStore::create(&pool, &device, cfg);
+  ASSERT_TRUE(r.is_ok());
+  auto store = std::move(r).value();
+  ds_ctx_t* ctx = store->ds_init();
+  std::string v = value_of(4096, 'n');
+  ASSERT_TRUE(store->oput(ctx, "obj", v.data(), v.size()).is_ok());
+  EXPECT_EQ(store->oget_zc(ctx, "obj").status().code(), Code::kUnsupported);
+  // The copying path still works.
+  std::string out(4096, 0);
+  ASSERT_TRUE(store->oget(ctx, "obj", out.data(), out.size()).is_ok());
+  EXPECT_EQ(out, v);
+  store->ds_finalize(ctx);
+}
+
+TEST(DStoreZeroCopy, DetectsSilentMediaCorruption) {
+  TestStore t;
+  std::string v = value_of(4096, 'c');
+  ASSERT_TRUE(t.store->oput(t.ctx, "obj", v.data(), v.size()).is_ok());
+  {
+    auto ok = t.store->oget_zc(t.ctx, "obj");
+    ASSERT_TRUE(ok.is_ok());
+  }
+  // Rot a bit of the object's first page behind the sidecar's back; the
+  // mapped read must fail its checksum, never serve silently wrong bytes.
+  uint64_t pos = 0;
+  {
+    auto r0 = t.store->oget_zc(t.ctx, "obj");
+    ASSERT_TRUE(r0.is_ok());
+    pos = (uint64_t)(static_cast<const char*>(r0.value().pieces().front().data) -
+                     static_cast<const char*>(t.device->direct_read_map(0)));
+  }  // view (and its pin) dropped before mutating media
+  t.device->flip_media_bit(pos + 100, 3);
+  auto r = t.store->oget_zc(t.ctx, "obj");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Code::kCorruption);
+}
+
+TEST(DStoreEarlyAck, PutsRoundTripAndSourceBufferIsFreeAfterAck) {
+  TestStore t(false, 512, 1024, 4096, /*early_ack=*/true);
+  for (int i = 0; i < 32; i++) {
+    std::string v = value_of(8192, (char)('a' + i % 26));
+    std::string name = "obj" + std::to_string(i);
+    ASSERT_TRUE(t.store->oput(t.ctx, name, v.data(), v.size()).is_ok());
+    // The ack transfers nothing to the background: scribbling over the
+    // source buffer now must not affect the stored value.
+    std::memset(v.data(), 0, v.size());
+  }
+  for (int i = 0; i < 32; i++) {
+    std::string want = value_of(8192, (char)('a' + i % 26));
+    std::string out(8192, 0);
+    auto r = t.store->oget(t.ctx, "obj" + std::to_string(i), out.data(), out.size());
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_TRUE(t.store->validate().is_ok());
+}
+
+TEST(DStoreEarlyAck, AckedPutsSurviveCrash) {
+  TestStore t(false, 512, 1024, 4096, /*early_ack=*/true);
+  std::string v = value_of(12288, 'k');
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(
+        t.store->oput(t.ctx, "crashkey" + std::to_string(i), v.data(), v.size()).is_ok());
+  }
+  // Crash immediately — parked queues still spinning out emulated latency.
+  // Acknowledged == durable under PLP: everything must recover.
+  t.crash_and_recover();
+  for (int i = 0; i < 8; i++) {
+    std::string out(12288, 0);
+    auto r = t.store->oget(t.ctx, "crashkey" + std::to_string(i), out.data(), out.size());
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(t.store->validate().is_ok());
 }
 
 TEST(DStoreApi, NameTooLongRejected) {

@@ -1,0 +1,127 @@
+// Unit tests for the linter's text-analysis core (tools/lint_rules.h),
+// centered on the raw-persist rule: hot-path files must route per-op PMEM
+// ordering through pmem::PersistBatch; raw persist/flush/fence member calls
+// need a `lint: allow-raw-persist` annotation. Tests feed inline source
+// strings so both directions (fires / stays quiet) are covered — the driver
+// binary only ever lints whole translation units.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace dstore::lint {
+namespace {
+
+std::vector<Violation> run_raw_persist(const std::string& rel,
+                                       const std::string& src) {
+  std::vector<Violation> out;
+  check_raw_persist(rel, src, strip_comments_and_strings(src), &out);
+  // The rule scans token-by-token; order by line like the driver does.
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) { return a.line < b.line; });
+  return out;
+}
+
+TEST(LintRawPersist, FlagsRawMemberCallsInHotPathFiles) {
+  const std::string src =
+      "void f(pmem::Pool* p, char* a) {\n"
+      "  p->persist(a, 64);\n"
+      "  p->flush(a, 64);\n"
+      "  p->fence();\n"
+      "  p->persist_nt(a, 128);\n"
+      "  p->flush_nt(a, 128);\n"
+      "}\n";
+  auto v = run_raw_persist("src/dipper/log.cc", src);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0].check, "raw-persist");
+  EXPECT_EQ(v[0].line, 2u);
+  EXPECT_EQ(v[2].line, 4u);
+}
+
+TEST(LintRawPersist, DotCallsAndChainedReceiversAreCaught) {
+  const std::string src = "void f(pmem::Pool& p) { p.fence(); pool()->flush(x, 8); }\n";
+  auto v = run_raw_persist("src/ds/metadata_zone.cc", src);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(LintRawPersist, ColdPathFilesAreExempt) {
+  const std::string src = "void f(pmem::Pool* p) { p->persist(a, 64); p->fence(); }\n";
+  EXPECT_TRUE(run_raw_persist("src/pmem/pool.cc", src).empty());
+  EXPECT_TRUE(run_raw_persist("src/alloc/slab.cc", src).empty());
+  EXPECT_TRUE(run_raw_persist("tools/pmemlint.cc", src).empty());
+}
+
+TEST(LintRawPersist, PersistBulkAndBatchApiAreSanctioned) {
+  const std::string src =
+      "void f(pmem::Pool* p) {\n"
+      "  p->persist_bulk(a, 4096);\n"          // the bulk-pass primitive
+      "  pmem::PersistBatch b(p);\n"
+      "  b.add(a, 64);\n"
+      "  b.commit();\n"
+      "}\n";
+  EXPECT_TRUE(run_raw_persist("src/dipper/engine.cc", src).empty());
+}
+
+TEST(LintRawPersist, AnnotationOnSameOrPreviousLineEscapes) {
+  const std::string same =
+      "void f(pmem::Pool* p) {\n"
+      "  p->persist(a, 64);  // lint: allow-raw-persist recovery root install\n"
+      "}\n";
+  EXPECT_TRUE(run_raw_persist("src/dstore/dstore.cc", same).empty());
+  const std::string prev =
+      "void f(pmem::Pool* p) {\n"
+      "  // lint: allow-raw-persist cold path, single ordering point IS the protocol\n"
+      "  p->fence();\n"
+      "}\n";
+  EXPECT_TRUE(run_raw_persist("src/dstore/dstore.cc", prev).empty());
+  const std::string too_far =
+      "void f(pmem::Pool* p) {\n"
+      "  // lint: allow-raw-persist two lines up does not count\n"
+      "  int x = 0;\n"
+      "  p->fence();\n"
+      "}\n";
+  EXPECT_EQ(run_raw_persist("src/dstore/dstore.cc", too_far).size(), 1u);
+}
+
+TEST(LintRawPersist, NonMemberUsesAreIgnored) {
+  const std::string src =
+      "void fence();\n"                      // free-function declaration
+      "void g() { fence(); }\n"              // free call
+      "int flush = 0;\n"                     // variable, not a call
+      "void h(B* b) { b->flushed(); }\n"     // different identifier
+      "// p->persist(a, 64) in a comment\n"  // stripped before matching
+      "const char* s = \"p->fence()\";\n";   // inside a string literal
+  EXPECT_TRUE(run_raw_persist("src/dipper/log.cc", src).empty());
+}
+
+// ---- shared helper coverage ---------------------------------------------
+
+TEST(LintHelpers, StripPreservesLineStructure) {
+  const std::string src = "int a; // comment\n/* b\nc */ int d;\n\"str\\\"ing\"\n";
+  std::string code = strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(code.begin(), code.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(code.find("comment"), std::string::npos);
+  EXPECT_EQ(code.find("str"), std::string::npos);
+  EXPECT_NE(code.find("int d"), std::string::npos);
+}
+
+TEST(LintHelpers, FindTokenRespectsIdentifierBoundaries) {
+  std::string code = strip_comments_and_strings(
+      "persist(x); my_persist(x); persist_nt(x); p->persist(y);");
+  EXPECT_EQ(find_token(code, "persist").size(), 2u);  // bare + member only
+  EXPECT_EQ(find_token(code, "persist_nt").size(), 1u);
+}
+
+TEST(LintHelpers, AnnotatedLooksAtSameAndPreviousLineOnly) {
+  const std::string src = "// tag here\ncall();\nother();\n";
+  size_t call_pos = src.find("call");
+  size_t other_pos = src.find("other");
+  EXPECT_TRUE(annotated(src, call_pos, "tag here"));
+  EXPECT_FALSE(annotated(src, other_pos, "tag here"));
+}
+
+}  // namespace
+}  // namespace dstore::lint

@@ -1,0 +1,169 @@
+// Fence/flush budget harness (DESIGN.md §13): pins the EXACT per-operation
+// PMEM ordering cost of the hot paths. These are equality assertions on
+// purpose — a regression that adds a fence or a flushed line to put/get/
+// delete is a performance bug this suite turns into a test failure, the
+// same way the CI fence-budget step diffs bench/results/
+// BENCH_persist_budget.json.
+//
+// The budget model (single-fence publication, log.h):
+//   put/delete  record publication: 2 slot lines, ONE flush train, 1 fence
+//               commit:             1 flags line (clwb RMW),       1 fence
+//               => 3 flushed lines / 2 fences per op
+//   with nt stores: the 2 publication lines go through flush_nt instead
+//               => 1 flushed line + 2 nt lines / 2 fences per op
+//   get         reads only — 0 lines / 0 fences
+//   checkpoint  2 root-state line persists (swap + install) fence-wise;
+//               everything else rides the two persist_bulk passes
+//               => 2 flushed lines / 2 fences on the calling thread
+//
+// Budgets are measured with Pool::thread_io_counts() — monotone per-thread
+// counters — so concurrent background work cannot pollute a sample.
+// persist_bulk charges the global stats only; the physical-logging test
+// covers it through stats().fences.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "dstore/dstore.h"
+
+namespace dstore {
+namespace {
+
+struct BudgetStore {
+  DStoreConfig cfg;
+  std::unique_ptr<pmem::Pool> pool;
+  std::unique_ptr<ssd::RamBlockDevice> device;
+  std::unique_ptr<DStore> store;
+  ds_ctx_t* ctx = nullptr;
+
+  explicit BudgetStore(bool nt_stores, bool repair_logging = false) {
+    cfg.max_objects = 256;
+    cfg.num_blocks = 1024;
+    cfg.repair_logging = repair_logging;
+    cfg.engine.arena_bytes = DStoreConfig::suggested_arena_bytes(256);
+    cfg.engine.log_slots = 128;
+    cfg.engine.background_checkpointing = false;  // budgets on this thread
+    cfg.engine.nt_stores = nt_stores;  // explicit: independent of DSTORE_PMEM_NT
+    pool = std::make_unique<pmem::Pool>(DStoreConfig::required_pool_bytes(cfg),
+                                        pmem::Pool::Mode::kCrashSim);
+    ssd::DeviceConfig dc;
+    dc.num_blocks = 1024;
+    device = std::make_unique<ssd::RamBlockDevice>(dc);
+    auto r = DStore::create(pool.get(), device.get(), cfg);
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    store = std::move(r).value();
+    ctx = store->ds_init();
+  }
+  ~BudgetStore() {
+    if (store && ctx != nullptr) store->ds_finalize(ctx);
+  }
+
+  struct Delta {
+    uint64_t flushes;
+    uint64_t fences;
+    uint64_t nt_lines;
+  };
+  template <typename Fn>
+  Delta measure(Fn&& fn) {
+    pmem::Pool::ThreadIoCounts before = pool->thread_io_counts();
+    fn();
+    pmem::Pool::ThreadIoCounts after = pool->thread_io_counts();
+    return {after.flushes - before.flushes, after.fences - before.fences,
+            after.nt_lines - before.nt_lines};
+  }
+};
+
+std::string value(size_t n, char c) { return std::string(n, c); }
+
+TEST(PersistBudget, PutIsThreeLinesTwoFences) {
+  BudgetStore t(/*nt_stores=*/false);
+  std::string v = value(4096, 'p');
+  // Insert and overwrite pay the identical budget: the log protocol does
+  // not distinguish them.
+  for (int i = 0; i < 3; i++) {
+    auto d = t.measure([&] {
+      ASSERT_TRUE(t.store->oput(t.ctx, "obj", v.data(), v.size()).is_ok());
+    });
+    EXPECT_EQ(d.flushes, 3u) << "put flushed-line budget (iteration " << i << ")";
+    EXPECT_EQ(d.fences, 2u) << "put fence budget (iteration " << i << ")";
+    EXPECT_EQ(d.nt_lines, 0u);
+  }
+}
+
+TEST(PersistBudget, PutWithNtStoresMovesPublicationOffTheCache) {
+  BudgetStore t(/*nt_stores=*/true);
+  std::string v = value(4096, 'n');
+  for (int i = 0; i < 3; i++) {
+    auto d = t.measure([&] {
+      ASSERT_TRUE(t.store->oput(t.ctx, "obj", v.data(), v.size()).is_ok());
+    });
+    // Publication (2 slot lines) streams non-temporally; the commit flag is
+    // a read-modify-write of a live line and must stay on the clwb path.
+    EXPECT_EQ(d.nt_lines, 2u) << "nt publication lines (iteration " << i << ")";
+    EXPECT_EQ(d.flushes, 1u) << "commit stays clwb (iteration " << i << ")";
+    EXPECT_EQ(d.fences, 2u) << "fence budget is unchanged by nt (iteration " << i << ")";
+  }
+}
+
+TEST(PersistBudget, DeleteMatchesPutBudget) {
+  BudgetStore t(/*nt_stores=*/false);
+  std::string v = value(512, 'd');
+  ASSERT_TRUE(t.store->oput(t.ctx, "obj", v.data(), v.size()).is_ok());
+  auto d = t.measure([&] { ASSERT_TRUE(t.store->odelete(t.ctx, "obj").is_ok()); });
+  EXPECT_EQ(d.flushes, 3u);
+  EXPECT_EQ(d.fences, 2u);
+  EXPECT_EQ(d.nt_lines, 0u);
+}
+
+TEST(PersistBudget, GetIsFree) {
+  BudgetStore t(/*nt_stores=*/false);
+  std::string v = value(8192, 'g');
+  ASSERT_TRUE(t.store->oput(t.ctx, "obj", v.data(), v.size()).is_ok());
+  std::string out(8192, 0);
+  auto d = t.measure([&] {
+    auto r = t.store->oget(t.ctx, "obj", out.data(), out.size());
+    ASSERT_TRUE(r.is_ok());
+  });
+  EXPECT_EQ(d.flushes, 0u);
+  EXPECT_EQ(d.fences, 0u);
+  EXPECT_EQ(d.nt_lines, 0u);
+  // The zero-copy path is read-only on PMEM too.
+  auto dz = t.measure([&] { ASSERT_TRUE(t.store->oget_zc(t.ctx, "obj").is_ok()); });
+  EXPECT_EQ(dz.flushes, 0u);
+  EXPECT_EQ(dz.fences, 0u);
+}
+
+TEST(PersistBudget, CheckpointFencesTwiceOnTopOfBulkPasses) {
+  BudgetStore t(/*nt_stores=*/false);
+  std::string v = value(4096, 'c');
+  for (int i = 0; i < 8; i++) {
+    std::string name = "obj" + std::to_string(i);
+    ASSERT_TRUE(t.store->oput(t.ctx, name, v.data(), v.size()).is_ok());
+  }
+  auto d = t.measure([&] { ASSERT_TRUE(t.store->checkpoint_now().is_ok()); });
+  // Two root-state line persists — log swap and install — are the only
+  // per-line ordering points; replay durability rides the bulk passes.
+  EXPECT_EQ(d.flushes, 2u);
+  EXPECT_EQ(d.fences, 2u);
+  EXPECT_EQ(d.nt_lines, 0u);
+}
+
+TEST(PersistBudget, PhysicalLoggingAddsOneBulkPassPerPut) {
+  BudgetStore t(/*nt_stores=*/false, /*repair_logging=*/true);
+  std::string v = value(2048, 'b');
+  ASSERT_TRUE(t.store->oput(t.ctx, "warm", v.data(), v.size()).is_ok());
+  uint64_t fences0 = t.pool->stats().fences.load(std::memory_order_relaxed);
+  auto d = t.measure([&] {
+    ASSERT_TRUE(t.store->oput(t.ctx, "obj", v.data(), v.size()).is_ok());
+  });
+  uint64_t fences1 = t.pool->stats().fences.load(std::memory_order_relaxed);
+  // Per-line budget is unchanged; the payload copy is exactly one
+  // persist_bulk (global fence accounting: 2 thread fences + 1 bulk).
+  EXPECT_EQ(d.flushes, 3u);
+  EXPECT_EQ(d.fences, 2u);
+  EXPECT_EQ(fences1 - fences0, 3u);
+}
+
+}  // namespace
+}  // namespace dstore

@@ -30,6 +30,14 @@
 //                     Status is safe. Bare discards are already compile
 //                     errors ([[nodiscard]] / DS_NODISCARD); this closes
 //                     the silencing loophole.
+//   5. raw-persist:   hot-path files (log.cc, engine.cc, metadata_zone.cc,
+//                     dstore.cc) must route per-op PMEM ordering through
+//                     pmem::PersistBatch — a bare pool->persist()/flush()/
+//                     fence()/..._nt() member call regresses the fence
+//                     budgets pinned by tests/persist_budget_test.cc unless
+//                     annotated `lint: allow-raw-persist` (cold spots such
+//                     as recovery and root installation). persist_bulk is
+//                     the sanctioned bulk primitive and is exempt.
 //
 // Usage: dstore_lint <build-dir-with-compile_commands.json>
 //                    [--schema tools/metrics_schema.json]
@@ -38,169 +46,42 @@
 // lints exactly what the build builds); headers under src/ are added by a
 // directory walk since they never appear in a compdb. Exit code 0 when
 // clean, 1 with one "file:line: [check] message" diagnostic per violation.
+//
+// The text-analysis core (stripping, tokenizing, the raw-persist rule)
+// lives in tools/lint_rules.h so tests/lint_test.cc can unit-test it.
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <set>
-#include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
+
+#include "lint_rules.h"
 
 namespace fs = std::filesystem;
 
-namespace {
+using dstore::lint::Violation;
+using dstore::lint::annotated;
+using dstore::lint::check_raw_persist;
+using dstore::lint::compdb_files;
+using dstore::lint::find_token;
+using dstore::lint::line_of;
+using dstore::lint::load_known_metrics;
+using dstore::lint::metric_name_shape;
+using dstore::lint::next_string_literal;
+using dstore::lint::read_file;
+using dstore::lint::strip_comments_and_strings;
 
-struct Violation {
-  std::string file;
-  size_t line;
-  std::string check;
-  std::string message;
-};
+namespace {
 
 std::vector<Violation> g_violations;
 
 void report(const std::string& file, size_t line, const std::string& check,
             const std::string& message) {
   g_violations.push_back({file, line, check, message});
-}
-
-std::string read_file(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-// Minimal extraction of every "file" entry from a compilation database.
-// compile_commands.json is machine-generated with a fixed shape, so a
-// string scan is sufficient — no JSON dependency.
-std::vector<std::string> compdb_files(const std::string& json) {
-  std::vector<std::string> files;
-  const std::string key = "\"file\"";
-  size_t pos = 0;
-  while ((pos = json.find(key, pos)) != std::string::npos) {
-    pos += key.size();
-    size_t q1 = json.find('"', pos);
-    if (q1 == std::string::npos) break;
-    size_t q2 = json.find('"', q1 + 1);
-    if (q2 == std::string::npos) break;
-    files.push_back(json.substr(q1 + 1, q2 - q1 - 1));
-    pos = q2 + 1;
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-  return files;
-}
-
-// Strip comments and string/char literals, preserving line structure so
-// diagnostics keep real line numbers. String literal CONTENTS are replaced
-// by spaces but kept between their quotes; a separate pass reads literals.
-std::string strip_comments_and_strings(const std::string& src) {
-  std::string out = src;
-  enum { kCode, kLine, kBlock, kStr, kChar } st = kCode;
-  for (size_t i = 0; i < src.size(); i++) {
-    char c = src[i];
-    char n = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (st) {
-      case kCode:
-        if (c == '/' && n == '/') { st = kLine; out[i] = ' '; }
-        else if (c == '/' && n == '*') { st = kBlock; out[i] = ' '; }
-        else if (c == '"') { st = kStr; }
-        else if (c == '\'') { st = kChar; }
-        break;
-      case kLine:
-        if (c == '\n') st = kCode; else out[i] = ' ';
-        break;
-      case kBlock:
-        if (c == '*' && n == '/') { st = kCode; out[i] = ' '; out[i + 1] = ' '; i++; }
-        else if (c != '\n') out[i] = ' ';
-        break;
-      case kStr:
-        if (c == '\\') { out[i] = ' '; if (n != '\n') { out[i + 1] = ' '; i++; } }
-        else if (c == '"') st = kCode;
-        else if (c != '\n') out[i] = ' ';
-        break;
-      case kChar:
-        if (c == '\\') { out[i] = ' '; if (n != '\n') { out[i + 1] = ' '; i++; } }
-        else if (c == '\'') st = kCode;
-        else if (c != '\n') out[i] = ' ';
-        break;
-    }
-  }
-  return out;
-}
-
-size_t line_of(const std::string& src, size_t pos) {
-  return 1 + (size_t)std::count(src.begin(), src.begin() + (long)pos, '\n');
-}
-
-bool ident_boundary(const std::string& s, size_t pos, size_t len) {
-  auto word = [](char c) { return std::isalnum((unsigned char)c) || c == '_' || c == ':'; };
-  bool left_ok = pos == 0 || !word(s[pos - 1]);
-  bool right_ok = pos + len >= s.size() || !word(s[pos + len]);
-  return left_ok && right_ok;
-}
-
-// Find each occurrence of `token` as a whole identifier in stripped code.
-std::vector<size_t> find_token(const std::string& code, const std::string& token) {
-  std::vector<size_t> hits;
-  size_t pos = 0;
-  while ((pos = code.find(token, pos)) != std::string::npos) {
-    if (ident_boundary(code, pos, token.size())) hits.push_back(pos);
-    pos += token.size();
-  }
-  return hits;
-}
-
-// The first string literal that starts at or after `from` in the ORIGINAL
-// source, returned without quotes; empty if none before `limit`.
-std::string next_string_literal(const std::string& src, size_t from, size_t limit) {
-  size_t q1 = src.find('"', from);
-  if (q1 == std::string::npos || q1 >= limit) return "";
-  size_t q2 = q1 + 1;
-  while (q2 < src.size() && src[q2] != '"') {
-    if (src[q2] == '\\') q2++;
-    q2++;
-  }
-  if (q2 >= src.size()) return "";
-  return src.substr(q1 + 1, q2 - q1 - 1);
-}
-
-bool metric_name_shape(const std::string& s) {
-  if (s.empty() || !std::islower((unsigned char)s[0])) return false;
-  if (s.find('_') == std::string::npos) return false;
-  for (char c : s) {
-    if (!std::islower((unsigned char)c) && !std::isdigit((unsigned char)c) && c != '_') {
-      return false;
-    }
-  }
-  return true;
-}
-
-// known_metrics.names from tools/metrics_schema.json (same hand-rolled
-// scan: find the "known_metrics" object, then collect its quoted strings).
-std::set<std::string> load_known_metrics(const std::string& schema_json,
-                                         bool* found_section) {
-  std::set<std::string> names;
-  size_t sec = schema_json.find("\"known_metrics\"");
-  *found_section = sec != std::string::npos;
-  if (!*found_section) return names;
-  size_t open = schema_json.find('[', sec);
-  size_t close = schema_json.find(']', open);
-  if (open == std::string::npos || close == std::string::npos) return names;
-  size_t pos = open;
-  for (;;) {
-    size_t q1 = schema_json.find('"', pos);
-    if (q1 == std::string::npos || q1 >= close) break;
-    size_t q2 = schema_json.find('"', q1 + 1);
-    if (q2 == std::string::npos) break;
-    names.insert(schema_json.substr(q1 + 1, q2 - q1 - 1));
-    pos = q2 + 1;
-  }
-  return names;
 }
 
 // ---- check 1: raw lock primitives outside the lockdep wrappers ----------
@@ -332,18 +213,8 @@ void check_void_discards(const std::string& rel, const std::string& src,
       pos = expr;
       continue;
     }
-    size_t ln = line_of(code, pos);
-    // Look for the annotation on this or the previous line of the ORIGINAL
-    // source (comments are stripped from `code`).
-    size_t bol = src.rfind('\n', pos);
-    bol = bol == std::string::npos ? 0 : bol + 1;
-    size_t prev_bol = bol >= 2 ? src.rfind('\n', bol - 2) : std::string::npos;
-    prev_bol = prev_bol == std::string::npos ? 0 : prev_bol + 1;
-    size_t eol = src.find('\n', pos);
-    eol = eol == std::string::npos ? src.size() : eol;
-    std::string context = src.substr(prev_bol, eol - prev_bol);
-    if (context.find("lint: allow-discard") == std::string::npos) {
-      report(rel, ln, "status-discard",
+    if (!annotated(src, pos, "lint: allow-discard")) {
+      report(rel, line_of(code, pos), "status-discard",
              "(void)-discarded call: annotate with `// lint: allow-discard "
              "<reason>` (same or previous line) or handle the Status");
     }
@@ -422,6 +293,7 @@ int main(int argc, char** argv) {
     collect_fault_points(rel, src, code);
     check_metric_names(rel, src, code, known);
     check_void_discards(rel, src, code);
+    check_raw_persist(rel, src, code, &g_violations);
   }
   check_fault_point_uniqueness();
 
