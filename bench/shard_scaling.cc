@@ -1,0 +1,234 @@
+// Shard-scaling curve for the partitioned engine (DESIGN.md §14): aggregate
+// 4KB put/get throughput and crash-recovery wall clock as the shard count
+// grows, with the thread count held fixed.
+//
+// What the sweep isolates: each shard owns its own PMEM pool, operation log
+// and SSD data plane, so adding shards multiplies the *aggregate media
+// bandwidth* while the shared CheckpointPool keeps background work at a
+// fixed worker budget. To make that effect the measured one, the emulated
+// SSD is configured bandwidth-bound for the throughput phase (the per-KB
+// media share dominates the fixed per-IO cost, as on a saturated QLC/low-
+// lane device); with the stock latency-bound profile, parallel in-flight
+// fixed costs hide the aggregate-bandwidth difference at these thread
+// counts. The recovery phase likewise stresses the PMEM read channel
+// (volatile-space rebuild is a sequential media scan per shard), which is
+// what parallel recovery overlaps. Shapes, not absolutes, as everywhere in
+// bench/.
+//
+// Phase 1 (throughput): shards in {1,2,4,8}, fixed thread count, affinity
+//   sessions (thread t -> shard t%S), update-only then read-only sweeps.
+// Phase 2 (recovery): same shard counts, kCrashSim pools; load + checkpoint
+//   + a log tail, then power-fail all shards and recover serially vs on the
+//   pool (cfg.parallel_recovery), reporting wall clock for both.
+//
+// Extra env knobs on top of bench_common.h:
+//   DSTORE_BENCH_MAX_SHARDS        sweep ceiling          (default 8)
+//   DSTORE_BENCH_RECOVERY_OBJECTS  phase-2 keyspace       (default 4000)
+#include <algorithm>
+
+#include "baselines/sharded_adapter.h"
+#include "bench_common.h"
+
+using namespace dstore;
+using namespace dstore::bench;
+
+namespace {
+
+struct ThroughputRow {
+  int shards = 0;
+  const char* op = "";
+  double iops = 0, p50_us = 0, p999_us = 0;
+};
+
+struct RecoveryRow {
+  int shards = 0;
+  double serial_ms = 0, parallel_ms = 0;
+};
+
+ShardedConfig base_cfg(int shards, uint64_t objects, int ckpt_workers, const LatencyModel& lat) {
+  ShardedConfig cfg;
+  cfg.num_shards = shards;
+  uint64_t s = (uint64_t)shards;
+  // Same headroom rule as the backend factory: keyspace + churn, split
+  // across shards and doubled so hash skew cannot run a shard out of space.
+  cfg.shard.max_objects = (objects * 2 + s - 1) / s * 2;
+  cfg.shard.num_blocks = (objects * 6 + s - 1) / s * 2;
+  cfg.shard.engine.log_slots = 16384;
+  cfg.ckpt_workers = ckpt_workers;
+  cfg.latency = lat;
+  return cfg;
+}
+
+std::unique_ptr<baselines::ShardedAdapter> make_store(const ShardedConfig& cfg) {
+  auto r = baselines::ShardedAdapter::make(cfg);
+  if (!r.is_ok()) {
+    fprintf(stderr, "make Sharded(%d) failed: %s\n", cfg.num_shards,
+            r.status().to_string().c_str());
+    return nullptr;
+  }
+  return std::move(r).value();
+}
+
+// One measured sweep: update-only (op="put") or read-only (op="get").
+ThroughputRow run_phase(baselines::ShardedAdapter& store, int shards, const char* op,
+                        const workload::WorkloadSpec& base, bool reads) {
+  workload::WorkloadSpec spec = base;
+  spec.read_fraction = reads ? 1.0 : 0.0;
+  spec.partitions = store.partitions();
+  spec.placement = [kv = &store](std::string_view k) { return kv->placement_of(k); };
+  auto r = workload::run_workload(store, spec);
+  const LatencyHistogram& h = reads ? r.read_latency : r.update_latency;
+  ThroughputRow row{shards, op, r.throughput_iops(), h.p50() / 1000.0, h.p999() / 1000.0};
+  printf("%-8d %-5s %12.0f %10.1f %10.1f   (%llu ops, %llu failed)\n", shards, op, row.iops,
+         row.p50_us, row.p999_us, (unsigned long long)r.total_ops,
+         (unsigned long long)r.failed_ops);
+  fflush(stdout);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const int threads = (int)env_u64("DSTORE_BENCH_THREADS", 8);
+  const uint64_t objects = env_u64("DSTORE_BENCH_OBJECTS", 2000);
+  const uint64_t ops_per_thread = env_u64("DSTORE_BENCH_OPS", 400);
+  const uint64_t recovery_objects = env_u64("DSTORE_BENCH_RECOVERY_OBJECTS", 4000);
+  const int max_shards = (int)env_u64("DSTORE_BENCH_MAX_SHARDS", 8);
+  const double scale = env_f64("DSTORE_BENCH_SCALE", 1.0);
+  const uint32_t ssd_qd = (uint32_t)env_u64("DSTORE_BENCH_SSD_QD", 16);
+
+  std::vector<int> sweep;
+  for (int s = 1; s <= max_shards; s *= 2) sweep.push_back(s);
+
+  printf("# Shard scaling  (threads=%d objects=%llu ops/thread=%llu value=4096 scale=%.2f)\n",
+         threads, (unsigned long long)objects, (unsigned long long)ops_per_thread, scale);
+  printf("# Emulated devices; compare SHAPES with the paper, not absolutes.\n");
+
+  // Bandwidth-bound SSD for the throughput phase: per-KB media share >> the
+  // fixed per-IO cost, so one shard's channel saturates and the sweep
+  // measures aggregate bandwidth across shards.
+  LatencyModel put_lat = LatencyModel::calibrated(scale);
+  put_lat.ssd_per_kb_ns = (uint64_t)(200000 * scale);  // 4KB put ~0.8ms media share
+
+  printf("\n%-8s %-5s %12s %10s %10s\n", "shards", "op", "iops", "p50_us", "p999_us");
+  std::vector<ThroughputRow> rows;
+  for (int s : sweep) {
+    ShardedConfig cfg = base_cfg(s, objects, threads, put_lat);
+    cfg.shard.ssd_qd = ssd_qd;
+    cfg.affinity = true;
+    auto store = make_store(cfg);
+    if (!store) return 1;
+
+    workload::WorkloadSpec spec;
+    spec.num_objects = objects;
+    spec.value_size = 4096;
+    spec.threads = threads;
+    spec.ops_per_thread = ops_per_thread;
+    if (!workload::load_objects(*store, spec).is_ok()) {
+      fprintf(stderr, "load failed at %d shards\n", s);
+      return 1;
+    }
+    store->prepare_run();
+    rows.push_back(run_phase(*store, s, "put", spec, false));
+    rows.push_back(run_phase(*store, s, "get", spec, true));
+  }
+
+  // Recovery: PMEM-read-bound model (the rebuild is a sequential scan of
+  // each shard's shadow space); serial vs pool-parallel recovery of the
+  // same fleet state.
+  LatencyModel rec_lat = LatencyModel::calibrated(scale);
+  rec_lat.pmem_read_per_kb_ns = (uint64_t)(20000 * scale);
+
+  printf("\n%-8s %14s %14s %10s\n", "shards", "serial_ms", "parallel_ms", "ratio");
+  std::vector<RecoveryRow> recs;
+  for (int s : sweep) {
+    RecoveryRow rec;
+    rec.shards = s;
+    for (bool parallel : {false, true}) {
+      ShardedConfig cfg = base_cfg(s, recovery_objects, threads, rec_lat);
+      cfg.pool_mode = pmem::Pool::Mode::kCrashSim;
+      cfg.parallel_recovery = parallel;
+      auto store = make_store(cfg);
+      if (!store) return 1;
+
+      workload::WorkloadSpec spec;
+      spec.num_objects = recovery_objects;
+      spec.value_size = 4096;
+      if (!workload::load_objects(*store, spec).is_ok()) {
+        fprintf(stderr, "recovery load failed at %d shards\n", s);
+        return 1;
+      }
+      // Checkpoint so the rebuild scans a populated shadow space, then
+      // leave a log tail so replay has work too.
+      store->prepare_run();
+      void* ctx = store->open_ctx();
+      std::string v(4096, 'r');
+      for (uint64_t i = 0; i < (uint64_t)32 * (uint64_t)s; i++) {
+        (void)store->put(ctx, workload::ycsb_key(i % recovery_objects), v.data(), v.size());
+      }
+      store->close_ctx(ctx);
+      auto t = store->crash_and_recover();
+      if (!t.is_ok()) {
+        fprintf(stderr, "recovery failed at %d shards: %s\n", s, t.status().to_string().c_str());
+        return 1;
+      }
+      double wall_ms = (double)store->store().last_recovery().wall_ns / 1e6;
+      (parallel ? rec.parallel_ms : rec.serial_ms) = wall_ms;
+    }
+    printf("%-8d %14.1f %14.1f %10.2f\n", rec.shards, rec.serial_ms, rec.parallel_ms,
+           rec.serial_ms > 0 ? rec.parallel_ms / rec.serial_ms : 0.0);
+    fflush(stdout);
+    recs.push_back(rec);
+  }
+
+  // Acceptance summary: >=3x aggregate put throughput at max shards vs 1,
+  // parallel recovery <= 0.5x serial at max shards.
+  double put1 = 0, putN = 0;
+  for (const ThroughputRow& r : rows) {
+    if (std::string_view(r.op) != "put") continue;
+    if (r.shards == 1) put1 = r.iops;
+    if (r.shards == sweep.back()) putN = r.iops;
+  }
+  double put_scaling = put1 > 0 ? putN / put1 : 0;
+  double rec_ratio = 0;
+  for (const RecoveryRow& r : recs) {
+    if (r.shards == sweep.back() && r.serial_ms > 0) rec_ratio = r.parallel_ms / r.serial_ms;
+  }
+  printf("\n# put scaling %dv1: %.2fx   recovery parallel/serial @%d shards: %.2f\n",
+         sweep.back(), put_scaling, sweep.back(), rec_ratio);
+
+  // Machine-readable report (schema is bench-specific: the scaling curve
+  // plus the recovery comparison and the two acceptance ratios).
+  const char* dir = std::getenv("DSTORE_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+                     "BENCH_shard_scaling.json";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  fprintf(f, "{\n  \"bench\": \"shard_scaling\",\n  \"threads\": %d,\n  \"value_size\": 4096,\n",
+          threads);
+  fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); i++) {
+    const ThroughputRow& r = rows[i];
+    fprintf(f,
+            "    {\"shards\": %d, \"op\": \"%s\", \"throughput_iops\": %.1f, "
+            "\"p50_us\": %.3f, \"p999_us\": %.3f}%s\n",
+            r.shards, r.op, r.iops, r.p50_us, r.p999_us, i + 1 < rows.size() ? "," : "");
+  }
+  fprintf(f, "  ],\n  \"recovery\": [\n");
+  for (size_t i = 0; i < recs.size(); i++) {
+    const RecoveryRow& r = recs[i];
+    fprintf(f,
+            "    {\"shards\": %d, \"serial_wall_ms\": %.2f, \"parallel_wall_ms\": %.2f}%s\n",
+            r.shards, r.serial_ms, r.parallel_ms, i + 1 < recs.size() ? "," : "");
+  }
+  fprintf(f,
+          "  ],\n  \"summary\": {\"put_scaling_%dv1\": %.2f, "
+          "\"recovery_parallel_over_serial_%d\": %.2f}\n}\n",
+          sweep.back(), put_scaling, sweep.back(), rec_ratio);
+  fclose(f);
+  printf("# wrote %s\n", path.c_str());
+  return 0;
+}

@@ -61,6 +61,8 @@ const Entry kBackends[] = {
        cfg.shard.max_objects = (p.objects * 2 + shards - 1) / shards * 2;
        cfg.shard.num_blocks = (p.objects * 6 + shards - 1) / shards * 2;
        cfg.shard.ssd_qd = p.ssd_qd;
+       cfg.ckpt_workers = p.ckpt_workers;
+       cfg.affinity = p.affinity;
        cfg.latency = p.latency;
        auto r = ShardedAdapter::make(cfg);
        if (!r.is_ok()) {

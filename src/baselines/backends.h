@@ -18,6 +18,10 @@ struct BackendParams {
   uint64_t objects = 20000;  // preloaded keyspace the run sweeps
   uint32_t ssd_qd = 16;      // NVMe queue-pair depth (DStore variants)
   int num_shards = 4;        // "Sharded" backend only
+  // "Sharded" backend: checkpoint pool workers (0 = auto) and per-thread
+  // shard-affinity sessions (ShardedConfig knobs of the same names).
+  int ckpt_workers = 0;
+  bool affinity = false;
   LatencyModel latency = LatencyModel::none();
 };
 

@@ -12,17 +12,30 @@ Result<std::unique_ptr<ShardedAdapter>> ShardedAdapter::make(ShardedConfig cfg) 
   return a;
 }
 
-Status ShardedAdapter::put(void* /*ctx*/, std::string_view key, const void* value,
-                           size_t size) {
-  return store_->put(key, value, size);
+void* ShardedAdapter::open_ctx() { return store_->open_session(); }
+
+void* ShardedAdapter::open_ctx_pinned(int partition) {
+  // The pin only takes effect under ShardedConfig::affinity (the session
+  // otherwise falls back to hash routing, which is always correct); the
+  // caller guarantees it restricts this context to keys of `partition`.
+  return store_->open_session(partition);
 }
 
-Result<size_t> ShardedAdapter::get(void* /*ctx*/, std::string_view key, void* buf,
-                                   size_t cap) {
-  return store_->get(key, buf, cap);
+void ShardedAdapter::close_ctx(void* ctx) {
+  store_->close_session(static_cast<ShardedStore::Session*>(ctx));
 }
 
-Status ShardedAdapter::del(void* /*ctx*/, std::string_view key) { return store_->del(key); }
+Status ShardedAdapter::put(void* ctx, std::string_view key, const void* value, size_t size) {
+  return store_->put(static_cast<ShardedStore::Session*>(ctx), key, value, size);
+}
+
+Result<size_t> ShardedAdapter::get(void* ctx, std::string_view key, void* buf, size_t cap) {
+  return store_->get(static_cast<ShardedStore::Session*>(ctx), key, buf, cap);
+}
+
+Status ShardedAdapter::del(void* ctx, std::string_view key) {
+  return store_->del(static_cast<ShardedStore::Session*>(ctx), key);
+}
 
 workload::SpaceBreakdown ShardedAdapter::space_usage() {
   auto u = store_->space_usage();
@@ -31,14 +44,13 @@ workload::SpaceBreakdown ShardedAdapter::space_usage() {
 
 Result<workload::KVStore::RecoveryTiming> ShardedAdapter::crash_and_recover() {
   DSTORE_RETURN_IF_ERROR(store_->crash_and_recover_all());
-  // Shard recoveries run sequentially; attribute phases by summing the
-  // per-shard engine recovery timings.
+  // Shards recover concurrently on the checkpoint pool, so wall-clock is
+  // what matters; attribute phases by the slowest shard (≈ the parallel
+  // critical path), not the per-shard sum.
+  const ShardedStore::RecoveryReport& r = store_->last_recovery();
   RecoveryTiming t;
-  for (int i = 0; i < store_->num_shards(); i++) {
-    const auto& es = store_->shard(i).engine().stats();
-    t.metadata_ms += (double)es.recovery_metadata_ns.load(std::memory_order_relaxed) / 1e6;
-    t.replay_ms += (double)es.recovery_replay_ns.load(std::memory_order_relaxed) / 1e6;
-  }
+  t.metadata_ms = (double)r.max_shard_metadata_ns / 1e6;
+  t.replay_ms = (double)r.max_shard_replay_ns / 1e6;
   return t;
 }
 

@@ -14,6 +14,14 @@ class ShardedAdapter final : public workload::KVStore {
  public:
   static Result<std::unique_ptr<ShardedAdapter>> make(ShardedConfig cfg);
 
+  // Per-thread sessions: private per-shard IO contexts, plus pinned
+  // routing for partition-restricted loadgen threads (cfg.affinity).
+  void* open_ctx() override;
+  void* open_ctx_pinned(int partition) override;
+  void close_ctx(void* ctx) override;
+  int partitions() const override { return store_->num_shards(); }
+  int placement_of(std::string_view key) const override { return store_->shard_of(key); }
+
   Status put(void* ctx, std::string_view key, const void* value, size_t size) override;
   Result<size_t> get(void* ctx, std::string_view key, void* buf, size_t cap) override;
   Status del(void* ctx, std::string_view key) override;

@@ -225,7 +225,7 @@ Status Engine::init_fresh() {
   active_idx_.store(0, std::memory_order_release);
   lsn_counter_.store(1, std::memory_order_release);
 
-  if (cfg_.background_checkpointing) {
+  if (cfg_.background_checkpointing && !cfg_.ckpt_notify) {
     stop_.store(false);
     ckpt_thread_ = std::thread([this] { checkpoint_thread_main(); });
   }
@@ -372,7 +372,7 @@ Status Engine::recover() {
 
   held_locks_.clear();  // locks do not survive restarts
   DSTORE_FAULT_POINT(cfg_.fault, "engine.recover.done");
-  if (cfg_.background_checkpointing) {
+  if (cfg_.background_checkpointing && !cfg_.ckpt_notify) {
     stop_.store(false);
     ckpt_thread_ = std::thread([this] { checkpoint_thread_main(); });
   }
@@ -578,6 +578,13 @@ void Engine::request_checkpoint() {
   // the next append (or the backpressure retry loop) re-notifies and the
   // thread re-checks the flag on every wakeup.
   ckpt_requested_.store(true, std::memory_order_release);
+  if (cfg_.ckpt_notify) {
+    // Externally-driven mode: hand the (non-blocking) wakeup to the owner,
+    // which schedules checkpoint_step() on one of its workers. The sticky
+    // flag above covers its own lost-notify races the same way.
+    cfg_.ckpt_notify();
+    return;
+  }
   if (ckpt_mu_.try_lock()) {
     ckpt_mu_.unlock();
     ckpt_cv_.notify_one();
@@ -774,6 +781,23 @@ Status Engine::checkpoint_now() {
   return do_checkpoint();
 }
 
+bool Engine::checkpoint_due() const {
+  if (!checkpointing_enabled_.load(std::memory_order_acquire)) return false;
+  return ckpt_requested_.load(std::memory_order_acquire) ||
+         log_fill() > cfg_.checkpoint_threshold;
+}
+
+Status Engine::checkpoint_step() {
+  ckpt_requested_.store(false, std::memory_order_release);
+  Status s = do_checkpoint();
+  if (!s.is_ok() && !s.is_busy()) {
+    stats_.ckpt_failures.fetch_add(1, std::memory_order_relaxed);
+    MutexGuard g(err_mu_);
+    last_ckpt_error_ = s;
+  }
+  return s;
+}
+
 Status Engine::checkpoint_abandon_at(const char* point) {
   abandon_point_.store(point, std::memory_order_release);
   Status s = do_checkpoint();
@@ -899,10 +923,19 @@ Status Engine::replay_onto_spare(uint8_t archived_idx) {
   pool_->charge_read(used);
   DSTORE_FAULT_POINT(cfg_.fault, "engine.clone.before_copy");
   constexpr uint64_t kCloneChunk = 256 * 1024;
-  for (uint64_t off = 0; off < used; off += kCloneChunk) {
-    uint64_t n = std::min(kCloneChunk, used - off);
-    std::memcpy(dst.base() + off, src.base() + off, n);
-    std::this_thread::yield();
+  size_t clone_chunks = (size_t)((used + kCloneChunk - 1) / kCloneChunk);
+  if (cfg_.bulk_exec != nullptr && clone_chunks > 1) {
+    cfg_.bulk_exec->run_chunks(clone_chunks, [&](size_t i) {
+      uint64_t off = (uint64_t)i * kCloneChunk;
+      uint64_t n = std::min(kCloneChunk, used - off);
+      std::memcpy(dst.base() + off, src.base() + off, n);
+    });
+  } else {
+    for (uint64_t off = 0; off < used; off += kCloneChunk) {
+      uint64_t n = std::min(kCloneChunk, used - off);
+      std::memcpy(dst.base() + off, src.base() + off, n);
+      std::this_thread::yield();
+    }
   }
   DSTORE_FAULT_POINT(cfg_.fault, "engine.clone.after_copy");
   // The clone (and everything replay writes into it) must be persistent by
@@ -921,7 +954,17 @@ Status Engine::replay_onto_spare(uint8_t archived_idx) {
 
   // Durability pass (§3.5): flush every allocated byte of the new copy.
   DSTORE_FAULT_POINT(cfg_.fault, "engine.flush.before_bulk");
-  pool_->persist_bulk(dst.base(), dst_space.used_bytes());
+  uint64_t out_bytes = dst_space.used_bytes();
+  size_t flush_chunks = (size_t)((out_bytes + kCloneChunk - 1) / kCloneChunk);
+  if (cfg_.bulk_exec != nullptr && flush_chunks > 1) {
+    cfg_.bulk_exec->run_chunks(flush_chunks, [&](size_t i) {
+      uint64_t off = (uint64_t)i * kCloneChunk;
+      uint64_t n = std::min(kCloneChunk, out_bytes - off);
+      pool_->persist_bulk(dst.base() + off, n);
+    });
+  } else {
+    pool_->persist_bulk(dst.base(), out_bytes);
+  }
   return Status::ok();
 }
 

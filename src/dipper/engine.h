@@ -86,6 +86,17 @@ inline bool nt_stores_default() {
   return e != nullptr && e[0] == '1';
 }
 
+// Donor of idle workers for the checkpoint's bulk passes (clone copy and
+// durability flush). run_chunks(n, fn) must invoke fn(i) exactly once for
+// every i in [0, n), on any threads it likes, and return only once all n
+// have finished. A shared checkpoint pool implements this with work
+// stealing so one large shard's bulk pass cannot convoy the others.
+class BulkExecutor {
+ public:
+  virtual ~BulkExecutor() = default;
+  virtual void run_chunks(size_t n, const std::function<void(size_t)>& fn) = 0;
+};
+
 struct EngineConfig {
   size_t arena_bytes = 64ull << 20;  // size of the system space (and each shadow slot)
   uint32_t log_slots = 8192;         // capacity of each of the two logs
@@ -105,6 +116,18 @@ struct EngineConfig {
   // ordering (DESIGN.md §13). Does not change the on-PMEM layout, so a pool
   // written with either setting recovers under the other.
   bool nt_stores = nt_stores_default();
+
+  // Externally-driven checkpointing: when set, the engine spawns NO
+  // checkpoint thread of its own. Instead this callback fires (hot-path
+  // safe, must not block) whenever the engine wants a checkpoint — a
+  // watermark crossing or a backpressured append — and the owner (e.g. a
+  // shared CheckpointPool) runs checkpoint_step() on one of its workers.
+  // All other background_checkpointing semantics are unchanged: appends
+  // backpressure-wait on a full log instead of failing busy.
+  std::function<void()> ckpt_notify;
+  // Optional donor of idle workers for the checkpoint bulk passes. Null =
+  // run them serially on the checkpointing thread.
+  BulkExecutor* bulk_exec = nullptr;
 
   // Test-only crash-point hook. Called at named points inside the
   // checkpoint ("ckpt:after_swap", "ckpt:after_drain", "ckpt:after_replay",
@@ -253,6 +276,15 @@ class Engine {
     checkpointing_enabled_.store(enabled, std::memory_order_release);
   }
   bool checkpoint_running() const { return ckpt_running_.load(std::memory_order_acquire); }
+  // ---- externally-driven checkpointing (EngineConfig::ckpt_notify) --------
+  // True when a checkpoint should run now: the sticky request flag is set
+  // or the active log is past the watermark (and checkpointing is enabled).
+  bool checkpoint_due() const;
+  // Run one checkpoint on the calling thread, clearing the request flag
+  // first (any append that still finds the log past the watermark re-sets
+  // it and re-notifies). Failures are recorded exactly like the internal
+  // thread records them: ckpt_failures + last_checkpoint_error().
+  Status checkpoint_step();
   // Fraction of active-log slots in use.
   double log_fill() const;
   // Current checkpoint epoch (increments on every installed checkpoint).

@@ -1,0 +1,146 @@
+// CheckpointPool — the shared background service of the partitioned engine
+// (DESIGN.md §14).
+//
+// One fixed pool of K workers services checkpoint work for all shards,
+// replacing the former thread-per-shard layout: PMEM write bandwidth
+// saturates at a small number of writers (arXiv:1903.05714), so dedicated
+// per-shard checkpoint threads past that point only add scheduling noise.
+// The pool is three things at once:
+//
+//   * a watermark queue: Engine::ckpt_notify calls notify(shard) from the
+//     frontend hot path (sticky per-shard dedup + try_lock/notify — never
+//     blocks); an idle worker picks the shard up and runs one
+//     Engine::checkpoint_step() on it;
+//   * a job executor: run_all(fn) runs fn(shard) for every shard across
+//     the workers AND the calling thread, collecting every status —
+//     parallel checkpoint_all() and parallel recovery are both this;
+//   * a BulkExecutor: a worker mid-checkpoint publishes its clone/flush
+//     chunk range and idle workers steal chunks, so one large shard's bulk
+//     pass cannot convoy the others.
+//
+// Every worker runs under lockdep::RoleScope(kCheckpoint), so the
+// quiescence gate machine-checks that pool work never blocks a foreground
+// op on a non-exempt lock — the quiescent-free claim survives the move
+// from per-shard threads to a shared pool.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/lockdep.h"
+#include "common/status.h"
+#include "dipper/engine.h"
+
+namespace dstore {
+
+class CheckpointPool : public dipper::BulkExecutor {
+ public:
+  struct Config {
+    // 0 = auto: min(num_shards, max(1, hardware_concurrency / 2)).
+    int workers = 0;
+    // Timer trigger: every interval, shards with a non-empty log are
+    // checkpointed even below the watermark (bounds recovery replay).
+    // 0 = watermark-only.
+    uint32_t interval_ms = 0;
+  };
+
+  struct Stats {
+    std::atomic<uint64_t> runs{0};          // checkpoint_step() invocations
+    std::atomic<uint64_t> failures{0};      // steps that returned a non-busy error
+    std::atomic<uint64_t> notifies{0};      // notify() calls (pre-dedup)
+    std::atomic<uint64_t> steal_chunks{0};  // bulk chunks run by a stealing worker
+  };
+
+  CheckpointPool(Config cfg, size_t num_shards);
+  ~CheckpointPool() override;
+  CheckpointPool(const CheckpointPool&) = delete;
+  CheckpointPool& operator=(const CheckpointPool&) = delete;
+
+  // Wire shard i's engine. Engines may be swapped (set_shard(i, nullptr),
+  // then a new engine) across a recovery; callers must pause() around the
+  // swap so no worker holds the old pointer.
+  void set_shard(size_t i, dipper::Engine* engine);
+
+  void start();
+  void stop();  // drain in-flight steps, join workers; idempotent
+
+  // Stop servicing watermark requests and wait until no worker is inside a
+  // shard checkpoint step. run_all() and run_chunks() still work while
+  // paused — recovery runs on a paused pool, since the engines it tears
+  // down must not be mid-checkpoint.
+  void pause();
+  void resume();
+
+  // Hot-path safe (called from Engine::ckpt_notify): never blocks.
+  void notify(size_t shard);
+
+  // Run fn(shard) for every shard, fanned out across the pool workers and
+  // the calling thread. Returns one status per shard — every shard is
+  // attempted, no matter how many fail.
+  std::vector<Status> run_all(const std::function<Status(size_t)>& fn);
+
+  // BulkExecutor: run fn(0..n-1) with idle-worker stealing; returns when
+  // all n chunks are done. Safe to call from pool workers and outsiders.
+  void run_chunks(size_t n, const std::function<void(size_t)>& fn) override;
+
+  int workers() const { return (int)workers_.size(); }
+  size_t num_shards() const { return num_shards_; }
+  // Shards queued for a watermark checkpoint plus those mid-step.
+  size_t queue_depth() const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Job {
+    size_t shard = 0;
+    const std::function<Status(size_t)>* fn = nullptr;
+    std::vector<Status>* out = nullptr;
+    std::atomic<size_t>* remaining = nullptr;
+  };
+  struct ChunkTask {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+  };
+
+  void worker_main(int id);
+  bool try_run_one_job();           // pop+run one run_all job; true if it ran one
+  void help_chunks(bool stealing);  // drain the published chunk task, if any
+  bool claim_pending_shard(size_t* shard);
+  void run_shard_step(size_t shard);
+  void timer_tick();
+
+  const Config cfg_;
+  const size_t num_shards_;
+
+  // Watermark requests: sticky per-shard flags (dedup) + a count driving
+  // the worker wakeup predicate. notify() touches only these and a
+  // try_lock, so the frontend never blocks here.
+  std::vector<std::atomic<bool>> pending_;
+  std::atomic<size_t> pending_count_{0};
+  std::atomic<size_t> rr_next_{0};  // round-robin scan start
+
+  std::vector<dipper::Engine*> engines_;  // guarded by mu_ for swap; read by workers
+  std::vector<std::atomic<bool>> shard_running_;  // one step per shard at a time
+
+  mutable Mutex mu_{"ckpt_pool.mu"};
+  CondVar cv_;
+  std::deque<Job> jobs_;                         // guarded by mu_
+  std::atomic<ChunkTask*> chunk_task_{nullptr};  // published bulk pass, if any
+  std::atomic<int> chunk_helpers_{0};            // threads inside help_chunks
+  std::atomic<size_t> active_steps_{0};          // workers inside run_shard_step
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point last_tick_{};  // guarded by mu_
+
+  Stats stats_;
+};
+
+}  // namespace dstore

@@ -27,6 +27,15 @@ class KVStore {
   virtual void* open_ctx() { return nullptr; }
   virtual void close_ctx(void* /*ctx*/) {}
 
+  // Partition awareness (sharded backends; defaults describe an
+  // unpartitioned store). A loadgen thread that restricts itself to keys
+  // of one partition can ask for a context pinned there — the backend may
+  // then skip per-op routing entirely. Callers must only use a pinned
+  // context with keys whose placement_of() equals that partition.
+  virtual int partitions() const { return 1; }
+  virtual int placement_of(std::string_view /*key*/) const { return 0; }
+  virtual void* open_ctx_pinned(int /*partition*/) { return open_ctx(); }
+
   virtual Status put(void* ctx, std::string_view key, const void* value, size_t size) = 0;
   virtual Result<size_t> get(void* ctx, std::string_view key, void* buf, size_t cap) = 0;
   virtual Status del(void* ctx, std::string_view key) = 0;

@@ -53,9 +53,11 @@ RunResult run_workload(KVStore& store, const WorkloadSpec& spec, TimeSeries* thr
     update_hists.push_back(std::make_unique<LatencyHistogram>());
   }
 
+  const bool affine = spec.placement != nullptr && spec.partitions > 1;
   for (int t = 0; t < spec.threads; t++) {
     threads.emplace_back([&, t] {
-      void* ctx = store.open_ctx();
+      const int home = affine ? t % spec.partitions : -1;
+      void* ctx = affine ? store.open_ctx_pinned(home) : store.open_ctx();
       Rng rng(spec.seed * 7919 + t);
       std::string value(spec.value_size, 'w');
       std::vector<char> buf(spec.value_size + 64);
@@ -69,17 +71,23 @@ RunResult run_workload(KVStore& store, const WorkloadSpec& spec, TimeSeries* thr
         // loaded keyspace.
         uint64_t frontier = published.load(std::memory_order_acquire);
         uint64_t id;
-        if (spec.read_latest) {
-          // Exponential-ish decay from the most recent key.
-          uint64_t back = rng.next_below(1 + rng.next_below(std::max<uint64_t>(frontier / 4, 1)));
-          id = frontier > back + 1 ? frontier - 1 - back : 0;
-        } else {
-          id = spec.zipfian ? zipf.next(rng) : rng.next_below(spec.num_objects);
+        std::string key;
+        for (;;) {  // affinity mode re-draws until the key lands home
+          if (spec.read_latest) {
+            // Exponential-ish decay from the most recent key.
+            uint64_t back =
+                rng.next_below(1 + rng.next_below(std::max<uint64_t>(frontier / 4, 1)));
+            id = frontier > back + 1 ? frontier - 1 - back : 0;
+          } else {
+            id = spec.zipfian ? zipf.next(rng) : rng.next_below(spec.num_objects);
+          }
+          key = ycsb_key(id);
+          if (!affine || spec.placement(key) == home) break;
         }
-        std::string key = ycsb_key(id);
         double dice = rng.next_double();
         bool is_read = dice < spec.read_fraction;
         bool is_insert = !is_read && dice < spec.read_fraction + spec.insert_fraction;
+        if (affine) is_insert = false;  // see WorkloadSpec::placement
         bool is_rmw =
             !is_read && !is_insert &&
             dice < spec.read_fraction + spec.insert_fraction + spec.rmw_fraction;

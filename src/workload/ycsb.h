@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -30,6 +31,16 @@ struct WorkloadSpec {
   uint64_t ops_per_thread = 10000;  // ignored if duration_ms > 0
   uint64_t duration_ms = 0;         // timed run (Fig 7 window)
   uint64_t seed = 1;
+
+  // Shard-affinity mode (partitioned backends): when `placement` is set
+  // and `partitions` > 1, thread t draws only keys placed on partition
+  // t % partitions (candidates are re-drawn until they land home) and runs
+  // on a context pinned there via KVStore::open_ctx_pinned(). Inserts are
+  // demoted to updates in this mode — the global insert frontier cannot
+  // honor a per-thread placement filter. Wire both fields from the
+  // backend: placement = placement_of, partitions = partitions().
+  std::function<int(std::string_view)> placement;
+  int partitions = 0;
 
   static WorkloadSpec ycsb_a() {  // 50% read / 50% update
     WorkloadSpec s;

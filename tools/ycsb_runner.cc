@@ -4,8 +4,8 @@
 //
 //   ycsb_runner [--backend NAME] [--workload A|B|C|D|F] [--objects N]
 //               [--threads N] [--ops N] [--value BYTES] [--scale F]
-//               [--ssd-qd N] [--shards N] [--metrics-json FILE]
-//               [--trace-out FILE | --trace-in FILE]
+//               [--ssd-qd N] [--shards N] [--ckpt-workers N] [--affinity]
+//               [--metrics-json FILE] [--trace-out FILE | --trace-in FILE]
 //
 // Backends come from the shared registry (baselines/backends.h); run with
 // `--backend help` to list them. Default: DStore. `--system` is accepted as
@@ -37,6 +37,33 @@ static bool dump_metrics(workload::KVStore& store, const std::string& path) {
   return true;
 }
 
+static void usage() {
+  printf(
+      "ycsb_runner — run a YCSB workload mix against an evaluated backend\n"
+      "\n"
+      "  --backend NAME      backend to drive (default DStore; 'help' lists all;\n"
+      "                      --system is a legacy alias)\n"
+      "  --workload A|B|C|D|F  YCSB mix (default A: 50/50 read/update)\n"
+      "  --objects N         preloaded keyspace (default %llu)\n"
+      "  --threads N         loadgen threads\n"
+      "  --ops N             operations per thread\n"
+      "  --value BYTES       value size (default 4096)\n"
+      "  --scale F           latency-model scale (0 disables injection)\n"
+      "  --ssd-qd N          NVMe queue-pair depth (DStore variants)\n"
+      "  --shards N          shard count (Sharded backend)\n"
+      "  --ckpt-workers N    checkpoint pool worker threads (Sharded backend;\n"
+      "                      0 = min(shards, cores/2))\n"
+      "  --affinity          pin each loadgen thread to its home shard: thread t\n"
+      "                      only draws keys placed on shard t%%shards and runs on\n"
+      "                      a pinned session, skipping per-op routing (Sharded\n"
+      "                      backend; inserts are demoted to updates)\n"
+      "  --metrics-json FILE scrape the backend's metrics registry after the run\n"
+      "                      (Sharded: per-shard rollup + sharded_ckpt_* gauges)\n"
+      "  --trace-out FILE    record the run as a replayable trace\n"
+      "  --trace-in FILE     replay a recorded trace instead of generating load\n",
+      (unsigned long long)dstore::bench::BenchParams{}.objects);
+}
+
 int main(int argc, char** argv) {
   std::string backend = "DStore";
   std::string wl = "A";
@@ -45,23 +72,39 @@ int main(int argc, char** argv) {
   baselines::BackendParams bp;
   size_t value_size = 4096;
   std::vector<std::string> args(argv + 1, argv + argc);
-  for (size_t i = 0; i + 1 < args.size(); i += 2) {
-    if (args[i] == "--backend" || args[i] == "--system") backend = args[i + 1];
-    else if (args[i] == "--workload") wl = args[i + 1];
-    else if (args[i] == "--objects") p.objects = strtoull(args[i + 1].c_str(), nullptr, 10);
-    else if (args[i] == "--threads") p.threads = (int)strtoul(args[i + 1].c_str(), nullptr, 10);
-    else if (args[i] == "--ops") p.ops_per_thread = strtoull(args[i + 1].c_str(), nullptr, 10);
-    else if (args[i] == "--value") value_size = strtoull(args[i + 1].c_str(), nullptr, 10);
-    else if (args[i] == "--scale") p.scale = strtod(args[i + 1].c_str(), nullptr);
-    else if (args[i] == "--ssd-qd") p.ssd_qd = (uint32_t)strtoul(args[i + 1].c_str(), nullptr, 10);
-    else if (args[i] == "--shards") bp.num_shards = (int)strtoul(args[i + 1].c_str(), nullptr, 10);
-    else if (args[i] == "--metrics-json") metrics_json = args[i + 1];
-    else if (args[i] == "--trace-out") trace_out = args[i + 1];
-    else if (args[i] == "--trace-in") trace_in = args[i + 1];
-    else {
-      fprintf(stderr, "unknown flag %s\n", args[i].c_str());
+  for (size_t i = 0; i < args.size(); i++) {
+    // Boolean flags advance by one; valued flags consume args[i + 1].
+    if (args[i] == "--help" || args[i] == "-h") {
+      usage();
+      return 0;
+    }
+    if (args[i] == "--affinity") {
+      bp.affinity = true;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      fprintf(stderr, "flag %s needs a value (see --help)\n", args[i].c_str());
       return 2;
     }
+    const std::string& v = args[i + 1];
+    if (args[i] == "--backend" || args[i] == "--system") backend = v;
+    else if (args[i] == "--workload") wl = v;
+    else if (args[i] == "--objects") p.objects = strtoull(v.c_str(), nullptr, 10);
+    else if (args[i] == "--threads") p.threads = (int)strtoul(v.c_str(), nullptr, 10);
+    else if (args[i] == "--ops") p.ops_per_thread = strtoull(v.c_str(), nullptr, 10);
+    else if (args[i] == "--value") value_size = strtoull(v.c_str(), nullptr, 10);
+    else if (args[i] == "--scale") p.scale = strtod(v.c_str(), nullptr);
+    else if (args[i] == "--ssd-qd") p.ssd_qd = (uint32_t)strtoul(v.c_str(), nullptr, 10);
+    else if (args[i] == "--shards") bp.num_shards = (int)strtoul(v.c_str(), nullptr, 10);
+    else if (args[i] == "--ckpt-workers") bp.ckpt_workers = (int)strtoul(v.c_str(), nullptr, 10);
+    else if (args[i] == "--metrics-json") metrics_json = v;
+    else if (args[i] == "--trace-out") trace_out = v;
+    else if (args[i] == "--trace-in") trace_in = v;
+    else {
+      fprintf(stderr, "unknown flag %s (see --help)\n", args[i].c_str());
+      return 2;
+    }
+    i++;
   }
   if (backend == "help" || backend == "list") {
     printf("backends:");
@@ -132,6 +175,14 @@ int main(int argc, char** argv) {
     writer = std::move(w).value();
     traced = std::make_unique<TracingStore>(store.get(), writer.get());
     target = traced.get();
+  }
+
+  if (bp.affinity && target->partitions() > 1) {
+    // Partition-restricted loadgen: thread t draws only keys the backend
+    // places on partition t % partitions, on a pinned context.
+    spec.partitions = target->partitions();
+    spec.placement = [kv = target](std::string_view k) { return kv->placement_of(k); };
+    printf("affinity: threads pinned across %d partitions\n", spec.partitions);
   }
 
   auto r = run_workload(*target, spec);
