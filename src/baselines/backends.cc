@@ -6,6 +6,7 @@
 #include "baselines/cached_btree.h"
 #include "baselines/cached_lsm.h"
 #include "baselines/dstore_adapter.h"
+#include "baselines/remote_adapter.h"
 #include "baselines/sharded_adapter.h"
 #include "baselines/uncached.h"
 
@@ -67,6 +68,25 @@ const Entry kBackends[] = {
        auto r = ShardedAdapter::make(cfg);
        if (!r.is_ok()) {
          fprintf(stderr, "make Sharded failed: %s\n", r.status().to_string().c_str());
+         return nullptr;
+       }
+       return std::move(r).value();
+     }},
+    {"remote",
+     [](const BackendParams& p) -> std::unique_ptr<workload::KVStore> {
+       // Same fleet sizing as "Sharded"; the store just sits behind the
+       // wire (or behind DSTORE_REMOTE_ADDR, which ignores this config).
+       ShardedConfig cfg;
+       cfg.num_shards = p.num_shards > 0 ? p.num_shards : 4;
+       uint64_t shards = (uint64_t)cfg.num_shards;
+       cfg.shard.max_objects = (p.objects * 2 + shards - 1) / shards * 2;
+       cfg.shard.num_blocks = (p.objects * 6 + shards - 1) / shards * 2;
+       cfg.shard.ssd_qd = p.ssd_qd;
+       cfg.ckpt_workers = p.ckpt_workers;
+       cfg.latency = p.latency;
+       auto r = RemoteAdapter::make(cfg);
+       if (!r.is_ok()) {
+         fprintf(stderr, "make remote failed: %s\n", r.status().to_string().c_str());
          return nullptr;
        }
        return std::move(r).value();

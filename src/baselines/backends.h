@@ -27,8 +27,10 @@ struct BackendParams {
 
 // Construct backend `name`, or nullptr (with a stderr diagnostic) if the
 // name is unknown or construction fails. Known names: DStore, DStore-CoW,
-// DStore-noOE, LogicalLog+CoW, PhysLog+CoW, Sharded, PMEM-RocksDB,
-// MongoDB-PM, MongoDB-PMSE.
+// DStore-noOE, LogicalLog+CoW, PhysLog+CoW, Sharded, remote, PMEM-RocksDB,
+// MongoDB-PM, MongoDB-PMSE. ("remote" drives a dstore_serverd over the
+// wire — DSTORE_REMOTE_ADDR=<host:port>, or a self-hosted in-process
+// server when unset.)
 std::unique_ptr<workload::KVStore> make_backend(const std::string& name,
                                                 const BackendParams& params);
 

@@ -1,0 +1,64 @@
+// workload::KVStore adapter over the network client (DESIGN.md §15), so
+// `ycsb_runner --backend=remote` drives a live dstore_serverd with the
+// same harness that drives the embedded backends.
+//
+// Target selection: DSTORE_REMOTE_ADDR=<host:port> in the environment
+// points at an external server (a separately-launched dstore_serverd);
+// without it the adapter self-hosts — it spins up a ShardedStore + Server
+// in-process and connects over real sockets, so the remote path is
+// exercisable in any test or CI job with no orchestration.
+//
+// Threading: each open_ctx() is one net::Client connection with its own
+// namespace handle — connections are single-threaded by contract, matching
+// the one-ctx-per-worker harness model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dstore/sharded.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "workload/kv_interface.h"
+
+namespace dstore::baselines {
+
+class RemoteAdapter final : public workload::KVStore {
+ public:
+  // cfg sizes the self-hosted fleet (ignored when DSTORE_REMOTE_ADDR is
+  // set); `ns` is the tenant namespace every context operates in.
+  static Result<std::unique_ptr<RemoteAdapter>> make(ShardedConfig cfg,
+                                                     std::string ns = "ycsb");
+  ~RemoteAdapter() override;
+
+  void* open_ctx() override;
+  void close_ctx(void* ctx) override;
+
+  Status put(void* ctx, std::string_view key, const void* value, size_t size) override;
+  Result<size_t> get(void* ctx, std::string_view key, void* buf, size_t cap) override;
+  Status del(void* ctx, std::string_view key) override;
+
+  const char* name() const override { return "remote"; }
+  // Scraped over the wire: the server's net_* series merged with the
+  // store's rollup — exactly what an operator's scrape would see.
+  std::string metrics_json() override;
+  std::string metrics_prometheus() override;
+
+  const std::string& target() const { return target_; }
+
+ private:
+  RemoteAdapter() = default;
+
+  struct Ctx;
+  Result<std::unique_ptr<net::Client>> connect() const;
+  std::string scrape(uint8_t format);
+
+  std::string ns_;
+  std::string target_;  // "host:port"
+
+  // Self-hosted mode only (null when DSTORE_REMOTE_ADDR is set).
+  std::unique_ptr<ShardedStore> own_store_;
+  std::unique_ptr<net::Server> own_server_;
+};
+
+}  // namespace dstore::baselines

@@ -3,20 +3,8 @@
 namespace dstore {
 
 const char* code_name(Code c) {
-  switch (c) {
-    case Code::kOk: return "OK";
-    case Code::kNotFound: return "NOT_FOUND";
-    case Code::kAlreadyExists: return "ALREADY_EXISTS";
-    case Code::kOutOfSpace: return "OUT_OF_SPACE";
-    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
-    case Code::kCorruption: return "CORRUPTION";
-    case Code::kBusy: return "BUSY";
-    case Code::kIoError: return "IO_ERROR";
-    case Code::kUnsupported: return "UNSUPPORTED";
-    case Code::kInternal: return "INTERNAL";
-    case Code::kReadOnly: return "READ_ONLY";
-  }
-  return "UNKNOWN";
+  // Enum values are wire bytes == table indices (common/status_codes.h).
+  return status_codes::display_of_wire((uint8_t)c);
 }
 
 }  // namespace dstore

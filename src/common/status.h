@@ -12,24 +12,34 @@
 #include <string>
 #include <utility>
 
+#include "common/status_codes.h"
+
 namespace dstore {
 
+// Generated from the one status table (common/status_codes.h): each
+// enumerator's value is its wire byte, so Code <-> wire-protocol status
+// byte is a bounds-checked cast and Code <-> DS_E* is a table lookup.
+// kReadOnly = store degraded to read-only (SSD write retries exhausted).
 enum class Code : uint8_t {
-  kOk = 0,
-  kNotFound,
-  kAlreadyExists,
-  kOutOfSpace,
-  kInvalidArgument,
-  kCorruption,
-  kBusy,
-  kIoError,
-  kUnsupported,
-  kInternal,
-  kReadOnly,  // store degraded to read-only (SSD write retries exhausted)
+#define DS_STATUS_X(cpp, cname, cerrno, wire, display) k##cpp = (wire),
+  DS_STATUS_CODES(DS_STATUS_X)
+#undef DS_STATUS_X
 };
 
 // Human-readable name for an error code (stable, for logs and tests).
 const char* code_name(Code c);
+
+// Wire-protocol status byte <-> Code (DESIGN.md §15). Bytes from a newer
+// peer that this build doesn't know degrade to kInternal, never UB.
+inline constexpr uint8_t wire_byte_of(Code c) { return (uint8_t)c; }
+inline constexpr Code code_from_wire(uint8_t wire) {
+  return wire < status_codes::kCount ? (Code)wire : Code::kInternal;
+}
+
+// The C API's DS_E* value for a Code (0 or negative; dstore/dstore_c.h).
+inline constexpr int errno_of(Code c) {
+  return status_codes::errno_of_wire((uint8_t)c);
+}
 
 class [[nodiscard]] Status {
  public:

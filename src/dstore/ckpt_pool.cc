@@ -121,12 +121,16 @@ void CheckpointPool::run_shard_step(size_t shard) {
       }
     }
   }
+  // Appends during the step (or a busy/paused skip) may have left the shard
+  // past the watermark again; the sticky flag makes this cheap. The engine
+  // must be consulted while this step still counts toward active_steps_ —
+  // once the decrement below lands, pause() can return and recovery may
+  // delete the engine out from under a late checkpoint_due() probe.
+  bool renotify = e != nullptr && e->checkpoint_due();
   shard_running_[shard].store(false, std::memory_order_release);
   active_steps_.fetch_sub(1, std::memory_order_seq_cst);
   cv_.notify_all();  // pause() waits on active_steps_ == 0
-  // Appends during the step (or a busy/paused skip) may have left the shard
-  // past the watermark again; the sticky flag makes this cheap.
-  if (e != nullptr && e->checkpoint_due()) notify(shard);
+  if (renotify) notify(shard);
 }
 
 bool CheckpointPool::try_run_one_job() {

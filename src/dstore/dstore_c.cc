@@ -6,7 +6,9 @@
 #include <memory>
 #include <string>
 
+#include "common/lockdep.h"
 #include "dstore/dstore.h"
+#include "net/client.h"
 
 // Opaque wrapper types (global-scope, C linkage side).
 struct dstore_t {
@@ -26,32 +28,42 @@ struct ds_obj {
   dstore::Object* obj;
 };
 
+// A v3 session: exactly one of {store, client} is set (embedded vs
+// remote), plus the per-session error slot. The slot has its own lock so
+// ds_session_last_error*() can be called while another thread still runs
+// the session's last op — the rest of a session is single-threaded by
+// contract, like a ds_ctx_t.
+struct ds_session {
+  std::unique_ptr<dstore_t> store;             // embedded ("mem:", "dir:")
+  std::unique_ptr<dstore::net::Client> client; // remote ("host:port")
+
+  mutable dstore::SpinLock err_mu{"capi.session_err"};
+  int err_code = DS_OK;
+  std::string err_msg;
+};
+
+// A tenant keyspace. Embedded namespaces hold a private engine context and
+// prefix keys exactly like the server does ("<ns>\x1f<key>"), so embedded
+// and remote sessions are observationally identical; remote ones hold the
+// server-assigned namespace id.
+struct ds_namespace {
+  ds_session_t* owner = nullptr;
+  std::string name;
+  dstore::ds_ctx_t* ctx = nullptr;  // embedded
+  uint32_t ns_id = 0;               // remote
+};
+
 namespace {
 
-int to_errno(const dstore::Status& s) {
-  switch (s.code()) {
-    case dstore::Code::kOk: return DS_OK;
-    case dstore::Code::kNotFound: return DS_ENOTFOUND;
-    case dstore::Code::kAlreadyExists: return DS_EEXIST;
-    case dstore::Code::kOutOfSpace: return DS_ENOSPC;
-    case dstore::Code::kInvalidArgument: return DS_EINVAL;
-    case dstore::Code::kCorruption: return DS_ECORRUPT;
-    case dstore::Code::kBusy: return DS_EBUSY;
-    case dstore::Code::kIoError: return DS_EIO;
-    case dstore::Code::kUnsupported: return DS_ENOTSUP;
-    case dstore::Code::kInternal: return DS_EINTERNAL;
-    case dstore::Code::kReadOnly: return DS_EROFS;
-  }
-  return DS_EINTERNAL;
-}
+constexpr char kNsSep = '\x1f';
 
-// ds_last_error state: one slot per thread, overwritten by every binding
-// call so callers can always ask "why did that just fail".
+// ds_last_error state: one slot per thread, overwritten by every v2
+// binding call (and by ds_session_open failures, which have no session).
 thread_local int tls_last_code = DS_OK;
 thread_local std::string tls_last_msg;
 
 int record(const dstore::Status& s) {
-  tls_last_code = to_errno(s);
+  tls_last_code = dstore::errno_of(s.code());
   if (s.is_ok()) {
     tls_last_msg.clear();
   } else {
@@ -66,6 +78,26 @@ int record_errno(int code, const char* msg) {
   return code;
 }
 
+// Per-session recording (v3): sessions never observe each other's errors.
+int srecord(ds_session_t* s, const dstore::Status& st) {
+  int code = dstore::errno_of(st.code());
+  dstore::LockGuard<dstore::SpinLock> g(s->err_mu);
+  s->err_code = code;
+  if (st.is_ok()) {
+    s->err_msg.clear();
+  } else {
+    s->err_msg = st.to_string();
+  }
+  return code;
+}
+
+int srecord_errno(ds_session_t* s, int code, const char* msg) {
+  dstore::LockGuard<dstore::SpinLock> g(s->err_mu);
+  s->err_code = code;
+  s->err_msg = code == DS_OK ? "" : msg;
+  return code;
+}
+
 dstore::DStoreConfig config_from(const dstore_options* o) {
   dstore::DStoreConfig cfg;
   cfg.max_objects = (o != nullptr && o->max_objects != 0) ? o->max_objects : (1 << 14);
@@ -77,15 +109,13 @@ dstore::DStoreConfig config_from(const dstore_options* o) {
   return cfg;
 }
 
-}  // namespace
-
-extern "C" {
-
-dstore_t* dstore_open(const dstore_options* options, int create) {
+// Shared by v2 dstore_open and v3 embedded sessions. `dir` overrides the
+// options' backing_dir (v3 carries the path in the target string).
+dstore_t* open_store(const dstore_options* options, const char* dir, int create) {
   auto s = std::make_unique<dstore_t>();
   s->cfg = config_from(options);
   size_t pool_bytes = dstore::DStoreConfig::required_pool_bytes(s->cfg);
-  const char* dir = options != nullptr ? options->backing_dir : nullptr;
+  if (dir == nullptr && options != nullptr) dir = options->backing_dir;
   if (dir != nullptr) {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -121,6 +151,208 @@ dstore_t* dstore_open(const dstore_options* options, int create) {
   s->store = std::move(store).value();
   record(dstore::Status::ok());
   return s.release();
+}
+
+std::string tenant_key(const std::string& ns_name, const char* key) {
+  std::string k;
+  k.reserve(ns_name.size() + 1 + strlen(key));
+  k.append(ns_name);
+  k.push_back(kNsSep);
+  k.append(key);
+  return k;
+}
+
+bool valid_ns_name(const char* name) {
+  return name != nullptr && name[0] != '\0' && strchr(name, kNsSep) == nullptr;
+}
+
+}  // namespace
+
+extern "C" {
+
+uint32_t ds_api_version(void) {
+  return ((uint32_t)DS_API_VERSION_MAJOR << 16) | (uint32_t)DS_API_VERSION_MINOR;
+}
+
+/* ======================================================================
+ * v3: sessions and namespaces
+ * ====================================================================== */
+
+ds_session_t* ds_session_open(const char* target, const ds_session_options* options) {
+  if (target == nullptr) {
+    record_errno(DS_EINVAL, "null target");
+    return nullptr;
+  }
+  std::string t = target;
+  auto session = std::make_unique<ds_session>();
+  const dstore_options* store_opts = options != nullptr ? &options->store : nullptr;
+  if (t == "mem:" || t == "mem") {
+    session->store.reset(open_store(store_opts, nullptr, 1));
+    if (!session->store) return nullptr;  // open_store recorded the reason
+  } else if (t.rfind("dir:", 0) == 0) {
+    std::string dir = t.substr(4);
+    if (dir.empty()) {
+      record_errno(DS_EINVAL, "dir: target needs a path");
+      return nullptr;
+    }
+    session->store.reset(
+        open_store(store_opts, dir.c_str(), options == nullptr ? 1 : options->create));
+    if (!session->store) return nullptr;
+  } else {
+    // Remote: "tcp:host:port" or bare "host:port".
+    std::string hostport = t.rfind("tcp:", 0) == 0 ? t.substr(4) : t;
+    dstore::net::ClientConfig cfg;
+    if (options != nullptr && options->pipeline_depth != 0) {
+      cfg.pipeline_depth = options->pipeline_depth;
+    }
+    auto client = dstore::net::Client::connect(hostport, cfg);
+    if (!client.is_ok()) {
+      record(client.status());
+      return nullptr;
+    }
+    session->client = std::move(client).value();
+  }
+  record(dstore::Status::ok());
+  return session.release();
+}
+
+void ds_session_close(ds_session_t* session) { delete session; }
+
+ds_namespace_t* ds_namespace_open(ds_session_t* session, const char* name) {
+  if (session == nullptr) {
+    record_errno(DS_EINVAL, "null session");
+    return nullptr;
+  }
+  if (!valid_ns_name(name)) {
+    srecord_errno(session, DS_EINVAL, "malformed namespace name");
+    return nullptr;
+  }
+  auto ns = std::make_unique<ds_namespace>();
+  ns->owner = session;
+  ns->name = name;
+  if (session->client) {
+    auto info = session->client->open_namespace(name);
+    if (!info.is_ok()) {
+      srecord(session, info.status());
+      return nullptr;
+    }
+    ns->ns_id = info.value().ns_id;
+  } else {
+    ns->ctx = session->store->store->ds_init();
+  }
+  srecord(session, dstore::Status::ok());
+  return ns.release();
+}
+
+void ds_namespace_close(ds_namespace_t* ns) {
+  if (ns == nullptr) return;
+  if (ns->ctx != nullptr) ns->owner->store->store->ds_finalize(ns->ctx);
+  delete ns;
+}
+
+ssize_t ds_put(ds_namespace_t* ns, const char* key, const void* value, size_t size) {
+  if (ns == nullptr) return record_errno(DS_EINVAL, "null namespace");
+  if (key == nullptr) return srecord_errno(ns->owner, DS_EINVAL, "null key");
+  ds_session_t* s = ns->owner;
+  dstore::Status st = s->client
+                          ? s->client->put(ns->ns_id, key, value, size)
+                          : s->store->store->oput(ns->ctx, tenant_key(ns->name, key),
+                                                  value, size);
+  int code = srecord(s, st);
+  return st.is_ok() ? (ssize_t)size : code;
+}
+
+ssize_t ds_get(ds_namespace_t* ns, const char* key, void* value, size_t value_cap) {
+  if (ns == nullptr) return record_errno(DS_EINVAL, "null namespace");
+  if (key == nullptr) return srecord_errno(ns->owner, DS_EINVAL, "null key");
+  ds_session_t* s = ns->owner;
+  if (s->client) {
+    auto r = s->client->get(ns->ns_id, key);
+    if (!r.is_ok()) return srecord(s, r.status());
+    size_t n = r.value().size() < value_cap ? r.value().size() : value_cap;
+    if (n > 0) memcpy(value, r.value().data(), n);
+    srecord(s, dstore::Status::ok());
+    return (ssize_t)r.value().size();
+  }
+  auto r = s->store->store->oget(ns->ctx, tenant_key(ns->name, key), value, value_cap);
+  if (!r.is_ok()) return srecord(s, r.status());
+  srecord(s, dstore::Status::ok());
+  return (ssize_t)r.value();
+}
+
+int ds_delete(ds_namespace_t* ns, const char* key) {
+  if (ns == nullptr) return record_errno(DS_EINVAL, "null namespace");
+  if (key == nullptr) return srecord_errno(ns->owner, DS_EINVAL, "null key");
+  ds_session_t* s = ns->owner;
+  return srecord(s, s->client ? s->client->del(ns->ns_id, key)
+                              : s->store->store->odelete(ns->ctx, tenant_key(ns->name, key)));
+}
+
+int ds_scrub(ds_session_t* session) {
+  if (session == nullptr) return record_errno(DS_EINVAL, "null session");
+  if (session->client) {
+    auto r = session->client->scrub();
+    return srecord(session, r.is_ok() ? dstore::Status::ok() : r.status());
+  }
+  return srecord(session, session->store->store->scrub_now());
+}
+
+int ds_checkpoint(ds_session_t* session) {
+  if (session == nullptr) return record_errno(DS_EINVAL, "null session");
+  if (session->client) {
+    return srecord(session, dstore::Status::unsupported(
+                                "remote servers checkpoint at the log watermark"));
+  }
+  return srecord(session, session->store->store->checkpoint_now());
+}
+
+char* ds_session_metrics(ds_session_t* session, int format) {
+  if (session == nullptr ||
+      (format != DS_METRICS_JSON && format != DS_METRICS_PROMETHEUS)) {
+    record_errno(DS_EINVAL, "null session or bad format");
+    return nullptr;
+  }
+  std::string out;
+  if (session->client) {
+    auto r = session->client->metrics((uint8_t)format);
+    if (!r.is_ok()) {
+      srecord(session, r.status());
+      return nullptr;
+    }
+    out = std::move(r).value();
+  } else {
+    out = format == DS_METRICS_JSON ? session->store->store->metrics_json()
+                                    : session->store->store->metrics_prometheus();
+  }
+  char* buf = static_cast<char*>(malloc(out.size() + 1));
+  if (buf == nullptr) {
+    srecord_errno(session, DS_EINTERNAL, "out of memory");
+    return nullptr;
+  }
+  memcpy(buf, out.data(), out.size());
+  buf[out.size()] = '\0';
+  srecord(session, dstore::Status::ok());
+  return buf;
+}
+
+int ds_session_last_error_code(const ds_session_t* session) {
+  if (session == nullptr) return DS_EINVAL;
+  dstore::LockGuard<dstore::SpinLock> g(session->err_mu);
+  return session->err_code;
+}
+
+const char* ds_session_last_error(const ds_session_t* session) {
+  if (session == nullptr) return "null session";
+  dstore::LockGuard<dstore::SpinLock> g(session->err_mu);
+  return session->err_msg.c_str();
+}
+
+/* ======================================================================
+ * v2: deprecated shims (same engine underneath)
+ * ====================================================================== */
+
+dstore_t* dstore_open(const dstore_options* options, int create) {
+  return open_store(options, nullptr, create);
 }
 
 void dstore_close(dstore_t* store) {
@@ -225,10 +457,6 @@ uint64_t dstore_object_count(dstore_t* store) {
   return store->store->object_count();
 }
 
-uint32_t ds_api_version(void) {
-  return ((uint32_t)DS_API_VERSION_MAJOR << 16) | (uint32_t)DS_API_VERSION_MINOR;
-}
-
 char* ds_metrics_dump(dstore_t* store, int format) {
   if (store == nullptr || (format != DS_METRICS_JSON && format != DS_METRICS_PROMETHEUS)) {
     record_errno(DS_EINVAL, "null store or bad format");
@@ -250,5 +478,7 @@ char* ds_metrics_dump(dstore_t* store, int format) {
 int ds_last_error_code(void) { return tls_last_code; }
 
 const char* ds_last_error(void) { return tls_last_msg.c_str(); }
+
+const char* ds_open_error(void) { return tls_last_msg.c_str(); }
 
 }  // extern "C"

@@ -207,6 +207,55 @@ Result<uint64_t> ShardedStore::object_size(std::string_view name) {
   return shards_[shard_of(name)].store->object_size(name);
 }
 
+Status ShardedStore::put_on(Session* s, int shard, std::string_view name, const void* value,
+                            size_t size) {
+  if (shard < 0 || shard >= cfg_.num_shards) return Status::invalid_argument("shard out of range");
+  Shard& sh = shards_[shard];
+  return sh.store->oput(s != nullptr ? s->ctx_[shard] : sh.ctx, name, value, size);
+}
+
+Result<size_t> ShardedStore::get_on(Session* s, int shard, std::string_view name, void* buf,
+                                    size_t cap) {
+  if (shard < 0 || shard >= cfg_.num_shards) return Status::invalid_argument("shard out of range");
+  Shard& sh = shards_[shard];
+  return sh.store->oget(s != nullptr ? s->ctx_[shard] : sh.ctx, name, buf, cap);
+}
+
+Status ShardedStore::del_on(Session* s, int shard, std::string_view name) {
+  if (shard < 0 || shard >= cfg_.num_shards) return Status::invalid_argument("shard out of range");
+  Shard& sh = shards_[shard];
+  return sh.store->odelete(s != nullptr ? s->ctx_[shard] : sh.ctx, name);
+}
+
+Result<DStore::ReadView> ShardedStore::get_zc_on(Session* s, int shard, std::string_view name) {
+  if (shard < 0 || shard >= cfg_.num_shards) return Status::invalid_argument("shard out of range");
+  Shard& sh = shards_[shard];
+  return sh.store->oget_zc(s != nullptr ? s->ctx_[shard] : sh.ctx, name);
+}
+
+Result<uint64_t> ShardedStore::object_size_on(int shard, std::string_view name) {
+  if (shard < 0 || shard >= cfg_.num_shards) return Status::invalid_argument("shard out of range");
+  return shards_[shard].store->object_size(name);
+}
+
+Status ShardedStore::scrub_all(DStore::ScrubReport* report) {
+  Status first = Status::ok();
+  for (Shard& sh : shards_) {
+    DStore::ScrubReport r;
+    Status s = sh.store->scrub_now(&r);
+    if (!s.is_ok() && first.is_ok()) first = s;
+    if (report != nullptr) {
+      report->objects_scanned += r.objects_scanned;
+      report->pages_verified += r.pages_verified;
+      report->checksum_failures += r.checksum_failures;
+      report->repaired += r.repaired;
+      report->quarantined_pages += r.quarantined_pages;
+      for (std::string& n : r.corrupt_objects) report->corrupt_objects.push_back(std::move(n));
+    }
+  }
+  return first;
+}
+
 uint64_t ShardedStore::object_count() {
   uint64_t total = 0;
   for (Shard& sh : shards_) total += sh.store->object_count();

@@ -103,6 +103,26 @@ class ShardedStore {
   Status del(Session* s, std::string_view name);
   Result<uint64_t> object_size(std::string_view name);
 
+  // Explicit-placement operations (DESIGN.md §15). The network server
+  // stores a tenant namespace's objects under prefixed keys on the
+  // namespace's HOME shard — shard_of(ns_name), not shard_of(full_key) —
+  // so every key of one tenant lands on one shard and the hash-routing
+  // paths above would mis-place them. The caller owns the shard choice; a
+  // null session routes through the shared per-shard context. `shard` must
+  // be in [0, num_shards).
+  Status put_on(Session* s, int shard, std::string_view name, const void* value, size_t size);
+  Result<size_t> get_on(Session* s, int shard, std::string_view name, void* buf, size_t cap);
+  Status del_on(Session* s, int shard, std::string_view name);
+  // Zero-copy read on an explicit shard (Status::unsupported on devices
+  // without a direct mapping — callers fall back to get_on).
+  Result<DStore::ReadView> get_zc_on(Session* s, int shard, std::string_view name);
+  Result<uint64_t> object_size_on(int shard, std::string_view name);
+
+  // One integrity pass over every shard, merging the per-shard reports
+  // (counter sums; corrupt-object names concatenated). Every shard is
+  // attempted; the first error is returned after all attempts.
+  Status scrub_all(DStore::ScrubReport* report = nullptr);
+
   uint64_t object_count();
   DStore::SpaceUsage space_usage();
   // Checkpoint every shard, fanned out across the pool. EVERY shard is

@@ -1,0 +1,90 @@
+// dstore::net::Client — the C++ client library for dstore_serverd
+// (DESIGN.md §15).
+//
+// Two surfaces over one connection:
+//   - sync calls (put/get/del/...): submit one frame, block for its
+//     completion;
+//   - pipelined async, mirroring the ssd::IoQueue submit/complete idiom:
+//     submit_*() tags a request with a connection-local id and sends it
+//     immediately; wait(id)/wait_all() reap completions. The server may
+//     complete out of order (SCRUB runs off-loop) — completions are
+//     matched by req_id, and up to cfg.pipeline_depth submissions ride
+//     the wire at once (submit blocks reaping the oldest beyond that).
+//
+// A Client is single-threaded, like a ds_ctx_t: one connection per worker
+// thread. Once the connection dies (server crash, protocol error) every
+// outstanding and future call fails with IO_ERROR("connection lost") —
+// callers reconnect with a fresh Client; acked writes are guaranteed
+// durable on the server, unacked ones must be treated as unknown.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace dstore::net {
+
+struct ClientConfig {
+  size_t max_frame_bytes = kDefaultMaxFrame;
+  uint32_t pipeline_depth = 64;  // max in-flight submissions
+};
+
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> connect(const std::string& host, uint16_t port,
+                                                 ClientConfig cfg = {});
+  // "host:port" form — the ds_session_open() target grammar.
+  static Result<std::unique_ptr<Client>> connect(const std::string& hostport,
+                                                 ClientConfig cfg = {});
+  ~Client();
+
+  bool connected() const { return fd_ >= 0; }
+
+  // ---- sync ----------------------------------------------------------------
+  Result<NamespaceInfo> open_namespace(std::string_view name);
+  Status put(uint32_t ns, std::string_view key, const void* value, size_t size);
+  // zero_copy asks the server to serve from its zero-copy read path; the
+  // value always arrives by wire copy either way.
+  Result<std::string> get(uint32_t ns, std::string_view key, bool zero_copy = false);
+  Status del(uint32_t ns, std::string_view key);
+  Result<ScrubSummary> scrub();
+  Result<std::string> metrics(uint8_t format);  // 0 = JSON, 1 = Prometheus
+
+  // ---- pipelined async -----------------------------------------------------
+  Result<uint64_t> submit_put(uint32_t ns, std::string_view key, const void* value,
+                              size_t size);
+  Result<uint64_t> submit_get(uint32_t ns, std::string_view key, bool zero_copy = false);
+  Result<uint64_t> submit_del(uint32_t ns, std::string_view key);
+  // Block until `id` completes; for gets, *value receives the bytes.
+  Status wait(uint64_t id, std::string* value = nullptr);
+  // Reap everything in flight; first error wins, all ids are consumed.
+  Status wait_all();
+  size_t in_flight() const { return onwire_.size(); }
+
+ private:
+  explicit Client(int fd, ClientConfig cfg);
+
+  Status send_frame(Op op, uint64_t req_id, std::string_view body);
+  // Read until at least one new completion is recorded (or the
+  // connection dies).
+  Status recv_some();
+  Status roundtrip(Op op, std::string_view body, Frame* resp);
+  Result<uint64_t> submit(Op op, std::string_view body);
+  void die(const Status& why);
+
+  int fd_ = -1;
+  ClientConfig cfg_;
+  FrameParser parser_;
+  uint64_t next_id_ = 1;
+  std::unordered_set<uint64_t> onwire_;          // submitted, not yet completed
+  std::unordered_map<uint64_t, Frame> completed_;  // completed, not yet reaped
+  Status dead_ = Status::ok();  // non-ok once the connection is lost
+};
+
+}  // namespace dstore::net

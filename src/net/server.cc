@@ -1,0 +1,610 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lockdep.h"
+
+namespace dstore::net {
+
+namespace {
+
+// Tenant keys are "<ns>\x1f<key>": \x1f (ASCII unit separator) cannot
+// appear in a namespace name (open_ns rejects it), so prefixes can never
+// collide across tenants.
+constexpr char kNsSep = '\x1f';
+
+std::string tenant_key(std::string_view ns_name, std::string_view key) {
+  std::string k;
+  k.reserve(ns_name.size() + 1 + key.size());
+  k.append(ns_name.data(), ns_name.size());
+  k.push_back(kNsSep);
+  k.append(key.data(), key.size());
+  return k;
+}
+
+void set_nonblocking_opts(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ShardedStore* store = nullptr;
+  ServerConfig cfg;
+  fault::FaultInjector* fault = nullptr;
+
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;  // stop + slow-op completion signal
+  uint16_t port = 0;
+
+  std::thread loop_thread;
+  std::thread slow_thread;
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> crashed{false};
+  bool stopped = false;  // stop() ran to completion (main thread only)
+
+  // ---- connections (loop thread only) ------------------------------------
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;  // stable identity for slow-op completions
+    FrameParser parser;
+    std::string out;
+    size_t out_off = 0;
+    bool want_write = false;
+    bool closing = false;  // protocol error: flush the error frame, then close
+    ShardedStore::Session* session = nullptr;
+  };
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_by_fd;
+  std::unordered_map<uint64_t, Conn*> conns_by_id;
+  uint64_t next_conn_id = 1;
+
+  // ---- namespace registry (loop thread only) ------------------------------
+  struct NsEntry {
+    std::string name;
+    int shard = 0;
+  };
+  std::vector<NsEntry> namespaces;  // ns_id = index + 1 (0 = invalid)
+  std::unordered_map<std::string, uint32_t> ns_by_name;
+
+  // ---- slow-op queue (SCRUB): loop -> worker -> loop ----------------------
+  struct SlowReq {
+    uint64_t conn_id = 0;
+    uint64_t req_id = 0;
+  };
+  struct SlowDone {
+    uint64_t conn_id = 0;
+    uint64_t req_id = 0;
+    uint8_t status = 0;
+    std::string body;
+  };
+  Mutex slow_mu{"net.server.slow"};
+  CondVar slow_cv;
+  std::deque<SlowReq> slow_in;
+  std::deque<SlowDone> slow_out;
+
+  // ---- metrics -------------------------------------------------------------
+  obs::MetricsRegistry metrics;
+  obs::Gauge* m_conns = nullptr;
+  obs::Counter* m_accepts = nullptr;
+  obs::Counter* m_requests = nullptr;
+  obs::Counter* m_bytes_in = nullptr;
+  obs::Counter* m_bytes_out = nullptr;
+  obs::Counter* m_frame_errors = nullptr;
+  obs::Counter* m_slow_ops = nullptr;
+
+  ~Impl() { teardown_fds(); }
+
+  void teardown_fds() {
+    for (auto& [fd, c] : conns_by_fd) {
+      close(fd);
+      if (c->session != nullptr) store->close_session(c->session);
+      c->session = nullptr;
+    }
+    conns_by_fd.clear();
+    conns_by_id.clear();
+    if (listen_fd >= 0) close(listen_fd);
+    if (epoll_fd >= 0) close(epoll_fd);
+    if (wake_fd >= 0) close(wake_fd);
+    listen_fd = epoll_fd = wake_fd = -1;
+  }
+
+  Status setup() {
+    listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) return Status::io_error("socket: " + std::string(strerror(errno)));
+    int one = 1;
+    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg.port);
+    if (inet_pton(AF_INET, cfg.host.c_str(), &addr.sin_addr) != 1) {
+      return Status::invalid_argument("bad listen address " + cfg.host);
+    }
+    if (bind(listen_fd, (sockaddr*)&addr, sizeof(addr)) != 0) {
+      return Status::io_error("bind " + cfg.host + ":" + std::to_string(cfg.port) + ": " +
+                              strerror(errno));
+    }
+    if (listen(listen_fd, cfg.backlog) != 0) {
+      return Status::io_error("listen: " + std::string(strerror(errno)));
+    }
+    socklen_t alen = sizeof(addr);
+    if (getsockname(listen_fd, (sockaddr*)&addr, &alen) != 0) {
+      return Status::io_error("getsockname: " + std::string(strerror(errno)));
+    }
+    port = ntohs(addr.sin_port);
+
+    epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) return Status::io_error("epoll_create1: " + std::string(strerror(errno)));
+    wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd < 0) return Status::io_error("eventfd: " + std::string(strerror(errno)));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd;
+    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev);
+    ev.data.fd = wake_fd;
+    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev);
+
+    m_conns = metrics.gauge("net_connections", "currently open client connections");
+    m_accepts = metrics.counter("net_accepts_total", "connections accepted");
+    m_requests = metrics.counter("net_requests_total", "request frames dispatched");
+    m_bytes_in = metrics.counter("net_bytes_in_total", "bytes read from clients");
+    m_bytes_out = metrics.counter("net_bytes_out_total", "bytes written to clients");
+    m_frame_errors = metrics.counter("net_frame_errors_total",
+                                     "connections dropped for protocol errors");
+    m_slow_ops = metrics.counter("net_slow_ops_total",
+                                 "requests completed off-loop (scrub worker)");
+    return Status::ok();
+  }
+
+  void wake() {
+    uint64_t v = 1;
+    // lint: allow-discard — wake loss only delays the loop one poll cycle.
+    (void)write(wake_fd, &v, sizeof(v));
+  }
+
+  // ---- crash gate ----------------------------------------------------------
+  // The durable image froze under us (fault-plan kCrash): from here on,
+  // every completed op ran on borrowed time and must NOT be acknowledged.
+  // Drop all pending output and shut down — clients see a disconnect, the
+  // contract for "unacked, state unknown".
+  bool crash_tripped() { return fault != nullptr && fault->crashed(); }
+  void begin_crash_shutdown() {
+    crashed.store(true, std::memory_order_release);
+    stopping.store(true, std::memory_order_release);
+  }
+
+  // ---- per-connection plumbing (loop thread) -------------------------------
+
+  void add_conn(int fd) {
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    c->id = next_conn_id++;
+    c->parser = FrameParser(cfg.max_frame_bytes);
+    Conn* raw = c.get();
+    conns_by_fd[fd] = std::move(c);
+    conns_by_id[raw->id] = raw;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+    m_conns->add(1);
+    m_accepts->inc();
+  }
+
+  void drop_conn(Conn* c) {
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+    close(c->fd);
+    if (c->session != nullptr) store->close_session(c->session);
+    c->session = nullptr;
+    conns_by_id.erase(c->id);
+    conns_by_fd.erase(c->fd);  // frees c
+    m_conns->add(-1);
+  }
+
+  void update_write_interest(Conn* c) {
+    bool want = c->out_off < c->out.size();
+    if (want == c->want_write) return;
+    c->want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.fd = c->fd;
+    epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+  }
+
+  // Returns false when the connection died mid-write.
+  bool flush_conn(Conn* c) {
+    while (c->out_off < c->out.size()) {
+      ssize_t n = ::write(c->fd, c->out.data() + c->out_off, c->out.size() - c->out_off);
+      if (n > 0) {
+        c->out_off += (size_t)n;
+        m_bytes_out->add((uint64_t)n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      drop_conn(c);
+      return false;
+    }
+    if (c->out_off == c->out.size()) {
+      c->out.clear();
+      c->out_off = 0;
+      if (c->closing) {
+        drop_conn(c);
+        return false;
+      }
+    }
+    update_write_interest(c);
+    return true;
+  }
+
+  void respond(Conn* c, Op op, uint64_t req_id, uint8_t status, std::string_view body) {
+    append_frame(&c->out, op, req_id, status, body);
+  }
+
+  void respond_status(Conn* c, Op op, uint64_t req_id, const Status& s) {
+    respond(c, op, req_id, wire_byte_of(s.code()), s.is_ok() ? "" : s.message());
+  }
+
+  // ---- request dispatch ----------------------------------------------------
+
+  bool ns_valid(uint32_t ns) const { return ns >= 1 && (size_t)ns <= namespaces.size(); }
+
+  void handle_open_ns(Conn* c, const Frame& f) {
+    std::string_view name;
+    if (!parse_open_ns(f.body, &name) || name.empty() ||
+        name.find(kNsSep) != std::string_view::npos) {
+      respond_status(c, Op::kOpenNs, f.hdr.req_id,
+                     Status::invalid_argument("malformed namespace name"));
+      return;
+    }
+    std::string key(name);
+    uint32_t id;
+    auto it = ns_by_name.find(key);
+    if (it != ns_by_name.end()) {
+      id = it->second;
+    } else {
+      namespaces.push_back({key, store->shard_of(key)});
+      id = (uint32_t)namespaces.size();
+      ns_by_name.emplace(std::move(key), id);
+    }
+    const NsEntry& e = namespaces[id - 1];
+    // Affinity: pin the connection's session to its first namespace's home
+    // shard (no-op routing-wise — ops use explicit placement — but the
+    // pinned session reuses that shard's private context; DESIGN.md §14).
+    if (c->session == nullptr) c->session = store->open_session(e.shard);
+    respond(c, Op::kOpenNs, f.hdr.req_id, 0, open_ns_resp_body({id, (uint32_t)e.shard}));
+  }
+
+  void handle_put(Conn* c, const Frame& f) {
+    uint32_t ns;
+    std::string_view key, value;
+    if (!parse_put(f.body, &ns, &key, &value) || !ns_valid(ns)) {
+      respond_status(c, Op::kPut, f.hdr.req_id, Status::invalid_argument("bad put request"));
+      return;
+    }
+    const NsEntry& e = namespaces[ns - 1];
+    Status s = store->put_on(c->session, e.shard, tenant_key(e.name, key), value.data(),
+                             value.size());
+    if (crash_tripped()) return begin_crash_shutdown();  // never ack borrowed time
+    respond_status(c, Op::kPut, f.hdr.req_id, s);
+  }
+
+  void handle_delete(Conn* c, const Frame& f) {
+    uint32_t ns;
+    std::string_view key;
+    if (!parse_key(f.body, &ns, &key) || !ns_valid(ns)) {
+      respond_status(c, Op::kDelete, f.hdr.req_id,
+                     Status::invalid_argument("bad delete request"));
+      return;
+    }
+    const NsEntry& e = namespaces[ns - 1];
+    Status s = store->del_on(c->session, e.shard, tenant_key(e.name, key));
+    if (crash_tripped()) return begin_crash_shutdown();
+    respond_status(c, Op::kDelete, f.hdr.req_id, s);
+  }
+
+  void handle_get(Conn* c, const Frame& f, bool zero_copy) {
+    Op op = zero_copy ? Op::kGetZc : Op::kGet;
+    uint32_t ns;
+    std::string_view key;
+    if (!parse_key(f.body, &ns, &key) || !ns_valid(ns)) {
+      respond_status(c, op, f.hdr.req_id, Status::invalid_argument("bad get request"));
+      return;
+    }
+    const NsEntry& e = namespaces[ns - 1];
+    std::string full = tenant_key(e.name, key);
+    if (zero_copy) {
+      // Zero-copy read path: serve straight from the arena/device mapping
+      // (one copy, onto the wire) while the ReadView's pin holds writers
+      // off. Falls back to the copying path on devices without a mapping.
+      auto view = store->get_zc_on(c->session, e.shard, full);
+      if (view.is_ok()) {
+        if (view.value().size() > cfg.max_frame_bytes) {
+          respond_status(c, op, f.hdr.req_id,
+                         Status::invalid_argument("value exceeds frame limit"));
+          return;
+        }
+        std::string body;
+        body.reserve(view.value().size());
+        for (const auto& piece : view.value().pieces()) {
+          body.append((const char*)piece.data, piece.len);
+        }
+        respond(c, op, f.hdr.req_id, 0, body);
+        return;
+      }
+      if (view.status().code() != Code::kUnsupported) {
+        respond_status(c, op, f.hdr.req_id, view.status());
+        return;
+      }
+    }
+    // Size-then-read; oget reports the full value size, so a concurrent
+    // resize between the two calls just re-sizes the buffer and retries.
+    auto size = store->object_size_on(e.shard, full);
+    if (!size.is_ok()) {
+      respond_status(c, op, f.hdr.req_id, size.status());
+      return;
+    }
+    std::string body;
+    for (uint64_t want = size.value();;) {
+      if (want > cfg.max_frame_bytes) {
+        respond_status(c, op, f.hdr.req_id,
+                       Status::invalid_argument("value exceeds frame limit"));
+        return;
+      }
+      body.resize(want);
+      auto got = store->get_on(c->session, e.shard, full, body.data(), body.size());
+      if (!got.is_ok()) {
+        respond_status(c, op, f.hdr.req_id, got.status());
+        return;
+      }
+      if (got.value() <= body.size()) {
+        body.resize(got.value());
+        break;
+      }
+      want = got.value();
+    }
+    respond(c, op, f.hdr.req_id, 0, body);
+  }
+
+  void handle_metrics(Conn* c, const Frame& f) {
+    uint8_t format;
+    if (!parse_metrics(f.body, &format) || format > 1) {
+      respond_status(c, Op::kMetrics, f.hdr.req_id,
+                     Status::invalid_argument("bad metrics format"));
+      return;
+    }
+    // One scrape: the store's per-shard rollup merged with net_*.
+    std::vector<std::vector<obs::MetricSnapshot>> scrapes;
+    scrapes.push_back(store->metrics_snapshot());
+    scrapes.push_back(metrics.snapshot());
+    auto merged = obs::MetricsRegistry::merge(scrapes);
+    std::string out = format == 0 ? obs::MetricsRegistry::to_json(merged)
+                                  : obs::MetricsRegistry::to_prometheus(merged);
+    respond(c, Op::kMetrics, f.hdr.req_id, 0, out);
+  }
+
+  void dispatch(Conn* c, const Frame& f) {
+    m_requests->inc();
+    switch (f.hdr.op) {
+      case Op::kOpenNs: return handle_open_ns(c, f);
+      case Op::kPut: return handle_put(c, f);
+      case Op::kGet: return handle_get(c, f, false);
+      case Op::kGetZc: return handle_get(c, f, true);
+      case Op::kDelete: return handle_delete(c, f);
+      case Op::kMetrics: return handle_metrics(c, f);
+      case Op::kScrub: {
+        // Slow op: runs a full integrity pass over every shard — shipped
+        // to the worker so the loop keeps serving; its completion lands
+        // whenever it lands (out-of-order by design).
+        UniqueLock l(slow_mu);
+        slow_in.push_back({c->id, f.hdr.req_id});
+        slow_cv.notify_one();
+        return;
+      }
+    }
+    respond_status(c, f.hdr.op, f.hdr.req_id,
+                   Status::unsupported("opcode " + std::to_string((int)f.hdr.op)));
+  }
+
+  // Drain every complete frame the parser holds. Returns false if the
+  // connection was dropped.
+  bool process_frames(Conn* c) {
+    for (;;) {
+      Frame f;
+      FrameParser::Next n = c->parser.next(&f);
+      if (n == FrameParser::Next::kNeedMore) break;
+      if (n == FrameParser::Next::kError) {
+        // Framing is lost: report once on req_id 0, flush, close.
+        m_frame_errors->inc();
+        respond(c, Op::kPut, 0, wire_byte_of(c->parser.error().code()),
+                c->parser.error().message());
+        c->closing = true;
+        break;
+      }
+      dispatch(c, f);
+      if (stopping.load(std::memory_order_acquire)) return false;
+      if (c->out.size() - c->out_off > cfg.max_conn_backlog_bytes) {
+        m_frame_errors->inc();
+        c->closing = true;  // client pipelines but never reads; cut it off
+        break;
+      }
+    }
+    return flush_conn(c);
+  }
+
+  void on_readable(Conn* c) {
+    char buf[64 * 1024];
+    for (;;) {
+      ssize_t n = ::read(c->fd, buf, sizeof(buf));
+      if (n > 0) {
+        m_bytes_in->add((uint64_t)n);
+        c->parser.feed(buf, (size_t)n);
+        if ((size_t)n < sizeof(buf)) break;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      drop_conn(c);  // EOF or hard error
+      return;
+    }
+    process_frames(c);
+  }
+
+  void accept_loop() {
+    for (;;) {
+      int fd = accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN / transient
+      set_nonblocking_opts(fd);
+      add_conn(fd);
+    }
+  }
+
+  void deliver_slow_completions() {
+    std::deque<SlowDone> done;
+    {
+      UniqueLock l(slow_mu);
+      done.swap(slow_out);
+    }
+    for (SlowDone& d : done) {
+      auto it = conns_by_id.find(d.conn_id);
+      if (it == conns_by_id.end()) continue;  // connection died while scrubbing
+      Conn* c = it->second;
+      m_slow_ops->inc();
+      respond(c, Op::kScrub, d.req_id, d.status, d.body);
+      flush_conn(c);
+    }
+  }
+
+  void loop() {
+    epoll_event events[256];
+    while (!stopping.load(std::memory_order_acquire)) {
+      int n = epoll_wait(epoll_fd, events, 256, 100);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      // A background pool worker may have hit the crash point between
+      // polls; stop acking immediately, not on the next mutating op.
+      if (crash_tripped() && !crashed.load(std::memory_order_acquire)) {
+        begin_crash_shutdown();
+        break;
+      }
+      for (int i = 0; i < n && !stopping.load(std::memory_order_acquire); i++) {
+        int fd = events[i].data.fd;
+        if (fd == listen_fd) {
+          accept_loop();
+          continue;
+        }
+        if (fd == wake_fd) {
+          uint64_t v;
+          // lint: allow-discard — the wakeup itself is the payload.
+          (void)read(wake_fd, &v, sizeof(v));
+          deliver_slow_completions();
+          continue;
+        }
+        auto it = conns_by_fd.find(fd);
+        if (it == conns_by_fd.end()) continue;  // closed earlier this batch
+        Conn* c = it->second.get();
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          drop_conn(c);
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) {
+          if (!flush_conn(c)) continue;
+        }
+        if (events[i].events & EPOLLIN) on_readable(c);
+      }
+    }
+    // Close every connection before the loop thread exits — on a crash
+    // shutdown nothing will serve these fds again, and a client blocked on
+    // its ack must observe EOF ("unacked, unknown") rather than hang until
+    // stop(). stop() joins this thread before its own teardown, so the two
+    // cleanups never race.
+    while (!conns_by_fd.empty()) drop_conn(conns_by_fd.begin()->second.get());
+  }
+
+  void slow_loop() {
+    for (;;) {
+      SlowReq req;
+      {
+        UniqueLock l(slow_mu);
+        slow_cv.wait(l, [this] {
+          return stopping.load(std::memory_order_acquire) || !slow_in.empty();
+        });
+        if (stopping.load(std::memory_order_acquire)) return;
+        req = slow_in.front();
+        slow_in.pop_front();
+      }
+      DStore::ScrubReport report;
+      Status s = store->scrub_all(&report);
+      ScrubSummary sum;
+      sum.objects_scanned = report.objects_scanned;
+      sum.pages_verified = report.pages_verified;
+      sum.checksum_failures = report.checksum_failures;
+      sum.repaired = report.repaired;
+      sum.quarantined_pages = report.quarantined_pages;
+      {
+        UniqueLock l(slow_mu);
+        slow_out.push_back({req.conn_id, req.req_id, wire_byte_of(s.code()),
+                            s.is_ok() ? scrub_resp_body(sum) : s.message()});
+      }
+      wake();
+    }
+  }
+};
+
+Server::Server() : impl_(new Impl) {}
+
+Server::~Server() { stop(); }
+
+Result<std::unique_ptr<Server>> Server::start(ShardedStore* store, ServerConfig cfg,
+                                              fault::FaultInjector* fault) {
+  if (store == nullptr) return Status::invalid_argument("null store");
+  auto srv = std::unique_ptr<Server>(new Server());
+  Impl& im = *srv->impl_;
+  im.store = store;
+  im.cfg = cfg;
+  im.fault = fault;
+  Status s = im.setup();
+  if (!s.is_ok()) return s;
+  im.loop_thread = std::thread([&im] { im.loop(); });
+  im.slow_thread = std::thread([&im] { im.slow_loop(); });
+  return srv;
+}
+
+void Server::stop() {
+  Impl& im = *impl_;
+  if (im.stopped) return;
+  im.stopped = true;
+  im.stopping.store(true, std::memory_order_release);
+  im.wake();
+  {
+    UniqueLock l(im.slow_mu);
+    im.slow_cv.notify_all();
+  }
+  if (im.loop_thread.joinable()) im.loop_thread.join();
+  if (im.slow_thread.joinable()) im.slow_thread.join();
+  im.teardown_fds();
+}
+
+uint16_t Server::port() const { return impl_->port; }
+
+bool Server::crashed() const { return impl_->crashed.load(std::memory_order_acquire); }
+
+obs::MetricsRegistry& Server::metrics() { return impl_->metrics; }
+
+}  // namespace dstore::net

@@ -1,0 +1,154 @@
+#include "net/wire.h"
+
+namespace dstore::net {
+
+void append_frame(std::string* out, Op op, uint64_t req_id, uint8_t status,
+                  std::string_view body) {
+  out->reserve(out->size() + kHeaderBytes + body.size());
+  put_u32(out, kMagic);
+  out->push_back((char)kVersion);
+  out->push_back((char)op);
+  out->push_back((char)status);
+  out->push_back((char)0);  // flags
+  put_u64(out, req_id);
+  put_u32(out, (uint32_t)body.size());
+  put_u32(out, 0);  // reserved
+  out->append(body.data(), body.size());
+}
+
+std::string open_ns_body(std::string_view name) {
+  std::string b;
+  put_u16(&b, (uint16_t)name.size());
+  b.append(name.data(), name.size());
+  return b;
+}
+
+std::string key_body(uint32_t ns, std::string_view key) {
+  std::string b;
+  put_u32(&b, ns);
+  put_u16(&b, (uint16_t)key.size());
+  b.append(key.data(), key.size());
+  return b;
+}
+
+std::string put_body(uint32_t ns, std::string_view key, const void* value, size_t size) {
+  std::string b = key_body(ns, key);
+  b.append((const char*)value, size);
+  return b;
+}
+
+std::string metrics_body(uint8_t format) { return std::string(1, (char)format); }
+
+std::string open_ns_resp_body(const NamespaceInfo& info) {
+  std::string b;
+  put_u32(&b, info.ns_id);
+  put_u32(&b, info.shard);
+  return b;
+}
+
+std::string scrub_resp_body(const ScrubSummary& s) {
+  std::string b;
+  put_u64(&b, s.objects_scanned);
+  put_u64(&b, s.pages_verified);
+  put_u64(&b, s.checksum_failures);
+  put_u64(&b, s.repaired);
+  put_u64(&b, s.quarantined_pages);
+  return b;
+}
+
+bool parse_open_ns(std::string_view body, std::string_view* name) {
+  if (body.size() < 2) return false;
+  uint16_t len = get_u16((const uint8_t*)body.data());
+  if (body.size() != (size_t)2 + len) return false;
+  *name = body.substr(2, len);
+  return true;
+}
+
+bool parse_key(std::string_view body, uint32_t* ns, std::string_view* key) {
+  if (body.size() < 6) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  *ns = get_u32(p);
+  uint16_t len = get_u16(p + 4);
+  if (body.size() != (size_t)6 + len) return false;
+  *key = body.substr(6, len);
+  return true;
+}
+
+bool parse_put(std::string_view body, uint32_t* ns, std::string_view* key,
+               std::string_view* value) {
+  if (body.size() < 6) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  *ns = get_u32(p);
+  uint16_t len = get_u16(p + 4);
+  if (body.size() < (size_t)6 + len) return false;
+  *key = body.substr(6, len);
+  *value = body.substr(6 + (size_t)len);
+  return true;
+}
+
+bool parse_metrics(std::string_view body, uint8_t* format) {
+  if (body.size() != 1) return false;
+  *format = (uint8_t)body[0];
+  return true;
+}
+
+bool parse_open_ns_resp(std::string_view body, NamespaceInfo* info) {
+  if (body.size() != 8) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  info->ns_id = get_u32(p);
+  info->shard = get_u32(p + 4);
+  return true;
+}
+
+bool parse_scrub_resp(std::string_view body, ScrubSummary* s) {
+  if (body.size() != 40) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  s->objects_scanned = get_u64(p);
+  s->pages_verified = get_u64(p + 8);
+  s->checksum_failures = get_u64(p + 16);
+  s->repaired = get_u64(p + 24);
+  s->quarantined_pages = get_u64(p + 32);
+  return true;
+}
+
+FrameParser::Next FrameParser::next(Frame* out) {
+  if (poisoned_) return Next::kError;
+  if (buffered() < kHeaderBytes) return Next::kNeedMore;
+  const uint8_t* p = (const uint8_t*)buf_.data() + off_;
+  if (get_u32(p) != kMagic) {
+    poisoned_ = true;
+    error_ = Status::invalid_argument("bad frame magic — stream is not DSTP");
+    return Next::kError;
+  }
+  if (p[4] != kVersion) {
+    poisoned_ = true;
+    error_ = Status::unsupported("wire protocol version " + std::to_string(p[4]) +
+                                 " (this build speaks " + std::to_string(kVersion) + ")");
+    return Next::kError;
+  }
+  uint32_t body_len = get_u32(p + 16);
+  if (body_len > max_frame_) {
+    poisoned_ = true;
+    error_ = Status::invalid_argument("frame body " + std::to_string(body_len) +
+                                      " bytes exceeds the " + std::to_string(max_frame_) +
+                                      "-byte limit");
+    return Next::kError;
+  }
+  if (buffered() < kHeaderBytes + body_len) return Next::kNeedMore;
+  out->hdr.version = p[4];
+  out->hdr.op = (Op)p[5];
+  out->hdr.status = p[6];
+  out->hdr.flags = p[7];
+  out->hdr.req_id = get_u64(p + 8);
+  out->hdr.body_len = body_len;
+  out->body.assign((const char*)p + kHeaderBytes, body_len);
+  off_ += kHeaderBytes + body_len;
+  // Compact once the dead prefix dominates the buffer, amortized O(1).
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  return Next::kFrame;
+}
+
+}  // namespace dstore::net

@@ -1,0 +1,156 @@
+// DStore wire protocol (DESIGN.md §15): a compact length-prefixed binary
+// framing shared by the server, the client library and the loadgen.
+//
+// Every message — request or response — is one frame: a fixed 24-byte
+// little-endian header followed by an opcode-specific body. Requests carry
+// a connection-local req_id; the server echoes it in the response, and MAY
+// complete pipelined requests out of order (slow ops like SCRUB run off
+// the event loop), so clients match responses by req_id, never by arrival
+// order — the same submit/complete contract as ssd::IoQueue.
+//
+//   offset size field
+//   0      4    magic 0x50545344 ("DSTP" on the wire)
+//   4      1    version (kVersion; mismatch is a connection error)
+//   5      1    opcode (Op)
+//   6      1    status — wire byte from common/status_codes.h; 0 in
+//               requests, the op's outcome in responses
+//   7      1    flags (sender zeroes, receiver ignores; reserved)
+//   8      8    req_id
+//   16     4    body_len (bytes after the header; bounded by max_frame)
+//   20     4    reserved (sender zeroes, receiver ignores)
+//
+// Error codes never get invented at this layer: the status byte IS the
+// dstore::Code ordinal (one table, common/status_codes.h), so a remote
+// Status round-trips losslessly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dstore::net {
+
+inline constexpr uint32_t kMagic = 0x50545344;  // "DSTP" little-endian
+inline constexpr uint8_t kVersion = 1;
+inline constexpr size_t kHeaderBytes = 24;
+// Default ceiling on body_len: a header claiming more is a protocol error,
+// not an allocation — it bounds memory per connection against garbage or
+// hostile headers.
+inline constexpr size_t kDefaultMaxFrame = 4u << 20;
+
+enum class Op : uint8_t {
+  kOpenNs = 1,  // body: u16 name_len + name          -> u32 ns_id, u32 shard
+  kPut = 2,     // body: u32 ns, u16 key_len, key, value -> empty
+  kGet = 3,     // body: u32 ns, u16 key_len, key     -> value bytes
+  kGetZc = 4,   // like kGet; server serves from the zero-copy read path
+  kDelete = 5,  // body: u32 ns, u16 key_len, key     -> empty
+  kScrub = 6,   // body: empty                        -> ScrubSummary
+  kMetrics = 7, // body: u8 format (0 json, 1 prom)   -> text
+};
+
+struct FrameHeader {
+  uint8_t version = kVersion;
+  Op op = Op::kPut;
+  uint8_t status = 0;  // wire byte (status_codes.h)
+  uint8_t flags = 0;
+  uint64_t req_id = 0;
+  uint32_t body_len = 0;
+};
+
+struct Frame {
+  FrameHeader hdr;
+  std::string body;
+};
+
+// ---- little-endian scalar helpers (explicit, host-order independent) -----
+
+inline void put_u16(std::string* out, uint16_t v) {
+  out->push_back((char)(v & 0xff));
+  out->push_back((char)(v >> 8));
+}
+inline void put_u32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; i++) out->push_back((char)((v >> (8 * i)) & 0xff));
+}
+inline void put_u64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; i++) out->push_back((char)((v >> (8 * i)) & 0xff));
+}
+inline uint16_t get_u16(const uint8_t* p) { return (uint16_t)(p[0] | (uint16_t)p[1] << 8); }
+inline uint32_t get_u32(const uint8_t* p) {
+  return p[0] | (uint32_t)p[1] << 8 | (uint32_t)p[2] << 16 | (uint32_t)p[3] << 24;
+}
+inline uint64_t get_u64(const uint8_t* p) {
+  return (uint64_t)get_u32(p) | (uint64_t)get_u32(p + 4) << 32;
+}
+
+// ---- frame encode --------------------------------------------------------
+
+// Append one complete frame (header + body) to `out`.
+void append_frame(std::string* out, Op op, uint64_t req_id, uint8_t status,
+                  std::string_view body);
+
+// Request-body builders. Key/namespace-name lengths are u16 on the wire;
+// longer names are a caller bug surfaced by the bool parsers server-side.
+std::string open_ns_body(std::string_view name);
+std::string key_body(uint32_t ns, std::string_view key);  // get / get_zc / delete
+std::string put_body(uint32_t ns, std::string_view key, const void* value, size_t size);
+std::string metrics_body(uint8_t format);
+
+// Response bodies with structure (get/metrics responses are raw bytes).
+struct NamespaceInfo {
+  uint32_t ns_id = 0;
+  uint32_t shard = 0;
+};
+std::string open_ns_resp_body(const NamespaceInfo& info);
+
+struct ScrubSummary {
+  uint64_t objects_scanned = 0;
+  uint64_t pages_verified = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t repaired = 0;
+  uint64_t quarantined_pages = 0;
+};
+std::string scrub_resp_body(const ScrubSummary& s);
+
+// Body parsers: false on malformed input (short body, length overrun).
+// Views point into `body` — valid while it is.
+bool parse_open_ns(std::string_view body, std::string_view* name);
+bool parse_key(std::string_view body, uint32_t* ns, std::string_view* key);
+bool parse_put(std::string_view body, uint32_t* ns, std::string_view* key,
+               std::string_view* value);
+bool parse_metrics(std::string_view body, uint8_t* format);
+bool parse_open_ns_resp(std::string_view body, NamespaceInfo* info);
+bool parse_scrub_resp(std::string_view body, ScrubSummary* s);
+
+// ---- frame decode (stream parser) ----------------------------------------
+//
+// Incremental decoder over a byte stream: feed() whatever recv() produced,
+// then drain complete frames with next(). Handles frames split across any
+// number of reads. A malformed header (bad magic, wrong version, body_len
+// over the limit) poisons the parser permanently — framing is lost, the
+// connection must be torn down.
+class FrameParser {
+ public:
+  explicit FrameParser(size_t max_frame_bytes = kDefaultMaxFrame)
+      : max_frame_(max_frame_bytes) {}
+
+  void feed(const void* data, size_t n) { buf_.append((const char*)data, n); }
+
+  enum class Next { kFrame, kNeedMore, kError };
+  Next next(Frame* out);
+
+  // Set once next() returns kError; describes the first protocol fault.
+  const Status& error() const { return error_; }
+  size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  size_t max_frame_;
+  std::string buf_;
+  size_t off_ = 0;  // consumed prefix; compacted once it dominates
+  Status error_ = Status::ok();
+  bool poisoned_ = false;
+};
+
+}  // namespace dstore::net

@@ -1,0 +1,223 @@
+// v3 C binding tests: the handle-based session/namespace surface
+// (dstore/dstore_c.h), one open call for embedded and remote stores, and
+// the per-session error slots (the regression for the old thread-local
+// slot, where concurrent sessions clobbered each other's errors).
+//
+// The v2 shim surface keeps its own coverage in c_api_test.cc.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dstore/dstore_c.h"
+#include "dstore/sharded.h"
+#include "net/server.h"
+
+namespace {
+
+TEST(CApiV3, ApiVersionReports3_0) {
+  EXPECT_EQ(ds_api_version() >> 16, 3u);
+  EXPECT_EQ(ds_api_version() & 0xffffu, 0u);
+  EXPECT_EQ(DS_API_VERSION_MAJOR, 3);
+}
+
+TEST(CApiV3, EmbeddedMemSessionRoundTrip) {
+  ds_session_t* s = ds_session_open("mem:", nullptr);
+  ASSERT_NE(s, nullptr);
+  ds_namespace_t* ns = ds_namespace_open(s, "tenant");
+  ASSERT_NE(ns, nullptr);
+
+  const char payload[] = "hello from v3";
+  ASSERT_EQ(ds_put(ns, "greeting", payload, sizeof(payload)), (ssize_t)sizeof(payload));
+  char buf[64];
+  ASSERT_EQ(ds_get(ns, "greeting", buf, sizeof(buf)), (ssize_t)sizeof(payload));
+  EXPECT_STREQ(buf, payload);
+  EXPECT_EQ(ds_session_last_error_code(s), DS_OK);
+
+  // Short buffer: full size returned, cap bytes copied.
+  char tiny[4];
+  ASSERT_EQ(ds_get(ns, "greeting", tiny, sizeof(tiny)), (ssize_t)sizeof(payload));
+  EXPECT_EQ(memcmp(tiny, payload, sizeof(tiny)), 0);
+
+  ASSERT_EQ(ds_delete(ns, "greeting"), DS_OK);
+  EXPECT_EQ(ds_get(ns, "greeting", buf, sizeof(buf)), DS_ENOTFOUND);
+  EXPECT_EQ(ds_session_last_error_code(s), DS_ENOTFOUND);
+
+  EXPECT_EQ(ds_checkpoint(s), DS_OK);  // embedded: forces one
+  EXPECT_EQ(ds_scrub(s), DS_OK);
+
+  char* metrics = ds_session_metrics(s, DS_METRICS_JSON);
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(strstr(metrics, "dstore_puts_total"), nullptr);
+  free(metrics);
+
+  ds_namespace_close(ns);
+  ds_session_close(s);
+}
+
+TEST(CApiV3, EmbeddedNamespacesAreIsolated) {
+  ds_session_t* s = ds_session_open("mem:", nullptr);
+  ASSERT_NE(s, nullptr);
+  ds_namespace_t* a = ds_namespace_open(s, "a");
+  ds_namespace_t* b = ds_namespace_open(s, "b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(ds_put(a, "k", "AAA", 3), 3);
+  ASSERT_EQ(ds_put(b, "k", "BB", 2), 2);
+  char buf[8];
+  ASSERT_EQ(ds_get(a, "k", buf, sizeof(buf)), 3);
+  EXPECT_EQ(memcmp(buf, "AAA", 3), 0);
+  ASSERT_EQ(ds_get(b, "k", buf, sizeof(buf)), 2);
+  EXPECT_EQ(memcmp(buf, "BB", 2), 0);
+  ASSERT_EQ(ds_delete(a, "k"), DS_OK);
+  EXPECT_EQ(ds_get(a, "k", buf, sizeof(buf)), DS_ENOTFOUND);
+  EXPECT_EQ(ds_get(b, "k", buf, sizeof(buf)), 2);
+  ds_namespace_close(a);
+  ds_namespace_close(b);
+  ds_session_close(s);
+}
+
+TEST(CApiV3, MalformedTargetsAndNamesFailCleanly) {
+  EXPECT_EQ(ds_session_open(nullptr, nullptr), nullptr);
+  EXPECT_EQ(ds_session_open("dir:", nullptr), nullptr);
+
+  ds_session_t* s = ds_session_open("mem:", nullptr);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(ds_namespace_open(s, ""), nullptr);
+  EXPECT_EQ(ds_namespace_open(s, "bad\x1fname"), nullptr);
+  EXPECT_EQ(ds_namespace_open(nullptr, "x"), nullptr);
+  EXPECT_EQ(ds_session_last_error_code(s), DS_EINVAL);
+  ds_session_close(s);
+}
+
+TEST(CApiV3, DirSessionPersistsAcrossReopen) {
+  std::string dir = ::testing::TempDir() + "ds_v3_dir_test";
+  std::filesystem::remove_all(dir);
+
+  ds_session_options opt{};
+  opt.create = 1;
+  std::string target = "dir:" + dir;
+  ds_session_t* s = ds_session_open(target.c_str(), &opt);
+  ASSERT_NE(s, nullptr) << ds_open_error();
+  ds_namespace_t* ns = ds_namespace_open(s, "kept");
+  ASSERT_NE(ns, nullptr);
+  ASSERT_EQ(ds_put(ns, "durable", "stays", 5), 5);
+  ds_namespace_close(ns);
+  ds_session_close(s);
+
+  opt.create = 0;  // recover
+  s = ds_session_open(target.c_str(), &opt);
+  ASSERT_NE(s, nullptr) << ds_open_error();
+  ns = ds_namespace_open(s, "kept");
+  ASSERT_NE(ns, nullptr);
+  char buf[16];
+  ASSERT_EQ(ds_get(ns, "durable", buf, sizeof(buf)), 5);
+  EXPECT_EQ(memcmp(buf, "stays", 5), 0);
+  ds_namespace_close(ns);
+  ds_session_close(s);
+  std::filesystem::remove_all(dir);
+}
+
+// The small-fix regression: error state lives on the session, so
+// concurrent sessions (one per thread, as documented) observe their own
+// last error and never each other's.
+TEST(CApiV3, ConcurrentSessionsKeepIndependentErrors) {
+  ds_session_t* ok_s = ds_session_open("mem:", nullptr);
+  ds_session_t* err_s = ds_session_open("mem:", nullptr);
+  ASSERT_NE(ok_s, nullptr);
+  ASSERT_NE(err_s, nullptr);
+  ds_namespace_t* ok_ns = ds_namespace_open(ok_s, "t");
+  ds_namespace_t* err_ns = ds_namespace_open(err_s, "t");
+  ASSERT_NE(ok_ns, nullptr);
+  ASSERT_NE(err_ns, nullptr);
+
+  constexpr int kOps = 500;
+  std::thread ok_thread([&] {
+    char buf[16];
+    for (int i = 0; i < kOps; i++) {
+      ASSERT_EQ(ds_put(ok_ns, "k", "v", 1), 1);
+      ASSERT_EQ(ds_get(ok_ns, "k", buf, sizeof(buf)), 1);
+    }
+  });
+  std::thread err_thread([&] {
+    char buf[16];
+    for (int i = 0; i < kOps; i++) {
+      ASSERT_EQ(ds_get(err_ns, "missing", buf, sizeof(buf)), DS_ENOTFOUND);
+    }
+  });
+  ok_thread.join();
+  err_thread.join();
+
+  // Each session's slot reflects ITS last call. Under the old thread-local
+  // slot this held only by the accident of one-thread-per-session; two
+  // sessions sharing a thread clobbered each other, which is the bug the
+  // per-session slot fixes.
+  EXPECT_EQ(ds_session_last_error_code(ok_s), DS_OK);
+  EXPECT_EQ(ds_session_last_error_code(err_s), DS_ENOTFOUND);
+  EXPECT_NE(std::string(ds_session_last_error(err_s)).find("NOT_FOUND"),
+            std::string::npos);
+  EXPECT_STREQ(ds_session_last_error(ok_s), "");
+
+  ds_namespace_close(ok_ns);
+  ds_namespace_close(err_ns);
+  ds_session_close(ok_s);
+  ds_session_close(err_s);
+}
+
+// One surface, two transports: the same v3 calls drive dstore_serverd
+// remotely. The server + store live in-process for the test.
+TEST(CApiV3, RemoteSessionOverLiveServer) {
+  dstore::ShardedConfig cfg;
+  cfg.num_shards = 2;
+  cfg.affinity = true;
+  cfg.shard.max_objects = 256;
+  cfg.shard.num_blocks = 2048;
+  cfg.shard.engine.log_slots = 256;
+  cfg.shard.engine.arena_bytes = 1 << 20;
+  auto store = dstore::ShardedStore::create(cfg);
+  ASSERT_TRUE(store.is_ok());
+  auto server = dstore::net::Server::start(store.value().get(), {});
+  ASSERT_TRUE(server.is_ok());
+
+  std::string target = "127.0.0.1:" + std::to_string(server.value()->port());
+  ds_session_t* s = ds_session_open(target.c_str(), nullptr);
+  ASSERT_NE(s, nullptr) << ds_open_error();
+  ds_namespace_t* ns = ds_namespace_open(s, "remote-tenant");
+  ASSERT_NE(ns, nullptr) << ds_session_last_error(s);
+
+  ASSERT_EQ(ds_put(ns, "k", "remote-value", 12), 12);
+  char buf[32];
+  ASSERT_EQ(ds_get(ns, "k", buf, sizeof(buf)), 12);
+  EXPECT_EQ(memcmp(buf, "remote-value", 12), 0);
+  // Short buffer on the remote path: same full-size contract as embedded.
+  char tiny[4];
+  ASSERT_EQ(ds_get(ns, "k", tiny, sizeof(tiny)), 12);
+  EXPECT_EQ(memcmp(tiny, "remo", 4), 0);
+  ASSERT_EQ(ds_delete(ns, "k"), DS_OK);
+  EXPECT_EQ(ds_get(ns, "k", buf, sizeof(buf)), DS_ENOTFOUND);
+  EXPECT_EQ(ds_session_last_error_code(s), DS_ENOTFOUND);
+
+  EXPECT_EQ(ds_scrub(s), DS_OK);
+  EXPECT_EQ(ds_checkpoint(s), DS_ENOTSUP);  // servers checkpoint themselves
+
+  char* metrics = ds_session_metrics(s, DS_METRICS_JSON);
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(strstr(metrics, "net_requests_total"), nullptr);  // server series
+  free(metrics);
+
+  ds_namespace_close(ns);
+  ds_session_close(s);
+
+  // Connecting to a dead port fails with the reason in the legacy slot
+  // (no session exists to carry it).
+  server.value()->stop();
+  EXPECT_EQ(ds_session_open(target.c_str(), nullptr), nullptr);
+  EXPECT_NE(ds_last_error_code(), DS_OK);
+}
+
+}  // namespace

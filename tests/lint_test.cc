@@ -96,6 +96,74 @@ TEST(LintRawPersist, NonMemberUsesAreIgnored) {
   EXPECT_TRUE(run_raw_persist("src/dipper/log.cc", src).empty());
 }
 
+// ---- status-code rule ----------------------------------------------------
+
+std::vector<Violation> run_status_codes(const std::string& rel,
+                                        const std::string& src) {
+  std::vector<Violation> out;
+  check_status_codes(rel, src, strip_comments_and_strings(src), &out);
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) { return a.line < b.line; });
+  return out;
+}
+
+TEST(LintStatusCode, FlagsHandWrittenDefines) {
+  const std::string src =
+      "#define DS_ENOSPC -3\n"
+      "#  define DS_OK 0\n"
+      "#define DS_EWHATEVER -42\n";
+  auto v = run_status_codes("src/dstore/dstore_c.h", src);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].check, "status-code");
+  EXPECT_EQ(v[0].line, 1u);
+  EXPECT_EQ(v[1].line, 2u);
+}
+
+TEST(LintStatusCode, NonCodeDefinesAreIgnored) {
+  const std::string src =
+      "#define DS_METRICS_JSON 0\n"      // DS_M..., not a code
+      "#define DS_DEPRECATED(m)\n"       // DS_D...
+      "#define DS_O_READ 0x1u\n"         // DS_O_..., lowercase boundary
+      "#define DSTORE_FAULT_POINT(x)\n"  // different prefix entirely
+      "#define MY_DS_EINVAL -4\n";       // not at identifier start... but
+  // MY_DS_EINVAL is the full defined name and does not equal DS_E*, so quiet.
+  EXPECT_TRUE(run_status_codes("src/dstore/dstore_c.h", src).empty());
+}
+
+TEST(LintStatusCode, FlagsHandMappingsBetweenCodeAndCEnum) {
+  const std::string src =
+      "int to_errno(Status s) {\n"
+      "  switch (s.code()) {\n"
+      "    case Code::kNotFound: return DS_ENOTFOUND;\n"
+      "    case Code::kOutOfSpace: return DS_ENOSPC;\n"
+      "    default: return 0;\n"
+      "  }\n"
+      "}\n";
+  auto v = run_status_codes("src/dstore/dstore_c.cc", src);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].line, 3u);
+  EXPECT_EQ(v[1].line, 4u);
+}
+
+TEST(LintStatusCode, SeparateUsesOnDistinctLinesAreFine) {
+  const std::string src =
+      "Status s = Status(Code::kNotFound);\n"
+      "int e = DS_ENOTFOUND;\n"                    // not on the same line
+      "int f = errno_of(Code::kNotFound);\n"       // the sanctioned mapping
+      "srecord_errno(s, DS_EINVAL, \"bad\");\n";   // C enum alone
+  EXPECT_TRUE(run_status_codes("src/dstore/dstore_c.cc", src).empty());
+}
+
+TEST(LintStatusCode, TableItselfAndAnnotationsAreExempt) {
+  const std::string table = "#define DS_ENOSPC -3\n";
+  EXPECT_TRUE(run_status_codes("src/common/status_codes.h", table).empty());
+  const std::string annotated_src =
+      "// lint: allow-status-code generated-from-table test fixture\n"
+      "#define DS_EFAKE -99\n"
+      "case Code::kBusy: return DS_EBUSY;  // lint: allow-status-code why\n";
+  EXPECT_TRUE(run_status_codes("src/dstore/other.cc", annotated_src).empty());
+}
+
 // ---- shared helper coverage ---------------------------------------------
 
 TEST(LintHelpers, StripPreservesLineStructure) {

@@ -38,6 +38,13 @@
 //                     annotated `lint: allow-raw-persist` (cold spots such
 //                     as recovery and root installation). persist_bulk is
 //                     the sanctioned bulk primitive and is exempt.
+//   6. status-code:   common/status_codes.h is the single source of truth
+//                     tying Status::Code ↔ DS_E* ↔ the wire error byte.
+//                     A #define of DS_OK/DS_E* anywhere else, or a line
+//                     hand-mapping Code::k* to DS_* (the ad-hoc switch),
+//                     forks the table and is rejected unless annotated
+//                     `lint: allow-status-code` — extend the X-macro
+//                     instead.
 //
 // Usage: dstore_lint <build-dir-with-compile_commands.json>
 //                    [--schema tools/metrics_schema.json]
@@ -66,6 +73,7 @@ namespace fs = std::filesystem;
 using dstore::lint::Violation;
 using dstore::lint::annotated;
 using dstore::lint::check_raw_persist;
+using dstore::lint::check_status_codes;
 using dstore::lint::compdb_files;
 using dstore::lint::find_token;
 using dstore::lint::line_of;
@@ -294,6 +302,7 @@ int main(int argc, char** argv) {
     check_metric_names(rel, src, code, known);
     check_void_discards(rel, src, code);
     check_raw_persist(rel, src, code, &g_violations);
+    check_status_codes(rel, src, code, &g_violations);
   }
   check_fault_point_uniqueness();
 

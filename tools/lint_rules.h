@@ -241,6 +241,92 @@ inline void check_raw_persist(const std::string& rel, const std::string& src,
   }
 }
 
+// ---- check: hand-written status-code literals --------------------------
+//
+// common/status_codes.h is the ONE table tying Status::Code to the C enum
+// (DS_E*) and the wire error byte; everything else is generated from its
+// X-macro. A hand-written `#define DS_ENOSPC -3` elsewhere, or an ad-hoc
+// `case Code::kNotFound: return DS_ENOTFOUND;` mapping switch, silently
+// forks the table — the classic three-surfaces-drift bug the unification
+// exists to kill. Flag, anywhere in src/ outside status_codes.h itself:
+//   (a) a #define of DS_OK or any DS_E<CAPS> name, and
+//   (b) a line mentioning BOTH a Status code token (Code::kFoo) and a C
+//       code token (DS_OK / DS_E*): that is a hand mapping — use
+//       errno_of()/code_from_wire()/wire_byte_of() from the table instead.
+//
+// Escape hatch: `// lint: allow-status-code <reason>` on the same or the
+// previous line.
+
+inline bool is_status_code_table(const std::string& rel) {
+  return rel == "src/common/status_codes.h";
+}
+
+// True when `code` has a DS_OK or DS_E<CAPS> token anywhere on the line
+// containing `pos`'s neighborhood — helper for rule (b).
+inline bool line_has_c_code_token(const std::string& code, size_t bol, size_t eol) {
+  for (size_t p = bol; p + 4 <= eol;) {
+    size_t hit = code.find("DS_", p);
+    if (hit == std::string::npos || hit >= eol) return false;
+    size_t end = hit + 3;
+    while (end < eol && (std::isupper((unsigned char)code[end]) ||
+                         std::isdigit((unsigned char)code[end])))
+      end++;
+    std::string name = code.substr(hit, end - hit);
+    bool is_code = name == "DS_OK" || (name.rfind("DS_E", 0) == 0 && name.size() > 4);
+    if (is_code && ident_boundary(code, hit, name.size())) return true;
+    p = hit + 3;
+  }
+  return false;
+}
+
+inline void check_status_codes(const std::string& rel, const std::string& src,
+                               const std::string& code,
+                               std::vector<Violation>* out) {
+  if (is_status_code_table(rel)) return;
+  // (a) #define DS_OK / DS_E<CAPS>
+  for (size_t pos : find_token(code, "define")) {
+    if (pos < 1 || code[pos - 1] != '#') {
+      // `#  define` also legal — scan back over whitespace to the '#'.
+      size_t back = pos;
+      while (back > 0 && (code[back - 1] == ' ' || code[back - 1] == '\t')) back--;
+      if (back == 0 || code[back - 1] != '#') continue;
+    }
+    size_t p = pos + 6;
+    while (p < code.size() && (code[p] == ' ' || code[p] == '\t')) p++;
+    size_t end = p;
+    while (end < code.size() &&
+           (std::isalnum((unsigned char)code[end]) || code[end] == '_'))
+      end++;
+    std::string name = code.substr(p, end - p);
+    if (name != "DS_OK" && !(name.rfind("DS_E", 0) == 0 && name.size() > 4 &&
+                             std::isupper((unsigned char)name[4])))
+      continue;
+    if (annotated(src, pos, "lint: allow-status-code")) continue;
+    out->push_back({rel, line_of(code, pos), "status-code",
+                    "#define " + name +
+                        " outside common/status_codes.h — extend the "
+                        "DS_STATUS_CODES X-macro table instead"});
+  }
+  // (b) Code::kFoo and DS_OK/DS_E* on one line = a hand mapping.
+  // (find_token can't see this: its boundary check treats ':' as part of an
+  // identifier, so scan for the qualified spelling directly.)
+  for (size_t pos = 0; (pos = code.find("Code::k", pos)) != std::string::npos; pos += 7) {
+    bool left_ok = pos == 0 || (!std::isalnum((unsigned char)code[pos - 1]) &&
+                                code[pos - 1] != '_');
+    if (!left_ok) continue;
+    size_t bol = code.rfind('\n', pos);
+    bol = bol == std::string::npos ? 0 : bol + 1;
+    size_t eol = code.find('\n', pos);
+    eol = eol == std::string::npos ? code.size() : eol;
+    if (!line_has_c_code_token(code, bol, eol)) continue;
+    if (annotated(src, pos, "lint: allow-status-code")) continue;
+    out->push_back({rel, line_of(code, pos), "status-code",
+                    "hand mapping between Status::Code and DS_* on one line — "
+                    "use errno_of()/code_from_wire()/wire_byte_of() generated "
+                    "from common/status_codes.h"});
+  }
+}
+
 }  // namespace lint
 }  // namespace dstore
 
