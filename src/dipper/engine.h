@@ -305,6 +305,15 @@ class Engine {
   const PmemLog& log_for_testing(uint8_t side) const { return sides_[side].log; }
   uint8_t active_log_index() const { return active_idx_.load(std::memory_order_acquire); }
 
+  // Raw bytes of a reserved/written record's slot — the replication stream
+  // ships these so followers authenticate each entry with
+  // PmemLog::decode_image (DESIGN.md §16). Valid between write_reserved()
+  // and commit()/abort(): the slot cannot recycle while the record is
+  // in flight.
+  const void* slot_image(const RecordHandle& h) const {
+    return pool_->base() + sides_[h.side].log.slot_offset(h.slot);
+  }
+
   // Bytes of PMEM actually in use: root + valid log records + the shadow
   // copies reachable from the root (storage-footprint accounting, Fig 10).
   uint64_t pmem_used_bytes() const;

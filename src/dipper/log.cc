@@ -110,6 +110,26 @@ bool PmemLog::read(uint32_t slot, LogRecordView* out, bool* corrupt) const {
   return true;
 }
 
+bool PmemLog::decode_image(const void* bytes, uint32_t slot, LogRecordView* out) {
+  // Copy into an aligned Slot so the atomics are loadable regardless of the
+  // source buffer's alignment (wire bodies are arbitrary byte strings).
+  Slot s;
+  std::memcpy(&s, bytes, kSlotSize);
+  uint64_t lsn = s.lsn.load(std::memory_order_relaxed);
+  if (lsn == 0) return false;
+  if (s.crc != record_crc(&s, slot, lsn)) return false;
+  out->lsn = lsn;
+  out->op = (OpType)s.op;
+  uint16_t flags = s.flags.load(std::memory_order_relaxed);
+  out->committed = (flags & kFlagCommitted) != 0 && (flags & kFlagAborted) == 0;
+  out->arg0 = s.arg0;
+  out->arg1 = s.arg1;
+  out->name.len = s.klen > kMaxNameLen ? kMaxNameLen : s.klen;
+  std::memcpy(out->name.data, s.name, out->name.len);
+  out->payload_crc = s.payload_crc;
+  return true;
+}
+
 bool PmemLog::is_committed(uint32_t slot) const {
   const Slot* s = slot_ptr(slot);
   return (s->flags.load(std::memory_order_acquire) & kFlagCommitted) != 0;

@@ -115,6 +115,16 @@ class PmemLog {
   // written but can no longer be trusted.
   bool read(uint32_t slot, LogRecordView* out, bool* corrupt = nullptr) const;
 
+  // Decode + authenticate a raw kSlotSize-byte slot image captured from
+  // slot index `slot` of SOME log — no pool needed. Because the record CRC
+  // is slot-index-seeded, the index is part of the authentication: an image
+  // replayed against the wrong slot fails. This is the replication stream's
+  // end-to-end check (DESIGN.md §16): a follower verifies each shipped slot
+  // image exactly the way recovery verifies the slot in place. Commit-flag
+  // state is reported in `out->committed` but is NOT covered by the CRC
+  // (images are captured pre-commit).
+  static bool decode_image(const void* bytes, uint32_t slot, LogRecordView* out);
+
   bool is_committed(uint32_t slot) const;
 
  private:

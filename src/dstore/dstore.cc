@@ -1014,6 +1014,30 @@ int64_t allowed_inflight(const ds_ctx_t* ctx, const Key& name) {
   if (ctx == nullptr) return 0;
   return ctx->held_locks.count(name.str()) != 0 ? 1 : 0;
 }
+
+// Replication prepare (DESIGN.md §16): mirror a logged mutation into the
+// sink while the op's in-flight exclusion still holds, so the stream
+// position it is assigned equals the per-key commit order. Called after the
+// data is durable and immediately before engine commit; the returned ticket
+// is settled (sink commit) right after.
+uint64_t repl_prepare(const DStoreConfig& cfg, dipper::Engine* eng,
+                      const dipper::Engine::RecordHandle& h, dipper::OpType op,
+                      const Key& k, const void* value, size_t size, uint64_t arg0,
+                      uint64_t arg1) {
+  if (cfg.repl_sink == nullptr) return 0;
+  ReplSink::Mutation m;
+  m.op = (uint8_t)op;
+  m.shard = cfg.repl_shard_id;
+  m.side = h.side;
+  m.slot = h.slot;
+  m.lsn = h.lsn;
+  m.arg0 = arg0;
+  m.arg1 = arg1;
+  m.key = k.str();
+  if (size > 0) m.value.assign((const char*)value, size);
+  m.slot_image = eng->slot_image(h);
+  return cfg.repl_sink->prepare(std::move(m));
+}
 }  // namespace
 
 Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, size_t size) {
@@ -1148,9 +1172,12 @@ Status DStore::oput(ds_ctx_t* ctx, std::string_view name, const void* value, siz
     v.zone.seal_entry(plan.meta_idx);
   }
   // Step 9: commit — the op is durable from here on.
+  uint64_t ticket =
+      repl_prepare(cfg_, engine_.get(), h, OpType::kPut, k, value, size, size, 0);
   trace.enter(obs::kStageCommitFlush);
   engine_->commit(h);
   trace.leave();
+  if (ticket != 0) cfg_.repl_sink->commit(ticket);
   if (parked) ctx->pending_io.push_back(std::move(ioq_owner));
   trace.succeed();
   return Status::ok();
@@ -1326,7 +1353,10 @@ Status DStore::odelete(ds_ctx_t* ctx, std::string_view name) {
     engine_->abort(h);
     return s;
   }
+  uint64_t ticket =
+      repl_prepare(cfg_, engine_.get(), h, OpType::kDelete, k, nullptr, 0, 0, 0);
   engine_->commit(h);
+  if (ticket != 0) cfg_.repl_sink->commit(ticket);
   trace.succeed();
   return Status::ok();
 }
@@ -1411,7 +1441,10 @@ Result<Object*> DStore::oopen(ds_ctx_t* ctx, std::string_view name, size_t /*siz
         engine_->abort(hr.value());
         return s;
       }
+      uint64_t ticket = repl_prepare(cfg_, engine_.get(), hr.value(), OpType::kCreate, k,
+                                     nullptr, 0, 0, 0);
       engine_->commit(hr.value());
+      if (ticket != 0) cfg_.repl_sink->commit(ticket);
       trace.succeed();
       break;
     }
@@ -1552,9 +1585,12 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
         e2->data_crc_valid = 1;
         v.zone.seal_entry(plan.meta_idx);
       }
+      uint64_t ticket = repl_prepare(cfg_, engine_.get(), hr.value(), OpType::kWrite, k,
+                                     buf, size, new_size, offset);
       trace.enter(obs::kStageCommitFlush);
       engine_->commit(hr.value());
       trace.leave();
+      if (ticket != 0) cfg_.repl_sink->commit(ticket);
       trace.succeed();
       return size;
     }
@@ -1574,6 +1610,21 @@ Result<size_t> DStore::owrite(Object* object, const void* buf, size_t size, uint
       e->data_crc = crc32c(buf, size);
       e->data_crc_valid = 1;
       v.zone.seal_entry(*found);
+    }
+    // Replication: a pure overwrite leaves no log record, so the stream
+    // entry ships unlogged (no slot image) — still inside the external-write
+    // exclusion window, so its stream position matches the per-key order.
+    if (s.is_ok() && cfg_.repl_sink != nullptr) {
+      ReplSink::Mutation m;
+      m.op = (uint8_t)OpType::kWrite;
+      m.shard = cfg_.repl_shard_id;
+      m.unlogged = true;
+      m.arg0 = e->size;  // size unchanged by a pure overwrite
+      m.arg1 = offset;
+      m.key = k.str();
+      m.value.assign((const char*)buf, size);
+      uint64_t ticket = cfg_.repl_sink->prepare(std::move(m));
+      if (ticket != 0) cfg_.repl_sink->commit(ticket);
     }
     engine_->unregister_external_write(k);
     DSTORE_RETURN_IF_ERROR(s);

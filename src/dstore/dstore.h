@@ -60,6 +60,37 @@
 
 namespace dstore {
 
+// Replication hook (DESIGN.md §16). A primary's repl::Node implements this
+// to mirror every committed mutation into its ship buffer. Two-phase so the
+// stream order equals the per-key commit order: prepare() is called INSIDE
+// the op's in-flight exclusion window (after the data is durable, before
+// the log record commits) and assigns the entry its stream position;
+// commit()/abort() settle it after the engine commit. The sink must not
+// block on other stores and must tolerate calls from any store thread.
+// Followers install the same sink but return ticket 0 while applying
+// replicated entries (no loops).
+class ReplSink {
+ public:
+  struct Mutation {
+    uint8_t op = 0;       // dipper::OpType ordinal
+    uint32_t shard = 0;   // DStoreConfig::repl_shard_id of the source store
+    uint8_t side = 0;     // log side of the record (with `slot`, locates it)
+    uint32_t slot = 0;
+    uint64_t lsn = 0;
+    bool unlogged = false;  // pure data overwrite: no log record, no image
+    uint64_t arg0 = 0;      // record arg0 (put: size; write: new_size)
+    uint64_t arg1 = 0;      // record arg1 (write: offset)
+    std::string key;
+    std::string value;           // the op's data bytes (empty for deletes)
+    const void* slot_image = nullptr;  // 128-byte raw record image, or null
+  };
+  virtual ~ReplSink() = default;
+  // Returns an opaque ticket (0 = untracked; commit/abort must be skipped).
+  virtual uint64_t prepare(Mutation m) = 0;
+  virtual void commit(uint64_t ticket) = 0;
+  virtual void abort(uint64_t ticket) = 0;
+};
+
 struct DStoreConfig {
   uint64_t max_objects = 1 << 14;  // metadata pool / zone capacity
   uint64_t num_blocks = 1 << 14;   // SSD blocks managed by the block pool
@@ -107,6 +138,13 @@ struct DStoreConfig {
   // committed write inside the checkpoint window has an authenticated PMEM
   // copy the containment ladder can repair corrupted SSD pages from.
   bool repair_logging = false;
+
+  // Replication (DESIGN.md §16): when non-null, every committed mutation is
+  // mirrored through the two-phase sink. `repl_shard_id` tags the entries
+  // with this store's shard index so a follower applies them to the same
+  // shard (ShardedStore::shard_config sets it).
+  ReplSink* repl_sink = nullptr;
+  uint32_t repl_shard_id = 0;
 
   // A volatile arena comfortably sized for `objects` objects.
   static size_t suggested_arena_bytes(uint64_t objects);

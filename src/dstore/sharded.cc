@@ -22,9 +22,11 @@ DStoreConfig ShardedStore::shard_config(int shard_idx) const {
   cfg.engine.bulk_exec = p;
   size_t idx = (size_t)shard_idx;
   cfg.engine.ckpt_notify = [p, idx] { p->notify(idx); };
-  if (cfg_.fault != nullptr && shard_idx == cfg_.fault_shard) {
+  if (cfg_.fault != nullptr && (cfg_.fault_all_shards || shard_idx == cfg_.fault_shard)) {
     cfg.engine.fault = cfg_.fault;
   }
+  cfg.repl_sink = cfg_.repl_sink;
+  cfg.repl_shard_id = (uint32_t)shard_idx;
   return cfg;
 }
 
@@ -58,7 +60,9 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::create(ShardedConfig cfg) {
   if (cfg.num_shards > 4096) return Status::invalid_argument("num_shards too large");
   if (cfg.ckpt_workers < 0) return Status::invalid_argument("ckpt_workers must be >= 0");
   if (cfg.fault_shard < 0 || cfg.fault_shard >= cfg.num_shards) {
-    if (cfg.fault != nullptr) return Status::invalid_argument("fault_shard out of range");
+    if (cfg.fault != nullptr && !cfg.fault_all_shards) {
+      return Status::invalid_argument("fault_shard out of range");
+    }
   }
   DSTORE_RETURN_IF_ERROR(validate_shard_template(cfg.shard));
 
@@ -77,7 +81,7 @@ Result<std::unique_ptr<ShardedStore>> ShardedStore::create(ShardedConfig cfg) {
     dc.num_blocks = scfg.num_blocks;
     dc.latency = cfg.latency;
     sh.device = std::make_unique<ssd::RamBlockDevice>(dc);
-    if (cfg.fault != nullptr && i == cfg.fault_shard) {
+    if (cfg.fault != nullptr && (cfg.fault_all_shards || i == cfg.fault_shard)) {
       sh.pool->set_fault_injector(cfg.fault);
       sh.device->set_fault_injector(cfg.fault);
     }

@@ -64,9 +64,17 @@ struct ShardedConfig {
 
   // Fault injection for crash-schedule sweeps: wired into shard
   // `fault_shard` only (pool + device + engine), so a sweep crashes one
-  // member of a live fleet while the others keep serving.
+  // member of a live fleet while the others keep serving. With
+  // fault_all_shards the injector covers EVERY shard — the DistRig's
+  // node-level power failure, where one injector represents one machine.
   fault::FaultInjector* fault = nullptr;
   int fault_shard = 0;
+  bool fault_all_shards = false;
+
+  // Replication (DESIGN.md §16): installed into every shard's DStoreConfig
+  // with repl_shard_id = shard index, so stream entries replay onto the
+  // same shard on a follower.
+  ReplSink* repl_sink = nullptr;
 };
 
 class ShardedStore {

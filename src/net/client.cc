@@ -4,11 +4,14 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace dstore::net {
 
@@ -21,17 +24,29 @@ Status status_of_frame(const Frame& f) {
   return Status(code_from_wire(f.hdr.status), f.body);
 }
 
+int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 Client::Client(int fd, ClientConfig cfg)
-    : fd_(fd), cfg_(cfg), parser_(cfg.max_frame_bytes) {}
+    : fd_(fd), cfg_(cfg), parser_(cfg.max_frame_bytes) {
+  if (cfg_.metrics != nullptr) {
+    m_reconnects_ = cfg_.metrics->counter("net_client_reconnects_total",
+                                          "successful client reconnects");
+    m_timeouts_ = cfg_.metrics->counter("net_client_timeouts_total",
+                                        "sync calls that hit call_timeout_ms");
+  }
+}
 
 Client::~Client() {
   if (fd_ >= 0) close(fd_);
 }
 
-Result<std::unique_ptr<Client>> Client::connect(const std::string& host, uint16_t port,
-                                                ClientConfig cfg) {
+Result<int> Client::dial(const std::string& host, uint16_t port) {
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Status::io_error("socket: " + std::string(strerror(errno)));
   sockaddr_in addr{};
@@ -58,7 +73,44 @@ Result<std::unique_ptr<Client>> Client::connect(const std::string& host, uint16_
   }
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<Client>(new Client(fd, cfg));
+  return fd;
+}
+
+Result<std::unique_ptr<Client>> Client::connect(const std::string& host, uint16_t port,
+                                                ClientConfig cfg) {
+  auto fd = dial(host, port);
+  if (!fd.is_ok()) return fd.status();
+  auto c = std::unique_ptr<Client>(new Client(fd.value(), cfg));
+  c->host_ = host;
+  c->port_ = port;
+  return c;
+}
+
+Status Client::ensure_connected() {
+  if (fd_ >= 0) return Status::ok();
+  if (cfg_.max_reconnect_attempts == 0)
+    return dead_.is_ok() ? Status::io_error("not connected") : dead_;
+  uint32_t backoff = cfg_.reconnect_backoff_ms;
+  Status last = dead_.is_ok() ? Status::io_error("not connected") : dead_;
+  for (uint32_t attempt = 0; attempt < cfg_.max_reconnect_attempts; attempt++) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, cfg_.reconnect_backoff_max_ms);
+    }
+    auto fd = dial(host_, port_);
+    if (!fd.is_ok()) {
+      last = fd.status();
+      continue;
+    }
+    // Fresh connection, fresh framing. Old in-flight ids keep their parked
+    // failures in completed_ — they are NOT replayed.
+    fd_ = fd.value();
+    parser_ = FrameParser(cfg_.max_frame_bytes);
+    dead_ = Status::ok();
+    if (m_reconnects_ != nullptr) m_reconnects_->inc();
+    return Status::ok();
+  }
+  return last;
 }
 
 Result<std::unique_ptr<Client>> Client::connect(const std::string& hostport,
@@ -137,6 +189,24 @@ Status Client::recv_some() {
       // Unknown req_id: a late completion for a dropped wait — ignore.
     }
     if (completed_.size() != before) break;
+    if (deadline_ms_ != 0) {
+      int64_t remain = deadline_ms_ - steady_now_ms();
+      if (remain > 0) {
+        pollfd pfd{fd_, POLLIN, 0};
+        int pr = poll(&pfd, 1, (int)std::min<int64_t>(remain, INT32_MAX));
+        if (pr < 0 && errno != EINTR) {
+          die(Status::io_error("connection lost (poll: " +
+                               std::string(strerror(errno)) + ")"));
+          return dead_;
+        }
+        if (pr <= 0) continue;  // re-check the deadline
+      } else {
+        if (m_timeouts_ != nullptr) m_timeouts_->inc();
+        die(Status::io_error("call timed out after " +
+                             std::to_string(cfg_.call_timeout_ms) + "ms"));
+        return dead_;
+      }
+    }
     ssize_t n = read(fd_, buf, sizeof(buf));
     if (n > 0) {
       parser_.feed(buf, (size_t)n);
@@ -152,7 +222,7 @@ Status Client::recv_some() {
 }
 
 Result<uint64_t> Client::submit(Op op, std::string_view body) {
-  if (!dead_.is_ok()) return dead_;
+  if (!dead_.is_ok()) DSTORE_RETURN_IF_ERROR(ensure_connected());
   // Depth bound, IoQueue-style: past pipeline_depth, reap before
   // submitting more. Completions here stay parked until wait()ed.
   while (onwire_.size() >= cfg_.pipeline_depth) {
@@ -196,19 +266,26 @@ Status Client::wait_all() {
 }
 
 Status Client::roundtrip(Op op, std::string_view body, Frame* resp) {
-  if (!dead_.is_ok()) return dead_;
+  if (!dead_.is_ok()) DSTORE_RETURN_IF_ERROR(ensure_connected());
+  deadline_ms_ = cfg_.call_timeout_ms > 0 ? steady_now_ms() + cfg_.call_timeout_ms : 0;
   uint64_t id = next_id_++;
   onwire_.insert(id);
-  DSTORE_RETURN_IF_ERROR(send_frame(op, id, body));
-  for (;;) {
+  Status s = send_frame(op, id, body);
+  while (s.is_ok()) {
     auto it = completed_.find(id);
     if (it != completed_.end()) {
       *resp = std::move(it->second);
       completed_.erase(it);
-      return Status::ok();
+      break;
     }
-    DSTORE_RETURN_IF_ERROR(recv_some());
+    s = recv_some();
   }
+  deadline_ms_ = 0;
+  return s;
+}
+
+Status Client::call(Op op, std::string_view body, Frame* resp) {
+  return roundtrip(op, body, resp);
 }
 
 Result<NamespaceInfo> Client::open_namespace(std::string_view name) {

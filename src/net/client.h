@@ -27,12 +27,31 @@
 
 #include "common/status.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace dstore::net {
 
 struct ClientConfig {
   size_t max_frame_bytes = kDefaultMaxFrame;
   uint32_t pipeline_depth = 64;  // max in-flight submissions
+
+  // Bounded exponential-backoff reconnect, OFF by default: a dead client
+  // staying dead is the crash-semantics contract the tests rely on. With
+  // max_reconnect_attempts > 0, a sync call that finds the connection dead
+  // re-dials (backoff doubling from reconnect_backoff_ms, capped at
+  // reconnect_backoff_max_ms). Requests are NEVER replayed — in-flight
+  // submissions keep their original failure; only new calls use the new
+  // connection, so an ambiguous write stays ambiguous.
+  uint32_t max_reconnect_attempts = 0;
+  uint32_t reconnect_backoff_ms = 10;
+  uint32_t reconnect_backoff_max_ms = 1000;
+  // Per-sync-call deadline (0 = none). A call that exceeds it fails with
+  // IO_ERROR and kills the connection — the response can no longer be
+  // told apart from a hung server, so the framing is abandoned.
+  uint32_t call_timeout_ms = 0;
+  // Optional registry for net_client_reconnects_total /
+  // net_client_timeouts_total (must outlive the Client).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Client {
@@ -55,6 +74,11 @@ class Client {
   Status del(uint32_t ns, std::string_view key);
   Result<ScrubSummary> scrub();
   Result<std::string> metrics(uint8_t format);  // 0 = JSON, 1 = Prometheus
+  // Generic single-frame RPC: send op+body, block for the matching
+  // response (matched by req_id; the response opcode may differ, e.g.
+  // REPL_APPEND → REPL_ACK). The replication transport and protocol tests
+  // build on this.
+  Status call(Op op, std::string_view body, Frame* resp);
 
   // ---- pipelined async -----------------------------------------------------
   Result<uint64_t> submit_put(uint32_t ns, std::string_view key, const void* value,
@@ -70,9 +94,13 @@ class Client {
  private:
   explicit Client(int fd, ClientConfig cfg);
 
+  static Result<int> dial(const std::string& host, uint16_t port);
+  // Re-establish a dead connection under the reconnect policy (no-op when
+  // already connected; error when reconnect is off or attempts exhaust).
+  Status ensure_connected();
   Status send_frame(Op op, uint64_t req_id, std::string_view body);
   // Read until at least one new completion is recorded (or the
-  // connection dies).
+  // connection dies / the active call deadline passes).
   Status recv_some();
   Status roundtrip(Op op, std::string_view body, Frame* resp);
   Result<uint64_t> submit(Op op, std::string_view body);
@@ -85,6 +113,11 @@ class Client {
   std::unordered_set<uint64_t> onwire_;          // submitted, not yet completed
   std::unordered_map<uint64_t, Frame> completed_;  // completed, not yet reaped
   Status dead_ = Status::ok();  // non-ok once the connection is lost
+  std::string host_;  // reconnect target
+  uint16_t port_ = 0;
+  int64_t deadline_ms_ = 0;  // absolute steady-clock deadline; 0 = none
+  obs::Counter* m_reconnects_ = nullptr;
+  obs::Counter* m_timeouts_ = nullptr;
 };
 
 }  // namespace dstore::net

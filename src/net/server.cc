@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <unordered_map>
@@ -40,12 +41,19 @@ void set_nonblocking_opts(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 struct Server::Impl {
   ShardedStore* store = nullptr;
   ServerConfig cfg;
   fault::FaultInjector* fault = nullptr;
+  ReplHandler* repl = nullptr;
 
   int listen_fd = -1;
   int epoll_fd = -1;
@@ -56,6 +64,8 @@ struct Server::Impl {
   std::thread slow_thread;
   std::atomic<bool> stopping{false};
   std::atomic<bool> crashed{false};
+  std::atomic<bool> draining{false};  // drain_stop: no new conns, flush, exit
+  std::atomic<bool> drained{false};   // loop confirmed the flush completed
   bool stopped = false;  // stop() ran to completion (main thread only)
 
   // ---- connections (loop thread only) ------------------------------------
@@ -68,6 +78,7 @@ struct Server::Impl {
     bool want_write = false;
     bool closing = false;  // protocol error: flush the error frame, then close
     ShardedStore::Session* session = nullptr;
+    int64_t last_active_ms = 0;  // idle-reaper clock (any inbound bytes)
   };
   std::unordered_map<int, std::unique_ptr<Conn>> conns_by_fd;
   std::unordered_map<uint64_t, Conn*> conns_by_id;
@@ -106,6 +117,8 @@ struct Server::Impl {
   obs::Counter* m_bytes_out = nullptr;
   obs::Counter* m_frame_errors = nullptr;
   obs::Counter* m_slow_ops = nullptr;
+  obs::Counter* m_heartbeats = nullptr;
+  obs::Counter* m_idle_reaped = nullptr;
 
   ~Impl() { teardown_fds(); }
 
@@ -167,6 +180,10 @@ struct Server::Impl {
                                      "connections dropped for protocol errors");
     m_slow_ops = metrics.counter("net_slow_ops_total",
                                  "requests completed off-loop (scrub worker)");
+    m_heartbeats = metrics.counter("net_heartbeats_total",
+                                   "HEARTBEAT frames answered");
+    m_idle_reaped = metrics.counter("net_idle_reaped_total",
+                                    "connections dropped by the idle reaper");
     return Status::ok();
   }
 
@@ -194,6 +211,7 @@ struct Server::Impl {
     c->fd = fd;
     c->id = next_conn_id++;
     c->parser = FrameParser(cfg.max_frame_bytes);
+    c->last_active_ms = now_ms();
     Conn* raw = c.get();
     conns_by_fd[fd] = std::move(c);
     conns_by_id[raw->id] = raw;
@@ -296,10 +314,18 @@ struct Server::Impl {
       respond_status(c, Op::kPut, f.hdr.req_id, Status::invalid_argument("bad put request"));
       return;
     }
+    if (repl != nullptr && !repl->writable()) {
+      respond_status(c, Op::kPut, f.hdr.req_id,
+                     Status::read_only("not the primary"));
+      return;
+    }
     const NsEntry& e = namespaces[ns - 1];
     Status s = store->put_on(c->session, e.shard, tenant_key(e.name, key), value.data(),
                              value.size());
     if (crash_tripped()) return begin_crash_shutdown();  // never ack borrowed time
+    // Replicated writes only ack once the entry reaches a quorum.
+    if (s.is_ok() && repl != nullptr) s = repl->finish_write();
+    if (crash_tripped()) return begin_crash_shutdown();
     respond_status(c, Op::kPut, f.hdr.req_id, s);
   }
 
@@ -311,8 +337,15 @@ struct Server::Impl {
                      Status::invalid_argument("bad delete request"));
       return;
     }
+    if (repl != nullptr && !repl->writable()) {
+      respond_status(c, Op::kDelete, f.hdr.req_id,
+                     Status::read_only("not the primary"));
+      return;
+    }
     const NsEntry& e = namespaces[ns - 1];
     Status s = store->del_on(c->session, e.shard, tenant_key(e.name, key));
+    if (crash_tripped()) return begin_crash_shutdown();
+    if (s.is_ok() && repl != nullptr) s = repl->finish_write();
     if (crash_tripped()) return begin_crash_shutdown();
     respond_status(c, Op::kDelete, f.hdr.req_id, s);
   }
@@ -397,6 +430,87 @@ struct Server::Impl {
     respond(c, Op::kMetrics, f.hdr.req_id, 0, out);
   }
 
+  // ---- replication opcodes (DESIGN.md §16) --------------------------------
+
+  void handle_heartbeat_op(Conn* c, const Frame& f) {
+    Heartbeat hb;
+    if (!parse_heartbeat(f.body, &hb)) {
+      respond_status(c, Op::kHeartbeat, f.hdr.req_id,
+                     Status::invalid_argument("bad heartbeat"));
+      return;
+    }
+    m_heartbeats->inc();
+    ReplAck ack;
+    if (repl != nullptr) {
+      ack = repl->handle_heartbeat(hb);
+    } else {
+      ack.accepted = 1;  // plain keepalive: echo zeros, refresh idle clock
+    }
+    respond(c, Op::kHeartbeat, f.hdr.req_id, 0, repl_ack_body(ack));
+  }
+
+  void handle_repl_subscribe(Conn* c, const Frame& f) {
+    ReplHello h;
+    if (!parse_repl_hello(f.body, &h)) {
+      respond_status(c, Op::kReplSubscribe, f.hdr.req_id,
+                     Status::invalid_argument("bad repl hello"));
+      return;
+    }
+    if (repl == nullptr) {
+      respond_status(c, Op::kReplSubscribe, f.hdr.req_id,
+                     Status::unsupported("no replication attached"));
+      return;
+    }
+    if (h.kind == ReplHello::kSnapPull) {
+      std::string body = repl->handle_snap_pull(h);
+      if (body.empty()) {
+        respond_status(c, Op::kReplSubscribe, f.hdr.req_id,
+                       Status::busy("no snapshot pending"));
+      } else {
+        respond(c, Op::kReplSubscribe, f.hdr.req_id, 0, body);
+      }
+      return;
+    }
+    respond(c, Op::kReplSubscribe, f.hdr.req_id, 0,
+            repl_subscribe_resp_body(repl->handle_subscribe(h)));
+  }
+
+  void handle_repl_append(Conn* c, const Frame& f) {
+    ReplEntryWire e;
+    if (!parse_repl_append(f.body, &e)) {
+      respond_status(c, Op::kReplAck, f.hdr.req_id,
+                     Status::invalid_argument("bad repl append"));
+      return;
+    }
+    if (repl == nullptr) {
+      respond_status(c, Op::kReplAck, f.hdr.req_id,
+                     Status::unsupported("no replication attached"));
+      return;
+    }
+    ReplAck a = repl->handle_append(e);
+    // Same borrowed-time gate as client writes: an apply that ran after
+    // the durable image froze must not be acknowledged to the primary.
+    if (crash_tripped()) return begin_crash_shutdown();
+    respond(c, Op::kReplAck, f.hdr.req_id, 0, repl_ack_body(a));
+  }
+
+  void handle_promote_op(Conn* c, const Frame& f) {
+    PromoteReq p;
+    if (!parse_promote(f.body, &p)) {
+      respond_status(c, Op::kPromote, f.hdr.req_id,
+                     Status::invalid_argument("bad promote request"));
+      return;
+    }
+    if (repl == nullptr) {
+      respond_status(c, Op::kPromote, f.hdr.req_id,
+                     Status::unsupported("no replication attached"));
+      return;
+    }
+    PromoteResp r = repl->handle_promote(p);
+    if (crash_tripped()) return begin_crash_shutdown();  // votes are promises
+    respond(c, Op::kPromote, f.hdr.req_id, 0, promote_resp_body(r));
+  }
+
   void dispatch(Conn* c, const Frame& f) {
     m_requests->inc();
     switch (f.hdr.op) {
@@ -406,6 +520,10 @@ struct Server::Impl {
       case Op::kGetZc: return handle_get(c, f, true);
       case Op::kDelete: return handle_delete(c, f);
       case Op::kMetrics: return handle_metrics(c, f);
+      case Op::kHeartbeat: return handle_heartbeat_op(c, f);
+      case Op::kReplSubscribe: return handle_repl_subscribe(c, f);
+      case Op::kReplAppend: return handle_repl_append(c, f);
+      case Op::kPromote: return handle_promote_op(c, f);
       case Op::kScrub: {
         // Slow op: runs a full integrity pass over every shard — shipped
         // to the worker so the loop keeps serving; its completion lands
@@ -452,6 +570,7 @@ struct Server::Impl {
       ssize_t n = ::read(c->fd, buf, sizeof(buf));
       if (n > 0) {
         m_bytes_in->add((uint64_t)n);
+        c->last_active_ms = now_ms();
         c->parser.feed(buf, (size_t)n);
         if ((size_t)n < sizeof(buf)) break;
         continue;
@@ -489,8 +608,38 @@ struct Server::Impl {
     }
   }
 
+  // Drop connections that sent nothing for cfg.idle_timeout_ms (loop
+  // thread; runs at most once per poll cycle).
+  void reap_idle() {
+    if (cfg.idle_timeout_ms == 0) return;
+    int64_t cutoff = now_ms() - (int64_t)cfg.idle_timeout_ms;
+    std::vector<Conn*> idle;
+    for (auto& [fd, c] : conns_by_fd) {
+      if (c->last_active_ms < cutoff) idle.push_back(c.get());
+    }
+    for (Conn* c : idle) {
+      m_idle_reaped->inc();
+      drop_conn(c);
+    }
+  }
+
+  // Drain bookkeeping: once draining, stop accepting, finish what's
+  // buffered, and report back through `drained` when everything (requests,
+  // slow-op completions, response bytes) has left the building.
+  bool drain_complete() {
+    {
+      UniqueLock l(slow_mu);
+      if (!slow_in.empty() || !slow_out.empty()) return false;
+    }
+    for (auto& [fd, c] : conns_by_fd) {
+      if (c->out_off < c->out.size() || c->parser.buffered() > 0) return false;
+    }
+    return true;
+  }
+
   void loop() {
     epoll_event events[256];
+    bool accepting = true;
     while (!stopping.load(std::memory_order_acquire)) {
       int n = epoll_wait(epoll_fd, events, 256, 100);
       if (n < 0) {
@@ -502,6 +651,17 @@ struct Server::Impl {
       if (crash_tripped() && !crashed.load(std::memory_order_acquire)) {
         begin_crash_shutdown();
         break;
+      }
+      reap_idle();
+      if (draining.load(std::memory_order_acquire)) {
+        if (accepting) {
+          epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+          accepting = false;
+        }
+        if (drain_complete()) {
+          drained.store(true, std::memory_order_release);
+          break;
+        }
       }
       for (int i = 0; i < n && !stopping.load(std::memory_order_acquire); i++) {
         int fd = events[i].data.fd;
@@ -572,18 +732,33 @@ Server::Server() : impl_(new Impl) {}
 Server::~Server() { stop(); }
 
 Result<std::unique_ptr<Server>> Server::start(ShardedStore* store, ServerConfig cfg,
-                                              fault::FaultInjector* fault) {
+                                              fault::FaultInjector* fault,
+                                              ReplHandler* repl) {
   if (store == nullptr) return Status::invalid_argument("null store");
   auto srv = std::unique_ptr<Server>(new Server());
   Impl& im = *srv->impl_;
   im.store = store;
   im.cfg = cfg;
   im.fault = fault;
+  im.repl = repl;
   Status s = im.setup();
   if (!s.is_ok()) return s;
   im.loop_thread = std::thread([&im] { im.loop(); });
   im.slow_thread = std::thread([&im] { im.slow_loop(); });
   return srv;
+}
+
+void Server::drain_stop(uint32_t timeout_ms) {
+  Impl& im = *impl_;
+  if (im.stopped) return;
+  im.draining.store(true, std::memory_order_release);
+  im.wake();
+  int64_t deadline = now_ms() + (int64_t)timeout_ms;
+  while (!im.drained.load(std::memory_order_acquire) && now_ms() < deadline &&
+         im.loop_thread.joinable()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop();
 }
 
 void Server::stop() {

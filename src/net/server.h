@@ -44,19 +44,32 @@ struct ServerConfig {
   // it bounds server memory against a client that pipelines but never
   // reads.
   size_t max_conn_backlog_bytes = 64u << 20;
+  // Idle-connection reaper (0 = off): a connection that sends no bytes for
+  // this long is dropped. HEARTBEAT frames count as activity — they are
+  // the keepalive clients send to stay under the reaper.
+  uint32_t idle_timeout_ms = 0;
 };
 
 class Server {
  public:
   // Binds, listens, and starts the loop + slow-op worker threads. The
   // store must outlive the server. `fault` (optional) is the injector
-  // wired into the store's crash-sim shard — the ack gate above.
+  // wired into the store's crash-sim shard — the ack gate above. `repl`
+  // (optional) attaches a replication node (DESIGN.md §16): the four
+  // replication opcodes dispatch through it, and client writes are gated
+  // on its role + quorum (followers serve reads in READ_ONLY mode).
   static Result<std::unique_ptr<Server>> start(ShardedStore* store, ServerConfig cfg,
-                                               fault::FaultInjector* fault = nullptr);
+                                               fault::FaultInjector* fault = nullptr,
+                                               ReplHandler* repl = nullptr);
   ~Server();
 
   // Idempotent; joins both threads and closes every connection.
   void stop();
+
+  // Graceful shutdown: stop accepting, finish dispatching what's already
+  // buffered, flush every response (including queued slow-op completions),
+  // then stop. Falls back to a hard stop() at the deadline.
+  void drain_stop(uint32_t timeout_ms = 1000);
 
   uint16_t port() const;
   // True once the ack gate tripped: the durable image froze mid-run and

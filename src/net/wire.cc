@@ -111,6 +111,226 @@ bool parse_scrub_resp(std::string_view body, ScrubSummary* s) {
   return true;
 }
 
+// ---- replication messages (DESIGN.md §16) --------------------------------
+
+std::string heartbeat_body(const Heartbeat& hb) {
+  std::string b;
+  put_u64(&b, hb.epoch);
+  put_u64(&b, hb.node_id);
+  put_u64(&b, hb.commit_seq);
+  return b;
+}
+
+bool parse_heartbeat(std::string_view body, Heartbeat* hb) {
+  if (body.size() != 24) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  hb->epoch = get_u64(p);
+  hb->node_id = get_u64(p + 8);
+  hb->commit_seq = get_u64(p + 16);
+  return true;
+}
+
+std::string repl_ack_body(const ReplAck& a) {
+  std::string b;
+  put_u64(&b, a.epoch);
+  put_u64(&b, a.applied_seq);
+  b.push_back((char)a.accepted);
+  return b;
+}
+
+bool parse_repl_ack(std::string_view body, ReplAck* a) {
+  if (body.size() != 17) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  a->epoch = get_u64(p);
+  a->applied_seq = get_u64(p + 8);
+  a->accepted = p[16];
+  return true;
+}
+
+std::string repl_hello_body(const ReplHello& h) {
+  std::string b;
+  b.push_back((char)h.kind);
+  put_u64(&b, h.epoch);
+  put_u64(&b, h.node_id);
+  put_u64(&b, h.seq);
+  put_u64(&b, h.last_epoch);
+  return b;
+}
+
+bool parse_repl_hello(std::string_view body, ReplHello* h) {
+  if (body.size() != 33) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  h->kind = p[0];
+  if (h->kind > ReplHello::kSnapPull) return false;
+  h->epoch = get_u64(p + 1);
+  h->node_id = get_u64(p + 9);
+  h->seq = get_u64(p + 17);
+  h->last_epoch = get_u64(p + 25);
+  return true;
+}
+
+std::string repl_subscribe_resp_body(const ReplSubscribeResult& r) {
+  std::string b;
+  b.push_back((char)r.result);
+  put_u64(&b, r.epoch);
+  put_u64(&b, r.primary_id);
+  put_u64(&b, r.base_seq);
+  put_u64(&b, r.base_epoch);
+  return b;
+}
+
+bool parse_repl_subscribe_resp(std::string_view body, ReplSubscribeResult* r) {
+  if (body.size() != 33) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  r->result = p[0];
+  if (r->result > ReplSubscribeResult::kRejected) return false;
+  r->epoch = get_u64(p + 1);
+  r->primary_id = get_u64(p + 9);
+  r->base_seq = get_u64(p + 17);
+  r->base_epoch = get_u64(p + 25);
+  return true;
+}
+
+std::string snap_chunk_body(uint64_t next_cursor, bool done,
+                            const std::vector<SnapItemView>& items) {
+  std::string b;
+  put_u64(&b, next_cursor);
+  b.push_back((char)(done ? 1 : 0));
+  put_u32(&b, (uint32_t)items.size());
+  for (const SnapItemView& it : items) {
+    put_u32(&b, it.shard);
+    put_u16(&b, (uint16_t)it.key.size());
+    b.append(it.key.data(), it.key.size());
+    put_u32(&b, (uint32_t)it.value.size());
+    b.append(it.value.data(), it.value.size());
+  }
+  return b;
+}
+
+bool parse_snap_chunk(std::string_view body, SnapChunk* c) {
+  if (body.size() < 13) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  c->next_cursor = get_u64(p);
+  c->done = p[8];
+  uint32_t count = get_u32(p + 9);
+  c->items.clear();
+  size_t off = 13;
+  for (uint32_t i = 0; i < count; i++) {
+    if (body.size() < off + 6) return false;
+    SnapItemView it;
+    it.shard = get_u32((const uint8_t*)body.data() + off);
+    uint16_t klen = get_u16((const uint8_t*)body.data() + off + 4);
+    off += 6;
+    if (body.size() < off + klen + 4) return false;
+    it.key = body.substr(off, klen);
+    off += klen;
+    uint32_t vlen = get_u32((const uint8_t*)body.data() + off);
+    off += 4;
+    if (body.size() < off + vlen) return false;
+    it.value = body.substr(off, vlen);
+    off += vlen;
+    c->items.push_back(it);
+  }
+  return off == body.size();
+}
+
+std::string repl_append_body(const ReplEntryWire& e) {
+  std::string b;
+  put_u64(&b, e.epoch);
+  put_u64(&b, e.seq);
+  put_u64(&b, e.entry_epoch);
+  b.push_back((char)e.op);
+  b.push_back((char)e.eflags);
+  put_u32(&b, e.shard);
+  put_u32(&b, e.slot);
+  put_u64(&b, e.lsn);
+  put_u64(&b, e.arg0);
+  put_u64(&b, e.arg1);
+  put_u32(&b, e.value_crc);
+  put_u16(&b, (uint16_t)e.key.size());
+  b.append(e.key.data(), e.key.size());
+  b.push_back((char)(e.slot_image.empty() ? 0 : 1));
+  if (!e.slot_image.empty()) b.append(e.slot_image.data(), e.slot_image.size());
+  put_u32(&b, (uint32_t)e.value.size());
+  b.append(e.value.data(), e.value.size());
+  return b;
+}
+
+bool parse_repl_append(std::string_view body, ReplEntryWire* e) {
+  // Fixed prefix through the key length: 8*3 + 2 + 4*2 + 8 + 8*2 + 4 + 2 = 64.
+  if (body.size() < 64) return false;
+  const uint8_t* p = (const uint8_t*)body.data();
+  e->epoch = get_u64(p);
+  e->seq = get_u64(p + 8);
+  e->entry_epoch = get_u64(p + 16);
+  e->op = p[24];
+  e->eflags = p[25];
+  e->shard = get_u32(p + 26);
+  e->slot = get_u32(p + 30);
+  e->lsn = get_u64(p + 34);
+  e->arg0 = get_u64(p + 42);
+  e->arg1 = get_u64(p + 50);
+  e->value_crc = get_u32(p + 58);
+  uint16_t klen = get_u16(p + 62);
+  size_t off = 64;
+  if (body.size() < off + klen + 1) return false;
+  e->key = body.substr(off, klen);
+  off += klen;
+  uint8_t has_image = (uint8_t)body[off];
+  off += 1;
+  if (has_image > 1) return false;
+  if (has_image == 1) {
+    if (body.size() < off + 128) return false;
+    e->slot_image = body.substr(off, 128);
+    off += 128;
+  } else {
+    e->slot_image = {};
+  }
+  if (body.size() < off + 4) return false;
+  uint32_t vlen = get_u32((const uint8_t*)body.data() + off);
+  off += 4;
+  if (body.size() != off + vlen) return false;
+  e->value = body.substr(off, vlen);
+  return true;
+}
+
+std::string promote_body(const PromoteReq& p) {
+  std::string b;
+  b.push_back((char)p.kind);
+  put_u64(&b, p.epoch);
+  put_u64(&b, p.node_id);
+  put_u64(&b, p.seq);
+  put_u64(&b, p.seq_epoch);
+  return b;
+}
+
+bool parse_promote(std::string_view body, PromoteReq* p) {
+  if (body.size() != 33) return false;
+  const uint8_t* d = (const uint8_t*)body.data();
+  p->kind = d[0];
+  if (p->kind > PromoteReq::kClaim) return false;
+  p->epoch = get_u64(d + 1);
+  p->node_id = get_u64(d + 9);
+  p->seq = get_u64(d + 17);
+  p->seq_epoch = get_u64(d + 25);
+  return true;
+}
+
+std::string promote_resp_body(const PromoteResp& p) {
+  std::string b;
+  b.push_back((char)p.granted);
+  put_u64(&b, p.epoch);
+  return b;
+}
+
+bool parse_promote_resp(std::string_view body, PromoteResp* p) {
+  if (body.size() != 9) return false;
+  const uint8_t* d = (const uint8_t*)body.data();
+  p->granted = d[0];
+  p->epoch = get_u64(d + 1);
+  return true;
+}
+
 FrameParser::Next FrameParser::next(Frame* out) {
   if (poisoned_) return Next::kError;
   if (buffered() < kHeaderBytes) return Next::kNeedMore;

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
@@ -49,6 +50,15 @@ enum class Op : uint8_t {
   kDelete = 5,  // body: u32 ns, u16 key_len, key     -> empty
   kScrub = 6,   // body: empty                        -> ScrubSummary
   kMetrics = 7, // body: u8 format (0 json, 1 prom)   -> text
+  // Replication + liveness opcodes (DESIGN.md §16). HEARTBEAT doubles as a
+  // client keepalive: any server answers it (repl-less servers echo zeros),
+  // and it refreshes the idle-reaper clock like every other frame.
+  kHeartbeat = 8,      // body: Heartbeat              -> ReplAck
+  kReplSubscribe = 9,  // body: ReplHello              -> ReplSubscribeResult
+                       //   (kind=kSnapPull            -> SnapChunk)
+  kReplAppend = 10,    // body: ReplEntryWire          -> ReplAck (op kReplAck)
+  kReplAck = 11,       // response opcode for append acks; never a request
+  kPromote = 12,       // body: PromoteReq             -> PromoteResp
 };
 
 struct FrameHeader {
@@ -113,6 +123,147 @@ struct ScrubSummary {
   uint64_t quarantined_pages = 0;
 };
 std::string scrub_resp_body(const ScrubSummary& s);
+
+// ---- replication messages (DESIGN.md §16) --------------------------------
+//
+// All integers little-endian like the rest of the wire. Keys are bounded by
+// the store's 63-byte Key limit but the wire carries full u16 lengths — the
+// parsers only enforce framing, the Node enforces semantics.
+
+// HEARTBEAT request: the primary's liveness beacon (also a client keepalive).
+struct Heartbeat {
+  uint64_t epoch = 0;       // sender's current epoch (0 from plain clients)
+  uint64_t node_id = 0;     // sender's node id (0 from plain clients)
+  uint64_t commit_seq = 0;  // primary's quorum-committed watermark
+};
+std::string heartbeat_body(const Heartbeat& hb);
+bool parse_heartbeat(std::string_view body, Heartbeat* hb);
+
+// Generic ack carried by HEARTBEAT and REPL_ACK responses.
+struct ReplAck {
+  uint64_t epoch = 0;        // responder's epoch — higher fences the sender
+  uint64_t applied_seq = 0;  // responder's last applied stream seq
+  uint8_t accepted = 0;      // append accepted / heartbeat acknowledged
+};
+std::string repl_ack_body(const ReplAck& a);
+bool parse_repl_ack(std::string_view body, ReplAck* a);
+
+// REPL_SUBSCRIBE request. kind=kSubscribe opens (or re-opens) the stream
+// from `seq` (= last applied + 1, with `last_epoch` = entry epoch at
+// applied, for the log-matching check); kind=kSnapPull fetches the next
+// resync snapshot chunk, `seq` reused as the chunk cursor.
+struct ReplHello {
+  static constexpr uint8_t kSubscribe = 0;
+  static constexpr uint8_t kSnapPull = 1;
+  uint8_t kind = kSubscribe;
+  uint64_t epoch = 0;
+  uint64_t node_id = 0;
+  uint64_t seq = 0;        // from_seq (kSubscribe) or chunk cursor (kSnapPull)
+  uint64_t last_epoch = 0; // entry epoch at seq-1 (kSubscribe only)
+};
+std::string repl_hello_body(const ReplHello& h);
+bool parse_repl_hello(std::string_view body, ReplHello* h);
+
+// REPL_SUBSCRIBE response (kind=kSubscribe).
+struct ReplSubscribeResult {
+  static constexpr uint8_t kStream = 0;    // appends will flow from base_seq+1
+  static constexpr uint8_t kResync = 1;    // pull snapshot chunks first
+  static constexpr uint8_t kRejected = 2;  // not primary / unknown node
+  uint8_t result = kRejected;
+  uint64_t epoch = 0;       // primary's epoch (follower adopts it)
+  uint64_t primary_id = 0;  // leader hint on rejection
+  uint64_t base_seq = 0;    // stream resumes from base_seq + 1
+  uint64_t base_epoch = 0;  // entry epoch at base_seq (log-matching anchor)
+};
+std::string repl_subscribe_resp_body(const ReplSubscribeResult& r);
+bool parse_repl_subscribe_resp(std::string_view body, ReplSubscribeResult* r);
+
+// REPL_SUBSCRIBE response (kind=kSnapPull): one chunk of the resync
+// snapshot. Items are (shard, key, value) tuples the follower applies as
+// plain puts before rejoining the stream.
+struct SnapItemView {
+  uint32_t shard = 0;
+  std::string_view key;
+  std::string_view value;
+};
+struct SnapChunk {
+  uint64_t next_cursor = 0;
+  uint8_t done = 0;
+  std::vector<SnapItemView> items;  // views into the response body
+};
+std::string snap_chunk_body(uint64_t next_cursor, bool done,
+                            const std::vector<SnapItemView>& items);
+bool parse_snap_chunk(std::string_view body, SnapChunk* c);
+
+// REPL_APPEND request: one replicated stream entry. Logged entries carry
+// the raw 128-byte PMEM log slot image, whose slot-seeded CRC (PR 5)
+// authenticates (op, key, args, payload_crc) end to end; unlogged entries
+// (pure data overwrites) and noops ship without one. `value_crc` is
+// crc32c over `value` — verified on receipt either way.
+struct ReplEntryWire {
+  static constexpr uint8_t kNoop = 1u << 0;      // aborted/lock entry: skip
+  static constexpr uint8_t kUnlogged = 1u << 1;  // no log record (pure overwrite)
+  uint64_t epoch = 0;        // sender's current epoch (fencing)
+  uint64_t seq = 0;          // dense stream sequence number
+  uint64_t entry_epoch = 0;  // epoch the entry was appended under
+  uint8_t op = 0;            // dipper::OpType ordinal
+  uint8_t eflags = 0;
+  uint32_t shard = 0;        // target shard on the follower
+  uint32_t slot = 0;         // log slot index (seeds the image CRC)
+  uint64_t lsn = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint32_t value_crc = 0;
+  std::string_view key;
+  std::string_view slot_image;  // empty or exactly 128 bytes
+  std::string_view value;
+};
+std::string repl_append_body(const ReplEntryWire& e);
+bool parse_repl_append(std::string_view body, ReplEntryWire* e);
+
+// PROMOTE request: kVote asks for an election vote, kClaim announces the
+// winner. `seq`/`seq_epoch` are the sender's replicated position — voters
+// only grant to candidates at least as caught up (highest replicated LSN
+// wins, ties broken by node id).
+struct PromoteReq {
+  static constexpr uint8_t kVote = 0;
+  static constexpr uint8_t kClaim = 1;
+  uint8_t kind = kVote;
+  uint64_t epoch = 0;
+  uint64_t node_id = 0;
+  uint64_t seq = 0;
+  uint64_t seq_epoch = 0;
+};
+std::string promote_body(const PromoteReq& p);
+bool parse_promote(std::string_view body, PromoteReq* p);
+
+struct PromoteResp {
+  uint8_t granted = 0;
+  uint64_t epoch = 0;  // responder's (possibly higher) epoch
+};
+std::string promote_resp_body(const PromoteResp& p);
+bool parse_promote_resp(std::string_view body, PromoteResp* p);
+
+// ---- server-side replication handler -------------------------------------
+//
+// Implemented by repl::Node; net::Server dispatches the replication opcodes
+// through it (declared here so net/ never depends on repl/). writable() and
+// finish_write() let the server gate client writes on the node's role: a
+// put/delete only acks once finish_write() reports quorum replication.
+class ReplHandler {
+ public:
+  virtual ~ReplHandler() = default;
+  virtual ReplAck handle_append(const ReplEntryWire& e) = 0;
+  virtual ReplSubscribeResult handle_subscribe(const ReplHello& h) = 0;
+  // Returns an encoded snap_chunk body; empty string = pull rejected.
+  virtual std::string handle_snap_pull(const ReplHello& h) = 0;
+  virtual ReplAck handle_heartbeat(const Heartbeat& hb) = 0;
+  virtual PromoteResp handle_promote(const PromoteReq& p) = 0;
+  // Write gating: writable() before the store op, finish_write() after it
+  // (waits for quorum replication of the entry this thread just produced).
+  virtual bool writable() = 0;
+  virtual Status finish_write() = 0;
+};
 
 // Body parsers: false on malformed input (short body, length overrun).
 // Views point into `body` — valid while it is.

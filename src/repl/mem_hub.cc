@@ -1,0 +1,140 @@
+#include "repl/mem_hub.h"
+
+namespace dstore::repl {
+
+void MemHub::add_node(uint64_t id, Node* node, fault::FaultInjector* inj) {
+  MutexGuard g(mu_);
+  Member m;
+  m.node = node;
+  m.inj = inj;
+  members_[id] = m;
+}
+
+std::unique_ptr<PeerRpc> MemHub::peer(uint64_t from, uint64_t to) {
+  return std::make_unique<MemPeer>(this, from, to);
+}
+
+void MemHub::set_down(uint64_t id, bool down) {
+  MutexGuard g(mu_);
+  auto it = members_.find(id);
+  if (it != members_.end()) it->second.down = down;
+}
+
+void MemHub::partition(const std::vector<uint64_t>& group) {
+  MutexGuard g(mu_);
+  partitioned_ = true;
+  for (auto& [id, m] : members_) m.side = 0;
+  for (uint64_t id : group) {
+    auto it = members_.find(id);
+    if (it != members_.end()) it->second.side = 1;
+  }
+}
+
+void MemHub::heal() {
+  MutexGuard g(mu_);
+  partitioned_ = false;
+  for (auto& [id, m] : members_) m.side = 0;
+}
+
+bool MemHub::reachable(uint64_t from, uint64_t to) const {
+  MutexGuard g(mu_);
+  auto a = members_.find(from);
+  auto b = members_.find(to);
+  if (a == members_.end() || b == members_.end()) return false;
+  const Member& ma = a->second;
+  const Member& mb = b->second;
+  if (ma.down || mb.down) return false;
+  if (ma.inj != nullptr && ma.inj->crashed()) return false;
+  if (mb.inj != nullptr && mb.inj->crashed()) return false;
+  if (partitioned_ && ma.side != mb.side) return false;
+  return true;
+}
+
+bool MemHub::crashed(uint64_t id) const {
+  MutexGuard g(mu_);
+  auto it = members_.find(id);
+  if (it == members_.end()) return true;
+  if (it->second.down) return true;
+  return it->second.inj != nullptr && it->second.inj->crashed();
+}
+
+Node* MemHub::node(uint64_t id) const {
+  MutexGuard g(mu_);
+  auto it = members_.find(id);
+  return it == members_.end() ? nullptr : it->second.node;
+}
+
+Node* MemPeer::target_up() {
+  if (!hub_->reachable(from_, to_)) return nullptr;
+  return hub_->node(to_);
+}
+
+template <typename T>
+Result<T> MemPeer::finish(T resp) {
+  // The response travelled "over the wire" while the target may have lost
+  // power: an ack that only exists on borrowed time must not be delivered.
+  if (hub_->crashed(to_) || !hub_->reachable(from_, to_))
+    return Status::io_error("repl link lost before response");
+  return resp;
+}
+
+Result<net::ReplAck> MemPeer::append(const net::ReplEntryWire& e) {
+  Node* t = target_up();
+  if (t == nullptr) return Status::io_error("repl link down");
+  // Round-trip through the real codecs: what TcpPeer would put on the wire
+  // is exactly what the target parses.
+  std::string body = net::repl_append_body(e);
+  net::ReplEntryWire parsed;
+  if (!net::parse_repl_append(body, &parsed))
+    return Status::internal("repl append codec round-trip failed");
+  return finish(t->handle_append(parsed));
+}
+
+Result<net::ReplSubscribeResult> MemPeer::subscribe(const net::ReplHello& h) {
+  Node* t = target_up();
+  if (t == nullptr) return Status::io_error("repl link down");
+  std::string body = net::repl_hello_body(h);
+  net::ReplHello parsed;
+  if (!net::parse_repl_hello(body, &parsed))
+    return Status::internal("repl hello codec round-trip failed");
+  return finish(t->handle_subscribe(parsed));
+}
+
+Result<net::SnapChunk> MemPeer::snap_pull(const net::ReplHello& h,
+                                          std::string* storage) {
+  Node* t = target_up();
+  if (t == nullptr) return Status::io_error("repl link down");
+  std::string body = net::repl_hello_body(h);
+  net::ReplHello parsed;
+  if (!net::parse_repl_hello(body, &parsed))
+    return Status::internal("repl hello codec round-trip failed");
+  *storage = t->handle_snap_pull(parsed);
+  if (hub_->crashed(to_) || !hub_->reachable(from_, to_))
+    return Status::io_error("repl link lost before response");
+  net::SnapChunk chunk;
+  if (!net::parse_snap_chunk(*storage, &chunk))
+    return Status::io_error("resync pull rejected");
+  return chunk;
+}
+
+Result<net::ReplAck> MemPeer::heartbeat(const net::Heartbeat& hb) {
+  Node* t = target_up();
+  if (t == nullptr) return Status::io_error("repl link down");
+  std::string body = net::heartbeat_body(hb);
+  net::Heartbeat parsed;
+  if (!net::parse_heartbeat(body, &parsed))
+    return Status::internal("heartbeat codec round-trip failed");
+  return finish(t->handle_heartbeat(parsed));
+}
+
+Result<net::PromoteResp> MemPeer::promote(const net::PromoteReq& p) {
+  Node* t = target_up();
+  if (t == nullptr) return Status::io_error("repl link down");
+  std::string body = net::promote_body(p);
+  net::PromoteReq parsed;
+  if (!net::parse_promote(body, &parsed))
+    return Status::internal("promote codec round-trip failed");
+  return finish(t->handle_promote(parsed));
+}
+
+}  // namespace dstore::repl

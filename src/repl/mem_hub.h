@@ -1,0 +1,75 @@
+// In-process replication fabric for the DistRig (DESIGN.md §16): every
+// node registers with the hub, and MemPeer endpoints route calls straight
+// into the target Node — but through the real wire codecs, so the exact
+// bytes TcpPeer would ship are what get parsed. The hub models the network:
+// nodes can be taken down, the fleet can be split into two partitions, and
+// a node whose fault injector has fired (simulated power failure) is
+// unreachable — including for responses, so an ack computed on borrowed
+// time after the crash point is suppressed and the caller sees a link
+// error, never a lie.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "repl/repl.h"
+
+namespace dstore::repl {
+
+class MemHub {
+ public:
+  // `inj` may be null (node never crashes). The hub does not own anything.
+  void add_node(uint64_t id, Node* node, fault::FaultInjector* inj);
+  // Returns a caller-owned endpoint `from` uses to talk to `to`.
+  std::unique_ptr<PeerRpc> peer(uint64_t from, uint64_t to);
+
+  // Network control.
+  void set_down(uint64_t id, bool down);
+  // Split the fleet: `group` on one side, everyone else on the other.
+  void partition(const std::vector<uint64_t>& group);
+  void heal();
+
+  bool reachable(uint64_t from, uint64_t to) const;
+  bool crashed(uint64_t id) const;
+  Node* node(uint64_t id) const;
+
+ private:
+  friend class MemPeer;
+  struct Member {
+    Node* node = nullptr;
+    fault::FaultInjector* inj = nullptr;
+    bool down = false;
+    int side = 0;
+  };
+  // Guarded lookups only — never held across a handler call.
+  mutable Mutex mu_{"repl.memhub", lockdep::kQuiesceExempt};
+  std::map<uint64_t, Member> members_;
+  bool partitioned_ = false;
+};
+
+class MemPeer : public PeerRpc {
+ public:
+  MemPeer(MemHub* hub, uint64_t from, uint64_t to)
+      : hub_(hub), from_(from), to_(to) {}
+
+  Result<net::ReplAck> append(const net::ReplEntryWire& e) override;
+  Result<net::ReplSubscribeResult> subscribe(const net::ReplHello& h) override;
+  Result<net::SnapChunk> snap_pull(const net::ReplHello& h,
+                                   std::string* storage) override;
+  Result<net::ReplAck> heartbeat(const net::Heartbeat& hb) override;
+  Result<net::PromoteResp> promote(const net::PromoteReq& p) override;
+
+ private:
+  // Reachability bracket: target before the call, then again after it so a
+  // crash DURING the call (injector fired mid-apply) swallows the ack.
+  Node* target_up();
+  template <typename T>
+  Result<T> finish(T resp);
+
+  MemHub* hub_;
+  uint64_t from_;
+  uint64_t to_;
+};
+
+}  // namespace dstore::repl

@@ -1,0 +1,73 @@
+#include "repl/tcp_peer.h"
+
+namespace dstore::repl {
+
+Status TcpPeer::call(net::Op op, const std::string& body, net::Frame* resp) {
+  MutexGuard g(mu_);
+  if (client_ == nullptr) {
+    auto c = net::Client::connect(target_, cfg_);
+    if (!c.is_ok()) return c.status();
+    client_ = std::move(c.value());
+  }
+  Status s = client_->call(op, body, resp);
+  if (!s.is_ok()) {
+    // Drop the endpoint: the next call re-dials from scratch (the client's
+    // own reconnect already retried within this call's budget).
+    client_.reset();
+    return s;
+  }
+  if (resp->hdr.status != 0)
+    return Status(code_from_wire(resp->hdr.status), resp->body);
+  return Status::ok();
+}
+
+Result<net::ReplAck> TcpPeer::append(const net::ReplEntryWire& e) {
+  net::Frame resp;
+  DSTORE_RETURN_IF_ERROR(call(net::Op::kReplAppend, net::repl_append_body(e), &resp));
+  net::ReplAck a;
+  if (!net::parse_repl_ack(resp.body, &a))
+    return Status::io_error("malformed repl ack");
+  return a;
+}
+
+Result<net::ReplSubscribeResult> TcpPeer::subscribe(const net::ReplHello& h) {
+  net::Frame resp;
+  DSTORE_RETURN_IF_ERROR(
+      call(net::Op::kReplSubscribe, net::repl_hello_body(h), &resp));
+  net::ReplSubscribeResult r;
+  if (!net::parse_repl_subscribe_resp(resp.body, &r))
+    return Status::io_error("malformed subscribe response");
+  return r;
+}
+
+Result<net::SnapChunk> TcpPeer::snap_pull(const net::ReplHello& h,
+                                          std::string* storage) {
+  net::Frame resp;
+  DSTORE_RETURN_IF_ERROR(
+      call(net::Op::kReplSubscribe, net::repl_hello_body(h), &resp));
+  *storage = std::move(resp.body);
+  net::SnapChunk c;
+  if (!net::parse_snap_chunk(*storage, &c))
+    return Status::io_error("resync pull rejected");
+  return c;
+}
+
+Result<net::ReplAck> TcpPeer::heartbeat(const net::Heartbeat& hb) {
+  net::Frame resp;
+  DSTORE_RETURN_IF_ERROR(call(net::Op::kHeartbeat, net::heartbeat_body(hb), &resp));
+  net::ReplAck a;
+  if (!net::parse_repl_ack(resp.body, &a))
+    return Status::io_error("malformed heartbeat ack");
+  return a;
+}
+
+Result<net::PromoteResp> TcpPeer::promote(const net::PromoteReq& p) {
+  net::Frame resp;
+  DSTORE_RETURN_IF_ERROR(call(net::Op::kPromote, net::promote_body(p), &resp));
+  net::PromoteResp r;
+  if (!net::parse_promote_resp(resp.body, &r))
+    return Status::io_error("malformed promote response");
+  return r;
+}
+
+}  // namespace dstore::repl

@@ -1,0 +1,49 @@
+// PeerRpc over DSTP/TCP: one net::Client per peer, reconnecting with the
+// client's bounded exponential backoff and failing calls fast on timeout —
+// a dead follower must not stall the primary's ship loop longer than the
+// configured deadline. Thread-safe: the Node's client threads and its
+// ticker share one endpoint, serialized by an internal mutex (the
+// underlying Client is single-threaded by contract).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/client.h"
+#include "repl/repl.h"
+
+namespace dstore::repl {
+
+class TcpPeer : public PeerRpc {
+ public:
+  // Default transport policy for replication links: retry the dial a few
+  // times with backoff, bound every call.
+  static net::ClientConfig default_config() {
+    net::ClientConfig c;
+    c.max_reconnect_attempts = 3;
+    c.reconnect_backoff_ms = 10;
+    c.reconnect_backoff_max_ms = 500;
+    c.call_timeout_ms = 2000;
+    return c;
+  }
+
+  explicit TcpPeer(std::string hostport, net::ClientConfig cfg = default_config())
+      : target_(std::move(hostport)), cfg_(cfg) {}
+
+  Result<net::ReplAck> append(const net::ReplEntryWire& e) override;
+  Result<net::ReplSubscribeResult> subscribe(const net::ReplHello& h) override;
+  Result<net::SnapChunk> snap_pull(const net::ReplHello& h,
+                                   std::string* storage) override;
+  Result<net::ReplAck> heartbeat(const net::Heartbeat& hb) override;
+  Result<net::PromoteResp> promote(const net::PromoteReq& p) override;
+
+ private:
+  Status call(net::Op op, const std::string& body, net::Frame* resp);
+
+  std::string target_;
+  net::ClientConfig cfg_;
+  Mutex mu_{"repl.tcppeer", lockdep::kQuiesceExempt};
+  std::unique_ptr<net::Client> client_;
+};
+
+}  // namespace dstore::repl

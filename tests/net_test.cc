@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,12 +19,16 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32c.h"
+#include "dipper/log.h"
 #include "dstore/sharded.h"
 #include "fault/fault.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "pmem/pool.h"
+#include "repl/repl.h"
 
 namespace dstore::net {
 namespace {
@@ -71,7 +77,8 @@ TEST(WireCodec, ReassemblesFramesFedOneByteAtATime) {
 
 TEST(WireCodec, BodyBuildersRoundTrip) {
   std::string_view name;
-  ASSERT_TRUE(parse_open_ns(open_ns_body("tenant-a"), &name));
+  std::string ob = open_ns_body("tenant-a");  // outlives the parsed view
+  ASSERT_TRUE(parse_open_ns(ob, &name));
   EXPECT_EQ(name, "tenant-a");
 
   uint32_t ns = 0;
@@ -221,6 +228,217 @@ TEST(WireCodec, TruncatedStreamsAlwaysNeedMore) {
 }
 
 // ---------------------------------------------------------------------------
+// Replication opcodes (DESIGN.md §16): codec coverage
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, ReplBodiesRoundTrip) {
+  Heartbeat hb{7, 3, 42}, hb2;
+  ASSERT_TRUE(parse_heartbeat(heartbeat_body(hb), &hb2));
+  EXPECT_EQ(hb2.epoch, 7u);
+  EXPECT_EQ(hb2.node_id, 3u);
+  EXPECT_EQ(hb2.commit_seq, 42u);
+
+  ReplAck a{9, 41, 1}, a2;
+  ASSERT_TRUE(parse_repl_ack(repl_ack_body(a), &a2));
+  EXPECT_EQ(a2.epoch, 9u);
+  EXPECT_EQ(a2.applied_seq, 41u);
+  EXPECT_EQ(a2.accepted, 1u);
+
+  ReplHello h{ReplHello::kSnapPull, 2, 5, 100, 1}, h2;
+  ASSERT_TRUE(parse_repl_hello(repl_hello_body(h), &h2));
+  EXPECT_EQ(h2.kind, ReplHello::kSnapPull);
+  EXPECT_EQ(h2.epoch, 2u);
+  EXPECT_EQ(h2.node_id, 5u);
+  EXPECT_EQ(h2.seq, 100u);
+  EXPECT_EQ(h2.last_epoch, 1u);
+
+  ReplSubscribeResult r{ReplSubscribeResult::kResync, 4, 1, 77, 3}, r2;
+  ASSERT_TRUE(parse_repl_subscribe_resp(repl_subscribe_resp_body(r), &r2));
+  EXPECT_EQ(r2.result, ReplSubscribeResult::kResync);
+  EXPECT_EQ(r2.epoch, 4u);
+  EXPECT_EQ(r2.primary_id, 1u);
+  EXPECT_EQ(r2.base_seq, 77u);
+  EXPECT_EQ(r2.base_epoch, 3u);
+
+  PromoteReq p{PromoteReq::kVote, 6, 2, 88, 5}, p2;
+  ASSERT_TRUE(parse_promote(promote_body(p), &p2));
+  EXPECT_EQ(p2.kind, PromoteReq::kVote);
+  EXPECT_EQ(p2.epoch, 6u);
+  EXPECT_EQ(p2.node_id, 2u);
+  EXPECT_EQ(p2.seq, 88u);
+  EXPECT_EQ(p2.seq_epoch, 5u);
+
+  PromoteResp q{1, 11}, q2;
+  ASSERT_TRUE(parse_promote_resp(promote_resp_body(q), &q2));
+  EXPECT_EQ(q2.granted, 1u);
+  EXPECT_EQ(q2.epoch, 11u);
+
+  // Enum-carrying bytes are validated, not trusted.
+  std::string bad_kind = repl_hello_body(h);
+  bad_kind[0] = 9;
+  EXPECT_FALSE(parse_repl_hello(bad_kind, &h2));
+  std::string bad_result = repl_subscribe_resp_body(r);
+  bad_result[0] = 9;
+  EXPECT_FALSE(parse_repl_subscribe_resp(bad_result, &r2));
+  std::string bad_vote = promote_body(p);
+  bad_vote[0] = 9;
+  EXPECT_FALSE(parse_promote(bad_vote, &p2));
+}
+
+TEST(WireCodec, ReplAppendRoundTripsWithAndWithoutSlotImage) {
+  std::string image(128, '\x5a');
+  ReplEntryWire e;
+  e.epoch = 3;
+  e.seq = 17;
+  e.entry_epoch = 2;
+  e.op = 4;
+  e.eflags = 0;
+  e.shard = 1;
+  e.slot = 9;
+  e.lsn = 1234;
+  e.arg0 = 11;
+  e.arg1 = 22;
+  e.value_crc = 0xdeadbeef;
+  std::string val("\x00val\xffue", 7);
+  e.key = "some-key";
+  e.slot_image = image;
+  e.value = val;
+
+  std::string b = repl_append_body(e);
+  ReplEntryWire d;
+  ASSERT_TRUE(parse_repl_append(b, &d));
+  EXPECT_EQ(d.epoch, 3u);
+  EXPECT_EQ(d.seq, 17u);
+  EXPECT_EQ(d.entry_epoch, 2u);
+  EXPECT_EQ(d.op, 4u);
+  EXPECT_EQ(d.shard, 1u);
+  EXPECT_EQ(d.slot, 9u);
+  EXPECT_EQ(d.lsn, 1234u);
+  EXPECT_EQ(d.arg0, 11u);
+  EXPECT_EQ(d.arg1, 22u);
+  EXPECT_EQ(d.value_crc, 0xdeadbeefu);
+  EXPECT_EQ(d.key, "some-key");
+  EXPECT_EQ(d.slot_image, image);
+  EXPECT_EQ(d.value, e.value);
+
+  // Unlogged entry: no slot image, empty value (a delete).
+  ReplEntryWire u;
+  u.eflags = ReplEntryWire::kUnlogged;
+  u.key = "k";
+  std::string ub = repl_append_body(u);
+  ASSERT_TRUE(parse_repl_append(ub, &u));
+  EXPECT_TRUE(u.slot_image.empty());
+  EXPECT_TRUE(u.value.empty());
+
+  // The has-image marker only admits 0 or 1.
+  std::string bad = repl_append_body(u);
+  bad[64 + 1] = 2;  // 64-byte fixed prefix, 1-byte key, then the marker
+  ReplEntryWire x;
+  EXPECT_FALSE(parse_repl_append(bad, &x));
+}
+
+TEST(WireCodec, SnapChunkRoundTripsAndRejectsOverrun) {
+  std::vector<SnapItemView> items = {
+      {0, "alpha", "value-a"},
+      {1, "beta", std::string_view("\x00\x01", 2)},
+      {2, "gamma", ""},
+  };
+  std::string b = snap_chunk_body(99, false, items);
+  SnapChunk c;
+  ASSERT_TRUE(parse_snap_chunk(b, &c));
+  EXPECT_EQ(c.next_cursor, 99u);
+  EXPECT_EQ(c.done, 0u);
+  ASSERT_EQ(c.items.size(), 3u);
+  EXPECT_EQ(c.items[0].key, "alpha");
+  EXPECT_EQ(c.items[0].value, "value-a");
+  EXPECT_EQ(c.items[1].shard, 1u);
+  EXPECT_EQ(c.items[1].value.size(), 2u);
+  EXPECT_EQ(c.items[2].value, "");
+
+  // Exact-length framing: trailing garbage is a parse error, not ignored.
+  std::string overrun = b + "x";
+  EXPECT_FALSE(parse_snap_chunk(overrun, &c));
+
+  std::string empty = snap_chunk_body(0, true, {});
+  ASSERT_TRUE(parse_snap_chunk(empty, &c));
+  EXPECT_EQ(c.done, 1u);
+  EXPECT_TRUE(c.items.empty());
+}
+
+// Every replication body parser is exact-length: ANY strict prefix of a
+// valid body must fail — a truncated frame can never half-parse into a
+// plausible message.
+TEST(WireCodec, TruncatedReplBodiesNeverParse) {
+  std::string image(128, 'i');
+  ReplEntryWire e;
+  e.key = "key";
+  e.slot_image = image;
+  e.value = "value";
+  std::vector<SnapItemView> items = {{0, "k", "v"}};
+  struct Case {
+    const char* what;
+    std::string body;
+    std::function<bool(std::string_view)> parse;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"heartbeat", heartbeat_body({1, 2, 3}),
+                   [](std::string_view b) { Heartbeat m; return parse_heartbeat(b, &m); }});
+  cases.push_back({"repl_ack", repl_ack_body({1, 2, 1}),
+                   [](std::string_view b) { ReplAck m; return parse_repl_ack(b, &m); }});
+  cases.push_back({"repl_hello", repl_hello_body({0, 1, 2, 3, 4}),
+                   [](std::string_view b) { ReplHello m; return parse_repl_hello(b, &m); }});
+  cases.push_back({"subscribe_resp", repl_subscribe_resp_body({0, 1, 2, 3, 4}),
+                   [](std::string_view b) {
+                     ReplSubscribeResult m;
+                     return parse_repl_subscribe_resp(b, &m);
+                   }});
+  cases.push_back({"repl_append", repl_append_body(e),
+                   [](std::string_view b) { ReplEntryWire m; return parse_repl_append(b, &m); }});
+  cases.push_back({"snap_chunk", snap_chunk_body(5, true, items),
+                   [](std::string_view b) { SnapChunk m; return parse_snap_chunk(b, &m); }});
+  cases.push_back({"promote", promote_body({0, 1, 2, 3, 4}),
+                   [](std::string_view b) { PromoteReq m; return parse_promote(b, &m); }});
+  cases.push_back({"promote_resp", promote_resp_body({1, 2}),
+                   [](std::string_view b) { PromoteResp m; return parse_promote_resp(b, &m); }});
+  for (const Case& c : cases) {
+    ASSERT_TRUE(c.parse(c.body)) << c.what;
+    for (size_t cut = 0; cut < c.body.size(); cut++) {
+      EXPECT_FALSE(c.parse(std::string_view(c.body.data(), cut)))
+          << c.what << " parsed a prefix of " << cut << " bytes";
+    }
+  }
+}
+
+// Deterministic byte-flip fuzz over the repl bodies: every single-byte
+// mutation either parses (the field was free-form) or fails — never
+// crashes, never reads out of bounds (the length checks precede every
+// substr).
+TEST(WireCodec, ReplBodyMutationFuzzNeverCrashes) {
+  std::string image(128, 'z');
+  ReplEntryWire e;
+  e.key = "mutate-me";
+  e.slot_image = image;
+  e.value = "some value bytes";
+  std::vector<SnapItemView> items = {{3, "kk", "vv"}, {4, "x", "y"}};
+  std::vector<std::string> bodies = {repl_append_body(e),
+                                     snap_chunk_body(12, false, items)};
+  for (const std::string& base : bodies) {
+    for (size_t i = 0; i < base.size(); i++) {
+      for (uint8_t delta : {0x01, 0x80, 0xff}) {
+        std::string mut = base;
+        mut[i] = (char)(mut[i] ^ delta);
+        ReplEntryWire w;
+        SnapChunk c;
+        // Either verdict is fine; crashing is not.
+        (void)parse_repl_append(mut, &w);
+        (void)parse_snap_chunk(mut, &c);
+      }
+    }
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
 // Server + client end to end
 // ---------------------------------------------------------------------------
 
@@ -230,7 +448,8 @@ struct ServerFixture {
   std::unique_ptr<Server> server;
 
   explicit ServerFixture(fault::FaultInjector* inj = nullptr,
-                         pmem::Pool::Mode mode = pmem::Pool::Mode::kDirect) {
+                         pmem::Pool::Mode mode = pmem::Pool::Mode::kDirect,
+                         ServerConfig srv_cfg = {}) {
     cfg.num_shards = 2;
     cfg.pool_mode = mode;
     cfg.affinity = true;
@@ -246,7 +465,7 @@ struct ServerFixture {
     auto r = ShardedStore::create(cfg);
     EXPECT_TRUE(r.is_ok()) << r.status().to_string();
     store = std::move(r).value();
-    auto s = Server::start(store.get(), ServerConfig{}, inj);
+    auto s = Server::start(store.get(), srv_cfg, inj);
     EXPECT_TRUE(s.is_ok()) << s.status().to_string();
     server = std::move(s).value();
   }
@@ -477,6 +696,226 @@ TEST(NetEndToEnd, ProtocolGarbageGetsErrorFrameThenDisconnect) {
   }
   EXPECT_TRUE(got_error_frame);
   close(fd);
+}
+
+TEST(NetEndToEnd, HeartbeatIsAnsweredByAPlainServer) {
+  ServerFixture fx;
+  auto client = fx.connect();
+  Frame resp;
+  ASSERT_TRUE(client->call(Op::kHeartbeat, heartbeat_body({}), &resp).is_ok());
+  EXPECT_EQ(resp.hdr.op, Op::kHeartbeat);
+  EXPECT_EQ(resp.hdr.status, 0u);
+  ReplAck ack;
+  ASSERT_TRUE(parse_repl_ack(resp.body, &ack));
+  EXPECT_EQ(ack.accepted, 1u);
+  EXPECT_EQ(ack.epoch, 0u);  // repl-less server echoes zeros
+
+  // The other replication opcodes need an attached node; a malformed
+  // heartbeat is a per-request error. The connection survives all three.
+  ASSERT_TRUE(client->call(Op::kReplSubscribe, repl_hello_body({}), &resp).is_ok());
+  EXPECT_EQ(resp.hdr.status, (uint8_t)Code::kUnsupported);
+  ASSERT_TRUE(client->call(Op::kPromote, promote_body({}), &resp).is_ok());
+  EXPECT_EQ(resp.hdr.status, (uint8_t)Code::kUnsupported);
+  ASSERT_TRUE(client->call(Op::kHeartbeat, "abc", &resp).is_ok());
+  EXPECT_EQ(resp.hdr.status, (uint8_t)Code::kInvalidArgument);
+  ASSERT_TRUE(client->call(Op::kHeartbeat, heartbeat_body({}), &resp).is_ok());
+  EXPECT_EQ(resp.hdr.status, 0u);
+
+  auto json = client->metrics(0);
+  ASSERT_TRUE(json.is_ok());
+  EXPECT_NE(json.value().find("net_heartbeats_total"), std::string::npos);
+}
+
+TEST(NetEndToEnd, IdleReaperDropsSilentConnectionsButHeartbeatsKeepAlive) {
+  ServerConfig scfg;
+  scfg.idle_timeout_ms = 150;
+  ServerFixture fx(nullptr, pmem::Pool::Mode::kDirect, scfg);
+  auto chatty = fx.connect();
+  auto quiet = fx.connect();
+  auto ns = chatty->open_namespace("alive");
+  ASSERT_TRUE(ns.is_ok());
+
+  // `quiet` sends nothing; `chatty` heartbeats through four idle windows
+  // (HEARTBEAT frames refresh the reaper clock like any other request).
+  for (int i = 0; i < 12; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Frame resp;
+    ASSERT_TRUE(chatty->call(Op::kHeartbeat, heartbeat_body({}), &resp).is_ok());
+  }
+  EXPECT_TRUE(chatty->put(ns.value().ns_id, "k", "v", 1).is_ok());
+  Status dead = quiet->put(ns.value().ns_id, "k", "v", 1);
+  EXPECT_FALSE(dead.is_ok()) << "idle connection survived the reaper";
+  EXPECT_GE(fx.server->metrics()
+                .counter("net_idle_reaped_total", "connections dropped by the idle reaper")
+                ->value(),
+            1u);
+}
+
+TEST(NetEndToEnd, ClientReconnectsWithBackoffAfterServerRestart) {
+  ServerFixture fx;
+  obs::MetricsRegistry reg;
+  ClientConfig ccfg;
+  ccfg.max_reconnect_attempts = 10;
+  ccfg.reconnect_backoff_ms = 1;
+  ccfg.reconnect_backoff_max_ms = 8;
+  ccfg.metrics = &reg;
+  auto c = Client::connect("127.0.0.1", fx.server->port(), ccfg);
+  ASSERT_TRUE(c.is_ok());
+  Client& client = *c.value();
+  auto ns = client.open_namespace("re");
+  ASSERT_TRUE(ns.is_ok());
+  ASSERT_TRUE(client.put(ns.value().ns_id, "k", "v1", 2).is_ok());
+
+  uint16_t port = fx.server->port();
+  fx.server->stop();
+  fx.server.reset();
+  // The call that discovers the dead connection fails — a lost write is
+  // ambiguous and must never be silently replayed on a new connection.
+  EXPECT_FALSE(client.put(ns.value().ns_id, "k", "v2", 2).is_ok());
+
+  ServerConfig scfg;
+  scfg.port = port;
+  auto srv2 = Server::start(fx.store.get(), scfg);
+  ASSERT_TRUE(srv2.is_ok()) << srv2.status().to_string();
+  // The next call re-dials under the backoff policy; state written before
+  // the restart is served by the same store.
+  auto ns2 = client.open_namespace("re");
+  ASSERT_TRUE(ns2.is_ok()) << ns2.status().to_string();
+  auto got = client.get(ns2.value().ns_id, "k");
+  ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+  EXPECT_EQ(got.value(), "v1");
+  EXPECT_GE(reg.counter("net_client_reconnects_total", "successful client reconnects")
+                ->value(),
+            1u);
+}
+
+TEST(NetEndToEnd, CallTimeoutKillsTheConnectionAndCountsIt) {
+  // A listener that never accepts: the TCP handshake completes via the
+  // backlog but no response ever comes back.
+  int lfd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(bind(lfd, (sockaddr*)&addr, sizeof(addr)), 0);
+  ASSERT_EQ(listen(lfd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(getsockname(lfd, (sockaddr*)&addr, &len), 0);
+
+  obs::MetricsRegistry reg;
+  ClientConfig ccfg;
+  ccfg.call_timeout_ms = 80;
+  ccfg.metrics = &reg;
+  auto c = Client::connect("127.0.0.1", ntohs(addr.sin_port), ccfg);
+  ASSERT_TRUE(c.is_ok()) << c.status().to_string();
+  auto t0 = std::chrono::steady_clock::now();
+  auto got = c.value()->get(1, "k");
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), Code::kIoError);
+  EXPECT_GE(elapsed_ms, 80);
+  EXPECT_LT(elapsed_ms, 5000);
+  EXPECT_EQ(reg.counter("net_client_timeouts_total", "sync calls that hit call_timeout_ms")
+                ->value(),
+            1u);
+  // The timed-out connection is dead by contract (framing abandoned).
+  EXPECT_FALSE(c.value()->get(1, "k").is_ok());
+  close(lfd);
+}
+
+// ---------------------------------------------------------------------------
+// Replication over the wire: the epoch fence as the divergence oracle
+// ---------------------------------------------------------------------------
+
+// A follower node behind a real server must bounce a deposed primary's
+// appends — the "split-brain divergence" forbidden outcome — while its
+// store keeps serving the pre-fork value, and client writes bounce with
+// READ_ONLY (followers are read-only replicas).
+TEST(ReplWire, EpochFenceRejectsAStalePrimaryOverTheWire) {
+  repl::NodeConfig ncfg;
+  ncfg.node_id = 2;
+  ncfg.initial_primary = 1;
+  auto node = std::make_unique<repl::Node>(ncfg);
+  ShardedConfig scfg;
+  scfg.num_shards = 1;
+  scfg.shard.max_objects = 64;
+  scfg.shard.num_blocks = 512;
+  scfg.shard.engine.log_slots = 64;
+  scfg.repl_sink = node.get();
+  auto store = ShardedStore::create(scfg);
+  ASSERT_TRUE(store.is_ok()) << store.status().to_string();
+  node->attach_store(store.value().get());
+  auto srv = Server::start(store.value().get(), ServerConfig{}, nullptr, node.get());
+  ASSERT_TRUE(srv.is_ok()) << srv.status().to_string();
+  auto c = Client::connect("127.0.0.1", srv.value()->port());
+  ASSERT_TRUE(c.is_ok());
+  Client& client = *c.value();
+
+  auto append = [&](uint64_t epoch, uint64_t seq, std::string_view key,
+                    std::string_view value, ReplAck* ack) {
+    ReplEntryWire w;
+    w.epoch = epoch;
+    w.seq = seq;
+    w.entry_epoch = epoch;
+    w.op = (uint8_t)dipper::OpType::kPut;
+    w.eflags = ReplEntryWire::kUnlogged;
+    w.key = key;
+    w.value = value;
+    w.value_crc = crc32c(value.data(), value.size());
+    Frame resp;
+    Status s = client.call(Op::kReplAppend, repl_append_body(w), &resp);
+    if (s.is_ok()) {
+      EXPECT_EQ(resp.hdr.op, Op::kReplAck);
+      EXPECT_EQ(resp.hdr.status, 0u);
+      EXPECT_TRUE(parse_repl_ack(resp.body, ack));
+    }
+    return s;
+  };
+  auto local_read = [&](std::string_view key) {
+    char buf[64];
+    auto r = node->get(key, buf, sizeof(buf));
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    return std::string(buf, r.is_ok() ? r.value() : 0);
+  };
+
+  ReplAck ack;
+  ASSERT_TRUE(append(1, 1, "k", "epoch-1-value", &ack).is_ok());
+  EXPECT_EQ(ack.accepted, 1u);
+  EXPECT_EQ(ack.applied_seq, 1u);
+  EXPECT_EQ(local_read("k"), "epoch-1-value");
+
+  // A newer primary (node 9, epoch 3) announces itself by heartbeat.
+  Frame resp;
+  ASSERT_TRUE(client.call(Op::kHeartbeat, heartbeat_body({3, 9, 1}), &resp).is_ok());
+  ReplAck hb_ack;
+  ASSERT_TRUE(parse_repl_ack(resp.body, &hb_ack));
+  EXPECT_EQ(hb_ack.epoch, 3u);
+
+  // The fence: the deposed epoch-1 primary's append bounces with the
+  // higher epoch and the store never forks.
+  ASSERT_TRUE(append(1, 2, "k", "stale-fork-value", &ack).is_ok());
+  EXPECT_EQ(ack.accepted, 0u);
+  EXPECT_EQ(ack.epoch, 3u);
+  EXPECT_EQ(local_read("k"), "epoch-1-value");
+
+  // The legitimate epoch-3 primary streams on from seq 2.
+  ASSERT_TRUE(append(3, 2, "k", "epoch-3-value", &ack).is_ok());
+  EXPECT_EQ(ack.accepted, 1u);
+  EXPECT_EQ(local_read("k"), "epoch-3-value");
+
+  // Follower write gating over the wire: reads fine, writes READ_ONLY.
+  auto ns = client.open_namespace("t");
+  ASSERT_TRUE(ns.is_ok());
+  Status w = client.put(ns.value().ns_id, "x", "y", 1);
+  EXPECT_EQ(w.code(), Code::kReadOnly);
+
+  // A malformed append body is a per-request error, not a dropped link.
+  ASSERT_TRUE(client.call(Op::kReplAppend, "zz", &resp).is_ok());
+  EXPECT_EQ(resp.hdr.status, (uint8_t)Code::kInvalidArgument);
+  ASSERT_TRUE(client.call(Op::kHeartbeat, heartbeat_body({3, 9, 2}), &resp).is_ok());
 }
 
 // ---------------------------------------------------------------------------

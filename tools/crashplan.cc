@@ -12,6 +12,14 @@
 //                                     space; a plan fails only if some read
 //                                     returns wrong bytes *silently*
 //   crashplan --corruption-plan=STRING  run one corruption plan
+//   crashplan --dist-sweep[=N]        ≥N (default 200) distributed plans —
+//                                     primary/follower power failures,
+//                                     partition-during-promotion, double
+//                                     failover — each through a DistRig
+//                                     fleet and the cluster oracle
+//   crashplan --dist-plan=STRING      run one DistPlan reproduction string
+//   crashplan --dist-enumerate        per-node (point, hit count) spaces of
+//                                     the fleet workload
 //       [--artifact=FILE]             append failing plan strings to FILE
 //
 // Exit status: 0 = all runs verified, 1 = at least one oracle violation or
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "fault/crash_rig.h"
+#include "fault/dist_rig.h"
 #include "fault/fault.h"
 
 namespace dstore::fault {
@@ -68,8 +77,31 @@ int run_one_corruption(const FaultPlan& plan, const RigOptions& opt, const char*
   return 1;
 }
 
+// One fleet run: build, drive, fail over, converge, verify. Reports the
+// outcome tallies so sweep logs double as availability evidence.
+int run_one_dist(const DistPlan& plan, const char* artifact) {
+  DistRig rig;
+  Status s = rig.run(plan);
+  const DistRig::RunStats& st = rig.stats();
+  if (s.is_ok()) {
+    std::printf("ok     %s  (acked=%u ambiguous=%u unavailable=%u crashes=%u epoch=%llu)\n",
+                plan.to_string().c_str(), st.acked, st.ambiguous, st.unavailable,
+                st.crashes, (unsigned long long)st.final_epoch);
+    return 0;
+  }
+  std::printf("FAIL   %s  — %s\n", plan.to_string().c_str(), s.to_string().c_str());
+  if (artifact != nullptr) {
+    std::ofstream f(artifact, std::ios::app);
+    f << plan.to_string() << "\n";
+  }
+  return 1;
+}
+
 int main(int argc, char** argv) {
   bool enumerate = false, sweep = false, corruption_sweep = false;
+  bool dist_enumerate = false;
+  const char* dist_sweep_text = nullptr;  // "" = default target
+  const char* dist_plan_text = nullptr;
   const char* corruption_plan_text = nullptr;
   const char* plan_text = nullptr;
   const char* seed_text = nullptr;
@@ -84,6 +116,14 @@ int main(int argc, char** argv) {
       corruption_sweep = true;
     } else if (std::strncmp(a, "--corruption-plan=", 18) == 0) {
       corruption_plan_text = a + 18;
+    } else if (std::strcmp(a, "--dist-sweep") == 0) {
+      dist_sweep_text = "";
+    } else if (std::strncmp(a, "--dist-sweep=", 13) == 0) {
+      dist_sweep_text = a + 13;
+    } else if (std::strncmp(a, "--dist-plan=", 12) == 0) {
+      dist_plan_text = a + 12;
+    } else if (std::strcmp(a, "--dist-enumerate") == 0) {
+      dist_enumerate = true;
     } else if (std::strncmp(a, "--plan=", 7) == 0) {
       plan_text = a + 7;
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
@@ -93,7 +133,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: crashplan --enumerate | --plan=STRING | --seed=N | "
-                   "--sweep | --corruption-sweep | --corruption-plan=STRING "
+                   "--sweep | --corruption-sweep | --corruption-plan=STRING | "
+                   "--dist-sweep[=N] | --dist-plan=STRING | --dist-enumerate "
                    "[--artifact=FILE]\n");
       return 2;
     }
@@ -159,9 +200,44 @@ int main(int argc, char** argv) {
     std::printf("%zu plans, %d failures\n", ran, failures);
     return failures == 0 ? 0 : 1;
   }
+  if (dist_enumerate) {
+    auto spaces = DistRig::enumerate_schedules();
+    for (size_t n = 0; n < spaces.size(); n++) {
+      uint64_t total = 0;
+      std::printf("node %zu (wire id %zu):\n", n, n + 1);
+      for (const auto& [point, count] : spaces[n]) {
+        std::printf("  %-30s %8llu\n", point.c_str(), (unsigned long long)count);
+        total += count;
+      }
+      std::printf("  %-30s %8llu\n", "TOTAL", (unsigned long long)total);
+    }
+    return 0;
+  }
+  if (dist_plan_text != nullptr) {
+    auto plan = DistPlan::parse(dist_plan_text);
+    if (!plan.is_ok()) {
+      std::fprintf(stderr, "bad plan: %s\n", plan.status().to_string().c_str());
+      return 2;
+    }
+    return run_one_dist(plan.value(), artifact);
+  }
+  if (dist_sweep_text != nullptr) {
+    size_t target = dist_sweep_text[0] != '\0'
+                        ? (size_t)std::strtoull(dist_sweep_text, nullptr, 0)
+                        : 200;
+    int failures = 0;
+    size_t ran = 0;
+    for (const DistPlan& plan : dist_crash_plans(DistRigOptions{}, target)) {
+      failures += run_one_dist(plan, artifact);
+      ran++;
+    }
+    std::printf("%zu plans, %d failures\n", ran, failures);
+    return failures == 0 ? 0 : 1;
+  }
   std::fprintf(stderr,
                "usage: crashplan --enumerate | --plan=STRING | --seed=N | "
-               "--sweep | --corruption-sweep | --corruption-plan=STRING "
+               "--sweep | --corruption-sweep | --corruption-plan=STRING | "
+               "--dist-sweep[=N] | --dist-plan=STRING | --dist-enumerate "
                "[--artifact=FILE]\n");
   return 2;
 }
