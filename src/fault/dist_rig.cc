@@ -161,6 +161,10 @@ Status DistRig::build(const DistPlan& plan) {
     ncfg.initial_primary = i == 0 ? 0 : 1;
     ncfg.ship_window = opt_.ship_window;
     ncfg.snapshot_chunk_items = opt_.snapshot_chunk_items;
+    // Single non-blocking ack attempt: the rig is single-threaded and its
+    // fault-point hit numbering must never depend on how many wall-clock
+    // re-ship retries fit inside an ack timeout.
+    ncfg.ack_timeout_ms = 0;
     ncfg.meta_pool = sim->meta_pool.get();
     ncfg.fault = &sim->inj;
     sim->node = std::make_unique<repl::Node>(ncfg);

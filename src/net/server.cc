@@ -62,6 +62,7 @@ struct Server::Impl {
 
   std::thread loop_thread;
   std::thread slow_thread;
+  std::thread repl_thread;  // replicated-write quorum waits (never the loop)
   std::atomic<bool> stopping{false};
   std::atomic<bool> crashed{false};
   std::atomic<bool> draining{false};  // drain_stop: no new conns, flush, exit
@@ -92,21 +93,36 @@ struct Server::Impl {
   std::vector<NsEntry> namespaces;  // ns_id = index + 1 (0 = invalid)
   std::unordered_map<std::string, uint32_t> ns_by_name;
 
-  // ---- slow-op queue (SCRUB): loop -> worker -> loop ----------------------
+  // ---- off-loop completion queues: loop -> worker -> loop ------------------
+  // Two inputs, one completion stream. SCRUB runs on the slow worker; a
+  // replicated write's quorum wait (synchronous per-follower RPCs with
+  // reconnect backoff and timeouts) runs on its own worker so one slow or
+  // unreachable follower can never stall the event loop — the loop only
+  // performs the fast local store op and defers the ack by req_id.
   struct SlowReq {
     uint64_t conn_id = 0;
     uint64_t req_id = 0;
   };
+  struct ReplWait {
+    uint64_t conn_id = 0;
+    uint64_t req_id = 0;
+    Op op = Op::kPut;
+    uint64_t ticket = 0;
+  };
   struct SlowDone {
     uint64_t conn_id = 0;
     uint64_t req_id = 0;
+    Op op = Op::kScrub;
     uint8_t status = 0;
     std::string body;
   };
   Mutex slow_mu{"net.server.slow"};
   CondVar slow_cv;
+  CondVar repl_cv;
   std::deque<SlowReq> slow_in;
+  std::deque<ReplWait> repl_in;
   std::deque<SlowDone> slow_out;
+  uint32_t workers_busy = 0;  // popped but not yet in slow_out (drain gate)
 
   // ---- metrics -------------------------------------------------------------
   obs::MetricsRegistry metrics;
@@ -179,7 +195,8 @@ struct Server::Impl {
     m_frame_errors = metrics.counter("net_frame_errors_total",
                                      "connections dropped for protocol errors");
     m_slow_ops = metrics.counter("net_slow_ops_total",
-                                 "requests completed off-loop (scrub worker)");
+                                 "requests completed off-loop (scrub worker, "
+                                 "replicated-write quorum waits)");
     m_heartbeats = metrics.counter("net_heartbeats_total",
                                    "HEARTBEAT frames answered");
     m_idle_reaped = metrics.counter("net_idle_reaped_total",
@@ -323,9 +340,11 @@ struct Server::Impl {
     Status s = store->put_on(c->session, e.shard, tenant_key(e.name, key), value.data(),
                              value.size());
     if (crash_tripped()) return begin_crash_shutdown();  // never ack borrowed time
-    // Replicated writes only ack once the entry reaches a quorum.
-    if (s.is_ok() && repl != nullptr) s = repl->finish_write();
-    if (crash_tripped()) return begin_crash_shutdown();
+    // Replicated writes only ack once the entry reaches a quorum — awaited
+    // on the repl worker, never here: blocking the loop on follower RPCs
+    // would stall every connection behind one slow peer.
+    if (s.is_ok() && repl != nullptr)
+      return defer_repl_ack(c, Op::kPut, f.hdr.req_id);
     respond_status(c, Op::kPut, f.hdr.req_id, s);
   }
 
@@ -345,9 +364,19 @@ struct Server::Impl {
     const NsEntry& e = namespaces[ns - 1];
     Status s = store->del_on(c->session, e.shard, tenant_key(e.name, key));
     if (crash_tripped()) return begin_crash_shutdown();
-    if (s.is_ok() && repl != nullptr) s = repl->finish_write();
-    if (crash_tripped()) return begin_crash_shutdown();
+    if (s.is_ok() && repl != nullptr)
+      return defer_repl_ack(c, Op::kDelete, f.hdr.req_id);
     respond_status(c, Op::kDelete, f.hdr.req_id, s);
+  }
+
+  // Hand a completed store mutation to the repl worker: the ticket is
+  // claimed HERE (same thread as the store op — it is thread-local), the
+  // quorum wait and the ack happen off-loop, matched back by req_id.
+  void defer_repl_ack(Conn* c, Op op, uint64_t req_id) {
+    uint64_t ticket = repl->write_ticket();
+    UniqueLock l(slow_mu);
+    repl_in.push_back({c->id, req_id, op, ticket});
+    repl_cv.notify_one();
   }
 
   void handle_get(Conn* c, const Frame& f, bool zero_copy) {
@@ -593,6 +622,9 @@ struct Server::Impl {
   }
 
   void deliver_slow_completions() {
+    // Same borrowed-time gate as inline ops: a completion computed after
+    // the durable image froze must not be acknowledged.
+    if (crash_tripped()) return begin_crash_shutdown();
     std::deque<SlowDone> done;
     {
       UniqueLock l(slow_mu);
@@ -600,10 +632,10 @@ struct Server::Impl {
     }
     for (SlowDone& d : done) {
       auto it = conns_by_id.find(d.conn_id);
-      if (it == conns_by_id.end()) continue;  // connection died while scrubbing
+      if (it == conns_by_id.end()) continue;  // connection died meanwhile
       Conn* c = it->second;
       m_slow_ops->inc();
-      respond(c, Op::kScrub, d.req_id, d.status, d.body);
+      respond(c, d.op, d.req_id, d.status, d.body);
       flush_conn(c);
     }
   }
@@ -629,7 +661,9 @@ struct Server::Impl {
   bool drain_complete() {
     {
       UniqueLock l(slow_mu);
-      if (!slow_in.empty() || !slow_out.empty()) return false;
+      if (!slow_in.empty() || !repl_in.empty() || !slow_out.empty() ||
+          workers_busy != 0)
+        return false;
     }
     for (auto& [fd, c] : conns_by_fd) {
       if (c->out_off < c->out.size() || c->parser.buffered() > 0) return false;
@@ -708,6 +742,7 @@ struct Server::Impl {
         if (stopping.load(std::memory_order_acquire)) return;
         req = slow_in.front();
         slow_in.pop_front();
+        workers_busy++;
       }
       DStore::ScrubReport report;
       Status s = store->scrub_all(&report);
@@ -719,8 +754,38 @@ struct Server::Impl {
       sum.quarantined_pages = report.quarantined_pages;
       {
         UniqueLock l(slow_mu);
-        slow_out.push_back({req.conn_id, req.req_id, wire_byte_of(s.code()),
+        workers_busy--;
+        slow_out.push_back({req.conn_id, req.req_id, Op::kScrub,
+                            wire_byte_of(s.code()),
                             s.is_ok() ? scrub_resp_body(sum) : s.message()});
+      }
+      wake();
+    }
+  }
+
+  // Replicated-write completions: await the quorum off-loop, post the ack
+  // back through the completion queue. FIFO per server, so one worker
+  // round-trip typically covers every write queued behind it (shipping
+  // drains the whole decided backlog and the watermark is monotone).
+  void repl_loop() {
+    for (;;) {
+      ReplWait w;
+      {
+        UniqueLock l(slow_mu);
+        repl_cv.wait(l, [this] {
+          return stopping.load(std::memory_order_acquire) || !repl_in.empty();
+        });
+        if (stopping.load(std::memory_order_acquire)) return;
+        w = repl_in.front();
+        repl_in.pop_front();
+        workers_busy++;
+      }
+      Status s = repl->await_ticket(w.ticket);
+      {
+        UniqueLock l(slow_mu);
+        workers_busy--;
+        slow_out.push_back({w.conn_id, w.req_id, w.op, wire_byte_of(s.code()),
+                            s.is_ok() ? std::string() : s.message()});
       }
       wake();
     }
@@ -745,6 +810,7 @@ Result<std::unique_ptr<Server>> Server::start(ShardedStore* store, ServerConfig 
   if (!s.is_ok()) return s;
   im.loop_thread = std::thread([&im] { im.loop(); });
   im.slow_thread = std::thread([&im] { im.slow_loop(); });
+  if (repl != nullptr) im.repl_thread = std::thread([&im] { im.repl_loop(); });
   return srv;
 }
 
@@ -770,9 +836,11 @@ void Server::stop() {
   {
     UniqueLock l(im.slow_mu);
     im.slow_cv.notify_all();
+    im.repl_cv.notify_all();
   }
   if (im.loop_thread.joinable()) im.loop_thread.join();
   if (im.slow_thread.joinable()) im.slow_thread.join();
+  if (im.repl_thread.joinable()) im.repl_thread.join();
   im.teardown_fds();
 }
 

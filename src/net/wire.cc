@@ -201,6 +201,7 @@ std::string snap_chunk_body(uint64_t next_cursor, bool done,
     put_u32(&b, it.shard);
     put_u16(&b, (uint16_t)it.key.size());
     b.append(it.key.data(), it.key.size());
+    put_u64(&b, it.offset);
     put_u32(&b, (uint32_t)it.value.size());
     b.append(it.value.data(), it.value.size());
   }
@@ -221,9 +222,11 @@ bool parse_snap_chunk(std::string_view body, SnapChunk* c) {
     it.shard = get_u32((const uint8_t*)body.data() + off);
     uint16_t klen = get_u16((const uint8_t*)body.data() + off + 4);
     off += 6;
-    if (body.size() < off + klen + 4) return false;
+    if (body.size() < off + klen + 12) return false;
     it.key = body.substr(off, klen);
     off += klen;
+    it.offset = get_u64((const uint8_t*)body.data() + off);
+    off += 8;
     uint32_t vlen = get_u32((const uint8_t*)body.data() + off);
     off += 4;
     if (body.size() < off + vlen) return false;

@@ -179,12 +179,16 @@ std::string repl_subscribe_resp_body(const ReplSubscribeResult& r);
 bool parse_repl_subscribe_resp(std::string_view body, ReplSubscribeResult* r);
 
 // REPL_SUBSCRIBE response (kind=kSnapPull): one chunk of the resync
-// snapshot. Items are (shard, key, value) tuples the follower applies as
-// plain puts before rejoining the stream.
+// snapshot. Items are (shard, key, offset, value) tuples: offset 0 applies
+// as a fresh put; offset > 0 is a continuation piece of a value too large
+// for one byte-budgeted chunk, which the follower splices in place at that
+// offset. Chunks are budgeted by encoded bytes (never item count alone) so
+// a chunk always fits under the transport's max_frame.
 struct SnapItemView {
   uint32_t shard = 0;
   std::string_view key;
   std::string_view value;
+  uint64_t offset = 0;  // byte offset of `value` within the full object
 };
 struct SnapChunk {
   uint64_t next_cursor = 0;
@@ -263,6 +267,13 @@ class ReplHandler {
   // (waits for quorum replication of the entry this thread just produced).
   virtual bool writable() = 0;
   virtual Status finish_write() = 0;
+  // Split completion for servers that must not block their event loop on
+  // follower RPCs: write_ticket() — called on the thread that ran the store
+  // op — hands back that write's replication ticket (0 = role lost mid-op);
+  // await_ticket() blocks until it is quorum-replicated and may run on any
+  // thread. finish_write() == await_ticket(write_ticket()).
+  virtual uint64_t write_ticket() = 0;
+  virtual Status await_ticket(uint64_t ticket) = 0;
 };
 
 // Body parsers: false on malformed input (short body, length overrun).

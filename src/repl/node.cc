@@ -175,7 +175,9 @@ void Node::reset_after_recovery() {
     p.acked = 0;
     p.snapshot.clear();
     p.snapshot_pending = false;
+    p.snap_next = p.snap_off = 0;
   }
+  repl_cv_.notify_all();
   mirror_locked();
 }
 
@@ -201,7 +203,10 @@ void Node::advance_floor_locked() {
   // and every client ack waits for commit_seq_ ≤ floor, so persisting here
   // — before any ack can be sent — keeps the durable position ahead of
   // every acked write even across a power failure.
-  if (committed_floor_ != was && role_ == Role::kPrimary) persist_meta_locked();
+  if (committed_floor_ != was) {
+    if (role_ == Role::kPrimary) persist_meta_locked();
+    repl_cv_.notify_all();
+  }
 }
 
 void Node::recompute_commit_locked() {
@@ -212,12 +217,21 @@ void Node::recompute_commit_locked() {
   } else {
     std::vector<uint64_t> acks;
     acks.reserve(peers_.size());
-    for (auto& p : peers_) acks.push_back(p.acked);
+    // Only peers actively streaming attest a durable position: a follower's
+    // acked is set from its own persisted applied position (subscribe hello
+    // or a confirmed append). A peer mid-resync or with its link down holds
+    // nothing we can count toward the quorum — serving snapshot bytes in
+    // particular proves nothing about durability on the other end.
+    for (auto& p : peers_)
+      acks.push_back(p.subscribed && p.in_sync ? p.acked : 0);
     std::sort(acks.begin(), acks.end(), std::greater<uint64_t>());
     uint32_t others = need - 1;  // besides self
     s = others <= acks.size() ? std::min(committed_floor_, acks[others - 1]) : 0;
   }
-  if (s > commit_seq_) commit_seq_ = s;
+  if (s > commit_seq_) {
+    commit_seq_ = s;
+    repl_cv_.notify_all();
+  }
 }
 
 void Node::trim_buffer_locked() {
@@ -288,6 +302,7 @@ void Node::adopt_epoch_locked(uint64_t e) {
     primary_id_ = 0;
     synced_ = false;
     ticks_since_leader_ = 0;
+    repl_cv_.notify_all();  // waiters in await_replication see the role loss
   }
   persist_meta_locked();
   mirror_locked();
@@ -297,6 +312,7 @@ void Node::step_down_locked(uint64_t new_primary) {
   if (role_ == Role::kPrimary) {
     demote_primary_locked();
     persist_meta_locked();
+    repl_cv_.notify_all();
   }
   role_ = Role::kFollower;
   primary_id_ = new_primary;
@@ -391,36 +407,59 @@ Result<size_t> Node::get(std::string_view key, void* buf, size_t cap) {
   return store_->get(key, buf, cap);
 }
 
-Status Node::finish_write() {
+uint64_t Node::write_ticket() {
   uint64_t seq = tl_last_seq;
   tl_last_seq = 0;
-  if (seq == 0)
-    return Status::busy("write not replicated: primary role lost mid-operation");
-  return await_replication(seq);
+  return seq;
 }
 
+Status Node::await_ticket(uint64_t ticket) {
+  if (ticket == 0)
+    return Status::busy("write not replicated: primary role lost mid-operation");
+  return await_replication(ticket);
+}
+
+Status Node::finish_write() { return await_ticket(write_ticket()); }
+
 Status Node::await_replication(uint64_t seq) {
-  // Wait for every entry up to `seq` to be decided (concurrent writers
-  // commit through the sink), then ship the decided backlog synchronously.
-  for (;;) {
-    {
-      MutexGuard g(mu_);
+  // Phase 1: wait for every entry up to `seq` to be decided (concurrent
+  // writers commit through the sink as their store ops finish; they signal
+  // repl_cv_ through advance_floor_locked).
+  {
+    UniqueLock l(mu_);
+    while (committed_floor_ < seq) {
       if (role_ != Role::kPrimary)
         return Status::read_only("stepped down during replication");
-      if (committed_floor_ >= seq) break;
+      repl_cv_.wait_for(l, std::chrono::milliseconds(1), [&] {
+        return committed_floor_ >= seq || role_ != Role::kPrimary;
+      });
     }
-    std::this_thread::yield();
   }
-  ship_committed();
-  MutexGuard g(mu_);
-  if (commit_seq_ >= seq) {
-    m_acks_->inc();
-    return Status::ok();
+  // Phase 2: ship the decided backlog and wait for the quorum watermark to
+  // cover `seq`. Under concurrent writers another thread may hold a peer's
+  // shipping slot — losing that race means waiting for its acks (which
+  // advance commit_seq_ for this entry too), not failing the write; the
+  // periodic re-ship covers the window where the other shipper returned
+  // before this entry was decided. Only a genuinely unreachable quorum
+  // (ack_timeout_ms elapsed) or a role loss surfaces to the client.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(cfg_.ack_timeout_ms);
+  for (;;) {
+    ship_committed();
+    UniqueLock l(mu_);
+    if (commit_seq_ >= seq) {
+      m_acks_->inc();
+      return Status::ok();
+    }
+    if (role_ != Role::kPrimary)
+      return Status::read_only("stepped down during replication");
+    if (cfg_.ack_timeout_ms == 0 || std::chrono::steady_clock::now() >= deadline)
+      return Status::busy("replication quorum unreachable at seq " +
+                          std::to_string(seq));
+    repl_cv_.wait_for(l, std::chrono::milliseconds(5), [&] {
+      return commit_seq_ >= seq || role_ != Role::kPrimary;
+    });
   }
-  if (role_ != Role::kPrimary)
-    return Status::read_only("stepped down during replication");
-  return Status::busy("replication quorum unreachable at seq " +
-                      std::to_string(seq));
 }
 
 // ---- primary: shipping ---------------------------------------------------
@@ -711,6 +750,7 @@ net::ReplSubscribeResult Node::handle_subscribe(const net::ReplHello& h) {
       p->acked = h.seq - 1;
       p->snapshot.clear();
       p->snapshot_pending = false;
+      p->snap_next = p->snap_off = 0;
       recompute_commit_locked();
       mirror_locked();
       resp.result = net::ReplSubscribeResult::kStream;
@@ -739,6 +779,7 @@ net::ReplSubscribeResult Node::handle_subscribe(const net::ReplHello& h) {
   p->snapshot_pending = true;
   p->snap_base_seq = base_seq;
   p->snap_base_epoch = base_epoch;
+  p->snap_next = p->snap_off = 0;
   resp.result = net::ReplSubscribeResult::kResync;
   resp.base_seq = base_seq;
   resp.base_epoch = base_epoch;
@@ -752,23 +793,53 @@ std::string Node::handle_snap_pull(const net::ReplHello& h) {
   if (p == nullptr || !p->snapshot_pending) return std::string();
   uint64_t cursor = h.seq;
   if (cursor > p->snapshot.size()) return std::string();
-  uint64_t end = std::min<uint64_t>(cursor + cfg_.snapshot_chunk_items,
-                                    p->snapshot.size());
-  std::vector<net::SnapItemView> items;
-  items.reserve(end - cursor);
-  for (uint64_t i = cursor; i < end; i++) {
-    const SnapItem& it = p->snapshot[i];
-    items.push_back({it.shard, it.key, it.value});
+  if (cursor != p->snap_next) {
+    // Rewind/restart: re-serve that item from its first byte. The follower
+    // re-applies pieces idempotently.
+    p->snap_next = cursor;
+    p->snap_off = 0;
   }
-  bool done = end >= p->snapshot.size();
-  m_snap_items_->add(items.size());
+  // Budget the chunk by ENCODED bytes, never item count alone: the body
+  // must stay under the transport's frame cap or the follower's FrameParser
+  // poisons and the resync can never complete. A value larger than the
+  // budget streams as continuation pieces (offset > 0) across chunks.
+  const size_t budget = std::max<size_t>(cfg_.snapshot_chunk_bytes, 256);
+  size_t used = 13;  // chunk header: cursor + done + count
+  std::vector<net::SnapItemView> items;
+  uint64_t idx = p->snap_next;
+  uint64_t off = p->snap_off;
+  uint64_t completed = 0;
+  while (idx < p->snapshot.size() && items.size() < cfg_.snapshot_chunk_items) {
+    const SnapItem& it = p->snapshot[idx];
+    size_t overhead = 6 + it.key.size() + 12;  // shard+klen+key+offset+vlen
+    if (!items.empty() && used + overhead >= budget) break;
+    size_t room = budget > used + overhead ? budget - used - overhead : 0;
+    size_t piece = std::min<size_t>(it.value.size() - off, room);
+    items.push_back({it.shard, it.key,
+                     std::string_view(it.value).substr(off, piece), off});
+    used += overhead + piece;
+    off += piece;
+    if (off < it.value.size()) break;  // chunk full mid-value
+    idx++;
+    off = 0;
+    completed++;
+  }
+  p->snap_next = idx;
+  p->snap_off = off;
+  bool done = idx >= p->snapshot.size() && off == 0;
+  m_snap_items_->add(completed);
   // Serialize BEFORE retiring the snapshot — the views point into it.
-  std::string body = net::snap_chunk_body(end, done, items);
+  std::string body = net::snap_chunk_body(idx, done, items);
   if (done) {
-    // The follower installs base_seq and re-subscribes from base_seq + 1.
-    p->acked = p->snap_base_seq;
+    // The follower now installs base_seq locally and re-subscribes from
+    // base_seq + 1. Only that subscribe — anchored at the follower's own
+    // persisted applied position — may advance p->acked: serving bytes
+    // proves nothing about what the other end received or persisted, so
+    // the quorum watermark must not move here (an "acked" write could
+    // otherwise be durable on this node alone). snapshot_pending stays set
+    // so trim_buffer_locked keeps the stream buffer anchored at
+    // snap_base_seq until the re-subscribe lands (bounded by ship_window).
     p->snapshot.clear();
-    p->snapshot_pending = false;
   }
   return body;
 }
@@ -955,8 +1026,22 @@ void Node::do_resync(PeerRpc* rpc, const net::ReplSubscribeResult& res) {
     auto c = rpc->snap_pull(h, &storage);
     if (!c.is_ok()) return;  // link died mid-resync; next tick restarts it
     for (const net::SnapItemView& it : c.value().items) {
-      Status s = store_->put_on(nullptr, (int)it.shard, it.key,
-                                it.value.data(), it.value.size());
+      if ((int)it.shard >= store_->num_shards()) return;
+      Status s;
+      if (it.offset == 0) {
+        s = store_->put_on(nullptr, (int)it.shard, it.key, it.value.data(),
+                           it.value.size());
+      } else {
+        // Continuation piece of a value larger than one byte-budgeted
+        // chunk: splice it in at its offset, extending the object the
+        // offset-0 piece created.
+        DStore& d = store_->shard((int)it.shard);
+        auto o = d.oopen(nullptr, it.key, 0, kWrite | kCreate);
+        if (!o.is_ok()) return;
+        auto r = d.owrite(o.value(), it.value.data(), it.value.size(), it.offset);
+        d.oclose(o.value());
+        s = r.is_ok() ? Status::ok() : r.status();
+      }
       if (!s.is_ok()) return;
     }
     cursor = c.value().next_cursor;
@@ -1072,6 +1157,7 @@ void Node::become_primary_locked() {
     p.acked = 0;
     p.snapshot.clear();
     p.snapshot_pending = false;
+    p.snap_next = p.snap_off = 0;
   }
   persist_meta_locked();
   mirror_locked();

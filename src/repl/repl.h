@@ -110,6 +110,17 @@ struct NodeConfig {
   // forced through a checkpoint resync instead of replaying the backlog.
   size_t ship_window = 4096;
   uint32_t snapshot_chunk_items = 64;
+  // Resync chunk budget in ENCODED bytes: a chunk stops growing before it
+  // would exceed this, and a single value larger than the budget streams as
+  // continuation pieces (SnapItemView::offset) across as many chunks as it
+  // takes. Must stay under the transport's frame cap (kDefaultMaxFrame)
+  // with headroom for the response header.
+  size_t snapshot_chunk_bytes = 1u << 20;
+  // How long a writer waits for its decided entry to reach the ack quorum
+  // (re-shipping as needed — another writer may hold the per-peer shipping
+  // slot) before the write fails Status::busy. 0 = one non-blocking attempt;
+  // deterministic rigs use that so retry counts never depend on wall-clock.
+  uint32_t ack_timeout_ms = 1000;
 
   // Tick-driven timers (the rig pumps on_tick() deterministically; TCP
   // deployments run start_ticker()). A follower that hears nothing from a
@@ -177,6 +188,8 @@ class Node : public dstore::ReplSink, public net::ReplHandler {
   net::PromoteResp handle_promote(const net::PromoteReq& p) override;
   bool writable() override { return role() == Role::kPrimary; }
   Status finish_write() override;
+  uint64_t write_ticket() override;
+  Status await_ticket(uint64_t ticket) override;
 
  private:
   struct Entry {
@@ -216,6 +229,10 @@ class Node : public dstore::ReplSink, public net::ReplHandler {
     bool snapshot_pending = false;
     uint64_t snap_base_seq = 0;
     uint64_t snap_base_epoch = 0;
+    // Serving cursor: next item index + byte offset into that item's value
+    // (nonzero while a value larger than one chunk streams in pieces).
+    uint64_t snap_next = 0;
+    uint64_t snap_off = 0;
   };
 
   // --- primary side ---
@@ -272,8 +289,14 @@ class Node : public dstore::ReplSink, public net::ReplHandler {
   uint64_t committed_floor_ = 0;
   uint64_t floor_epoch_ = 0;
   uint64_t commit_seq_ = 0;
-  std::vector<PeerState> peers_;
+  // deque, not vector: shippers hold PeerState* across RPC calls with mu_
+  // dropped, and a concurrent add_peer() must never invalidate them —
+  // deque::push_back keeps references to existing elements stable.
+  std::deque<PeerState> peers_;
   uint32_t ticks_since_hb_ = 0;
+  // Signaled whenever committed_floor_/commit_seq_ advance or the role
+  // changes; await_replication() waits on it instead of spinning.
+  CondVar repl_cv_;
 
   // Follower stream state.
   uint64_t applied_seq_ = 0;

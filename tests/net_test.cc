@@ -342,18 +342,23 @@ TEST(WireCodec, SnapChunkRoundTripsAndRejectsOverrun) {
       {0, "alpha", "value-a"},
       {1, "beta", std::string_view("\x00\x01", 2)},
       {2, "gamma", ""},
+      {3, "delta", "tail-piece", 4096},  // continuation piece of a big value
   };
   std::string b = snap_chunk_body(99, false, items);
   SnapChunk c;
   ASSERT_TRUE(parse_snap_chunk(b, &c));
   EXPECT_EQ(c.next_cursor, 99u);
   EXPECT_EQ(c.done, 0u);
-  ASSERT_EQ(c.items.size(), 3u);
+  ASSERT_EQ(c.items.size(), 4u);
   EXPECT_EQ(c.items[0].key, "alpha");
   EXPECT_EQ(c.items[0].value, "value-a");
+  EXPECT_EQ(c.items[0].offset, 0u);
   EXPECT_EQ(c.items[1].shard, 1u);
   EXPECT_EQ(c.items[1].value.size(), 2u);
   EXPECT_EQ(c.items[2].value, "");
+  EXPECT_EQ(c.items[3].key, "delta");
+  EXPECT_EQ(c.items[3].value, "tail-piece");
+  EXPECT_EQ(c.items[3].offset, 4096u);
 
   // Exact-length framing: trailing garbage is a parse error, not ignored.
   std::string overrun = b + "x";

@@ -10,6 +10,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -23,6 +25,7 @@
 #include "net/server.h"
 #include "net/wire.h"
 #include "pmem/pool.h"
+#include "repl/mem_hub.h"
 #include "repl/repl.h"
 #include "repl/tcp_peer.h"
 
@@ -349,6 +352,193 @@ TEST(DistRigFleet, FiveNodeFleetSurvivesAKill) {
   Status s = rig.run(plan_of("nodes=5;kill@8=0"));
   ASSERT_TRUE(s.is_ok()) << s.to_string();
   EXPECT_EQ(rig.stats().final_primary, 5u);  // stagger: highest id first
+}
+
+// ---------------------------------------------------------------------------
+// Resync serving: the quorum watermark vs. snapshot chunks, byte budgets
+// ---------------------------------------------------------------------------
+
+// A peer link to a node that is down: every RPC fails fast.
+struct DownPeer : PeerRpc {
+  Result<net::ReplAck> append(const net::ReplEntryWire&) override {
+    return Status::io_error("peer down");
+  }
+  Result<net::ReplSubscribeResult> subscribe(const net::ReplHello&) override {
+    return Status::io_error("peer down");
+  }
+  Result<net::SnapChunk> snap_pull(const net::ReplHello&, std::string*) override {
+    return Status::io_error("peer down");
+  }
+  Result<net::ReplAck> heartbeat(const net::Heartbeat&) override {
+    return Status::io_error("peer down");
+  }
+  Result<net::PromoteResp> promote(const net::PromoteReq&) override {
+    return Status::io_error("peer down");
+  }
+};
+
+// A primary whose followers are all down: writes commit locally (and fail
+// Status::busy for lack of a quorum), then a follower comes back through
+// the resync path and we drive handle_subscribe / handle_snap_pull directly.
+struct PrimaryFixture {
+  std::unique_ptr<Node> node;
+  std::unique_ptr<ShardedStore> store;
+  DownPeer down;
+
+  PrimaryFixture() {
+    NodeConfig ncfg;
+    ncfg.node_id = 1;
+    ncfg.start_as_primary = true;
+    ncfg.ack_timeout_ms = 0;          // single non-blocking quorum attempt
+    ncfg.snapshot_chunk_bytes = 256;  // tiny budget: force multi-chunk values
+    node = std::make_unique<Node>(ncfg);
+    node->add_peer(2, &down);
+    node->add_peer(3, &down);
+    ShardedConfig scfg;
+    scfg.num_shards = 1;
+    scfg.shard.max_objects = 64;
+    scfg.shard.num_blocks = 512;
+    scfg.shard.engine.log_slots = 64;
+    scfg.repl_sink = node.get();
+    auto r = ShardedStore::create(scfg);
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    store = std::move(r).value();
+    node->attach_store(store.get());
+  }
+};
+
+TEST(ReplResync, ServingSnapshotChunksNeverAdvancesTheQuorumWatermark) {
+  PrimaryFixture fx;
+  std::map<std::string, std::string> expect;
+  // One value much larger than the 256-byte chunk budget: it must stream
+  // as continuation pieces rather than one oversized (parser-poisoning)
+  // frame body.
+  expect["big"] = std::string(1000, 'B');
+  for (int i = 0; i < 6; i++)
+    expect["k" + std::to_string(i)] = "v" + std::to_string(i);
+  uint64_t writes = 0;
+  for (auto& [k, v] : expect) {
+    Status s = fx.node->put(k, v.data(), v.size());
+    EXPECT_EQ(s.code(), Code::kBusy) << s.to_string();  // no quorum reachable
+    writes++;
+  }
+  EXPECT_EQ(fx.node->commit_seq(), 0u);
+
+  // Node 2 reports back with a divergent anchor: the primary parks a
+  // snapshot and answers kResync.
+  net::ReplHello h;
+  h.kind = net::ReplHello::kSubscribe;
+  h.epoch = fx.node->epoch();
+  h.node_id = 2;
+  h.seq = writes + 1;
+  h.last_epoch = 999;  // does not match our history at writes
+  net::ReplSubscribeResult sub = fx.node->handle_subscribe(h);
+  ASSERT_EQ(sub.result, net::ReplSubscribeResult::kResync);
+  EXPECT_EQ(sub.base_seq, writes);
+
+  // Pull every chunk. Each encoded body must respect the byte budget, and
+  // pieces must reassemble (by offset) into exactly the store's contents.
+  std::map<std::string, std::string> got;
+  net::ReplHello pull;
+  pull.kind = net::ReplHello::kSnapPull;
+  pull.node_id = 2;
+  pull.seq = 0;
+  int chunks = 0;
+  for (; chunks < 200; chunks++) {
+    std::string body = fx.node->handle_snap_pull(pull);
+    ASSERT_FALSE(body.empty());
+    EXPECT_LE(body.size(), 256u) << "chunk exceeds snapshot_chunk_bytes";
+    net::SnapChunk c;
+    ASSERT_TRUE(net::parse_snap_chunk(body, &c));
+    for (const auto& it : c.items) {
+      std::string& dst = got[std::string(it.key)];
+      ASSERT_EQ(it.offset, dst.size()) << "continuation piece out of order";
+      dst.append(it.value);
+    }
+    pull.seq = c.next_cursor;
+    if (c.done) break;
+  }
+  ASSERT_LT(chunks, 200) << "snap pull never reported done";
+  EXPECT_GT(chunks, 1) << "the 1000-byte value should span several chunks";
+  EXPECT_EQ(got, expect);
+
+  // The teeth of the fix: the primary SERVED the whole snapshot, but the
+  // follower never attested an applied position — the quorum watermark
+  // must still be zero, or a write durable only here would count as
+  // replicated.
+  EXPECT_EQ(fx.node->commit_seq(), 0u);
+
+  // Only the follower's re-subscribe — anchored at the base it installed —
+  // advances its ack and, with it, the watermark.
+  h.seq = sub.base_seq + 1;
+  h.last_epoch = sub.base_epoch;
+  net::ReplSubscribeResult sub2 = fx.node->handle_subscribe(h);
+  ASSERT_EQ(sub2.result, net::ReplSubscribeResult::kStream);
+  EXPECT_EQ(fx.node->commit_seq(), writes);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent writers racing for the quorum watermark
+// ---------------------------------------------------------------------------
+
+// Regression: await_replication used to sample commit_seq_ once after one
+// ship attempt, so a writer whose ack was carried by ANOTHER writer's ship
+// (the per-peer shipping slot is exclusive) failed Status::busy even though
+// its entry replicated fine. Every concurrent write must ack.
+TEST(ReplConcurrency, ConcurrentWritersAllReachQuorum) {
+  auto make_store = [](Node* n) {
+    ShardedConfig scfg;
+    scfg.num_shards = 1;
+    scfg.shard.max_objects = 256;
+    scfg.shard.num_blocks = 2048;
+    scfg.shard.engine.log_slots = 256;
+    scfg.repl_sink = n;
+    auto r = ShardedStore::create(scfg);
+    EXPECT_TRUE(r.is_ok()) << r.status().to_string();
+    return std::move(r).value();
+  };
+  NodeConfig c1;
+  c1.node_id = 1;
+  c1.start_as_primary = true;
+  auto n1 = std::make_unique<Node>(c1);
+  auto s1 = make_store(n1.get());
+  n1->attach_store(s1.get());
+  NodeConfig c2;
+  c2.node_id = 2;
+  c2.initial_primary = 1;
+  auto n2 = std::make_unique<Node>(c2);
+  auto s2 = make_store(n2.get());
+  n2->attach_store(s2.get());
+
+  MemHub hub;
+  hub.add_node(1, n1.get(), nullptr);
+  hub.add_node(2, n2.get(), nullptr);
+  auto p12 = hub.peer(1, 2);
+  auto p21 = hub.peer(2, 1);
+  n1->add_peer(2, p12.get());
+  n2->add_peer(1, p21.get());
+  n2->on_tick();  // follower subscribes to the seed primary
+  ASSERT_EQ(n1->commit_seq(), 0u);
+
+  constexpr int kThreads = 4, kPerThread = 25;
+  std::vector<Status> results(kThreads * kPerThread, Status::ok());
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        std::string key = "t" + std::to_string(t) + "-k" + std::to_string(i);
+        std::string val = "v" + std::to_string(t * 1000 + i);
+        results[t * kPerThread + i] =
+            n1->put(key, val.data(), val.size());
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  for (size_t i = 0; i < results.size(); i++)
+    EXPECT_TRUE(results[i].is_ok())
+        << "writer " << i << ": " << results[i].to_string();
+  EXPECT_EQ(n1->commit_seq(), (uint64_t)(kThreads * kPerThread));
+  EXPECT_EQ(n2->applied_seq(), (uint64_t)(kThreads * kPerThread));
 }
 
 // ---------------------------------------------------------------------------
